@@ -1,0 +1,44 @@
+//! Dataset-substrate benchmarks: generation, skyline preprocessing, and the
+//! utility scans that dominate every algorithm's inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isrl_data::{generate, skyline, Distribution};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    g.sample_size(20);
+    for (n, d) in [(10_000usize, 4usize), (10_000, 20)] {
+        g.bench_function(BenchmarkId::from_parameter(format!("anti_n{n}_d{d}")), |b| {
+            b.iter(|| black_box(generate(n, d, Distribution::AntiCorrelated, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_skyline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skyline");
+    g.sample_size(10);
+    for dist in [Distribution::Correlated, Distribution::AntiCorrelated] {
+        let data = generate(10_000, 4, dist, 2);
+        g.bench_function(BenchmarkId::from_parameter(format!("{dist:?}_10k_d4")), |b| {
+            b.iter(|| black_box(skyline(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_utility_scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("argmax_utility");
+    for (n, d) in [(10_000usize, 4usize), (100_000, 4), (10_000, 20)] {
+        let data = generate(n, d, Distribution::AntiCorrelated, 3);
+        let u = vec![1.0 / d as f64; d];
+        g.bench_function(BenchmarkId::from_parameter(format!("n{n}_d{d}")), |b| {
+            b.iter(|| black_box(data.argmax_utility(&u)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_skyline, bench_utility_scans);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the geometry kernel: the per-round primitives whose
+//! costs explain why EA is capped at low dimensionality (Figures 13–14) and
+//! why AA's LP-only state scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isrl_geometry::{
+    min_enclosing_sphere, sampling, EnclosingSphereParams, Halfspace, Polytope, Region,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn region_with_cuts(d: usize, cuts: usize, seed: u64) -> Region {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut region = Region::full(d);
+    let bary = vec![1.0 / d as f64; d];
+    while region.len() < cuts {
+        let a: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let b: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        if let Some(h) = Halfspace::preferring(&a, &b) {
+            region.add(if h.contains(&bary, 0.0) { h } else { h.flipped() });
+        }
+    }
+    region
+}
+
+fn bench_vertex_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vertex_enumeration");
+    for d in [2usize, 3, 4, 5] {
+        for cuts in [4usize, 8] {
+            let region = region_with_cuts(d, cuts, 1);
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("d{d}_cuts{cuts}")),
+                &region,
+                |b, r| b.iter(|| black_box(Polytope::from_region(r))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_outer_sphere(c: &mut Criterion) {
+    let mut g = c.benchmark_group("outer_sphere");
+    for d in [3usize, 5] {
+        let polytope = Polytope::from_region(&region_with_cuts(d, 6, 2)).unwrap();
+        let vertices = polytope.vertices().to_vec();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("d{d}")), &vertices, |b, v| {
+            b.iter(|| black_box(min_enclosing_sphere(v, EnclosingSphereParams::default())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    for d in [4usize, 20] {
+        g.bench_function(BenchmarkId::new("simplex_100", format!("d{d}")), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                for _ in 0..100 {
+                    black_box(sampling::sample_simplex(d, &mut rng));
+                }
+            })
+        });
+        let region = region_with_cuts(d, 5, 4);
+        let start = region.feasible_point().unwrap();
+        g.bench_function(BenchmarkId::new("hit_and_run_100", format!("d{d}")), |b| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                black_box(sampling::hit_and_run(
+                    d,
+                    region.halfspaces(),
+                    &start,
+                    100,
+                    2,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vertex_enumeration, bench_outer_sphere, bench_sampling);
+criterion_main!(benches);

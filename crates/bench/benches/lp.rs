@@ -1,0 +1,67 @@
+//! LP-solver benchmarks: AA's per-round state costs (inner sphere + outer
+//! rectangle) and the strict-feasibility cut test, as functions of the
+//! dimensionality and the number of answered questions |H|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isrl_geometry::{Halfspace, Region};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn region_with_cuts(d: usize, cuts: usize, seed: u64) -> Region {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut region = Region::full(d);
+    let bary = vec![1.0 / d as f64; d];
+    while region.len() < cuts {
+        let a: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let b: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        if let Some(h) = Halfspace::preferring(&a, &b) {
+            region.add(if h.contains(&bary, 0.0) { h } else { h.flipped() });
+        }
+    }
+    region
+}
+
+fn bench_inner_sphere(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inner_sphere_lp");
+    for (d, cuts) in [(4usize, 5usize), (4, 20), (20, 5), (20, 20)] {
+        let region = region_with_cuts(d, cuts, 1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_H{cuts}")),
+            &region,
+            |b, r| b.iter(|| black_box(r.inner_sphere())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_outer_rectangle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("outer_rectangle_2d_lps");
+    for (d, cuts) in [(4usize, 10usize), (20, 10)] {
+        let region = region_with_cuts(d, cuts, 2);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_H{cuts}")),
+            &region,
+            |b, r| b.iter(|| black_box(r.outer_rectangle())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_cut_test(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strict_feasibility_cut_test");
+    for d in [4usize, 20] {
+        let region = region_with_cuts(d, 10, 3);
+        let mut probe = vec![0.0; d];
+        probe[0] = 1.0;
+        probe[1] = -1.0;
+        let h = Halfspace::new(probe);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("d{d}")), &region, |b, r| {
+            b.iter(|| black_box(r.is_cut_by(&h)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inner_sphere, bench_outer_rectangle, bench_cut_test);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! DQN cost benchmarks: the paper's network (input → 64 SELU → 1) forward
+//! pass, backward pass, and one full replay minibatch update — the fixed
+//! per-round overhead the RL agents add on top of the geometry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isrl_nn::{loss, Activation, Init, Mlp};
+use isrl_rl::{Dqn, DqnConfig, NextState, Transition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlp");
+    for input_dim in [29usize, 65] {
+        // 29 = EA state at d=4 (4·5+4+1) + nothing; 65 ≈ AA state at d=20 (61) + margin.
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Mlp::new(&[input_dim, 64, 1], Activation::Selu, Init::LecunNormal, &mut rng);
+        let x = vec![0.1; input_dim];
+        g.bench_function(BenchmarkId::new("forward", input_dim), |b| {
+            b.iter(|| black_box(net.forward(&x)))
+        });
+        g.bench_function(BenchmarkId::new("forward_backward", input_dim), |b| {
+            b.iter(|| {
+                let (y, cache) = net.forward_cached(&x);
+                let g = net.backward(&cache, &loss::mse_grad(&y, &[0.5]));
+                black_box(g)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dqn_train_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dqn");
+    g.sample_size(30);
+    for (state_dim, action_dim) in [(25usize, 8usize), (61, 40)] {
+        let mut dqn = Dqn::new(DqnConfig::paper_default(state_dim, action_dim));
+        // Pre-fill replay with a full batch.
+        for k in 0..128 {
+            dqn.push_transition(Transition {
+                state: vec![0.1 * (k % 7) as f64; state_dim],
+                action: vec![0.2; action_dim],
+                reward: if k % 9 == 0 { 100.0 } else { 0.0 },
+                next: if k % 2 == 0 {
+                    None
+                } else {
+                    Some(NextState {
+                        state: vec![0.3; state_dim],
+                        actions: vec![vec![0.4; action_dim]; 5],
+                    })
+                },
+            });
+        }
+        g.bench_function(
+            BenchmarkId::new("train_step", format!("s{state_dim}_a{action_dim}")),
+            |b| b.iter(|| black_box(dqn.train_step())),
+        );
+        g.bench_function(
+            BenchmarkId::new("best_action_m5", format!("s{state_dim}_a{action_dim}")),
+            |b| {
+                let state = vec![0.1; state_dim];
+                let actions = vec![vec![0.2; action_dim]; 5];
+                b.iter(|| black_box(dqn.best_action(&state, &actions)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_forward_backward, bench_dqn_train_step);
+criterion_main!(benches);

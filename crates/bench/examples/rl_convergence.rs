@@ -1,0 +1,67 @@
+//! RL convergence study: how many training episodes (and which optimizer
+//! cadence) the DQN needs before its question policy beats the untrained
+//! agent. The paper trains on 10,000 users; repo-scale sweeps use far
+//! fewer, and this harness quantifies what that costs.
+//!
+//! ```text
+//! cargo run -p isrl-bench --release --example rl_convergence
+//! ```
+
+use isrl_core::prelude::*;
+use isrl_data::{generate, skyline, Distribution};
+
+fn main() {
+    let d = 4;
+    let eps = 0.1;
+    let data = skyline(&generate(2_000, d, Distribution::AntiCorrelated, 13));
+    let users = sample_users(d, 40, 99);
+    println!(
+        "d={d}, eps={eps}, {} skyline tuples, {} test users\n",
+        data.len(),
+        users.len()
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "configuration", "EA rounds", "AA rounds"
+    );
+
+    for (episodes, steps, adam) in [
+        (0usize, 1usize, false),
+        (100, 1, false),
+        (400, 1, false),
+        (1600, 1, false),
+        (400, 4, false),
+        (400, 1, true),
+        (400, 4, true),
+    ] {
+        let train = sample_users(d, episodes, 5);
+
+        let mut ea_cfg = EaConfig::paper_default().with_seed(21);
+        ea_cfg.n_samples = 80;
+        ea_cfg.train_steps_per_round = steps;
+        ea_cfg.use_adam = adam;
+        let mut ea = EaAgent::new(d, ea_cfg);
+        if episodes > 0 {
+            ea.train(&data, &train, eps);
+        }
+        let ea_eval = evaluate(&mut ea, &data, &users, eps, TraceMode::Off);
+
+        let mut aa_cfg = AaConfig::paper_default().with_seed(21);
+        aa_cfg.train_steps_per_round = steps;
+        aa_cfg.use_adam = adam;
+        let mut aa = AaAgent::new(d, aa_cfg);
+        if episodes > 0 {
+            aa.train(&data, &train, eps);
+        }
+        let aa_eval = evaluate(&mut aa, &data, &users, eps, TraceMode::Off);
+
+        let label = format!(
+            "episodes={episodes} steps/round={steps} {}",
+            if adam { "adam" } else { "sgd" }
+        );
+        println!(
+            "{label:<42} {:>12.2} {:>12.2}",
+            ea_eval.stats.mean_rounds, aa_eval.stats.mean_rounds
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Does the RL benefit emerge with dataset scale? The paper trains at
+//! n = 100,000 where the skyline (and hence the anchor pool P_R) is large
+//! and candidate questions genuinely differ; this probe compares
+//! untrained vs trained EA/AA across dataset sizes.
+//!
+//! ```text
+//! cargo run -p isrl-bench --release --example rl_scale
+//! ```
+
+use isrl_core::prelude::*;
+use isrl_data::{generate, skyline, Distribution};
+
+fn main() {
+    let d = 4;
+    let eps = 0.1;
+    for n in [2_000usize, 20_000, 60_000] {
+        let data = skyline(&generate(n, d, Distribution::AntiCorrelated, 13));
+        let users = sample_users(d, 25, 99);
+        let train = sample_users(d, 300, 5);
+        print!("n={n} (skyline {}): ", data.len());
+
+        let mut cfg = EaConfig::paper_default().with_seed(21);
+        cfg.n_samples = 80;
+        let mut ea0 = EaAgent::new(d, cfg.clone());
+        let e0 = evaluate(&mut ea0, &data, &users, eps, TraceMode::Off);
+        let mut ea1 = EaAgent::new(d, cfg);
+        ea1.train(&data, &train, eps);
+        let e1 = evaluate(&mut ea1, &data, &users, eps, TraceMode::Off);
+
+        let mut aa0 = AaAgent::new(d, AaConfig::paper_default().with_seed(21));
+        let a0 = evaluate(&mut aa0, &data, &users, eps, TraceMode::Off);
+        let mut aa1 = AaAgent::new(d, AaConfig::paper_default().with_seed(21));
+        aa1.train(&data, &train, eps);
+        let a1 = evaluate(&mut aa1, &data, &users, eps, TraceMode::Off);
+
+        println!(
+            "EA untrained {:.2} -> trained {:.2} | AA untrained {:.2} -> trained {:.2}",
+            e0.stats.mean_rounds, e1.stats.mean_rounds, a0.stats.mean_rounds, a1.stats.mean_rounds
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Benchmark harness for the ISRL reproduction.
+//!
+//! * [`sweep`] — dataset specs, algorithm factories, parallel evaluation;
+//! * [`report`] — result tables (terminal + CSV);
+//! * the `figures` binary regenerates every figure of the paper's §V
+//!   (`cargo run -p isrl-bench --release --bin figures -- all`);
+//! * `benches/` holds the Criterion micro-benchmarks for per-round costs.
+
+pub mod report;
+pub mod sweep;

@@ -1,0 +1,146 @@
+//! Result tables: aligned terminal rendering plus CSV export, one table per
+//! paper exhibit. EXPERIMENTS.md is assembled from these.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A rectangular result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier matching the paper exhibit (e.g. "fig9a").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count disagrees with the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// CSV serialization (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`, creating the directory as needed.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Formats a float with 2 decimal places (the paper's table precision).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 4 decimal places (regret ratios).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t1", "demo", &["algo", "rounds"]);
+        t.push_row(vec!["EA".into(), "4.20".into()]);
+        t.push_row(vec!["SinglePass".into(), "727.00".into()]);
+        let r = t.render();
+        assert!(r.contains("t1"));
+        assert!(r.contains("SinglePass"));
+        // Both data rows end aligned on the rounds column.
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_round_trips_through_data_crate() {
+        let mut t = Table::new("t2", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let parsed = isrl_data::csv::parse(&t.to_csv()).unwrap();
+        assert_eq!(parsed.header, vec!["a", "b"]);
+        assert_eq!(parsed.rows[0], vec!["1", "2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_checks_width() {
+        let mut t = Table::new("t3", "demo", &["only"]);
+        t.push_row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f4(0.123456), "0.1235");
+        assert_eq!(secs(0.0000005), "0.00ms");
+        assert_eq!(secs(0.5), "500.0ms");
+        assert_eq!(secs(2.0), "2.00s");
+    }
+}

@@ -1,0 +1,315 @@
+//! Experiment plumbing: dataset construction, algorithm factories, and
+//! parallel evaluation sweeps shared by the `figures` binary and the
+//! Criterion benches.
+
+use isrl_core::prelude::*;
+use isrl_data::{real, skyline, synthetic, Dataset, Distribution};
+use parking_lot::Mutex;
+
+/// Skyline preprocessing is skipped above this dimensionality: in high
+/// dimension nearly every anti-correlated point is a skyline point, so the
+/// quadratic-ish SFS pass buys nothing (consistent with the paper's setup,
+/// which only reports polytope algorithms up to d = 10 anyway).
+pub const SKYLINE_DIM_CAP: usize = 8;
+
+/// What data an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataSpec {
+    /// Börzsönyi synthetic data.
+    Synthetic {
+        /// Tuples before skyline preprocessing.
+        n: usize,
+        /// Dimensionality.
+        d: usize,
+        /// Correlation structure.
+        dist: Distribution,
+    },
+    /// The Car stand-in (d = 3), sized to `n` tuples.
+    Car {
+        /// Tuples before skyline preprocessing.
+        n: usize,
+    },
+    /// The Player stand-in (d = 20), sized to `n` tuples.
+    Player {
+        /// Tuples before skyline preprocessing.
+        n: usize,
+    },
+}
+
+impl DataSpec {
+    /// Dimensionality of the spec.
+    pub fn dim(&self) -> usize {
+        match self {
+            DataSpec::Synthetic { d, .. } => *d,
+            DataSpec::Car { .. } => real::CAR_D,
+            DataSpec::Player { .. } => real::PLAYER_D,
+        }
+    }
+
+    /// Builds (and skyline-preprocesses, when `d ≤` [`SKYLINE_DIM_CAP`])
+    /// the dataset.
+    pub fn build(&self, seed: u64) -> Dataset {
+        let raw = match *self {
+            DataSpec::Synthetic { n, d, dist } => synthetic::generate(n, d, dist, seed),
+            DataSpec::Car { n } => real::car_like_sized(n, seed),
+            DataSpec::Player { n } => real::player_like_sized(n, seed),
+        };
+        if raw.dim() <= SKYLINE_DIM_CAP {
+            skyline(&raw)
+        } else {
+            raw
+        }
+    }
+}
+
+/// The algorithms of the paper's §V (plus the related-work UtilityApprox).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// The exact RL agent.
+    Ea,
+    /// The approximate RL agent.
+    Aa,
+    /// UH-Random (SIGMOD'19).
+    UhRandom,
+    /// UH-Simplex (SIGMOD'19).
+    UhSimplex,
+    /// SinglePass (KDD'23).
+    SinglePass,
+    /// UtilityApprox (SIGMOD'12).
+    UtilityApprox,
+}
+
+impl AlgoKind {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoKind::Ea => "EA",
+            AlgoKind::Aa => "AA",
+            AlgoKind::UhRandom => "UH-Random",
+            AlgoKind::UhSimplex => "UH-Simplex",
+            AlgoKind::SinglePass => "SinglePass",
+            AlgoKind::UtilityApprox => "UtilityApprox",
+        }
+    }
+
+    /// Whether the algorithm maintains explicit polytopes (and so, like in
+    /// the paper, is only run at low dimensionality).
+    pub fn needs_polytopes(&self) -> bool {
+        matches!(self, AlgoKind::Ea | AlgoKind::UhRandom | AlgoKind::UhSimplex)
+    }
+
+    /// The paper's §V roster for a given dimensionality: polytope
+    /// algorithms are dropped above d = 10.
+    pub fn roster(d: usize) -> Vec<AlgoKind> {
+        if d <= 10 {
+            vec![
+                AlgoKind::Ea,
+                AlgoKind::Aa,
+                AlgoKind::UhRandom,
+                AlgoKind::UhSimplex,
+                AlgoKind::SinglePass,
+            ]
+        } else {
+            vec![AlgoKind::Aa, AlgoKind::SinglePass]
+        }
+    }
+}
+
+/// Sweep-wide knobs (scaled by the binary's `--scale`).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepParams {
+    /// Number of test users per measurement.
+    pub test_users: usize,
+    /// RL training episodes for EA/AA.
+    pub train_episodes: usize,
+    /// EA per-round sampling budget.
+    pub ea_samples: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        Self { test_users: 20, train_episodes: 120, ea_samples: 80, seed: 7 }
+    }
+}
+
+/// Builds (training included, for the RL agents) an algorithm instance.
+pub fn make_algo(
+    kind: AlgoKind,
+    data: &Dataset,
+    eps: f64,
+    params: &SweepParams,
+) -> Box<dyn InteractiveAlgorithm + Send> {
+    let d = data.dim();
+    match kind {
+        AlgoKind::Ea => {
+            let mut cfg = EaConfig::paper_default().with_seed(params.seed);
+            cfg.n_samples = params.ea_samples;
+            let mut agent = EaAgent::new(d, cfg);
+            let train = sample_users(d, params.train_episodes, params.seed.wrapping_add(100));
+            agent.train(data, &train, eps);
+            Box::new(agent)
+        }
+        AlgoKind::Aa => {
+            let cfg = AaConfig::paper_default().with_seed(params.seed);
+            let mut agent = AaAgent::new(d, cfg);
+            let train = sample_users(d, params.train_episodes, params.seed.wrapping_add(200));
+            agent.train(data, &train, eps);
+            Box::new(agent)
+        }
+        AlgoKind::UhRandom => Box::new(UhBaseline::random(params.seed)),
+        AlgoKind::UhSimplex => Box::new(UhBaseline::simplex(params.seed)),
+        AlgoKind::SinglePass => Box::new(SinglePass::seeded(params.seed)),
+        AlgoKind::UtilityApprox => Box::new(UtilityApprox::default()),
+    }
+}
+
+/// Evaluates each algorithm (trained where applicable) on the same test
+/// users, in parallel — one thread per algorithm. Results come back in the
+/// input order.
+pub fn run_algos(
+    data: &Dataset,
+    kinds: &[AlgoKind],
+    eps: f64,
+    params: &SweepParams,
+) -> Vec<(AlgoKind, Evaluation)> {
+    let users = sample_users(data.dim(), params.test_users, params.seed.wrapping_add(300));
+    let results: Mutex<Vec<(usize, AlgoKind, Evaluation)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for (i, &kind) in kinds.iter().enumerate() {
+            let users = &users;
+            let results = &results;
+            let params = params;
+            scope.spawn(move |_| {
+                let mut algo = make_algo(kind, data, eps, params);
+                let eval = evaluate(algo.as_mut(), data, users, eps, TraceMode::Off);
+                results.lock().push((i, kind, eval));
+            });
+        }
+    })
+    .expect("sweep thread panicked");
+    let mut out = results.into_inner();
+    out.sort_by_key(|(i, _, _)| *i);
+    out.into_iter().map(|(_, k, e)| (k, e)).collect()
+}
+
+/// Per-round interaction progress (Figures 7–8): mean max-regret-so-far and
+/// mean cumulative seconds at each round index, averaged over users.
+pub struct Progress {
+    /// Algorithm measured.
+    pub kind: AlgoKind,
+    /// `(round, mean max regret, mean cumulative seconds)` rows.
+    pub rows: Vec<(usize, f64, f64)>,
+}
+
+/// Runs each algorithm with per-round tracing and estimates the maximum
+/// regret ratio of the current recommendation after every round.
+pub fn run_progress(
+    data: &Dataset,
+    kinds: &[AlgoKind],
+    eps: f64,
+    params: &SweepParams,
+    max_round: usize,
+    regret_samples: usize,
+) -> Vec<Progress> {
+    let users = sample_users(data.dim(), params.test_users, params.seed.wrapping_add(300));
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut algo = make_algo(kind, data, eps, params);
+            // For each round index: collected (regret, secs) pairs.
+            let mut acc: Vec<Vec<(f64, f64)>> = vec![Vec::new(); max_round];
+            for (ui, u) in users.iter().enumerate() {
+                let mut user = SimulatedUser::new(u.clone());
+                // Cap tracing: snapshots beyond max_round are never read,
+                // and an uncapped SinglePass trace costs O(rounds²) memory.
+                let out = algo.run(data, &mut user, eps, TraceMode::FirstRounds(max_round));
+                for t in out.trace.iter().take(max_round) {
+                    let r = max_regret_estimate(
+                        data,
+                        &t.region,
+                        t.best_index,
+                        regret_samples,
+                        params.seed.wrapping_add(ui as u64),
+                    )
+                    .unwrap_or(0.0);
+                    acc[t.round - 1].push((r, t.elapsed.as_secs_f64()));
+                }
+                // Runs that stop before max_round keep their final state for
+                // the remaining rounds (regret of the returned point, final time).
+                if out.rounds < max_round {
+                    let final_regret = isrl_core::regret::regret_ratio_of_index(
+                        data,
+                        out.point_index,
+                        u,
+                    );
+                    for slot in acc.iter_mut().take(max_round).skip(out.rounds) {
+                        slot.push((final_regret, out.elapsed.as_secs_f64()));
+                    }
+                }
+            }
+            let rows = acc
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(i, v)| {
+                    let n = v.len() as f64;
+                    let mr = v.iter().map(|x| x.0).sum::<f64>() / n;
+                    let ms = v.iter().map(|x| x.1).sum::<f64>() / n;
+                    (i + 1, mr, ms)
+                })
+                .collect();
+            Progress { kind, rows }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataspec_builds_and_preprocesses() {
+        let spec = DataSpec::Synthetic { n: 300, d: 3, dist: Distribution::AntiCorrelated };
+        let data = spec.build(1);
+        assert_eq!(data.dim(), 3);
+        assert!(data.len() <= 300, "skyline only removes points");
+        let hi = DataSpec::Synthetic { n: 100, d: 12, dist: Distribution::Independent };
+        assert_eq!(hi.build(1).len(), 100, "no skyline pass above the cap");
+    }
+
+    #[test]
+    fn roster_follows_the_paper() {
+        assert_eq!(AlgoKind::roster(4).len(), 5);
+        let high = AlgoKind::roster(20);
+        assert_eq!(high, vec![AlgoKind::Aa, AlgoKind::SinglePass]);
+        assert!(AlgoKind::Ea.needs_polytopes());
+        assert!(!AlgoKind::SinglePass.needs_polytopes());
+    }
+
+    #[test]
+    fn run_algos_returns_in_order() {
+        let spec = DataSpec::Synthetic { n: 120, d: 2, dist: Distribution::AntiCorrelated };
+        let data = spec.build(2);
+        let params = SweepParams { test_users: 3, train_episodes: 4, ea_samples: 30, seed: 5 };
+        let kinds = [AlgoKind::UtilityApprox, AlgoKind::SinglePass];
+        let res = run_algos(&data, &kinds, 0.15, &params);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].0, AlgoKind::UtilityApprox);
+        assert_eq!(res[1].0, AlgoKind::SinglePass);
+        assert_eq!(res[0].1.stats.runs, 3);
+    }
+
+    #[test]
+    fn progress_rows_are_monotone_in_round() {
+        let spec = DataSpec::Synthetic { n: 100, d: 2, dist: Distribution::AntiCorrelated };
+        let data = spec.build(3);
+        let params = SweepParams { test_users: 2, train_episodes: 0, ea_samples: 30, seed: 6 };
+        let prog = run_progress(&data, &[AlgoKind::SinglePass], 0.1, &params, 5, 200);
+        assert_eq!(prog.len(), 1);
+        for w in prog[0].rows.windows(2) {
+            assert!(w[1].0 <= w[0].0 + 1); // rounds increase
+        }
+    }
+}

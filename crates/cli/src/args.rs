@@ -1,0 +1,163 @@
+//! Minimal flag parser: `--key value` pairs plus positional arguments.
+//! No external dependency; errors carry the offending flag for usable
+//! messages.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order, flags as key → value
+/// (`--flag` with no value stores an empty string).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument errors with enough context for a one-line message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A required flag was not supplied.
+    Missing(&'static str),
+    /// A flag's value failed to parse (flag, value, expected type).
+    Invalid(&'static str, String, &'static str),
+    /// A flag that this command does not understand.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Missing(flag) => write!(f, "missing required flag --{flag}"),
+            ArgError::Invalid(flag, val, ty) => {
+                write!(f, "--{flag} {val:?} is not a valid {ty}")
+            }
+            ArgError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name). A token starting
+    /// with `--` becomes a flag; if the next token does not start with `--`
+    /// it becomes that flag's value.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    _ => String::new(),
+                };
+                out.flags.insert(flag.to_string(), value);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        out
+    }
+
+    /// Positional arguments in order.
+    #[allow(dead_code)] // exercised by tests; kept for future subcommand args
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Raw string flag, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// `true` iff the flag was supplied (with or without a value).
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// Required string flag.
+    pub fn required(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.get(flag).filter(|v| !v.is_empty()).ok_or(ArgError::Missing(flag))
+    }
+
+    /// Optional typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &'static str,
+        default: T,
+        ty: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError::Invalid(flag, v.to_string(), ty))
+            }
+        }
+    }
+
+    /// Rejects any flag not in the allow list (typo protection).
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError::Unknown(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn splits_positionals_and_flags() {
+        let a = parse("train --eps 0.1 --out model.ckpt");
+        assert_eq!(a.positional(), &["train".to_string()]);
+        assert_eq!(a.get("eps"), Some("0.1"));
+        assert_eq!(a.get("out"), Some("model.ckpt"));
+    }
+
+    #[test]
+    fn bare_flags_have_empty_values() {
+        let a = parse("generate --skyline --n 100");
+        assert!(a.has("skyline"));
+        assert_eq!(a.get("skyline"), Some(""));
+        assert_eq!(a.get("n"), Some("100"));
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let a = parse("x --n 100 --eps banana");
+        assert_eq!(a.get_or("n", 5usize, "integer").unwrap(), 100);
+        assert_eq!(a.get_or("missing", 5usize, "integer").unwrap(), 5);
+        assert_eq!(
+            a.get_or("eps", 0.1f64, "number"),
+            Err(ArgError::Invalid("eps", "banana".into(), "number"))
+        );
+    }
+
+    #[test]
+    fn required_rejects_missing_and_empty() {
+        let a = parse("x --empty --ok fine");
+        assert_eq!(a.required("ok").unwrap(), "fine");
+        assert_eq!(a.required("empty"), Err(ArgError::Missing("empty")));
+        assert_eq!(a.required("absent"), Err(ArgError::Missing("absent")));
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let a = parse("x --good 1 --typo 2");
+        assert!(a.ensure_known(&["good"]).is_err());
+        assert!(a.ensure_known(&["good", "typo"]).is_ok());
+    }
+
+    #[test]
+    fn errors_render_helpfully() {
+        assert_eq!(ArgError::Missing("out").to_string(), "missing required flag --out");
+        assert!(ArgError::Unknown("nope".into()).to_string().contains("nope"));
+    }
+}

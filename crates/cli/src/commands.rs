@@ -1,0 +1,259 @@
+//! The five CLI subcommands.
+
+use crate::args::Args;
+use crate::data_io::{resolve_dataset, DataSource};
+use isrl_core::checkpoint;
+use isrl_core::prelude::*;
+use isrl_core::regret::regret_ratio_of_index;
+use isrl_data::Dataset;
+use std::io::Write as _;
+
+/// Boxed error for command results.
+pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn describe(data: &Dataset, source: &DataSource) {
+    let attrs = if data.attributes().is_empty() {
+        String::from("unnamed")
+    } else {
+        data.attributes().join(", ")
+    };
+    println!(
+        "dataset: {:?} — {} tuples × {} attributes ({attrs})",
+        source,
+        data.len(),
+        data.dim()
+    );
+}
+
+/// `isrl generate` — write a dataset as CSV.
+pub fn generate(args: &Args) -> CmdResult {
+    args.ensure_known(&["builtin", "data", "smaller", "seed", "no-skyline", "out"])?;
+    let (data, source) = resolve_dataset(args)?;
+    describe(&data, &source);
+    let out = args.required("out")?;
+    let headers: Vec<String> = if data.attributes().is_empty() {
+        (0..data.dim()).map(|i| format!("attr{i}")).collect()
+    } else {
+        data.attributes().to_vec()
+    };
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<f64>> = data.iter().map(<[f64]>::to_vec).collect();
+    std::fs::write(out, isrl_data::csv::write_csv(&header_refs, &rows))?;
+    println!("wrote {} rows to {out}", data.len());
+    Ok(())
+}
+
+/// `isrl train` — train an EA/AA agent and save a checkpoint.
+pub fn train(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "builtin", "data", "smaller", "seed", "no-skyline", "algo", "eps", "episodes", "out",
+    ])?;
+    let (data, source) = resolve_dataset(args)?;
+    describe(&data, &source);
+    let algo = args.get("algo").unwrap_or("ea");
+    let eps = args.get_or("eps", 0.1f64, "number")?;
+    let episodes = args.get_or("episodes", 200usize, "integer")?;
+    let seed = args.get_or("seed", 7u64, "integer")?;
+    let out = args.required("out")?;
+    let users = sample_users(data.dim(), episodes, seed.wrapping_add(1));
+
+    println!("training {algo} for {episodes} episodes at eps {eps}…");
+    let start = std::time::Instant::now();
+    let blob = match algo {
+        "ea" => {
+            let mut agent = EaAgent::new(data.dim(), EaConfig::paper_default().with_seed(seed));
+            let report = agent.train(&data, &users, eps);
+            println!(
+                "final-quarter mean rounds: {:.2}",
+                report.mean_rounds_final_quarter
+            );
+            checkpoint::save_ea(&agent)
+        }
+        "aa" => {
+            let mut agent = AaAgent::new(data.dim(), AaConfig::paper_default().with_seed(seed));
+            let report = agent.train(&data, &users, eps);
+            println!(
+                "final-quarter mean rounds: {:.2}",
+                report.mean_rounds_final_quarter
+            );
+            checkpoint::save_aa(&agent)
+        }
+        other => return Err(format!("--algo must be ea or aa, got {other:?}").into()),
+    };
+    std::fs::write(out, &blob)?;
+    println!(
+        "trained in {:.1}s; checkpoint ({} bytes) saved to {out}",
+        start.elapsed().as_secs_f64(),
+        blob.len()
+    );
+    Ok(())
+}
+
+fn load_agent(path: &str) -> Result<Box<dyn InteractiveAlgorithm>, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    if let Ok(agent) = checkpoint::load_ea(&bytes) {
+        return Ok(Box::new(agent));
+    }
+    Ok(Box::new(checkpoint::load_aa(&bytes)?))
+}
+
+/// `isrl eval` — run a trained (or baseline) algorithm over simulated users.
+pub fn eval(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "builtin", "data", "smaller", "seed", "no-skyline", "model", "baseline", "eps", "users",
+        "noise",
+    ])?;
+    let (data, source) = resolve_dataset(args)?;
+    describe(&data, &source);
+    let eps = args.get_or("eps", 0.1f64, "number")?;
+    let n_users = args.get_or("users", 30usize, "integer")?;
+    let seed = args.get_or("seed", 7u64, "integer")?;
+    let noise = args.get_or("noise", 0.0f64, "number")?;
+
+    let mut algo: Box<dyn InteractiveAlgorithm> = match (args.get("model"), args.get("baseline"))
+    {
+        (Some(path), _) if !path.is_empty() => load_agent(path)?,
+        (_, Some(name)) if !name.is_empty() => match name {
+            "uh-random" => Box::new(UhBaseline::random(seed)),
+            "uh-simplex" => Box::new(UhBaseline::simplex(seed)),
+            "single-pass" => Box::new(SinglePass::seeded(seed)),
+            "utility-approx" => Box::new(UtilityApprox::default()),
+            other => {
+                return Err(format!(
+                    "--baseline must be uh-random|uh-simplex|single-pass|utility-approx, got {other:?}"
+                )
+                .into())
+            }
+        },
+        _ => return Err("provide --model <ckpt> or --baseline <name>".into()),
+    };
+
+    let users = sample_users(data.dim(), n_users, seed.wrapping_add(2));
+    let mut rounds = 0.0;
+    let mut secs = 0.0;
+    let mut regret_sum = 0.0;
+    let mut regret_max: f64 = 0.0;
+    let mut truncated = 0usize;
+    for (i, u) in users.iter().enumerate() {
+        let out = if noise > 0.0 {
+            let mut user = NoisyUser::new(u.clone(), noise, seed + i as u64);
+            algo.run(&data, &mut user, eps, TraceMode::Off)
+        } else {
+            let mut user = SimulatedUser::new(u.clone());
+            algo.run(&data, &mut user, eps, TraceMode::Off)
+        };
+        let regret = regret_ratio_of_index(&data, out.point_index, u);
+        rounds += out.rounds as f64;
+        secs += out.elapsed.as_secs_f64();
+        regret_sum += regret;
+        regret_max = regret_max.max(regret);
+        truncated += usize::from(out.truncated);
+    }
+    let n = users.len() as f64;
+    println!("algorithm:    {}", algo.name());
+    println!("users:        {n_users} (noise {noise})");
+    println!("mean rounds:  {:.2}", rounds / n);
+    println!("mean time:    {:.2}ms", secs / n * 1e3);
+    println!("mean regret:  {:.4} (max {:.4}, threshold {eps})", regret_sum / n, regret_max);
+    println!("truncated:    {truncated}/{n_users}");
+    Ok(())
+}
+
+/// `isrl serve` — interview a human on stdin with a trained agent.
+pub fn serve(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "builtin", "data", "smaller", "seed", "no-skyline", "model", "eps",
+    ])?;
+    let (data, source) = resolve_dataset(args)?;
+    describe(&data, &source);
+    let eps = args.get_or("eps", 0.1f64, "number")?;
+    let mut algo = load_agent(args.required("model")?)?;
+    println!("answer each question with 1 or 2.\n");
+
+    struct Stdin<'a> {
+        attrs: &'a [String],
+        asked: usize,
+    }
+    impl User for Stdin<'_> {
+        fn prefers(&mut self, p_i: &[f64], p_j: &[f64]) -> bool {
+            self.asked += 1;
+            let show = |p: &[f64]| {
+                p.iter()
+                    .enumerate()
+                    .map(|(k, v)| {
+                        let name = self
+                            .attrs
+                            .get(k)
+                            .map(String::as_str)
+                            .unwrap_or("attr");
+                        format!("{name} {:.0}%", v * 100.0)
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!("Q{}:", self.asked);
+            println!("  option 1: {}", show(p_i));
+            println!("  option 2: {}", show(p_j));
+            loop {
+                print!("> ");
+                std::io::stdout().flush().ok();
+                let mut line = String::new();
+                if std::io::stdin().read_line(&mut line).is_err() || line.is_empty() {
+                    return true; // EOF: pick option 1 and let the run finish
+                }
+                match line.trim() {
+                    "1" => return true,
+                    "2" => return false,
+                    _ => println!("please answer 1 or 2"),
+                }
+            }
+        }
+        fn questions_asked(&self) -> usize {
+            self.asked
+        }
+    }
+
+    let attrs = data.attributes().to_vec();
+    let mut user = Stdin { attrs: &attrs, asked: 0 };
+    let out = algo.run(&data, &mut user, eps, TraceMode::Off);
+    let p = data.point(out.point_index);
+    println!("\nafter {} questions, your tuple:", out.rounds);
+    for (k, v) in p.iter().enumerate() {
+        let name = attrs.get(k).map(String::as_str).unwrap_or("attr");
+        println!("  {name}: {:.0}%", v * 100.0);
+    }
+    Ok(())
+}
+
+/// `isrl inspect` — summarize a checkpoint.
+pub fn inspect(args: &Args) -> CmdResult {
+    args.ensure_known(&["model"])?;
+    let path = args.required("model")?;
+    let bytes = std::fs::read(path)?;
+    if let Ok(agent) = checkpoint::load_ea(&bytes) {
+        let cfg = agent.config();
+        println!("kind:              EA (exact)");
+        println!("dimensionality:    {}", agent.dim());
+        println!("episodes trained:  {}", agent.episodes_trained());
+        println!("network params:    {}", agent.dqn().network().n_params());
+        println!(
+            "state:             m_e={} d_eps={} variant={:?}",
+            cfg.m_e, cfg.d_eps, cfg.state_variant
+        );
+        println!("actions:           m_h={} n_samples={}", cfg.m_h, cfg.n_samples);
+        println!("rl:                gamma={} lr={} c={}", cfg.gamma, cfg.lr, cfg.reward_c);
+        return Ok(());
+    }
+    let agent = checkpoint::load_aa(&bytes)?;
+    let cfg = agent.config();
+    println!("kind:              AA (approximate)");
+    println!("dimensionality:    {}", agent.dim());
+    println!("episodes trained:  {}", agent.episodes_trained());
+    println!("network params:    {}", agent.dqn().network().n_params());
+    println!(
+        "actions:           m_h={} top_k={} rank_by_distance={}",
+        cfg.m_h, cfg.pair_gen.top_k, cfg.pair_gen.rank_by_distance
+    );
+    println!("rl:                gamma={} lr={} c={}", cfg.gamma, cfg.lr, cfg.reward_c);
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Dataset resolution shared by the CLI commands: built-in generators,
+//! CSV files, and the skyline/normalization pipeline.
+
+use crate::args::{ArgError, Args};
+use isrl_data::{csv, real, skyline, synthetic, Dataset, Direction, Distribution};
+
+/// How the CLI found its dataset (for logging).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataSource {
+    /// One of the built-in generators.
+    Builtin(String),
+    /// A user CSV file.
+    Csv(String),
+}
+
+/// Errors while resolving a dataset.
+#[derive(Debug)]
+pub enum DataError {
+    /// Argument problems.
+    Arg(ArgError),
+    /// File I/O failure.
+    Io(std::io::Error),
+    /// CSV parse/shape failure.
+    Csv(csv::CsvError),
+    /// Neither `--data` nor `--builtin` given, or an unknown builtin name.
+    BadSource(String),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Arg(e) => write!(f, "{e}"),
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Csv(e) => write!(f, "csv error: {e}"),
+            DataError::BadSource(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<ArgError> for DataError {
+    fn from(e: ArgError) -> Self {
+        DataError::Arg(e)
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<csv::CsvError> for DataError {
+    fn from(e: csv::CsvError) -> Self {
+        DataError::Csv(e)
+    }
+}
+
+/// Parses the shared dataset flags:
+///
+/// * `--builtin car|player|anti:<n>x<d>|corr:<n>x<d>|indep:<n>x<d>`
+/// * `--data file.csv [--smaller col1,col2]` — numeric CSV, every column an
+///   attribute; listed columns are smaller-is-better
+/// * `--no-skyline` to skip the skyline preprocessing (applied by default
+///   for `d ≤ 8`, matching the evaluation protocol)
+/// * `--seed` for the builtin generators
+pub fn resolve_dataset(args: &Args) -> Result<(Dataset, DataSource), DataError> {
+    let seed = args.get_or("seed", 7u64, "integer")?;
+    let (raw, source) = match (args.get("builtin"), args.get("data")) {
+        (Some(name), _) if !name.is_empty() => {
+            (builtin(name, seed)?, DataSource::Builtin(name.to_string()))
+        }
+        (_, Some(path)) if !path.is_empty() => {
+            let text = std::fs::read_to_string(path)?;
+            (load_csv(&text, args.get("smaller").unwrap_or(""))?, DataSource::Csv(path.into()))
+        }
+        _ => {
+            return Err(DataError::BadSource(
+                "provide a dataset: --builtin car|player|anti:<n>x<d> or --data file.csv".into(),
+            ))
+        }
+    };
+    let data = if args.has("no-skyline") || raw.dim() > 8 {
+        raw
+    } else {
+        skyline(&raw)
+    };
+    Ok((data, source))
+}
+
+fn builtin(name: &str, seed: u64) -> Result<Dataset, DataError> {
+    if name == "car" {
+        return Ok(real::car_like(seed));
+    }
+    if name == "player" {
+        return Ok(real::player_like(seed));
+    }
+    // Synthetic spec: "<dist>:<n>x<d>".
+    let (dist_name, shape) = name
+        .split_once(':')
+        .ok_or_else(|| DataError::BadSource(format!("unknown builtin {name:?}")))?;
+    let dist = match dist_name {
+        "anti" => Distribution::AntiCorrelated,
+        "corr" => Distribution::Correlated,
+        "indep" => Distribution::Independent,
+        other => return Err(DataError::BadSource(format!("unknown distribution {other:?}"))),
+    };
+    let (n, d) = shape
+        .split_once('x')
+        .and_then(|(n, d)| Some((n.parse().ok()?, d.parse().ok()?)))
+        .ok_or_else(|| {
+            DataError::BadSource(format!("bad shape in {name:?}; expected e.g. anti:10000x4"))
+        })?;
+    Ok(synthetic::generate(n, d, dist, seed))
+}
+
+fn load_csv(text: &str, smaller: &str) -> Result<Dataset, DataError> {
+    let table = csv::parse(text)?;
+    let smaller: Vec<&str> = smaller.split(',').filter(|s| !s.is_empty()).collect();
+    let columns: Vec<(&str, Direction)> = table
+        .header
+        .iter()
+        .map(|h| {
+            let dir = if smaller.contains(&h.as_str()) {
+                Direction::SmallerBetter
+            } else {
+                Direction::LargerBetter
+            };
+            (h.as_str(), dir)
+        })
+        .collect();
+    Ok(csv::load_dataset(text, &columns)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn builtin_synthetic_spec() {
+        let (data, source) = resolve_dataset(&args("--builtin anti:200x3 --seed 1")).unwrap();
+        assert_eq!(data.dim(), 3);
+        assert!(data.len() <= 200, "skyline applied by default");
+        assert_eq!(source, DataSource::Builtin("anti:200x3".into()));
+    }
+
+    #[test]
+    fn no_skyline_flag_keeps_everything() {
+        let (data, _) =
+            resolve_dataset(&args("--builtin indep:150x3 --seed 1 --no-skyline")).unwrap();
+        assert_eq!(data.len(), 150);
+    }
+
+    #[test]
+    fn high_dim_skips_skyline_automatically() {
+        let (data, _) = resolve_dataset(&args("--builtin anti:100x12 --seed 1")).unwrap();
+        assert_eq!(data.len(), 100);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(resolve_dataset(&args("--builtin nope:10x2")).is_err());
+        assert!(resolve_dataset(&args("--builtin anti:banana")).is_err());
+        assert!(resolve_dataset(&args("")).is_err());
+    }
+
+    #[test]
+    fn csv_loading_with_direction_spec() {
+        let dir = std::env::temp_dir().join("isrl_cli_test.csv");
+        std::fs::write(&dir, "price,hp\n100,50\n80,70\n120,90\n").unwrap();
+        let spec = format!("--data {} --smaller price --no-skyline", dir.display());
+        let (data, source) = resolve_dataset(&args(&spec)).unwrap();
+        assert_eq!(data.dim(), 2);
+        assert_eq!(data.len(), 3);
+        // Cheapest row gets price score 1.
+        assert_eq!(data.point(1)[0], 1.0);
+        assert!(matches!(source, DataSource::Csv(_)));
+        std::fs::remove_file(dir).ok();
+    }
+}

@@ -1,0 +1,65 @@
+//! `isrl` — command-line tooling for Interactive Search with Reinforcement
+//! Learning.
+//!
+//! ```text
+//! isrl generate --builtin anti:10000x4 --out data.csv
+//! isrl train    --builtin car --algo ea --eps 0.1 --episodes 300 --out ea.ckpt
+//! isrl eval     --builtin car --model ea.ckpt --users 50
+//! isrl eval     --builtin car --baseline single-pass --eps 0.1
+//! isrl serve    --builtin car --model ea.ckpt
+//! isrl inspect  --model ea.ckpt
+//! ```
+
+mod args;
+mod commands;
+mod data_io;
+
+use args::Args;
+
+const USAGE: &str = "\
+isrl — Interactive Search with Reinforcement Learning (ICDE 2025)
+
+USAGE: isrl <command> [flags]
+
+COMMANDS:
+  generate   write a dataset as CSV
+             --builtin car|player|anti:<n>x<d>|corr:<n>x<d>|indep:<n>x<d>
+             (or --data file.csv [--smaller col1,col2]) [--no-skyline]
+             [--seed N] --out file.csv
+  train      train an RL agent and save a checkpoint
+             <dataset flags> --algo ea|aa [--eps 0.1] [--episodes 200]
+             [--seed N] --out model.ckpt
+  eval       evaluate a checkpoint or baseline over simulated users
+             <dataset flags> (--model model.ckpt | --baseline
+             uh-random|uh-simplex|single-pass|utility-approx)
+             [--eps 0.1] [--users 30] [--noise 0.0]
+  serve      interview a human on stdin with a trained agent
+             <dataset flags> --model model.ckpt [--eps 0.1]
+  inspect    summarize a checkpoint
+             --model model.ckpt
+";
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        eprint!("{USAGE}");
+        std::process::exit(if raw.is_empty() { 2 } else { 0 });
+    }
+    let command = raw.remove(0);
+    let args = Args::parse(raw);
+    let result = match command.as_str() {
+        "generate" => commands::generate(&args),
+        "train" => commands::train(&args),
+        "eval" => commands::eval(&args),
+        "serve" => commands::serve(&args),
+        "inspect" => commands::inspect(&args),
+        other => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Step-wise (inversion-of-control-free) interaction sessions for AA.
+//!
+//! [`crate::interaction::InteractiveAlgorithm::run`] drives a `User`
+//! callback to completion — convenient for simulation, wrong for servers,
+//! GUIs, or anything asynchronous. [`AaSession`] exposes the same
+//! interaction as a state machine: ask [`AaSession::current_question`],
+//! deliver the user's choice via [`AaSession::answer`], repeat until
+//! [`AaSession::is_finished`], then read [`AaSession::recommendation`].
+
+use super::{AaAgent, Observation};
+use crate::interaction::{Question, Stopwatch};
+use isrl_data::Dataset;
+use isrl_geometry::{Halfspace, Region};
+
+/// An in-flight AA interaction. Holds the agent mutably (Q-network
+/// evaluation shares its scratch buffers) and the dataset immutably.
+pub struct AaSession<'a> {
+    agent: &'a mut AaAgent,
+    data: &'a Dataset,
+    eps: f64,
+    region: Region,
+    asked: Vec<(usize, usize)>,
+    obs: Observation,
+    question: Option<(usize, Question)>,
+    rounds: usize,
+    sw: Stopwatch,
+    truncated: bool,
+}
+
+impl AaAgent {
+    /// Starts a step-wise interaction on `data` with threshold `eps`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or an empty dataset.
+    pub fn start_session<'a>(&'a mut self, data: &'a Dataset, eps: f64) -> AaSession<'a> {
+        assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
+        assert!(!data.is_empty(), "cannot interact over an empty dataset");
+        let region = Region::full(self.dim);
+        let asked = Vec::new();
+        let obs = self
+            .observe(data, &region, eps, &asked)
+            .expect("the full utility simplex is never empty");
+        let mut session = AaSession {
+            agent: self,
+            data,
+            eps,
+            region,
+            asked,
+            obs,
+            question: None,
+            rounds: 0,
+            sw: Stopwatch::start(),
+            truncated: false,
+        };
+        session.pick_question();
+        session
+    }
+}
+
+impl AaSession<'_> {
+    /// Chooses the next greedy question from the current observation, or
+    /// finishes the session when terminal / out of questions / capped.
+    fn pick_question(&mut self) {
+        self.question = None;
+        if self.obs.terminal {
+            return;
+        }
+        if self.obs.questions.is_empty() || self.rounds >= self.agent.cfg.max_rounds {
+            self.truncated = true;
+            return;
+        }
+        let (idx, _) = self
+            .agent
+            .dqn
+            .best_action(&self.obs.state, &self.obs.action_feats);
+        self.question = Some((idx, self.obs.questions[idx]));
+    }
+
+    /// The pending question, or `None` once the session is finished.
+    pub fn current_question(&self) -> Option<Question> {
+        self.question.map(|(_, q)| q)
+    }
+
+    /// The two points of the pending question, for display.
+    pub fn current_points(&self) -> Option<(&[f64], &[f64])> {
+        self.current_question()
+            .map(|q| (self.data.point(q.i), self.data.point(q.j)))
+    }
+
+    /// Delivers the user's choice for the pending question (`true` = the
+    /// first point is preferred) and advances the interaction.
+    ///
+    /// # Panics
+    /// Panics if the session is already finished.
+    pub fn answer(&mut self, prefers_first: bool) {
+        let (_, q) = self.question.take().expect("session is finished; no pending question");
+        let (win, lose) = if prefers_first { (q.i, q.j) } else { (q.j, q.i) };
+        self.asked.push((q.i.min(q.j), q.i.max(q.j)));
+        self.rounds += 1;
+        if let Some(h) = Halfspace::preferring(self.data.point(win), self.data.point(lose)) {
+            self.region.add(h);
+        }
+        match self.agent.observe(self.data, &self.region, self.eps, &self.asked) {
+            None => {
+                self.truncated = true; // region numerically collapsed
+            }
+            Some(next) => {
+                self.obs = next;
+                self.pick_question();
+            }
+        }
+    }
+
+    /// `true` once no further question will be asked.
+    pub fn is_finished(&self) -> bool {
+        self.question.is_none()
+    }
+
+    /// Questions answered so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Elapsed wall-clock time since the session started.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.sw.elapsed()
+    }
+
+    /// `true` when the session ended without certifying its stop condition.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The current (or final) recommendation: the top-1 tuple w.r.t. the
+    /// outer rectangle's midpoint.
+    pub fn recommendation(&self) -> usize {
+        self.obs.best
+    }
+
+    /// The learned utility range so far (half-space view).
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aa::AaConfig;
+    use crate::interaction::{InteractiveAlgorithm, TraceMode};
+    use crate::regret::regret_ratio_of_index;
+    use crate::user::{SimulatedUser, User};
+    use isrl_linalg::vector;
+
+    fn data() -> Dataset {
+        Dataset::from_points(
+            vec![
+                vec![1.0, 0.05],
+                vec![0.85, 0.4],
+                vec![0.6, 0.65],
+                vec![0.4, 0.85],
+                vec![0.05, 1.0],
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn session_reaches_the_same_outcome_as_run() {
+        let d = data();
+        let truth = vec![0.35, 0.65];
+        // Drive via the callback API…
+        let mut agent1 = AaAgent::new(2, AaConfig::paper_default().with_seed(4));
+        let mut user = SimulatedUser::new(truth.clone());
+        let run_out = agent1.run(&d, &mut user, 0.1, TraceMode::Off);
+        // …and via the step API with identical answers.
+        let mut agent2 = AaAgent::new(2, AaConfig::paper_default().with_seed(4));
+        let mut session = agent2.start_session(&d, 0.1);
+        while let Some((p, q)) = session.current_points().map(|(a, b)| (a.to_vec(), b.to_vec()))
+        {
+            session.answer(vector::dot(&truth, &p) >= vector::dot(&truth, &q));
+        }
+        assert!(session.is_finished());
+        assert_eq!(session.rounds(), run_out.rounds);
+        assert_eq!(session.recommendation(), run_out.point_index);
+        assert_eq!(session.truncated(), run_out.truncated);
+    }
+
+    #[test]
+    fn session_produces_a_valid_recommendation() {
+        let d = data();
+        let truth = vec![0.7, 0.3];
+        let mut agent = AaAgent::new(2, AaConfig::paper_default().with_seed(5));
+        let mut session = agent.start_session(&d, 0.1);
+        let mut oracle = SimulatedUser::new(truth.clone());
+        let mut guard = 0;
+        while !session.is_finished() {
+            let (p, q) = session.current_points().map(|(a, b)| (a.to_vec(), b.to_vec())).unwrap();
+            session.answer(oracle.prefers(&p, &q));
+            guard += 1;
+            assert!(guard < 500, "session failed to finish");
+        }
+        let regret = regret_ratio_of_index(&d, session.recommendation(), &truth);
+        assert!(regret <= 4.0 * 0.1 + 1e-9, "d²ε bound violated: {regret}");
+        assert_eq!(session.region().len(), session.rounds());
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending question")]
+    fn answering_a_finished_session_panics() {
+        let d = Dataset::from_points(vec![vec![0.5, 0.5]], 2);
+        let mut agent = AaAgent::new(2, AaConfig::paper_default().with_seed(6));
+        let mut session = agent.start_session(&d, 0.5);
+        assert!(session.is_finished(), "single point needs no questions");
+        session.answer(true);
+    }
+}

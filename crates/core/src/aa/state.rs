@@ -1,0 +1,105 @@
+//! AA's fixed-length state encoding (§IV-C, "MDP: State").
+//!
+//! AA never materializes the utility range; it keeps the half-space set `H`
+//! and summarizes `R = ⋂ h⁺ ∩ U` by two LP-computable shapes: the *inner
+//! sphere* (largest ball inside `R` — the core) and the *outer rectangle*
+//! (smallest axis-aligned box around `R` — the extent). The state vector is
+//! `center ⊕ radius ⊕ e_min ⊕ e_max`, i.e. `3d + 1` numbers — independent of
+//! how many questions have been answered.
+
+use isrl_geometry::{Rectangle, Region, Sphere};
+
+/// The two shapes summarizing a region for AA.
+#[derive(Debug, Clone)]
+pub struct AaSummary {
+    /// The inner sphere (LP-maximal inscribed ball).
+    pub sphere: Sphere,
+    /// The outer rectangle `[e_min, e_max]`.
+    pub rectangle: Rectangle,
+}
+
+impl AaSummary {
+    /// Computes both shapes from the region's half-space set. Returns
+    /// `None` when the region is (numerically) empty.
+    pub fn from_region(region: &Region) -> Option<Self> {
+        let sphere = region.inner_sphere()?;
+        let rectangle = region.outer_rectangle()?;
+        Some(Self { sphere, rectangle })
+    }
+
+    /// AA's stopping test (Lemma 9): rectangle diagonal ≤ `2√d·ε`.
+    pub fn meets_stop_condition(&self, eps: f64) -> bool {
+        self.rectangle.meets_stop_condition(eps)
+    }
+
+    /// The utility vector whose top-1 point AA returns: the rectangle
+    /// midpoint (Algorithm 4, line 11).
+    pub fn midpoint(&self) -> Vec<f64> {
+        self.rectangle.midpoint()
+    }
+
+    /// The `3d + 1`-wide state vector.
+    pub fn encode(&self) -> Vec<f64> {
+        let mut v = self.sphere.encode();
+        v.extend(self.rectangle.encode());
+        v
+    }
+
+    /// Width of [`AaSummary::encode`] for dimensionality `d`.
+    pub fn state_dim(d: usize) -> usize {
+        3 * d + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrl_geometry::Halfspace;
+
+    #[test]
+    fn state_width_formula() {
+        let s = AaSummary::from_region(&Region::full(4)).unwrap();
+        assert_eq!(s.encode().len(), AaSummary::state_dim(4));
+    }
+
+    #[test]
+    fn full_simplex_summary() {
+        let s = AaSummary::from_region(&Region::full(3)).unwrap();
+        assert!(!s.meets_stop_condition(0.1));
+        // Midpoint of the unit box is the balanced vector before scaling.
+        let mid = s.midpoint();
+        for m in &mid {
+            assert!((m - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn summary_shrinks_with_answers() {
+        let mut r = Region::full(3);
+        let before = AaSummary::from_region(&r).unwrap();
+        r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        r.add(Halfspace::new(vec![1.0, 0.0, -1.0]));
+        let after = AaSummary::from_region(&r).unwrap();
+        assert!(after.sphere.radius() < before.sphere.radius());
+        assert!(after.rectangle.diagonal() < before.rectangle.diagonal());
+    }
+
+    #[test]
+    fn empty_region_gives_none() {
+        let mut r = Region::full(2);
+        r.add(Halfspace::new(vec![0.5, -1.5]));
+        r.add(Halfspace::new(vec![-1.5, 0.5]));
+        assert!(AaSummary::from_region(&r).is_none());
+    }
+
+    #[test]
+    fn stop_condition_fires_on_tiny_regions() {
+        let mut r = Region::full(2);
+        // Pin u0 into [0.50, 0.52] with two opposing near-parallel cuts.
+        r.add(Halfspace::new(vec![0.50, -0.50])); // u0 ≥ u1  (u0 ≥ 0.5)
+        r.add(Halfspace::new(vec![-0.48, 0.52])); // 0.52·u1 ≥ 0.48·u0 (u0 ≤ 0.52)
+        let s = AaSummary::from_region(&r).unwrap();
+        assert!(s.meets_stop_condition(0.05), "diag {}", s.rectangle.diagonal());
+        assert!(!s.meets_stop_condition(0.001));
+    }
+}

@@ -1,0 +1,20 @@
+//! Re-implementations of every baseline the paper evaluates against (§V)
+//! plus the related-work fake-point algorithm.
+//!
+//! | Baseline | Source | Character |
+//! |---|---|---|
+//! | [`UhBaseline::random`] | Xie et al., SIGMOD 2019 | exact, random questions, polytope-heavy |
+//! | [`UhBaseline::simplex`] | Xie et al., SIGMOD 2019 | exact, greedy "likely best" questions |
+//! | [`SinglePass`] | Zhang et al., KDD 2023 | streaming champion–challenger, cheap rounds, many of them |
+//! | [`UtilityApprox`] | Nanongkai et al., SIGMOD 2012 | artificial tuples, bisection |
+//!
+//! All are *short-term* question selectors — the property the paper's RL
+//! agents are designed to beat.
+
+mod single_pass;
+mod uh;
+mod utility_approx;
+
+pub use single_pass::{SinglePass, SinglePassConfig};
+pub use uh::{UhBaseline, UhConfig, UhStrategy};
+pub use utility_approx::{UtilityApprox, UtilityApproxConfig};

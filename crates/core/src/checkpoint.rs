@@ -1,0 +1,392 @@
+//! Checkpointing for trained agents.
+//!
+//! Training is the expensive offline step (the paper uses 10,000 simulated
+//! users); serving interactions is cheap. This module serializes a trained
+//! [`EaAgent`]/[`AaAgent`] — configuration plus Q-network parameters — into
+//! a compact, versioned binary blob so policies can be trained once and
+//! shipped.
+//!
+//! Format (little-endian): magic `ISRL`, format version `u16`, agent tag
+//! `u8`, config fields, then the flat `f64` parameter vector of the main
+//! network. The target network is reconstructed as a copy (they are synced
+//! at the end of training).
+
+use crate::aa::{AaAgent, AaConfig, PairGenConfig};
+use crate::ea::{EaAgent, EaConfig, StateVariant};
+use bytes::{Buf, BufMut};
+use isrl_rl::EpsilonSchedule;
+
+const MAGIC: &[u8; 4] = b"ISRL";
+const VERSION: u16 = 1;
+const TAG_EA: u8 = 1;
+const TAG_AA: u8 = 2;
+
+/// Errors from [`load_ea`]/[`load_aa`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Missing/incorrect magic bytes.
+    BadMagic,
+    /// A newer (or corrupt) format version.
+    BadVersion(u16),
+    /// The blob holds the other agent kind.
+    WrongAgent {
+        /// Tag found in the blob.
+        found: u8,
+        /// Tag the caller asked for.
+        expected: u8,
+    },
+    /// Truncated or internally inconsistent payload.
+    Truncated,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an ISRL checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::WrongAgent { found, expected } => {
+                write!(f, "checkpoint holds agent tag {found}, expected {expected}")
+            }
+            CheckpointError::Truncated => write!(f, "truncated checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn put_schedule(buf: &mut Vec<u8>, s: &EpsilonSchedule) {
+    match *s {
+        EpsilonSchedule::Constant(e) => {
+            buf.put_u8(0);
+            buf.put_f64_le(e);
+        }
+        EpsilonSchedule::Linear { start, end, steps } => {
+            buf.put_u8(1);
+            buf.put_f64_le(start);
+            buf.put_f64_le(end);
+            buf.put_u64_le(steps);
+        }
+    }
+}
+
+fn get_schedule(buf: &mut &[u8]) -> Result<EpsilonSchedule, CheckpointError> {
+    if buf.remaining() < 1 {
+        return Err(CheckpointError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => {
+            if buf.remaining() < 8 {
+                return Err(CheckpointError::Truncated);
+            }
+            Ok(EpsilonSchedule::constant(buf.get_f64_le()))
+        }
+        1 => {
+            if buf.remaining() < 24 {
+                return Err(CheckpointError::Truncated);
+            }
+            let start = buf.get_f64_le();
+            let end = buf.get_f64_le();
+            let steps = buf.get_u64_le();
+            Ok(EpsilonSchedule::linear(start, end, steps))
+        }
+        _ => Err(CheckpointError::Truncated),
+    }
+}
+
+fn put_params(buf: &mut Vec<u8>, params: &[f64]) {
+    buf.put_u32_le(params.len() as u32);
+    for &p in params {
+        buf.put_f64_le(p);
+    }
+}
+
+fn get_params(buf: &mut &[u8]) -> Result<Vec<f64>, CheckpointError> {
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len * 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok((0..len).map(|_| buf.get_f64_le()).collect())
+}
+
+fn header(tag: u8) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(tag);
+    buf
+}
+
+fn check_header(buf: &mut &[u8], expected_tag: u8) -> Result<(), CheckpointError> {
+    if buf.remaining() < 7 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let tag = buf.get_u8();
+    if tag != expected_tag {
+        return Err(CheckpointError::WrongAgent { found: tag, expected: expected_tag });
+    }
+    Ok(())
+}
+
+/// Serializes a (typically trained) EA agent.
+pub fn save_ea(agent: &EaAgent) -> Vec<u8> {
+    let cfg = agent.config();
+    let mut buf = header(TAG_EA);
+    buf.put_u32_le(agent.dim() as u32);
+    buf.put_u32_le(cfg.m_e as u32);
+    buf.put_f64_le(cfg.d_eps);
+    buf.put_u8(match cfg.state_variant {
+        StateVariant::Full => 0,
+        StateVariant::RepsOnly => 1,
+        StateVariant::SphereOnly => 2,
+        StateVariant::StridedReps => 3,
+    });
+    buf.put_u32_le(cfg.m_h as u32);
+    buf.put_u32_le(cfg.n_samples as u32);
+    buf.put_f64_le(cfg.reward_c);
+    buf.put_u32_le(cfg.max_rounds as u32);
+    buf.put_f64_le(cfg.gamma);
+    buf.put_f64_le(cfg.lr);
+    buf.put_u32_le(cfg.replay_capacity as u32);
+    buf.put_u32_le(cfg.batch_size as u32);
+    buf.put_u64_le(cfg.target_sync_every);
+    buf.put_u32_le(cfg.train_steps_per_round as u32);
+    buf.put_u8(u8::from(cfg.use_adam));
+    put_schedule(&mut buf, &cfg.epsilon);
+    buf.put_u64_le(cfg.seed);
+    buf.put_u64_le(agent.episodes_trained());
+    put_params(&mut buf, &agent.dqn().network().to_flat());
+    buf
+}
+
+/// Restores an EA agent from [`save_ea`] output.
+pub fn load_ea(mut bytes: &[u8]) -> Result<EaAgent, CheckpointError> {
+    let buf = &mut bytes;
+    check_header(buf, TAG_EA)?;
+    if buf.remaining() < 4 * 6 + 8 * 4 + 8 * 2 {
+        return Err(CheckpointError::Truncated);
+    }
+    let dim = buf.get_u32_le() as usize;
+    let cfg = EaConfig {
+        m_e: buf.get_u32_le() as usize,
+        d_eps: buf.get_f64_le(),
+        state_variant: {
+            if buf.remaining() < 1 {
+                return Err(CheckpointError::Truncated);
+            }
+            match buf.get_u8() {
+                0 => StateVariant::Full,
+                1 => StateVariant::RepsOnly,
+                2 => StateVariant::SphereOnly,
+                3 => StateVariant::StridedReps,
+                _ => return Err(CheckpointError::Truncated),
+            }
+        },
+        m_h: buf.get_u32_le() as usize,
+        n_samples: buf.get_u32_le() as usize,
+        reward_c: buf.get_f64_le(),
+        max_rounds: buf.get_u32_le() as usize,
+        gamma: buf.get_f64_le(),
+        lr: buf.get_f64_le(),
+        replay_capacity: buf.get_u32_le() as usize,
+        batch_size: buf.get_u32_le() as usize,
+        target_sync_every: buf.get_u64_le(),
+        train_steps_per_round: {
+            if buf.remaining() < 5 {
+                return Err(CheckpointError::Truncated);
+            }
+            buf.get_u32_le() as usize
+        },
+        use_adam: buf.get_u8() != 0,
+        epsilon: get_schedule(buf)?,
+        seed: {
+            if buf.remaining() < 16 {
+                return Err(CheckpointError::Truncated);
+            }
+            buf.get_u64_le()
+        },
+    };
+    let episodes = buf.get_u64_le();
+    let params = get_params(buf)?;
+    let mut agent = EaAgent::new(dim, cfg);
+    if params.len() != agent.dqn().network().n_params() {
+        return Err(CheckpointError::Truncated);
+    }
+    agent.restore(&params, episodes);
+    Ok(agent)
+}
+
+/// Serializes a (typically trained) AA agent.
+pub fn save_aa(agent: &AaAgent) -> Vec<u8> {
+    let cfg = agent.config();
+    let mut buf = header(TAG_AA);
+    buf.put_u32_le(agent.dim() as u32);
+    buf.put_u32_le(cfg.m_h as u32);
+    buf.put_u32_le(cfg.pair_gen.top_k as u32);
+    buf.put_u32_le(cfg.pair_gen.random_pairs as u32);
+    buf.put_u32_le(cfg.pair_gen.max_lp_checks as u32);
+    buf.put_u8(u8::from(cfg.pair_gen.rank_by_distance));
+    buf.put_f64_le(cfg.reward_c);
+    buf.put_u32_le(cfg.max_rounds as u32);
+    buf.put_f64_le(cfg.gamma);
+    buf.put_f64_le(cfg.lr);
+    buf.put_u32_le(cfg.replay_capacity as u32);
+    buf.put_u32_le(cfg.batch_size as u32);
+    buf.put_u64_le(cfg.target_sync_every);
+    buf.put_u32_le(cfg.train_steps_per_round as u32);
+    buf.put_u8(u8::from(cfg.use_adam));
+    put_schedule(&mut buf, &cfg.epsilon);
+    buf.put_u64_le(cfg.seed);
+    buf.put_u64_le(agent.episodes_trained());
+    put_params(&mut buf, &agent.dqn().network().to_flat());
+    buf
+}
+
+/// Restores an AA agent from [`save_aa`] output.
+pub fn load_aa(mut bytes: &[u8]) -> Result<AaAgent, CheckpointError> {
+    let buf = &mut bytes;
+    check_header(buf, TAG_AA)?;
+    if buf.remaining() < 4 * 7 + 1 + 8 * 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let dim = buf.get_u32_le() as usize;
+    let cfg = AaConfig {
+        m_h: buf.get_u32_le() as usize,
+        pair_gen: PairGenConfig {
+            top_k: buf.get_u32_le() as usize,
+            random_pairs: buf.get_u32_le() as usize,
+            max_lp_checks: buf.get_u32_le() as usize,
+            rank_by_distance: buf.get_u8() != 0,
+        },
+        reward_c: buf.get_f64_le(),
+        max_rounds: buf.get_u32_le() as usize,
+        gamma: buf.get_f64_le(),
+        lr: buf.get_f64_le(),
+        replay_capacity: buf.get_u32_le() as usize,
+        batch_size: buf.get_u32_le() as usize,
+        target_sync_every: buf.get_u64_le(),
+        train_steps_per_round: {
+            if buf.remaining() < 5 {
+                return Err(CheckpointError::Truncated);
+            }
+            buf.get_u32_le() as usize
+        },
+        use_adam: buf.get_u8() != 0,
+        epsilon: get_schedule(buf)?,
+        seed: {
+            if buf.remaining() < 16 {
+                return Err(CheckpointError::Truncated);
+            }
+            buf.get_u64_le()
+        },
+    };
+    let episodes = buf.get_u64_le();
+    let params = get_params(buf)?;
+    let mut agent = AaAgent::new(dim, cfg);
+    if params.len() != agent.dqn().network().n_params() {
+        return Err(CheckpointError::Truncated);
+    }
+    agent.restore(&params, episodes);
+    Ok(agent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::{InteractiveAlgorithm, TraceMode};
+    use crate::runner::sample_users;
+    use crate::user::SimulatedUser;
+    use isrl_data::Dataset;
+
+    fn data() -> Dataset {
+        Dataset::from_points(
+            vec![
+                vec![1.0, 0.05],
+                vec![0.85, 0.4],
+                vec![0.6, 0.65],
+                vec![0.4, 0.85],
+                vec![0.05, 1.0],
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn ea_round_trip_preserves_behavior() {
+        let d = data();
+        let mut agent = EaAgent::new(2, EaConfig::paper_default().with_seed(1));
+        agent.train(&d, &sample_users(2, 8, 2), 0.1);
+        let blob = save_ea(&agent);
+        let mut restored = load_ea(&blob).unwrap();
+        assert_eq!(restored.episodes_trained(), agent.episodes_trained());
+        assert_eq!(
+            restored.dqn().network().to_flat(),
+            agent.dqn().network().to_flat(),
+            "weights must round-trip bit-exactly"
+        );
+        // Same user, same questions, same answer (the internal RNG was
+        // reconstructed from the same seed).
+        let mut u1 = SimulatedUser::new(vec![0.4, 0.6]);
+        let mut u2 = SimulatedUser::new(vec![0.4, 0.6]);
+        let o1 = agent.run(&d, &mut u1, 0.1, TraceMode::Off);
+        let o2 = restored.run(&d, &mut u2, 0.1, TraceMode::Off);
+        assert_eq!(o1.point_index, o2.point_index);
+    }
+
+    #[test]
+    fn aa_round_trip_preserves_weights_and_config() {
+        let d = data();
+        let mut cfg = AaConfig::paper_default().with_seed(3);
+        cfg.pair_gen.rank_by_distance = false;
+        let mut agent = AaAgent::new(2, cfg);
+        agent.train(&d, &sample_users(2, 5, 4), 0.1);
+        let blob = save_aa(&agent);
+        let restored = load_aa(&blob).unwrap();
+        assert!(!restored.config().pair_gen.rank_by_distance);
+        assert_eq!(
+            restored.dqn().network().to_flat(),
+            agent.dqn().network().to_flat()
+        );
+    }
+
+    #[test]
+    fn wrong_magic_and_truncation_are_rejected() {
+        assert!(matches!(load_ea(b"nope"), Err(CheckpointError::Truncated)));
+        assert!(matches!(
+            load_ea(b"XXXX\x01\x00\x01rest"),
+            Err(CheckpointError::BadMagic)
+        ));
+        let agent = EaAgent::new(2, EaConfig::paper_default());
+        let blob = save_ea(&agent);
+        for cut in [8usize, blob.len() / 2, blob.len() - 3] {
+            assert!(load_ea(&blob[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn agent_kinds_do_not_cross_load() {
+        let ea = EaAgent::new(2, EaConfig::paper_default());
+        let err = load_aa(&save_ea(&ea)).unwrap_err();
+        assert!(matches!(err, CheckpointError::WrongAgent { found: 1, expected: 2 }));
+    }
+
+    #[test]
+    fn linear_schedule_round_trips() {
+        let mut cfg = EaConfig::paper_default();
+        cfg.epsilon = EpsilonSchedule::linear(0.9, 0.1, 500);
+        let agent = EaAgent::new(3, cfg);
+        let restored = load_ea(&save_ea(&agent)).unwrap();
+        assert_eq!(restored.config().epsilon, EpsilonSchedule::linear(0.9, 0.1, 500));
+    }
+}

@@ -1,0 +1,200 @@
+//! Interaction diagnostics: quantities that explain *why* a run took the
+//! rounds it took. Computed from a per-round trace
+//! ([`crate::interaction::TraceMode::PerRound`]), these are the tuning
+//! instruments behind DESIGN.md §5's ablations:
+//!
+//! * **shrinkage** — per-round multiplicative decay of the region's volume
+//!   fraction (an ideal binary-search question scores 0.5);
+//! * **cut balance** — how evenly each asked hyperplane split the region
+//!   *before* the answer (0.5 = perfect halving, near 0/1 = wasted
+//!   question);
+//! * **recommendation churn** — how often the interim recommendation
+//!   changed (late churn means the stopping condition, not the questioning,
+//!   is the bottleneck).
+
+use crate::interaction::InteractionOutcome;
+use isrl_geometry::{sampling, Region};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-round diagnostic row.
+#[derive(Debug, Clone)]
+pub struct RoundDiagnostic {
+    /// 1-based round.
+    pub round: usize,
+    /// Monte-Carlo volume fraction of the region *after* this round.
+    pub volume_fraction: f64,
+    /// Fraction of the pre-answer region on the winning side of this
+    /// round's hyperplane (0.5 = the question halved the region).
+    pub cut_balance: f64,
+    /// Whether the interim recommendation changed at this round.
+    pub recommendation_changed: bool,
+}
+
+/// Full diagnostic report for one interaction.
+#[derive(Debug, Clone)]
+pub struct DiagnosticReport {
+    /// Per-round rows, in order.
+    pub rounds: Vec<RoundDiagnostic>,
+    /// Geometric-mean per-round volume decay (lower = faster learning;
+    /// 0.5 is the binary-search ideal).
+    pub mean_decay: f64,
+    /// Number of recommendation changes across the interaction.
+    pub churn: usize,
+}
+
+/// Analyzes a traced interaction. `n_samples` controls the Monte-Carlo
+/// volume estimates (a few thousand is plenty for d ≤ 10; the estimate —
+/// and the `cut_balance` derived from it — loses resolution once the
+/// region's volume fraction falls below ~1/n_samples).
+///
+/// Returns `None` when the outcome carries no trace.
+pub fn analyze(
+    outcome: &InteractionOutcome,
+    n_samples: usize,
+    seed: u64,
+) -> Option<DiagnosticReport> {
+    if outcome.trace.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = outcome.trace[0].region.dim();
+
+    // Volume fraction before any answer is 1 by definition.
+    let mut prev_fraction = 1.0f64;
+    let mut prev_best: Option<usize> = None;
+    let mut rounds = Vec::with_capacity(outcome.trace.len());
+    let mut decay_log_sum = 0.0;
+    let mut churn = 0usize;
+
+    for t in &outcome.trace {
+        let fraction = t.region.approx_volume_fraction(n_samples, &mut rng);
+        // Balance of this round's cut: fraction of the *previous* region
+        // kept by the newest half-space. Estimated against the previous
+        // region's half-space set (all but the newest).
+        let balance = cut_balance(&t.region, n_samples, &mut rng, d);
+        let changed = prev_best.is_some_and(|b| b != t.best_index);
+        if changed {
+            churn += 1;
+        }
+        prev_best = Some(t.best_index);
+        let decay = if prev_fraction > 0.0 { fraction / prev_fraction } else { 1.0 };
+        decay_log_sum += decay.max(1e-12).ln();
+        prev_fraction = fraction;
+        rounds.push(RoundDiagnostic {
+            round: t.round,
+            volume_fraction: fraction,
+            cut_balance: balance,
+            recommendation_changed: changed,
+        });
+    }
+    let mean_decay = (decay_log_sum / rounds.len() as f64).exp();
+    Some(DiagnosticReport { rounds, mean_decay, churn })
+}
+
+/// Fraction of the region-before-the-last-answer kept by the last answer's
+/// half-space, estimated by sampling the before-region.
+fn cut_balance(after: &Region, n_samples: usize, rng: &mut StdRng, d: usize) -> f64 {
+    let hs = after.halfspaces();
+    let Some((newest, before)) = hs.split_last() else {
+        return 1.0;
+    };
+    let mut kept = 0usize;
+    let mut inside = 0usize;
+    for _ in 0..n_samples * 4 {
+        if inside >= n_samples {
+            break;
+        }
+        let u = sampling::sample_simplex(d, rng);
+        if before.iter().all(|h| h.contains(&u, 0.0)) {
+            inside += 1;
+            if newest.contains(&u, 0.0) {
+                kept += 1;
+            }
+        }
+    }
+    if inside == 0 {
+        // The before-region is too small to sample; report a neutral value.
+        0.5
+    } else {
+        kept as f64 / inside as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::{InteractiveAlgorithm, TraceMode};
+    use crate::prelude::*;
+    use isrl_data::Dataset;
+
+    fn traced_outcome() -> (Dataset, InteractionOutcome) {
+        let data = Dataset::from_points(
+            vec![
+                vec![1.0, 0.05],
+                vec![0.85, 0.4],
+                vec![0.6, 0.65],
+                vec![0.4, 0.85],
+                vec![0.05, 1.0],
+            ],
+            2,
+        );
+        let mut agent = AaAgent::new(2, AaConfig::paper_default().with_seed(3));
+        let mut user = SimulatedUser::new(vec![0.45, 0.55]);
+        let out = agent.run(&data, &mut user, 0.05, TraceMode::PerRound);
+        (data, out)
+    }
+
+    #[test]
+    fn report_shapes_match_the_trace() {
+        let (_, out) = traced_outcome();
+        let report = analyze(&out, 2_000, 1).expect("trace present");
+        assert_eq!(report.rounds.len(), out.trace.len());
+        assert!(report.mean_decay > 0.0 && report.mean_decay <= 1.0 + 1e-9);
+        assert!(report.churn <= out.rounds);
+    }
+
+    #[test]
+    fn volume_fractions_are_monotone_non_increasing() {
+        let (_, out) = traced_outcome();
+        let report = analyze(&out, 3_000, 2).unwrap();
+        for w in report.rounds.windows(2) {
+            assert!(
+                w[1].volume_fraction <= w[0].volume_fraction + 0.03,
+                "volume grew: {} -> {}",
+                w[0].volume_fraction,
+                w[1].volume_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn cut_balances_are_probabilities() {
+        let (_, out) = traced_outcome();
+        let report = analyze(&out, 2_000, 3).unwrap();
+        for r in &report.rounds {
+            assert!((0.0..=1.0).contains(&r.cut_balance), "balance {}", r.cut_balance);
+        }
+    }
+
+    #[test]
+    fn untraced_outcome_yields_none() {
+        let (data, _) = traced_outcome();
+        let mut agent = AaAgent::new(2, AaConfig::paper_default().with_seed(4));
+        let mut user = SimulatedUser::new(vec![0.5, 0.5]);
+        let out = agent.run(&data, &mut user, 0.1, TraceMode::Off);
+        assert!(analyze(&out, 100, 4).is_none());
+    }
+
+    #[test]
+    fn good_questioners_decay_fast() {
+        // AA's near-center cuts should average well below "no progress".
+        let (_, out) = traced_outcome();
+        let report = analyze(&out, 3_000, 5).unwrap();
+        assert!(
+            report.mean_decay < 0.9,
+            "AA's questions should shrink the region: decay {}",
+            report.mean_decay
+        );
+    }
+}

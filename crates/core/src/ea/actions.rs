@@ -1,0 +1,150 @@
+//! EA's restricted action space (§IV-B, "MDP: Action").
+//!
+//! Instead of all `O(n²)` point pairs, EA draws `m_h` random pairs from
+//! `P_R` — the anchor points of terminal polyhedrons constructed inside the
+//! current utility range. Every such pair's hyperplane strictly narrows `R`
+//! (Lemma 7), and each answer permanently eliminates at least one candidate
+//! anchor, giving the `O(n)` round bound of Theorem 1.
+
+use crate::interaction::Question;
+use isrl_data::Dataset;
+use rand::Rng;
+
+/// Draws up to `m_h` distinct questions (unordered pairs) from the anchor
+/// points `p_r`, excluding pairs listed in `asked` (either orientation).
+/// Returns fewer than `m_h` when not enough unasked pairs exist, and an
+/// empty vector when `p_r` has fewer than two points.
+pub fn build_action_space<R: Rng + ?Sized>(
+    p_r: &[usize],
+    m_h: usize,
+    asked: &[(usize, usize)],
+    rng: &mut R,
+) -> Vec<Question> {
+    let k = p_r.len();
+    if k < 2 || m_h == 0 {
+        return Vec::new();
+    }
+    let normalized = |a: usize, b: usize| if a < b { (a, b) } else { (b, a) };
+    let is_asked = |a: usize, b: usize| asked.contains(&normalized(a, b));
+
+    let total_pairs = k * (k - 1) / 2;
+    let mut out: Vec<Question> = Vec::with_capacity(m_h.min(total_pairs));
+    let push_unique = |q: Question, out: &mut Vec<Question>| {
+        let key = normalized(q.i, q.j);
+        if !out.iter().any(|e| normalized(e.i, e.j) == key) && !is_asked(q.i, q.j) {
+            out.push(q);
+            true
+        } else {
+            false
+        }
+    };
+
+    if total_pairs <= 4 * m_h {
+        // Few enough pairs: enumerate, filter, then randomly keep m_h.
+        let mut all: Vec<Question> = Vec::with_capacity(total_pairs);
+        for a in 0..k {
+            for b in a + 1..k {
+                if !is_asked(p_r[a], p_r[b]) {
+                    all.push(Question { i: p_r[a], j: p_r[b] });
+                }
+            }
+        }
+        // Fisher–Yates prefix shuffle.
+        for idx in 0..all.len().min(m_h) {
+            let pick = rng.gen_range(idx..all.len());
+            all.swap(idx, pick);
+        }
+        all.truncate(m_h);
+        return all;
+    }
+
+    // Many pairs: rejection-sample random distinct pairs.
+    let budget = 50 * m_h;
+    for _ in 0..budget {
+        if out.len() >= m_h {
+            break;
+        }
+        let a = rng.gen_range(0..k);
+        let b = rng.gen_range(0..k);
+        if a == b {
+            continue;
+        }
+        push_unique(Question { i: p_r[a], j: p_r[b] }, &mut out);
+    }
+    out
+}
+
+/// Action features for the Q-network: the two points concatenated (`2d`),
+/// in canonical (lexicographic) order. A question is symmetric — asking
+/// `⟨a, b⟩` is asking `⟨b, a⟩` — so the encoding must not depend on pair
+/// orientation, or the network wastes capacity learning that symmetry.
+pub fn encode_question(data: &Dataset, q: Question) -> Vec<f64> {
+    let (p, q_) = (data.point(q.i), data.point(q.j));
+    let (first, second) = if p <= q_ { (p, q_) } else { (q_, p) };
+    let mut f = Vec::with_capacity(2 * data.dim());
+    f.extend_from_slice(first);
+    f.extend_from_slice(second);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn returns_empty_for_tiny_pools() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(build_action_space(&[], 5, &[], &mut rng).is_empty());
+        assert!(build_action_space(&[3], 5, &[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn draws_at_most_m_h_distinct_pairs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool: Vec<usize> = (0..20).collect();
+        let qs = build_action_space(&pool, 5, &[], &mut rng);
+        assert_eq!(qs.len(), 5);
+        for (a, q1) in qs.iter().enumerate() {
+            assert_ne!(q1.i, q1.j);
+            for q2 in &qs[a + 1..] {
+                let k1 = (q1.i.min(q1.j), q1.i.max(q1.j));
+                let k2 = (q2.i.min(q2.j), q2.i.max(q2.j));
+                assert_ne!(k1, k2, "duplicate pair");
+            }
+        }
+    }
+
+    #[test]
+    fn small_pool_enumerates_all_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let qs = build_action_space(&[7, 8, 9], 10, &[], &mut rng);
+        assert_eq!(qs.len(), 3, "C(3,2) = 3 pairs available");
+    }
+
+    #[test]
+    fn asked_pairs_are_excluded_in_both_orientations() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let qs = build_action_space(&[1, 2, 3], 10, &[(1, 2), (1, 3)], &mut rng);
+        assert_eq!(qs.len(), 1);
+        assert_eq!((qs[0].i.min(qs[0].j), qs[0].i.max(qs[0].j)), (2, 3));
+    }
+
+    #[test]
+    fn question_features_are_orientation_invariant() {
+        let d = isrl_data::Dataset::from_points(
+            vec![vec![0.1, 0.2], vec![0.3, 0.4]],
+            2,
+        );
+        assert_eq!(
+            encode_question(&d, Question { i: 0, j: 1 }),
+            vec![0.1, 0.2, 0.3, 0.4]
+        );
+        assert_eq!(
+            encode_question(&d, Question { i: 1, j: 0 }),
+            encode_question(&d, Question { i: 0, j: 1 }),
+            "a question is symmetric; its encoding must be too"
+        );
+    }
+}

@@ -1,0 +1,498 @@
+//! Algorithm EA — the exact RL interactive agent (§IV-B, Algorithms 1–2).
+//!
+//! EA maintains the utility range `R` exactly (vertex enumeration over the
+//! learned half-spaces), encodes it as representative extreme vectors plus
+//! the outer sphere, restricts its actions to pairs of terminal-polyhedron
+//! anchor points, and trains a DQN to pick the question that minimizes the
+//! *total* number of rounds. Its return is exact: the anchor of the single
+//! terminal polyhedron covering `R` (Lemma 6), whose regret ratio is below
+//! ε for the user's true utility vector wherever it is in `R`.
+
+mod actions;
+mod session;
+mod state;
+mod terminal;
+
+pub use actions::{build_action_space, encode_question};
+pub use session::EaSession;
+pub use state::{EaStateEncoder, StateVariant};
+pub use terminal::{check_terminal, in_terminal_polyhedron, terminal_points};
+
+use crate::interaction::{
+    InteractionOutcome, InteractiveAlgorithm, Question, RoundTrace, Stopwatch, TraceMode,
+};
+use crate::user::User;
+use isrl_data::Dataset;
+use isrl_geometry::{sampling, Halfspace, Polytope, Region};
+use isrl_linalg::vector;
+use isrl_rl::{Dqn, DqnConfig, EpsilonSchedule, NextState, Transition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters of [`EaAgent`]. `paper_default` reproduces §V.
+#[derive(Debug, Clone)]
+pub struct EaConfig {
+    /// Representative extreme utility vectors in the state (`m_e`).
+    pub m_e: usize,
+    /// Neighborhood radius for representative selection (`d_ε`).
+    pub d_eps: f64,
+    /// Which parts of the two-part state to encode (ablation knob).
+    pub state_variant: StateVariant,
+    /// Action-space size (`m_h`; the paper: 5).
+    pub m_h: usize,
+    /// Utility vectors sampled per round for terminal-polyhedron
+    /// construction (Lemma 5 sizes this; a few hundred suffice in practice).
+    pub n_samples: usize,
+    /// Terminal reward constant `c` (the paper: 100).
+    pub reward_c: f64,
+    /// Safety cap on rounds per interaction (Theorem 1 bounds rounds by
+    /// `O(n)`; the cap guards numerical stalls only).
+    pub max_rounds: usize,
+    /// Discount factor γ (the paper: 0.8).
+    pub gamma: f64,
+    /// Learning rate (the paper: 0.003).
+    pub lr: f64,
+    /// Replay capacity (the paper: 5,000).
+    pub replay_capacity: usize,
+    /// Minibatch size (the paper: 64).
+    pub batch_size: usize,
+    /// Target-network sync period in updates (the paper: 20).
+    pub target_sync_every: u64,
+    /// Gradient steps per interactive round during training (1 = the
+    /// paper's cadence; more steps squeeze small training budgets harder).
+    pub train_steps_per_round: usize,
+    /// Use Adam instead of plain gradient descent in the DQN.
+    pub use_adam: bool,
+    /// Exploration schedule (the paper: constant 0.9).
+    pub epsilon: EpsilonSchedule,
+    /// RNG seed (weights, sampling, exploration).
+    pub seed: u64,
+}
+
+impl EaConfig {
+    /// The paper's §V hyper-parameters.
+    pub fn paper_default() -> Self {
+        Self {
+            m_e: 5,
+            d_eps: 0.15,
+            state_variant: StateVariant::default(),
+            m_h: 5,
+            n_samples: 100,
+            reward_c: 100.0,
+            max_rounds: 100,
+            gamma: 0.8,
+            lr: 0.003,
+            replay_capacity: 5_000,
+            batch_size: 64,
+            target_sync_every: 20,
+            train_steps_per_round: 1,
+            use_adam: false,
+            epsilon: EpsilonSchedule::paper_default(),
+            seed: 0,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Episodes (training utility vectors) processed.
+    pub episodes: usize,
+    /// Rounds used by each training episode, in order.
+    pub rounds_per_episode: Vec<usize>,
+    /// Mean rounds over the final quarter of episodes (convergence proxy).
+    pub mean_rounds_final_quarter: f64,
+}
+
+impl TrainReport {
+    /// Builds a report from per-episode round counts.
+    pub fn from_rounds(rounds: Vec<usize>) -> Self {
+        let n = rounds.len();
+        let tail = &rounds[n - (n / 4).max(1).min(n)..];
+        let mean = if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<usize>() as f64 / tail.len() as f64
+        };
+        Self { episodes: n, rounds_per_episode: rounds, mean_rounds_final_quarter: mean }
+    }
+}
+
+/// Everything EA derives from the current utility range in one round.
+struct Observation {
+    terminal: Option<usize>,
+    state: Vec<f64>,
+    questions: Vec<Question>,
+    action_feats: Vec<Vec<f64>>,
+    fallback_best: usize,
+}
+
+/// The exact RL interactive agent.
+#[derive(Debug)]
+pub struct EaAgent {
+    cfg: EaConfig,
+    dim: usize,
+    encoder: EaStateEncoder,
+    dqn: Dqn,
+    rng: StdRng,
+    episodes_trained: u64,
+}
+
+impl EaAgent {
+    /// Creates an untrained agent for datasets of dimensionality `dim`.
+    pub fn new(dim: usize, cfg: EaConfig) -> Self {
+        let encoder =
+            EaStateEncoder::with_variant(dim, cfg.m_e, cfg.d_eps, cfg.state_variant);
+        let mut dqn_cfg = DqnConfig::paper_default(encoder.state_dim(), 2 * dim)
+            .with_seed(cfg.seed.wrapping_add(1));
+        dqn_cfg.lr = cfg.lr;
+        dqn_cfg.gamma = cfg.gamma;
+        dqn_cfg.replay_capacity = cfg.replay_capacity;
+        dqn_cfg.batch_size = cfg.batch_size;
+        dqn_cfg.target_sync_every = cfg.target_sync_every;
+        dqn_cfg.use_adam = cfg.use_adam;
+        let dqn = Dqn::new(dqn_cfg);
+        let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
+        Self { cfg, dim, encoder, dqn, rng, episodes_trained: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EaConfig {
+        &self.cfg
+    }
+
+    /// Episodes trained so far.
+    pub fn episodes_trained(&self) -> u64 {
+        self.episodes_trained
+    }
+
+    /// Access to the underlying DQN (checkpointing).
+    pub fn dqn(&self) -> &Dqn {
+        &self.dqn
+    }
+
+    /// Dimensionality the agent was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Restores trained Q-network parameters and the episode counter
+    /// (checkpoint loading; see `crate::checkpoint`).
+    pub fn restore(&mut self, params: &[f64], episodes_trained: u64) {
+        self.dqn.load_params(params);
+        self.episodes_trained = episodes_trained;
+    }
+
+    /// Derives state, terminal status, and the candidate action space from
+    /// the current region. Returns `None` when vertex enumeration finds no
+    /// vertices (numerically collapsed region).
+    fn observe(
+        &mut self,
+        data: &Dataset,
+        region: &Region,
+        eps: f64,
+        asked: &[(usize, usize)],
+    ) -> Option<Observation> {
+        let polytope = Polytope::from_region(region)?;
+        let vertices = polytope.vertices().to_vec();
+        let terminal = check_terminal(data, &vertices, eps);
+
+        let centroid = polytope.centroid();
+        let fallback_best = data.argmax_utility(&centroid);
+        let state = self.encoder.encode(&polytope);
+
+        if terminal.is_some() {
+            return Some(Observation {
+                terminal,
+                state,
+                questions: Vec::new(),
+                action_feats: Vec::new(),
+                fallback_best,
+            });
+        }
+
+        // Build V: sampled utility vectors (rejection, then vertex-mixture
+        // fallback) plus the extreme utility vectors of R (Lemma 5/6).
+        let mut samples = sampling::sample_region_rejection(
+            self.dim,
+            region.halfspaces(),
+            self.cfg.n_samples,
+            self.cfg.n_samples * 10,
+            &mut self.rng,
+        );
+        if samples.len() < self.cfg.n_samples {
+            let need = self.cfg.n_samples - samples.len();
+            samples.extend(sampling::sample_vertex_mixture(&vertices, need, &mut self.rng));
+        }
+        samples.extend(vertices);
+        let p_r = terminal_points(data, samples.iter());
+
+        let mut questions = build_action_space(&p_r, self.cfg.m_h, asked, &mut self.rng);
+        if questions.is_empty() && p_r.len() >= 2 {
+            // Every unasked pair is exhausted; permit re-asking rather than
+            // stalling (the DQN will pick the most informative repeat).
+            questions = build_action_space(&p_r, self.cfg.m_h, &[], &mut self.rng);
+        }
+        let action_feats = questions.iter().map(|&q| encode_question(data, q)).collect();
+        Some(Observation { terminal: None, state, questions, action_feats, fallback_best })
+    }
+
+    /// Runs one interaction episode. `answer` is the preference oracle;
+    /// `explore_eps` is the ε-greedy rate (0 for pure inference);
+    /// `learn` enables replay writes and gradient steps.
+    fn episode(
+        &mut self,
+        data: &Dataset,
+        answer: &mut dyn FnMut(&[f64], &[f64]) -> bool,
+        eps: f64,
+        explore_eps: f64,
+        learn: bool,
+        trace_mode: TraceMode,
+    ) -> InteractionOutcome {
+        assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
+        assert!(!data.is_empty(), "cannot interact over an empty dataset");
+        let sw = Stopwatch::start();
+        let mut region = Region::full(self.dim);
+        let mut asked: Vec<(usize, usize)> = Vec::new();
+        let mut trace: Vec<RoundTrace> = Vec::new();
+        let mut rounds = 0usize;
+
+        let mut obs = self
+            .observe(data, &region, eps, &asked)
+            .expect("the full utility simplex always has vertices");
+
+        loop {
+            if let Some(p) = obs.terminal {
+                return InteractionOutcome {
+                    point_index: p,
+                    rounds,
+                    elapsed: sw.elapsed(),
+                    trace,
+                    truncated: false,
+                };
+            }
+            if obs.questions.is_empty() || rounds >= self.cfg.max_rounds {
+                return InteractionOutcome {
+                    point_index: obs.fallback_best,
+                    rounds,
+                    elapsed: sw.elapsed(),
+                    trace,
+                    truncated: true,
+                };
+            }
+
+            let idx = if learn {
+                self.dqn.select_action(&obs.state, &obs.action_feats, explore_eps)
+            } else {
+                self.dqn.best_action(&obs.state, &obs.action_feats).0
+            };
+            let q = obs.questions[idx];
+            let prefers_i = answer(data.point(q.i), data.point(q.j));
+            let (win, lose) = if prefers_i { (q.i, q.j) } else { (q.j, q.i) };
+            asked.push((q.i.min(q.j), q.i.max(q.j)));
+            rounds += 1;
+            if let Some(h) = Halfspace::preferring(data.point(win), data.point(lose)) {
+                region.add(h);
+            }
+
+            match self.observe(data, &region, eps, &asked) {
+                None => {
+                    // Region numerically collapsed — finish on the last
+                    // known recommendation.
+                    return InteractionOutcome {
+                        point_index: obs.fallback_best,
+                        rounds,
+                        elapsed: sw.elapsed(),
+                        trace,
+                        truncated: true,
+                    };
+                }
+                Some(next_obs) => {
+                    if learn {
+                        let reached_terminal = next_obs.terminal.is_some();
+                        let dead_end = next_obs.questions.is_empty();
+                        let transition = Transition {
+                            state: std::mem::take(&mut obs.state),
+                            action: obs.action_feats[idx].clone(),
+                            reward: if reached_terminal { self.cfg.reward_c } else { 0.0 },
+                            next: if reached_terminal || dead_end {
+                                None
+                            } else {
+                                Some(NextState {
+                                    state: next_obs.state.clone(),
+                                    actions: next_obs.action_feats.clone(),
+                                })
+                            },
+                        };
+                        self.dqn.push_transition(transition);
+                        for _ in 0..self.cfg.train_steps_per_round.max(1) {
+                            self.dqn.train_step();
+                        }
+                    }
+                    if trace_mode.should_trace(rounds) {
+                        trace.push(RoundTrace {
+                            round: rounds,
+                            elapsed: sw.elapsed(),
+                            best_index: next_obs.terminal.unwrap_or(next_obs.fallback_best),
+                            region: region.clone(),
+                        });
+                    }
+                    obs = next_obs;
+                }
+            }
+        }
+    }
+
+    /// Trains the agent on simulated users (Algorithm 1): one episode per
+    /// training utility vector, ε-greedy per the configured schedule.
+    pub fn train(&mut self, data: &Dataset, utilities: &[Vec<f64>], eps: f64) -> TrainReport {
+        let mut rounds = Vec::with_capacity(utilities.len());
+        for u in utilities {
+            let explore = self.cfg.epsilon.value(self.episodes_trained);
+            let u = u.clone();
+            let mut answer =
+                move |p_i: &[f64], p_j: &[f64]| vector::dot(&u, p_i) >= vector::dot(&u, p_j);
+            let outcome = self.episode(data, &mut answer, eps, explore, true, TraceMode::Off);
+            rounds.push(outcome.rounds);
+            self.episodes_trained += 1;
+        }
+        self.dqn.sync_target();
+        TrainReport::from_rounds(rounds)
+    }
+}
+
+impl InteractiveAlgorithm for EaAgent {
+    fn name(&self) -> &'static str {
+        "EA"
+    }
+
+    fn run(
+        &mut self,
+        data: &Dataset,
+        user: &mut dyn User,
+        eps: f64,
+        trace: TraceMode,
+    ) -> InteractionOutcome {
+        let mut answer = |p_i: &[f64], p_j: &[f64]| user.prefers(p_i, p_j);
+        self.episode(data, &mut answer, eps, 0.0, false, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regret::regret_ratio_of_index;
+    use crate::user::SimulatedUser;
+
+    fn small_data() -> Dataset {
+        // A 2-d anti-chain: every point tops some utility vector.
+        Dataset::from_points(
+            vec![
+                vec![1.0, 0.05],
+                vec![0.85, 0.4],
+                vec![0.6, 0.65],
+                vec![0.4, 0.85],
+                vec![0.05, 1.0],
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn untrained_agent_still_terminates_with_valid_regret() {
+        let data = small_data();
+        let mut agent = EaAgent::new(2, EaConfig::paper_default().with_seed(1));
+        let mut user = SimulatedUser::new(vec![0.35, 0.65]);
+        let eps = 0.1;
+        let out = agent.run(&data, &mut user, eps, TraceMode::Off);
+        assert!(!out.truncated, "EA must hit its stopping condition");
+        assert!(out.rounds <= 20, "rounds {}", out.rounds);
+        let regret = regret_ratio_of_index(&data, out.point_index, user.ground_truth());
+        assert!(regret < eps, "EA is exact: regret {regret} must be below {eps}");
+    }
+
+    #[test]
+    fn exactness_holds_across_users_and_eps() {
+        let data = small_data();
+        let mut agent = EaAgent::new(2, EaConfig::paper_default().with_seed(2));
+        for eps in [0.05, 0.2] {
+            for w in [0.1, 0.45, 0.8] {
+                let mut user = SimulatedUser::new(vec![w, 1.0 - w]);
+                let out = agent.run(&data, &mut user, eps, TraceMode::Off);
+                let regret =
+                    regret_ratio_of_index(&data, out.point_index, user.ground_truth());
+                assert!(
+                    regret < eps,
+                    "eps {eps}, user {w}: regret {regret} (rounds {})",
+                    out.rounds
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_runs_and_reports() {
+        let data = small_data();
+        let mut cfg = EaConfig::paper_default().with_seed(3);
+        cfg.n_samples = 30;
+        let mut agent = EaAgent::new(2, cfg);
+        let utilities: Vec<Vec<f64>> =
+            (1..=10).map(|i| vec![i as f64 / 11.0, 1.0 - i as f64 / 11.0]).collect();
+        let report = agent.train(&data, &utilities, 0.1);
+        assert_eq!(report.episodes, 10);
+        assert_eq!(agent.episodes_trained(), 10);
+        assert!(report.rounds_per_episode.iter().all(|&r| r > 0));
+    }
+
+    #[test]
+    fn larger_eps_needs_no_more_rounds() {
+        // The §V trend: easier thresholds can only shorten interactions
+        // (up to sampling noise; we compare means over several users).
+        let data = small_data();
+        let mut agent = EaAgent::new(2, EaConfig::paper_default().with_seed(4));
+        let mean_rounds = |agent: &mut EaAgent, eps: f64| {
+            let ws = [0.2, 0.35, 0.5, 0.65, 0.8];
+            ws.iter()
+                .map(|&w| {
+                    let mut user = SimulatedUser::new(vec![w, 1.0 - w]);
+                    agent.run(&data, &mut user, eps, TraceMode::Off).rounds as f64
+                })
+                .sum::<f64>()
+                / ws.len() as f64
+        };
+        let tight = mean_rounds(&mut agent, 0.05);
+        let loose = mean_rounds(&mut agent, 0.3);
+        assert!(
+            loose <= tight + 0.5,
+            "looser eps should not need more rounds: {tight} vs {loose}"
+        );
+    }
+
+    #[test]
+    fn trace_records_every_round() {
+        let data = small_data();
+        let mut agent = EaAgent::new(2, EaConfig::paper_default().with_seed(5));
+        let mut user = SimulatedUser::new(vec![0.3, 0.7]);
+        let out = agent.run(&data, &mut user, 0.1, TraceMode::PerRound);
+        assert_eq!(out.trace.len(), out.rounds);
+        for (k, t) in out.trace.iter().enumerate() {
+            assert_eq!(t.round, k + 1);
+            assert_eq!(t.region.len(), k + 1, "one halfspace per round");
+        }
+    }
+
+    #[test]
+    fn user_question_count_matches_rounds() {
+        let data = small_data();
+        let mut agent = EaAgent::new(2, EaConfig::paper_default().with_seed(6));
+        let mut user = SimulatedUser::new(vec![0.6, 0.4]);
+        let out = agent.run(&data, &mut user, 0.1, TraceMode::Off);
+        assert_eq!(user.questions_asked(), out.rounds);
+    }
+}

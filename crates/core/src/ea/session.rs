@@ -1,0 +1,192 @@
+//! Step-wise interaction sessions for EA (see [`crate::aa::AaSession`] for
+//! the motivation: servers and GUIs need a state machine, not a callback).
+
+use super::{EaAgent, Observation};
+use crate::interaction::{Question, Stopwatch};
+use isrl_data::Dataset;
+use isrl_geometry::{Halfspace, Region};
+
+/// An in-flight EA interaction.
+pub struct EaSession<'a> {
+    agent: &'a mut EaAgent,
+    data: &'a Dataset,
+    eps: f64,
+    region: Region,
+    asked: Vec<(usize, usize)>,
+    obs: Observation,
+    question: Option<(usize, Question)>,
+    rounds: usize,
+    sw: Stopwatch,
+    truncated: bool,
+}
+
+impl EaAgent {
+    /// Starts a step-wise interaction on `data` with threshold `eps`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or an empty dataset.
+    pub fn start_session<'a>(&'a mut self, data: &'a Dataset, eps: f64) -> EaSession<'a> {
+        assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
+        assert!(!data.is_empty(), "cannot interact over an empty dataset");
+        let region = Region::full(self.dim);
+        let asked = Vec::new();
+        let obs = self
+            .observe(data, &region, eps, &asked)
+            .expect("the full utility simplex always has vertices");
+        let mut session = EaSession {
+            agent: self,
+            data,
+            eps,
+            region,
+            asked,
+            obs,
+            question: None,
+            rounds: 0,
+            sw: Stopwatch::start(),
+            truncated: false,
+        };
+        session.pick_question();
+        session
+    }
+}
+
+impl EaSession<'_> {
+    fn pick_question(&mut self) {
+        self.question = None;
+        if self.obs.terminal.is_some() {
+            return;
+        }
+        if self.obs.questions.is_empty() || self.rounds >= self.agent.cfg.max_rounds {
+            self.truncated = true;
+            return;
+        }
+        let (idx, _) = self
+            .agent
+            .dqn
+            .best_action(&self.obs.state, &self.obs.action_feats);
+        self.question = Some((idx, self.obs.questions[idx]));
+    }
+
+    /// The pending question, or `None` once the session is finished.
+    pub fn current_question(&self) -> Option<Question> {
+        self.question.map(|(_, q)| q)
+    }
+
+    /// The two points of the pending question, for display.
+    pub fn current_points(&self) -> Option<(&[f64], &[f64])> {
+        self.current_question()
+            .map(|q| (self.data.point(q.i), self.data.point(q.j)))
+    }
+
+    /// Delivers the user's choice (`true` = first point preferred).
+    ///
+    /// # Panics
+    /// Panics if the session is already finished.
+    pub fn answer(&mut self, prefers_first: bool) {
+        let (_, q) = self.question.take().expect("session is finished; no pending question");
+        let (win, lose) = if prefers_first { (q.i, q.j) } else { (q.j, q.i) };
+        self.asked.push((q.i.min(q.j), q.i.max(q.j)));
+        self.rounds += 1;
+        if let Some(h) = Halfspace::preferring(self.data.point(win), self.data.point(lose)) {
+            self.region.add(h);
+        }
+        match self.agent.observe(self.data, &self.region, self.eps, &self.asked) {
+            None => {
+                self.truncated = true;
+            }
+            Some(next) => {
+                self.obs = next;
+                self.pick_question();
+            }
+        }
+    }
+
+    /// `true` once no further question will be asked.
+    pub fn is_finished(&self) -> bool {
+        self.question.is_none()
+    }
+
+    /// Questions answered so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Elapsed wall-clock time since the session started.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.sw.elapsed()
+    }
+
+    /// `true` when the session ended without certifying termination
+    /// (Lemma 6 never fired).
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The current (or final) recommendation: the certified terminal anchor
+    /// when available, else the centroid's top-1 tuple.
+    pub fn recommendation(&self) -> usize {
+        self.obs.terminal.unwrap_or(self.obs.fallback_best)
+    }
+
+    /// The learned utility range so far (half-space view).
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ea::EaConfig;
+    use crate::interaction::{InteractiveAlgorithm, TraceMode};
+    use crate::regret::regret_ratio_of_index;
+    use crate::user::SimulatedUser;
+    use isrl_linalg::vector;
+
+    fn data() -> Dataset {
+        Dataset::from_points(
+            vec![
+                vec![1.0, 0.05],
+                vec![0.85, 0.4],
+                vec![0.6, 0.65],
+                vec![0.4, 0.85],
+                vec![0.05, 1.0],
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn session_matches_run_and_is_exact() {
+        let d = data();
+        let truth = vec![0.45, 0.55];
+        let eps = 0.1;
+        let mut agent1 = EaAgent::new(2, EaConfig::paper_default().with_seed(7));
+        let mut user = SimulatedUser::new(truth.clone());
+        let run_out = agent1.run(&d, &mut user, eps, TraceMode::Off);
+
+        let mut agent2 = EaAgent::new(2, EaConfig::paper_default().with_seed(7));
+        let mut session = agent2.start_session(&d, eps);
+        while let Some((p, q)) = session.current_points().map(|(a, b)| (a.to_vec(), b.to_vec()))
+        {
+            session.answer(vector::dot(&truth, &p) >= vector::dot(&truth, &q));
+        }
+        assert_eq!(session.rounds(), run_out.rounds);
+        assert_eq!(session.recommendation(), run_out.point_index);
+        let regret = regret_ratio_of_index(&d, session.recommendation(), &truth);
+        assert!(regret < eps, "EA session must stay exact: {regret}");
+        assert!(!session.truncated());
+    }
+
+    #[test]
+    fn recommendation_is_available_mid_session() {
+        let d = data();
+        let mut agent = EaAgent::new(2, EaConfig::paper_default().with_seed(8));
+        let session = agent.start_session(&d, 0.05);
+        // Before any answer the recommendation is merely the centroid's
+        // favorite — but it must be a valid index.
+        assert!(session.recommendation() < d.len());
+        assert_eq!(session.rounds(), 0);
+        assert!(!session.is_finished(), "eps=0.05 needs at least one question here");
+    }
+}

@@ -1,0 +1,186 @@
+//! EA's fixed-length state encoding (§IV-B, "MDP: State").
+//!
+//! A state is the utility range `R`; its encoding concatenates
+//!
+//! 1. `m_e` representative extreme utility vectors, chosen by the greedy
+//!    max-coverage procedure of Lemma 2 (DBSCAN-style `d_ε` neighborhoods),
+//!    padded with the vertex centroid when fewer exist; and
+//! 2. the outer sphere — center and radius — from the paper's iterative
+//!    minimum-enclosing-sphere scheme (Lemma 3),
+//!
+//! for a `d·m_e + d + 1`-dimensional vector.
+
+use isrl_geometry::Polytope;
+
+/// Which parts of EA's two-part state to encode — the ablation axis the
+/// paper's state design motivates (representatives for detail, sphere for
+/// overview).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StateVariant {
+    /// The paper's state: greedy max-coverage representatives ⊕ outer sphere.
+    #[default]
+    Full,
+    /// Representatives only (ablates the outer-sphere overview).
+    RepsOnly,
+    /// Outer sphere only (ablates the representative detail).
+    SphereOnly,
+    /// Evenly-strided vertices instead of the greedy max-coverage choice
+    /// (ablates the Lemma-2 machinery), plus the sphere.
+    StridedReps,
+}
+
+/// Encoder turning a [`Polytope`] into EA's state vector.
+#[derive(Debug, Clone, Copy)]
+pub struct EaStateEncoder {
+    /// Number of representative extreme utility vectors (`m_e`).
+    pub m_e: usize,
+    /// Neighborhood radius for the max-coverage selection (`d_ε`).
+    pub d_eps: f64,
+    /// Ambient dimensionality.
+    pub dim: usize,
+    /// Which state parts to produce.
+    pub variant: StateVariant,
+}
+
+impl EaStateEncoder {
+    /// Creates an encoder with the paper's full state.
+    ///
+    /// # Panics
+    /// Panics on zero `m_e`, non-positive `d_eps`, or `dim < 2`.
+    pub fn new(dim: usize, m_e: usize, d_eps: f64) -> Self {
+        Self::with_variant(dim, m_e, d_eps, StateVariant::Full)
+    }
+
+    /// Creates an encoder with an explicit [`StateVariant`].
+    ///
+    /// # Panics
+    /// Panics on zero `m_e`, non-positive `d_eps`, or `dim < 2`.
+    pub fn with_variant(dim: usize, m_e: usize, d_eps: f64, variant: StateVariant) -> Self {
+        assert!(m_e > 0, "m_e must be positive");
+        assert!(d_eps > 0.0, "d_eps must be positive");
+        assert!(dim >= 2, "dimension must be at least 2");
+        Self { m_e, d_eps, dim, variant }
+    }
+
+    /// Width of the produced state vector for the configured variant.
+    pub fn state_dim(&self) -> usize {
+        match self.variant {
+            StateVariant::Full | StateVariant::StridedReps => {
+                self.dim * self.m_e + self.dim + 1
+            }
+            StateVariant::RepsOnly => self.dim * self.m_e,
+            StateVariant::SphereOnly => self.dim + 1,
+        }
+    }
+
+    /// Fixed-length block of `m_e` evenly-strided vertices, centroid-padded.
+    fn encode_strided(&self, polytope: &Polytope) -> Vec<f64> {
+        let vertices = polytope.vertices();
+        let pad = polytope.centroid();
+        let stride = (vertices.len() / self.m_e).max(1);
+        let mut out = Vec::with_capacity(self.m_e * self.dim);
+        for slot in 0..self.m_e {
+            let v = vertices.get(slot * stride).unwrap_or(&pad);
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Encodes a polytope (the current utility range).
+    ///
+    /// # Panics
+    /// Panics if the polytope's dimension disagrees with the encoder's.
+    pub fn encode(&self, polytope: &Polytope) -> Vec<f64> {
+        assert_eq!(polytope.dim(), self.dim, "polytope dimension mismatch");
+        let mut state = match self.variant {
+            StateVariant::Full | StateVariant::RepsOnly => {
+                polytope.encode_representatives(self.m_e, self.d_eps)
+            }
+            StateVariant::StridedReps => self.encode_strided(polytope),
+            StateVariant::SphereOnly => Vec::new(),
+        };
+        if !matches!(self.variant, StateVariant::RepsOnly) {
+            state.extend(polytope.outer_sphere().encode());
+        }
+        debug_assert_eq!(state.len(), self.state_dim());
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrl_geometry::{Halfspace, Region};
+
+    fn full_polytope(d: usize) -> Polytope {
+        Polytope::from_region(&Region::full(d)).unwrap()
+    }
+
+    #[test]
+    fn state_width_formula() {
+        let enc = EaStateEncoder::new(4, 5, 0.2);
+        assert_eq!(enc.state_dim(), 4 * 5 + 4 + 1);
+        assert_eq!(enc.encode(&full_polytope(4)).len(), 25);
+    }
+
+    #[test]
+    fn radius_is_last_component_and_shrinks_with_cuts() {
+        let enc = EaStateEncoder::new(3, 3, 0.2);
+        let before = enc.encode(&full_polytope(3));
+        let mut r = Region::full(3);
+        r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        r.add(Halfspace::new(vec![0.0, 1.0, -1.0]));
+        let after = enc.encode(&Polytope::from_region(&r).unwrap());
+        let radius_idx = enc.state_dim() - 1;
+        assert!(
+            after[radius_idx] < before[radius_idx],
+            "outer-sphere radius should shrink: {} -> {}",
+            before[radius_idx],
+            after[radius_idx]
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let enc = EaStateEncoder::new(4, 5, 0.2);
+        let p = full_polytope(4);
+        assert_eq!(enc.encode(&p), enc.encode(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "m_e must be positive")]
+    fn rejects_zero_m_e() {
+        EaStateEncoder::new(3, 0, 0.2);
+    }
+
+    #[test]
+    fn variant_widths() {
+        let p = full_polytope(3);
+        for (variant, width) in [
+            (StateVariant::Full, 3 * 4 + 3 + 1),
+            (StateVariant::RepsOnly, 3 * 4),
+            (StateVariant::SphereOnly, 3 + 1),
+            (StateVariant::StridedReps, 3 * 4 + 3 + 1),
+        ] {
+            let enc = EaStateEncoder::with_variant(3, 4, 0.2, variant);
+            assert_eq!(enc.state_dim(), width, "{variant:?}");
+            assert_eq!(enc.encode(&p).len(), width, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn strided_reps_are_actual_vertices_or_centroid() {
+        let p = full_polytope(4);
+        let enc = EaStateEncoder::with_variant(4, 6, 0.2, StateVariant::StridedReps);
+        let state = enc.encode(&p);
+        let centroid = p.centroid();
+        for chunk in state[..4 * 6].chunks(4) {
+            let is_vertex = p.vertices().iter().any(|v| {
+                v.iter().zip(chunk).all(|(a, b)| (a - b).abs() < 1e-12)
+            });
+            let is_centroid =
+                centroid.iter().zip(chunk).all(|(a, b)| (a - b).abs() < 1e-12);
+            assert!(is_vertex || is_centroid);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Regret ratios (§III of the paper).
+
+use isrl_data::Dataset;
+use isrl_linalg::vector;
+
+/// The regret ratio of point `q` over dataset `data` w.r.t. utility vector
+/// `u`:
+///
+/// ```text
+/// regratio(q, u) = (max_p f_u(p) − f_u(q)) / max_p f_u(p)
+/// ```
+///
+/// Zero means `q` *is* the user's favorite; values are clamped at 0 from
+/// below against floating-point jitter.
+///
+/// # Panics
+/// Panics on an empty dataset or a non-positive maximum utility (cannot
+/// happen for `(0, 1]`-normalized data with a simplex utility vector).
+pub fn regret_ratio(data: &Dataset, q: &[f64], u: &[f64]) -> f64 {
+    let best = data.max_utility(u);
+    assert!(best > 0.0, "maximum utility must be positive on normalized data");
+    ((best - vector::dot(q, u)) / best).max(0.0)
+}
+
+/// [`regret_ratio`] by dataset index.
+pub fn regret_ratio_of_index(data: &Dataset, q_index: usize, u: &[f64]) -> f64 {
+    regret_ratio(data, data.point(q_index), u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table3() -> Dataset {
+        Dataset::from_points(
+            vec![
+                vec![0.001, 1.0],
+                vec![0.3, 0.7],
+                vec![0.5, 0.8],
+                vec![0.7, 0.4],
+                vec![1.0, 0.001],
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn example2_of_the_paper() {
+        // regratio(p2, (0.3, 0.7)) = (0.71 − 0.58)/0.71 ≈ 0.183.
+        let d = table3();
+        let r = regret_ratio_of_index(&d, 1, &[0.3, 0.7]);
+        assert!((r - (0.71 - 0.58) / 0.71).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn favorite_point_has_zero_regret() {
+        let d = table3();
+        let u = [0.3, 0.7];
+        let best = d.argmax_utility(&u);
+        assert_eq!(regret_ratio_of_index(&d, best, &u), 0.0);
+    }
+
+    #[test]
+    fn regret_is_in_unit_interval() {
+        let d = table3();
+        for i in 0..d.len() {
+            for u in [[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]] {
+                let r = regret_ratio_of_index(&d, i, &u);
+                assert!((0.0..=1.0).contains(&r), "regret {r} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn regret_decreases_as_point_improves() {
+        let d = table3();
+        let u = [0.3, 0.7];
+        // p4 (index 3) is worse than p2 (index 1) under this u.
+        assert!(regret_ratio_of_index(&d, 3, &u) > regret_ratio_of_index(&d, 1, &u));
+    }
+}

@@ -1,0 +1,168 @@
+//! User oracles.
+//!
+//! During evaluation (and RL training) the "user" is simulated by a hidden
+//! utility vector: presented with a question `⟨p_i, p_j⟩`, the oracle
+//! prefers the point with the higher utility (§III). [`NoisyUser`]
+//! implements the paper's stated future-work direction — users who make
+//! mistakes — by flipping each answer independently with a fixed
+//! probability; the benches use it to probe the robustness of all
+//! algorithms' stopping conditions.
+
+use isrl_linalg::vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Something that can answer pairwise preference questions.
+pub trait User {
+    /// `true` iff the user prefers `p_i` to `p_j` (ties answered as "yes",
+    /// matching line 10 of Algorithm 1).
+    fn prefers(&mut self, p_i: &[f64], p_j: &[f64]) -> bool;
+
+    /// Number of questions answered so far.
+    fn questions_asked(&self) -> usize;
+}
+
+/// A deterministic simulated user with a hidden linear utility function.
+#[derive(Debug, Clone)]
+pub struct SimulatedUser {
+    utility: Vec<f64>,
+    asked: usize,
+}
+
+impl SimulatedUser {
+    /// Creates a user with the given (hidden) utility vector.
+    ///
+    /// # Panics
+    /// Panics if the vector is not on the simplex (components must be
+    /// non-negative and sum to 1 within 1e-6), matching §III's assumption.
+    pub fn new(utility: Vec<f64>) -> Self {
+        assert!(
+            utility.iter().all(|&x| x >= 0.0),
+            "utility vector must be non-negative"
+        );
+        assert!(
+            (vector::sum(&utility) - 1.0).abs() < 1e-6,
+            "utility vector must sum to 1"
+        );
+        Self { utility, asked: 0 }
+    }
+
+    /// The hidden utility vector (test/metric access; an interactive
+    /// algorithm must never call this).
+    pub fn ground_truth(&self) -> &[f64] {
+        &self.utility
+    }
+}
+
+impl User for SimulatedUser {
+    fn prefers(&mut self, p_i: &[f64], p_j: &[f64]) -> bool {
+        self.asked += 1;
+        vector::dot(&self.utility, p_i) >= vector::dot(&self.utility, p_j)
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+}
+
+/// A simulated user whose answers flip independently with probability
+/// `flip_prob` (the paper's future-work scenario).
+#[derive(Debug, Clone)]
+pub struct NoisyUser {
+    inner: SimulatedUser,
+    flip_prob: f64,
+    rng: StdRng,
+}
+
+impl NoisyUser {
+    /// Creates a noisy user.
+    ///
+    /// # Panics
+    /// Panics if `flip_prob` is outside `[0, 1)` or the utility vector is
+    /// invalid (see [`SimulatedUser::new`]).
+    pub fn new(utility: Vec<f64>, flip_prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&flip_prob),
+            "flip probability must be in [0, 1)"
+        );
+        Self {
+            inner: SimulatedUser::new(utility),
+            flip_prob,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The hidden utility vector (metric access only).
+    pub fn ground_truth(&self) -> &[f64] {
+        self.inner.ground_truth()
+    }
+}
+
+impl User for NoisyUser {
+    fn prefers(&mut self, p_i: &[f64], p_j: &[f64]) -> bool {
+        let truthful = self.inner.prefers(p_i, p_j);
+        if self.rng.gen_range(0.0..1.0) < self.flip_prob {
+            !truthful
+        } else {
+            truthful
+        }
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.inner.questions_asked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_user_answers_by_utility() {
+        // Table III of the paper: u = (0.3, 0.7); p3 beats p2.
+        let mut u = SimulatedUser::new(vec![0.3, 0.7]);
+        assert!(u.prefers(&[0.5, 0.8], &[0.3, 0.7]));
+        assert!(!u.prefers(&[1.0, 0.0], &[0.0, 1.0]));
+        assert_eq!(u.questions_asked(), 2);
+    }
+
+    #[test]
+    fn ties_answer_yes() {
+        let mut u = SimulatedUser::new(vec![0.5, 0.5]);
+        assert!(u.prefers(&[0.6, 0.4], &[0.4, 0.6]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_off_simplex_vector() {
+        SimulatedUser::new(vec![0.5, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weights() {
+        SimulatedUser::new(vec![1.5, -0.5]);
+    }
+
+    #[test]
+    fn zero_noise_matches_truthful() {
+        let mut noisy = NoisyUser::new(vec![0.3, 0.7], 0.0, 1);
+        let mut clean = SimulatedUser::new(vec![0.3, 0.7]);
+        for (a, b) in [([0.9, 0.1], [0.1, 0.9]), ([0.2, 0.8], [0.8, 0.2])] {
+            assert_eq!(noisy.prefers(&a, &b), clean.prefers(&a, &b));
+        }
+    }
+
+    #[test]
+    fn noise_flips_at_roughly_the_configured_rate() {
+        let mut noisy = NoisyUser::new(vec![0.3, 0.7], 0.25, 7);
+        let mut clean = SimulatedUser::new(vec![0.3, 0.7]);
+        let p_i = [0.9, 0.1];
+        let p_j = [0.1, 0.9];
+        let flips = (0..4000)
+            .filter(|_| noisy.prefers(&p_i, &p_j) != clean.prefers(&p_i, &p_j))
+            .count();
+        let rate = flips as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "flip rate {rate}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal CSV reading/writing for dataset import and result export.
+//!
+//! Users holding the actual Kaggle *Car*/*Player* CSVs can load them here,
+//! pick numeric columns, normalize, and run the exact experiments; the
+//! benchmark harness also dumps its result tables as CSV. The dialect is
+//! deliberately small: comma separator, optional double-quote quoting with
+//! `""` escapes, one header row.
+
+use crate::dataset::Dataset;
+use crate::normalize::{normalize_table, Direction};
+
+/// A parsed CSV table: header plus string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvTable {
+    /// Column names from the header row.
+    pub header: Vec<String>,
+    /// Data rows; each row has `header.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    Empty,
+    /// A row's cell count differed from the header's (row index, got, want).
+    RaggedRow(usize, usize, usize),
+    /// A quoted field was never closed (line index).
+    UnterminatedQuote(usize),
+    /// A requested column is missing from the header.
+    MissingColumn(String),
+    /// A cell could not be parsed as a number (row, column).
+    BadNumber(usize, String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "empty CSV input"),
+            CsvError::RaggedRow(i, got, want) => {
+                write!(f, "row {i} has {got} cells, expected {want}")
+            }
+            CsvError::UnterminatedQuote(i) => write!(f, "unterminated quote in line {i}"),
+            CsvError::MissingColumn(c) => write!(f, "column {c:?} not in header"),
+            CsvError::BadNumber(i, c) => write!(f, "row {i}, column {c:?}: not a number"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut cells = Vec::new();
+    let mut cell = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => in_quotes = false,
+                other => cell.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => cells.push(std::mem::take(&mut cell)),
+                other => cell.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote(line_no));
+    }
+    cells.push(cell);
+    Ok(cells)
+}
+
+/// Parses CSV text into a [`CsvTable`]. Blank lines are skipped; `\r` line
+/// endings are tolerated.
+pub fn parse(text: &str) -> Result<CsvTable, CsvError> {
+    let mut lines = text
+        .lines()
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (hline_no, hline) = lines.next().ok_or(CsvError::Empty)?;
+    let header = parse_line(hline, hline_no)?;
+    let width = header.len();
+    let mut rows = Vec::new();
+    for (i, line) in lines {
+        let cells = parse_line(line, i)?;
+        if cells.len() != width {
+            return Err(CsvError::RaggedRow(i, cells.len(), width));
+        }
+        rows.push(cells);
+    }
+    Ok(CsvTable { header, rows })
+}
+
+/// Loads selected numeric columns from a CSV text into a normalized
+/// [`Dataset`], pairing each column with its [`Direction`].
+pub fn load_dataset(
+    text: &str,
+    columns: &[(&str, Direction)],
+) -> Result<Dataset, CsvError> {
+    let table = parse(text)?;
+    let idx: Vec<usize> = columns
+        .iter()
+        .map(|(name, _)| {
+            table
+                .header
+                .iter()
+                .position(|h| h == name)
+                .ok_or_else(|| CsvError::MissingColumn(name.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut rows = Vec::with_capacity(table.rows.len());
+    for (r, cells) in table.rows.iter().enumerate() {
+        let mut row = Vec::with_capacity(idx.len());
+        for (&j, (name, _)) in idx.iter().zip(columns) {
+            let v: f64 = cells[j]
+                .trim()
+                .parse()
+                .map_err(|_| CsvError::BadNumber(r, name.to_string()))?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    let directions: Vec<Direction> = columns.iter().map(|&(_, d)| d).collect();
+    let normalized = normalize_table(&rows, &directions);
+    Ok(Dataset::from_points(normalized, columns.len())
+        .with_attributes(columns.iter().map(|(n, _)| n.to_string()).collect()))
+}
+
+/// Serializes a header and numeric rows as CSV text.
+pub fn write_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "price,horsepower,name\n5000,450,\"Falcon, Mk \"\"II\"\"\"\n4000,400,Swift\n";
+
+    #[test]
+    fn parses_quotes_and_escapes() {
+        let t = parse(SAMPLE).unwrap();
+        assert_eq!(t.header, vec!["price", "horsepower", "name"]);
+        assert_eq!(t.rows[0][2], "Falcon, Mk \"II\"");
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = parse("a,b\n1,2,3\n").unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow(1, 3, 2)));
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        let err = parse("a\n\"oops\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote(_)));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(parse("").unwrap_err(), CsvError::Empty);
+        assert_eq!(parse("\n\n").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn blank_lines_and_crlf_are_tolerated() {
+        let t = parse("a,b\r\n1,2\r\n\r\n3,4\r\n").unwrap();
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn load_dataset_selects_and_normalizes() {
+        let d = load_dataset(
+            SAMPLE,
+            &[("price", Direction::SmallerBetter), ("horsepower", Direction::LargerBetter)],
+        )
+        .unwrap();
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.len(), 2);
+        // Cheaper car gets price score 1; stronger car gets horsepower 1.
+        assert_eq!(d.point(1)[0], 1.0);
+        assert_eq!(d.point(0)[1], 1.0);
+    }
+
+    #[test]
+    fn load_dataset_reports_missing_column() {
+        let err = load_dataset(SAMPLE, &[("mpg", Direction::LargerBetter)]).unwrap_err();
+        assert_eq!(err, CsvError::MissingColumn("mpg".into()));
+    }
+
+    #[test]
+    fn load_dataset_reports_bad_number() {
+        let err = load_dataset(SAMPLE, &[("name", Direction::LargerBetter)]).unwrap_err();
+        assert!(matches!(err, CsvError::BadNumber(0, _)));
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let text = write_csv(&["x", "y"], &[vec![1.5, 2.0], vec![0.25, 4.0]]);
+        let t = parse(&text).unwrap();
+        assert_eq!(t.rows[0][0], "1.5");
+        assert_eq!(t.rows[1][1], "4");
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Dataset substrate for Interactive Search with Reinforcement Learning.
+//!
+//! Provides everything the paper's evaluation (§V) needs on the data side:
+//!
+//! * [`dataset`] — the flat tuple store with utility scans;
+//! * [`normalize`] — `(0, 1]` larger-is-better normalization;
+//! * [`skyline`](mod@skyline) — Sort-Filter-Skyline preprocessing (only skyline points
+//!   can be a user's favorite under a linear utility function);
+//! * [`synthetic`] — the Börzsönyi anti-correlated/correlated/independent
+//!   generators used for all synthetic sweeps;
+//! * [`real`] — distribution-matched stand-ins for the Kaggle *Car* and
+//!   *Player* datasets (see DESIGN.md §2 for the substitution argument);
+//! * [`csv`] — minimal CSV import/export so the genuine datasets can be
+//!   dropped in when available.
+//!
+//! ```
+//! use isrl_data::{generate, skyline, Distribution};
+//!
+//! let raw = generate(1_000, 3, Distribution::AntiCorrelated, 7);
+//! assert!(raw.check_normalized().is_none(), "every value in (0, 1]");
+//! let sky = skyline(&raw);
+//! assert!(sky.len() < raw.len(), "dominated tuples removed");
+//! // Linear maximization over the skyline loses nothing:
+//! let u = [0.5, 0.3, 0.2];
+//! assert_eq!(raw.max_utility(&u), sky.max_utility(&u));
+//! ```
+
+pub mod csv;
+pub mod dataset;
+pub mod normalize;
+pub mod real;
+pub mod skyline;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use normalize::Direction;
+pub use skyline::{skyline, skyline_indices};
+pub use synthetic::{generate, Distribution};

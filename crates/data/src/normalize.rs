@@ -1,0 +1,154 @@
+//! Attribute normalization to `(0, 1]` with larger-is-better semantics.
+//!
+//! Raw attributes come in arbitrary units and orientations (a car's *price*
+//! is smaller-is-better, its *horsepower* larger-is-better). Following §III
+//! of the paper, each attribute is mapped to `(0, 1]` so that 1 is the best
+//! observed value. Smaller-is-better attributes are inverted before scaling.
+
+/// Orientation of a raw attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger raw values are better (horsepower, mpg).
+    LargerBetter,
+    /// Smaller raw values are better (price, mileage).
+    SmallerBetter,
+}
+
+/// Floor applied after scaling so every value is strictly positive, as the
+/// `(0, 1]` contract requires (a zero coordinate would let a tuple's utility
+/// vanish under some axis-aligned utility vectors, breaking regret ratios).
+pub const FLOOR: f64 = 1e-6;
+
+/// Normalizes one attribute column in place.
+///
+/// * `LargerBetter`: `x ↦ x / max` after shifting so the minimum maps to
+///   [`FLOOR`] when non-positive values are present.
+/// * `SmallerBetter`: `x ↦ (max − x + δ) / (max − min + δ)` which maps the
+///   best (smallest) raw value to 1.
+///
+/// Constant columns map to all-ones (no information, but valid).
+///
+/// # Panics
+/// Panics on an empty column or non-finite values.
+pub fn normalize_column(values: &mut [f64], direction: Direction) {
+    assert!(!values.is_empty(), "cannot normalize an empty column");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "non-finite value in attribute column"
+    );
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < f64::EPSILON {
+        values.iter_mut().for_each(|v| *v = 1.0);
+        return;
+    }
+    match direction {
+        Direction::LargerBetter => {
+            for v in values.iter_mut() {
+                *v = ((*v - min) / (max - min)).max(FLOOR);
+            }
+        }
+        Direction::SmallerBetter => {
+            for v in values.iter_mut() {
+                *v = ((max - *v) / (max - min)).max(FLOOR);
+            }
+        }
+    }
+}
+
+/// Normalizes a full table (rows of raw tuples) given per-column directions,
+/// returning normalized rows. Column `j` uses `directions[j]`.
+///
+/// # Panics
+/// Panics if rows are ragged or `directions` has the wrong length.
+pub fn normalize_table(rows: &[Vec<f64>], directions: &[Direction]) -> Vec<Vec<f64>> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let d = directions.len();
+    assert!(rows.iter().all(|r| r.len() == d), "ragged rows or direction mismatch");
+    let mut out = rows.to_vec();
+    let mut column = vec![0.0; rows.len()];
+    for j in 0..d {
+        for (i, r) in rows.iter().enumerate() {
+            column[i] = r[j];
+        }
+        normalize_column(&mut column, directions[j]);
+        for (i, r) in out.iter_mut().enumerate() {
+            r[j] = column[i];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_better_maps_max_to_one() {
+        let mut col = vec![10.0, 20.0, 40.0];
+        normalize_column(&mut col, Direction::LargerBetter);
+        assert_eq!(col[2], 1.0);
+        assert!(col[0] >= FLOOR && col[0] < col[1]);
+    }
+
+    #[test]
+    fn smaller_better_maps_min_to_one() {
+        let mut col = vec![5000.0, 4000.0, 6000.0];
+        normalize_column(&mut col, Direction::SmallerBetter);
+        assert_eq!(col[1], 1.0, "cheapest car is best");
+        assert!(col[2] >= FLOOR && col[2] < col[0]);
+    }
+
+    #[test]
+    fn all_values_land_in_unit_interval() {
+        let mut col = vec![-3.0, 0.0, 7.0, 2.5];
+        normalize_column(&mut col, Direction::LargerBetter);
+        assert!(col.iter().all(|&v| v > 0.0 && v <= 1.0));
+        let mut col2 = vec![-3.0, 0.0, 7.0, 2.5];
+        normalize_column(&mut col2, Direction::SmallerBetter);
+        assert!(col2.iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+
+    #[test]
+    fn constant_column_becomes_ones() {
+        let mut col = vec![5.0, 5.0, 5.0];
+        normalize_column(&mut col, Direction::LargerBetter);
+        assert_eq!(col, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn normalization_preserves_order() {
+        let raw = vec![3.0, 1.0, 4.0, 1.5, 9.0];
+        let mut col = raw.clone();
+        normalize_column(&mut col, Direction::LargerBetter);
+        for i in 0..raw.len() {
+            for j in 0..raw.len() {
+                assert_eq!(raw[i] < raw[j], col[i] < col[j], "order broken at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_better_reverses_order() {
+        let raw = vec![3.0, 1.0, 4.0];
+        let mut col = raw.clone();
+        normalize_column(&mut col, Direction::SmallerBetter);
+        assert!(col[1] > col[0] && col[0] > col[2]);
+    }
+
+    #[test]
+    fn table_normalization_is_per_column() {
+        let rows = vec![vec![5000.0, 450.0], vec![4000.0, 400.0], vec![3500.0, 350.0]];
+        let out = normalize_table(&rows, &[Direction::SmallerBetter, Direction::LargerBetter]);
+        assert_eq!(out[2][0], 1.0, "cheapest price wins");
+        assert_eq!(out[0][1], 1.0, "highest horsepower wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        normalize_column(&mut [1.0, f64::NAN], Direction::LargerBetter);
+    }
+}

@@ -1,0 +1,134 @@
+//! Skyline (Pareto-optimal set) preprocessing.
+//!
+//! Following the experimental protocol of the paper (§V) and of Xie et
+//! al. \[5\], datasets are reduced to their skyline before interaction: only
+//! skyline points can be top-1 for some linear utility vector, so dominated
+//! points never need to be shown or returned. We implement Sort-Filter
+//! Skyline (SFS): sort by descending coordinate sum — which guarantees no
+//! point is dominated by a later one — then scan, keeping points not
+//! dominated by any already-kept point.
+
+use crate::dataset::Dataset;
+use isrl_geometry::hull::dominates;
+
+/// Indices (into the original dataset) of the skyline points, in the order
+/// SFS discovers them (descending coordinate sum).
+pub fn skyline_indices(data: &Dataset) -> Vec<usize> {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let sa: f64 = data.point(a).iter().sum();
+        let sb: f64 = data.point(b).iter().sum();
+        sb.partial_cmp(&sa).expect("NaN in dataset")
+    });
+
+    let mut kept: Vec<usize> = Vec::new();
+    for &i in &order {
+        let p = data.point(i);
+        if !kept.iter().any(|&k| dominates(data.point(k), p)) {
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+/// The skyline as a new [`Dataset`].
+pub fn skyline(data: &Dataset) -> Dataset {
+    data.subset(&skyline_indices(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_are_removed() {
+        let d = Dataset::from_points(
+            vec![
+                vec![0.9, 0.9], // dominates the next two
+                vec![0.5, 0.5],
+                vec![0.9, 0.5],
+                vec![0.1, 1.0], // incomparable with (0.9, 0.9)
+            ],
+            2,
+        );
+        let idx = skyline_indices(&d);
+        assert!(idx.contains(&0));
+        assert!(idx.contains(&3));
+        assert!(!idx.contains(&1));
+        assert!(!idx.contains(&2));
+    }
+
+    #[test]
+    fn skyline_of_anti_chain_is_everything() {
+        // Points on a descending diagonal are pairwise incomparable.
+        let d = Dataset::from_points(
+            (1..=5).map(|i| vec![i as f64 / 5.0, (6 - i) as f64 / 5.0]).collect(),
+            2,
+        );
+        assert_eq!(skyline_indices(&d).len(), 5);
+    }
+
+    #[test]
+    fn skyline_points_are_mutually_non_dominating() {
+        let d = Dataset::from_points(
+            vec![
+                vec![0.3, 0.8, 0.2],
+                vec![0.8, 0.3, 0.2],
+                vec![0.5, 0.5, 0.5],
+                vec![0.4, 0.4, 0.4], // dominated by previous
+                vec![0.2, 0.2, 0.9],
+            ],
+            3,
+        );
+        let s = skyline(&d);
+        for i in 0..s.len() {
+            for j in 0..s.len() {
+                if i != j {
+                    assert!(!dominates(s.point(i), s.point(j)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top1_point_survives_skyline_for_any_utility() {
+        // The defining property the preprocessing relies on: for every u the
+        // best point of D is also in the skyline.
+        let d = Dataset::from_points(
+            vec![
+                vec![0.9, 0.1],
+                vec![0.1, 0.9],
+                vec![0.6, 0.6],
+                vec![0.5, 0.4],
+                vec![0.3, 0.3],
+            ],
+            2,
+        );
+        let sky = skyline(&d);
+        for u in [[1.0, 0.0], [0.0, 1.0], [0.5, 0.5], [0.7, 0.3], [0.2, 0.8]] {
+            let best = d.point(d.argmax_utility(&u));
+            assert!(
+                sky.iter().any(|p| p == best),
+                "best point {best:?} for u={u:?} missing from skyline"
+            );
+        }
+    }
+
+    #[test]
+    fn skyline_is_idempotent() {
+        let d = Dataset::from_points(
+            vec![vec![0.9, 0.2], vec![0.2, 0.9], vec![0.5, 0.5], vec![0.4, 0.4]],
+            2,
+        );
+        let once = skyline(&d);
+        let twice = skyline(&once);
+        assert_eq!(once.len(), twice.len());
+    }
+
+    #[test]
+    fn single_point_is_its_own_skyline() {
+        let d = Dataset::from_points(vec![vec![0.5, 0.5]], 2);
+        assert_eq!(skyline_indices(&d), vec![0]);
+    }
+}

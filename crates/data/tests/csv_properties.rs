@@ -1,0 +1,98 @@
+//! Property-based tests for the CSV dialect and the normalization pipeline.
+
+use isrl_data::csv::{load_dataset, parse, write_csv};
+use isrl_data::normalize::{normalize_table, Direction, FLOOR};
+use proptest::prelude::*;
+
+/// Cell strategy: text with the characters that stress the dialect.
+fn cell() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9 ,\"']{0,12}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn numeric_write_parse_round_trips(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e6f64..1e6, 3),
+            1..20,
+        ),
+    ) {
+        let text = write_csv(&["a", "b", "c"], &rows);
+        let table = parse(&text).unwrap();
+        prop_assert_eq!(table.rows.len(), rows.len());
+        for (parsed, original) in table.rows.iter().zip(&rows) {
+            for (cell, &val) in parsed.iter().zip(original) {
+                let back: f64 = cell.parse().unwrap();
+                prop_assert!((back - val).abs() <= 1e-9 * (1.0 + val.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_cells_survive_quoting(cells in prop::collection::vec(cell(), 1..6)) {
+        // Quote every cell defensively and ensure the parser recovers the
+        // original content.
+        let quoted: Vec<String> = cells
+            .iter()
+            .map(|c| format!("\"{}\"", c.replace('"', "\"\"")))
+            .collect();
+        let header: Vec<String> = (0..cells.len()).map(|i| format!("c{i}")).collect();
+        let text = format!("{}\n{}\n", header.join(","), quoted.join(","));
+        let table = parse(&text).unwrap();
+        prop_assert_eq!(&table.rows[0], &cells);
+    }
+
+    #[test]
+    fn normalization_lands_in_unit_interval_and_keeps_order(
+        col in prop::collection::vec(-1e4f64..1e4, 2..40),
+    ) {
+        for dir in [Direction::LargerBetter, Direction::SmallerBetter] {
+            let rows: Vec<Vec<f64>> = col.iter().map(|&v| vec![v]).collect();
+            let out = normalize_table(&rows, &[dir]);
+            for r in &out {
+                prop_assert!(r[0] >= FLOOR - 1e-15 && r[0] <= 1.0);
+            }
+            // Order preserved (LargerBetter) or reversed (SmallerBetter).
+            for i in 0..col.len() {
+                for j in 0..col.len() {
+                    if (col[i] - col[j]).abs() < 1e-9 {
+                        continue;
+                    }
+                    // The FLOOR clamp may merge the worst values; only test
+                    // pairs whose outputs stay above the clamp.
+                    if out[i][0] <= FLOOR || out[j][0] <= FLOOR {
+                        continue;
+                    }
+                    let raw_less = col[i] < col[j];
+                    let norm_less = out[i][0] < out[j][0];
+                    match dir {
+                        Direction::LargerBetter => prop_assert_eq!(raw_less, norm_less),
+                        Direction::SmallerBetter => prop_assert_eq!(raw_less, !norm_less),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_dataset_is_write_csv_inverse_modulo_normalization(
+        rows in prop::collection::vec(prop::collection::vec(0.1f64..100.0, 2), 2..15),
+    ) {
+        let text = write_csv(&["x", "y"], &rows);
+        let data = load_dataset(
+            &text,
+            &[("x", Direction::LargerBetter), ("y", Direction::LargerBetter)],
+        )
+        .unwrap();
+        prop_assert_eq!(data.len(), rows.len());
+        prop_assert_eq!(data.dim(), 2);
+        prop_assert!(data.check_normalized().is_none());
+        // The best raw value per column maps to 1 (or the column was constant).
+        for col in 0..2 {
+            let max = data.iter().map(|p| p[col]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((max - 1.0).abs() < 1e-12);
+        }
+    }
+}

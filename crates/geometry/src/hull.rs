@@ -1,0 +1,148 @@
+//! Dominance tests and a planar convex hull.
+//!
+//! The skyline preprocessing in `isrl-data` and the UH-Simplex baseline both
+//! lean on Pareto dominance; the 2-d convex hull (Andrew's monotone chain)
+//! gives UH-Simplex an exact extreme-point set in the `d = 2` fast path and
+//! serves as a test oracle for the vertex-enumeration code.
+
+/// `true` iff `a` Pareto-dominates `b`: at least as large on every attribute
+/// and strictly larger on at least one (larger-is-better convention).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// `true` iff some point of `set` dominates `p`.
+pub fn is_dominated(p: &[f64], set: &[Vec<f64>]) -> bool {
+    set.iter().any(|q| dominates(q, p))
+}
+
+/// Convex hull of a 2-d point set via Andrew's monotone chain, returned in
+/// counter-clockwise order starting from the lexicographically smallest
+/// point. Collinear points on hull edges are dropped.
+///
+/// Returns the input unchanged (deduplicated) for fewer than 3 distinct points.
+pub fn convex_hull_2d(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut pts: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), 2, "convex_hull_2d requires 2-d points");
+            (p[0], p[1])
+        })
+        .collect();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("NaN coordinate in hull input"));
+    pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-12 && (a.1 - b.1).abs() < 1e-12);
+    let n = pts.len();
+    if n < 3 {
+        return pts.into_iter().map(|(x, y)| vec![x, y]).collect();
+    }
+
+    let cross = |o: (f64, f64), a: (f64, f64), b: (f64, f64)| {
+        (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+    };
+
+    let mut hull: Vec<(f64, f64)> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull.into_iter().map(|(x, y)| vec![x, y]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        assert!(dominates(&[0.5, 0.8], &[0.5, 0.7]));
+        assert!(!dominates(&[0.5, 0.7], &[0.5, 0.7])); // equal: not dominating
+        assert!(!dominates(&[0.9, 0.1], &[0.1, 0.9])); // incomparable
+    }
+
+    #[test]
+    fn is_dominated_scans_whole_set() {
+        let set = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+        assert!(is_dominated(&[0.1, 0.7], &set));
+        assert!(!is_dominated(&[0.95, 0.05], &set));
+    }
+
+    #[test]
+    fn hull_of_square_plus_interior() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5], // interior — must be dropped
+        ];
+        let hull = convex_hull_2d(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.iter().any(|p| p == &vec![0.5, 0.5]));
+    }
+
+    #[test]
+    fn hull_drops_collinear_points() {
+        let pts = vec![vec![0.0, 0.0], vec![0.5, 0.5], vec![1.0, 1.0], vec![0.0, 1.0]];
+        let hull = convex_hull_2d(&pts);
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn hull_of_tiny_sets_is_identity() {
+        assert_eq!(convex_hull_2d(&[]).len(), 0);
+        assert_eq!(convex_hull_2d(&[vec![0.3, 0.4]]).len(), 1);
+        let two = convex_hull_2d(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![0.0, 0.0]]);
+        assert_eq!(two.len(), 2, "duplicates removed");
+    }
+
+    #[test]
+    fn hull_contains_extreme_utility_maximizers() {
+        // For any utility vector, the top-1 point of a 2-d set lies on the hull.
+        let pts = vec![
+            vec![0.1, 0.9],
+            vec![0.4, 0.7],
+            vec![0.6, 0.55],
+            vec![0.9, 0.2],
+            vec![0.3, 0.3],
+        ];
+        let hull = convex_hull_2d(&pts);
+        for u in [[1.0, 0.0], [0.0, 1.0], [0.5, 0.5], [0.3, 0.7]] {
+            let best = pts
+                .iter()
+                .max_by(|a, b| {
+                    let fa = a[0] * u[0] + a[1] * u[1];
+                    let fb = b[0] * u[0] + b[1] * u[1];
+                    fa.partial_cmp(&fb).unwrap()
+                })
+                .unwrap();
+            assert!(
+                hull.iter().any(|h| h == best),
+                "maximizer {best:?} for {u:?} missing from hull"
+            );
+        }
+    }
+}

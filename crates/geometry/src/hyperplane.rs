@@ -1,0 +1,198 @@
+//! Hyperplanes through the origin and the half-spaces they bound.
+//!
+//! Every user answer in the interactive regret query is encoded as a
+//! half-space of the utility space (Lemma 1 of the paper): the user
+//! preferring `p_i` over `p_j` means the utility vector lies in
+//! `h_{i,j}⁺ = { u : u · (p_i − p_j) > 0 }`. The ε-relaxed variant
+//! `εh_{i,j}⁺ = { u : u · (p_i − (1 − ε) p_j) > 0 }` bounds the terminal
+//! polyhedrons of Lemma 4.
+
+use isrl_linalg::vector;
+
+/// Which side of a hyperplane a point lies on, up to tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Strictly positive side (`normal · u > tol`).
+    Positive,
+    /// Strictly negative side (`normal · u < −tol`).
+    Negative,
+    /// Within tolerance of the hyperplane itself.
+    On,
+}
+
+/// A half-space `{ u ∈ ℝᵈ : normal · u ≥ 0 }` whose boundary hyperplane
+/// passes through the origin.
+///
+/// The paper's half-spaces are open (`> 0`); we close them here and let the
+/// callers that need strictness (action validation, Lemma 8) ask for a
+/// positive margin via LP instead. This keeps polytope vertex enumeration
+/// well-defined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halfspace {
+    normal: Vec<f64>,
+}
+
+impl Halfspace {
+    /// A half-space with the given (not necessarily unit) normal.
+    ///
+    /// # Panics
+    /// Panics if the normal is the zero vector — a zero normal encodes the
+    /// degenerate question "compare a point with itself", which no caller
+    /// should produce.
+    pub fn new(normal: Vec<f64>) -> Self {
+        assert!(
+            vector::norm(&normal) > f64::EPSILON,
+            "Halfspace normal must be non-zero"
+        );
+        Self { normal }
+    }
+
+    /// The half-space of utility vectors preferring `p_i` over `p_j`
+    /// (Lemma 1): normal `p_i − p_j`.
+    ///
+    /// Returns `None` if the two points coincide (no information).
+    pub fn preferring(p_i: &[f64], p_j: &[f64]) -> Option<Self> {
+        let normal = vector::sub(p_i, p_j);
+        if vector::norm(&normal) <= 1e-12 {
+            None
+        } else {
+            Some(Self { normal })
+        }
+    }
+
+    /// The ε-relaxed half-space `εh_{i,j}⁺` of Lemma 4: normal
+    /// `p_i − (1 − ε) p_j`. Any utility vector in the intersection of these
+    /// half-spaces over all `p_j` sees `p_i` with regret ratio below ε.
+    pub fn eps_preferring(p_i: &[f64], p_j: &[f64], eps: f64) -> Option<Self> {
+        let scaled: Vec<f64> = p_j.iter().map(|x| x * (1.0 - eps)).collect();
+        let normal = vector::sub(p_i, &scaled);
+        if vector::norm(&normal) <= 1e-12 {
+            None
+        } else {
+            Some(Self { normal })
+        }
+    }
+
+    /// The (non-unit) normal vector.
+    #[inline]
+    pub fn normal(&self) -> &[f64] {
+        &self.normal
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// Signed evaluation `normal · u`. Positive means inside the half-space.
+    #[inline]
+    pub fn eval(&self, u: &[f64]) -> f64 {
+        vector::dot(&self.normal, u)
+    }
+
+    /// `true` iff `u` satisfies the (closed) half-space within `tol`.
+    #[inline]
+    pub fn contains(&self, u: &[f64], tol: f64) -> bool {
+        self.eval(u) >= -tol
+    }
+
+    /// Classifies `u` against the boundary hyperplane.
+    pub fn side(&self, u: &[f64], tol: f64) -> Side {
+        let v = self.eval(u);
+        if v > tol {
+            Side::Positive
+        } else if v < -tol {
+            Side::Negative
+        } else {
+            Side::On
+        }
+    }
+
+    /// The complementary half-space (same boundary, flipped normal).
+    pub fn flipped(&self) -> Self {
+        Self { normal: vector::scale(&self.normal, -1.0) }
+    }
+
+    /// Euclidean distance from point `u` to the boundary hyperplane.
+    pub fn distance(&self, u: &[f64]) -> f64 {
+        self.eval(u).abs() / vector::norm(&self.normal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preferring_normal_is_difference() {
+        let h = Halfspace::preferring(&[0.5, 0.8], &[0.3, 0.7]).unwrap();
+        assert!((h.normal()[0] - 0.2).abs() < 1e-12);
+        assert!((h.normal()[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_give_no_halfspace() {
+        assert!(Halfspace::preferring(&[0.5, 0.5], &[0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn lemma1_paper_example() {
+        // Example 3 of the paper: p1 = (0, 0.6, 0), p2 = (0.4, 0, 0).
+        let h = Halfspace::preferring(&[0.0, 0.6, 0.0], &[0.4, 0.0, 0.0]).unwrap();
+        assert_eq!(h.normal(), &[-0.4, 0.6, 0.0][..]);
+        // A user weighting attribute 2 heavily prefers p1.
+        assert_eq!(h.side(&[0.1, 0.8, 0.1], 1e-12), Side::Positive);
+        // A user weighting attribute 1 heavily prefers p2.
+        assert_eq!(h.side(&[0.8, 0.1, 0.1], 1e-12), Side::Negative);
+    }
+
+    #[test]
+    fn contains_iff_higher_utility() {
+        // The half-space contains exactly the u with f_u(p_i) ≥ f_u(p_j).
+        let p_i = [0.9, 0.1];
+        let p_j = [0.2, 0.6];
+        let h = Halfspace::preferring(&p_i, &p_j).unwrap();
+        for u in [[0.5, 0.5], [0.9, 0.1], [0.1, 0.9], [0.3, 0.7]] {
+            let ui = isrl_linalg::vector::dot(&u, &p_i);
+            let uj = isrl_linalg::vector::dot(&u, &p_j);
+            assert_eq!(h.contains(&u, 1e-12), ui >= uj - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eps_halfspace_is_looser_than_exact() {
+        // εh⁺ ⊇ h⁺ on the positive orthant: p_i only needs to be within
+        // (1 − ε) of p_j, so more utility vectors qualify.
+        let p_i = [0.4, 0.6];
+        let p_j = [0.5, 0.5];
+        let h = Halfspace::preferring(&p_i, &p_j).unwrap();
+        let he = Halfspace::eps_preferring(&p_i, &p_j, 0.2).unwrap();
+        for u in [[0.5, 0.5], [0.2, 0.8], [0.8, 0.2], [0.45, 0.55]] {
+            if h.contains(&u, 0.0) {
+                assert!(he.contains(&u, 0.0), "εh⁺ must contain h⁺ at {u:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_negates_eval() {
+        let h = Halfspace::new(vec![1.0, -2.0]);
+        let u = [0.3, 0.7];
+        assert!((h.eval(&u) + h.flipped().eval(&u)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distance_is_scale_invariant() {
+        let h1 = Halfspace::new(vec![1.0, -1.0]);
+        let h2 = Halfspace::new(vec![10.0, -10.0]);
+        let u = [0.9, 0.1];
+        assert!((h1.distance(&u) - h2.distance(&u)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_normal_panics() {
+        Halfspace::new(vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Fluent builder for small LPs.
+
+use super::{simplex, Constraint, LpError, LpOutcome, Problem, Rel};
+
+/// Builds a [`Problem`] row by row and solves it.
+///
+/// ```
+/// use isrl_geometry::lp::{LpBuilder, Rel};
+/// let sol = LpBuilder::maximize(&[3.0, 2.0])
+///     .constraint(&[1.0, 1.0], Rel::Le, 4.0)
+///     .constraint(&[1.0, 0.0], Rel::Le, 2.0)
+///     .solve()
+///     .unwrap()
+///     .optimal()
+///     .unwrap();
+/// assert!((sol.objective - 10.0).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpBuilder {
+    problem: Problem,
+}
+
+impl LpBuilder {
+    /// Starts a maximization problem with the given objective coefficients.
+    /// The variable count is fixed by the objective length.
+    pub fn maximize(objective: &[f64]) -> Self {
+        Self::new(objective, true)
+    }
+
+    /// Starts a minimization problem with the given objective coefficients.
+    pub fn minimize(objective: &[f64]) -> Self {
+        Self::new(objective, false)
+    }
+
+    fn new(objective: &[f64], maximize: bool) -> Self {
+        Self {
+            problem: Problem {
+                n_vars: objective.len(),
+                maximize,
+                objective: objective.to_vec(),
+                constraints: Vec::new(),
+                free: vec![false; objective.len()],
+            },
+        }
+    }
+
+    /// Adds a constraint row `coeffs · x (≤|≥|=) rhs`.
+    pub fn constraint(mut self, coeffs: &[f64], rel: Rel, rhs: f64) -> Self {
+        self.problem.constraints.push(Constraint { coeffs: coeffs.to_vec(), rel, rhs });
+        self
+    }
+
+    /// Marks variable `j` as free (unrestricted in sign). Variables are
+    /// non-negative by default.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    pub fn free_var(mut self, j: usize) -> Self {
+        self.problem.free[j] = true;
+        self
+    }
+
+    /// Number of constraint rows added so far.
+    pub fn n_constraints(&self) -> usize {
+        self.problem.constraints.len()
+    }
+
+    /// Finalizes and solves the problem.
+    pub fn solve(self) -> Result<LpOutcome, LpError> {
+        simplex::solve(&self.problem)
+    }
+
+    /// Returns the assembled problem without solving (for inspection/tests).
+    pub fn build(self) -> Problem {
+        self.problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_rows_and_vars() {
+        let b = LpBuilder::minimize(&[1.0, 2.0, 3.0])
+            .constraint(&[1.0, 0.0, 0.0], Rel::Ge, 0.5)
+            .free_var(2);
+        assert_eq!(b.n_constraints(), 1);
+        let p = b.build();
+        assert_eq!(p.n_vars, 3);
+        assert!(!p.maximize);
+        assert!(p.free[2] && !p.free[0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Linear programming.
+//!
+//! Every state computation in the approximate algorithm AA — the inner
+//! sphere, the outer rectangle, the strict-feasibility checks that validate
+//! candidate actions (Lemma 8) — and the candidate pruning in the UH
+//! baselines reduce to small dense LPs over the utility simplex: at most
+//! `d + 1` variables and a few dozen rows. This module provides a two-phase
+//! dense primal simplex solver sized exactly for that regime, plus a
+//! builder ([`LpBuilder`]) for assembling problems row by row.
+
+mod builder;
+mod simplex;
+
+pub use builder::LpBuilder;
+pub use simplex::solve;
+
+/// Relation of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `coeffs · x ≤ rhs`
+    Le,
+    /// `coeffs · x ≥ rhs`
+    Ge,
+    /// `coeffs · x = rhs`
+    Eq,
+}
+
+/// One constraint row `coeffs · x (≤|≥|=) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficients, one per decision variable.
+    pub coeffs: Vec<f64>,
+    /// Row relation.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program in natural form. Variables are non-negative unless
+/// flagged free; free variables are internally split into differences of
+/// two non-negative variables.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Number of decision variables.
+    pub n_vars: usize,
+    /// `true` to maximize the objective, `false` to minimize.
+    pub maximize: bool,
+    /// Objective coefficients, one per decision variable.
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+    /// `free[j]` marks variable `j` as unrestricted in sign.
+    pub free: Vec<bool>,
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal decision variables in the original (pre-split) space.
+    pub x: Vec<f64>,
+    /// Optimal objective value in the caller's orientation (max or min).
+    pub objective: f64,
+}
+
+/// Outcome of solving a [`Problem`].
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// A finite optimum was found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Returns the solution if the outcome is [`LpOutcome::Optimal`].
+    pub fn optimal(self) -> Option<LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` iff a finite optimum was found.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, LpOutcome::Optimal(_))
+    }
+}
+
+/// Error for a malformed problem (shape mismatches) or iteration blow-up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// Objective/constraint widths disagree with `n_vars`.
+    ShapeMismatch,
+    /// The simplex method exceeded its iteration budget (cycling guard).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::ShapeMismatch => write!(f, "LP shape mismatch"),
+            LpError::IterationLimit => write!(f, "LP iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

@@ -1,0 +1,429 @@
+//! Two-phase dense primal simplex.
+//!
+//! The tableau is dense (`Vec<Vec<f64>>`) because the LPs in this workspace
+//! have at most a few dozen rows and `d + 2` columns before slack variables;
+//! sparse machinery would cost more than it saves. Pivoting uses Dantzig's
+//! rule with an automatic switch to Bland's rule after `3 (m + n)` iterations
+//! to guarantee termination on degenerate problems (which do occur: the
+//! utility simplex makes many constraints tight at its corners).
+
+use super::{LpError, LpOutcome, LpSolution, Problem, Rel};
+
+const FEAS_TOL: f64 = 1e-8;
+const PIVOT_TOL: f64 = 1e-10;
+
+/// Solves a linear [`Problem`]. See the module docs for the method.
+pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
+    if p.objective.len() != p.n_vars
+        || p.free.len() != p.n_vars
+        || p.constraints.iter().any(|c| c.coeffs.len() != p.n_vars)
+    {
+        return Err(LpError::ShapeMismatch);
+    }
+
+    // --- 1. Split free variables: x_j = x_j⁺ − x_j⁻. ---------------------
+    // Column layout: for each original var j, one column (non-negative part);
+    // free vars get an extra negative-part column appended after all originals.
+    let n = p.n_vars;
+    let neg_col: Vec<Option<usize>> = {
+        let mut next = n;
+        p.free
+            .iter()
+            .map(|&f| {
+                if f {
+                    let c = next;
+                    next += 1;
+                    Some(c)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let n_split = n + neg_col.iter().flatten().count();
+
+    let expand = |coeffs: &[f64]| -> Vec<f64> {
+        let mut row = vec![0.0; n_split];
+        for j in 0..n {
+            row[j] = coeffs[j];
+            if let Some(c) = neg_col[j] {
+                row[c] = -coeffs[j];
+            }
+        }
+        row
+    };
+
+    // Orient as minimization.
+    let sign = if p.maximize { -1.0 } else { 1.0 };
+    let cost: Vec<f64> = {
+        let mut c = expand(&p.objective);
+        for v in &mut c {
+            *v *= sign;
+        }
+        c
+    };
+
+    // --- 2. Standard form: rows `a·x (+ slack) = b`, b ≥ 0. --------------
+    let m = p.constraints.len();
+    // Columns: [split vars | slacks | artificials], assembled below.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    let mut rels: Vec<Rel> = Vec::with_capacity(m);
+    for c in &p.constraints {
+        let mut row = expand(&c.coeffs);
+        let mut b = c.rhs;
+        let mut rel = c.rel;
+        if b < 0.0 {
+            for v in &mut row {
+                *v = -*v;
+            }
+            b = -b;
+            rel = match rel {
+                Rel::Le => Rel::Ge,
+                Rel::Ge => Rel::Le,
+                Rel::Eq => Rel::Eq,
+            };
+        }
+        rows.push(row);
+        rhs.push(b);
+        rels.push(rel);
+    }
+
+    // Slack columns: Le rows get +1 slack (basic), Ge rows get −1 surplus.
+    let n_slack = rels.iter().filter(|r| !matches!(r, Rel::Eq)).count();
+    // Artificial columns: Ge and Eq rows need one each.
+    let n_art = rels.iter().filter(|r| !matches!(r, Rel::Le)).count();
+    let total = n_split + n_slack + n_art;
+
+    let mut tab: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    {
+        let mut slack_at = n_split;
+        let mut art_at = n_split + n_slack;
+        for i in 0..m {
+            let mut row = vec![0.0; total + 1];
+            row[..n_split].copy_from_slice(&rows[i]);
+            row[total] = rhs[i];
+            match rels[i] {
+                Rel::Le => {
+                    row[slack_at] = 1.0;
+                    basis.push(slack_at);
+                    slack_at += 1;
+                }
+                Rel::Ge => {
+                    row[slack_at] = -1.0;
+                    slack_at += 1;
+                    row[art_at] = 1.0;
+                    basis.push(art_at);
+                    art_at += 1;
+                }
+                Rel::Eq => {
+                    row[art_at] = 1.0;
+                    basis.push(art_at);
+                    art_at += 1;
+                }
+            }
+            tab.push(row);
+        }
+    }
+
+    // --- 3. Phase 1: minimize the sum of artificials. ---------------------
+    if n_art > 0 {
+        let mut phase1_cost = vec![0.0; total];
+        for c in &mut phase1_cost[n_split + n_slack..] {
+            *c = 1.0;
+        }
+        match run_simplex(&mut tab, &mut basis, &phase1_cost, total)? {
+            SimplexEnd::Optimal => {}
+            SimplexEnd::Unbounded => {
+                // Phase-1 objective is bounded below by 0; unbounded here
+                // would indicate a numerical breakdown — treat as infeasible.
+                return Ok(LpOutcome::Infeasible);
+            }
+        }
+        let art_sum: f64 = basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b >= n_split + n_slack)
+            .map(|(i, _)| tab[i][total])
+            .sum();
+        if art_sum > FEAS_TOL {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Pivot any residual (degenerate, value-0) artificials out of the basis.
+        for i in 0..m {
+            if basis[i] >= n_split + n_slack {
+                if let Some(j) = (0..n_split + n_slack)
+                    .find(|&j| tab[i][j].abs() > PIVOT_TOL)
+                {
+                    pivot(&mut tab, &mut basis, i, j);
+                } // else: the row is all-zero over real columns — redundant, leave it.
+            }
+        }
+    }
+
+    // --- 4. Phase 2 on the real columns. ----------------------------------
+    let real = n_split + n_slack;
+    let mut phase2_cost = vec![0.0; total];
+    phase2_cost[..n_split].copy_from_slice(&cost);
+    // Forbid artificials from re-entering by giving them a prohibitive cost.
+    for c in &mut phase2_cost[real..] {
+        *c = 1e30;
+    }
+    match run_simplex(&mut tab, &mut basis, &phase2_cost, real)? {
+        SimplexEnd::Optimal => {}
+        SimplexEnd::Unbounded => return Ok(LpOutcome::Unbounded),
+    }
+
+    // --- 5. Read out the solution. ----------------------------------------
+    let mut x_split = vec![0.0; n_split];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n_split {
+            x_split[b] = tab[i][total];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for j in 0..n {
+        x[j] = x_split[j] - neg_col[j].map_or(0.0, |c| x_split[c]);
+    }
+    let objective: f64 = p
+        .objective
+        .iter()
+        .zip(&x)
+        .map(|(c, v)| c * v)
+        .sum();
+    Ok(LpOutcome::Optimal(LpSolution { x, objective }))
+}
+
+enum SimplexEnd {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs the simplex method on the tableau, minimizing `cost` over columns
+/// `0..enter_limit` (columns at or past the limit never enter the basis —
+/// used to keep artificials out in phase 2).
+fn run_simplex(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    enter_limit: usize,
+) -> Result<SimplexEnd, LpError> {
+    let m = tab.len();
+    if m == 0 {
+        return Ok(SimplexEnd::Optimal);
+    }
+    let total = tab[0].len() - 1;
+    let max_iters = 200 * (m + total) + 1000;
+    let bland_after = 3 * (m + total) + 50;
+
+    for iter in 0..max_iters {
+        // Reduced costs: r_j = c_j − c_B · B⁻¹ A_j, computed directly from
+        // the (already reduced) tableau: r_j = c_j − Σ_i c_{basis[i]} tab[i][j].
+        let use_bland = iter > bland_after;
+        let mut entering: Option<usize> = None;
+        let mut best_red = -1e-7; // entering threshold
+        for j in 0..enter_limit {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut red = cost[j];
+            for i in 0..m {
+                let cb = cost[basis[i]];
+                if cb != 0.0 {
+                    red -= cb * tab[i][j];
+                }
+            }
+            if red < best_red {
+                entering = Some(j);
+                if use_bland {
+                    break; // Bland: first improving index
+                }
+                best_red = red;
+            }
+        }
+        let Some(e) = entering else {
+            return Ok(SimplexEnd::Optimal);
+        };
+
+        // Ratio test (Bland tie-break on basis index for anti-cycling).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = tab[i][e];
+            if a > PIVOT_TOL {
+                let ratio = tab[i][total] / a;
+                if ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(l) = leave else {
+            return Ok(SimplexEnd::Unbounded);
+        };
+        pivot(tab, basis, l, e);
+    }
+    Err(LpError::IterationLimit)
+}
+
+/// Gauss–Jordan pivot on `tab[row][col]`.
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let piv = tab[row][col];
+    let inv = 1.0 / piv;
+    for v in &mut tab[row] {
+        *v *= inv;
+    }
+    tab[row][col] = 1.0; // exact
+    let pivot_row = tab[row].clone();
+    for (i, r) in tab.iter_mut().enumerate() {
+        if i == row {
+            continue;
+        }
+        let factor = r[col];
+        if factor == 0.0 {
+            continue;
+        }
+        for (v, pv) in r.iter_mut().zip(&pivot_row) {
+            *v -= factor * pv;
+        }
+        r[col] = 0.0; // exact
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{LpBuilder, LpOutcome, Rel};
+
+    #[test]
+    fn maximizes_simple_2d() {
+        // max x + y s.t. x + 2y ≤ 4, 3x + y ≤ 6 → optimum at (1.6, 1.2), obj 2.8
+        let out = LpBuilder::maximize(&[1.0, 1.0])
+            .constraint(&[1.0, 2.0], Rel::Le, 4.0)
+            .constraint(&[3.0, 1.0], Rel::Le, 6.0)
+            .solve()
+            .unwrap();
+        let s = out.optimal().expect("should be optimal");
+        assert!((s.objective - 2.8).abs() < 1e-7, "objective {}", s.objective);
+        assert!((s.x[0] - 1.6).abs() < 1e-7);
+        assert!((s.x[1] - 1.2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn handles_ge_and_eq_rows() {
+        // min x + y s.t. x + y = 1, x ≥ 0.3 → optimum (0.3, 0.7) isn't unique in x,
+        // but the objective must be exactly 1.
+        let out = LpBuilder::minimize(&[1.0, 1.0])
+            .constraint(&[1.0, 1.0], Rel::Eq, 1.0)
+            .constraint(&[1.0, 0.0], Rel::Ge, 0.3)
+            .solve()
+            .unwrap();
+        let s = out.optimal().unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-8);
+        assert!(s.x[0] >= 0.3 - 1e-8);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let out = LpBuilder::maximize(&[1.0])
+            .constraint(&[1.0], Rel::Ge, 2.0)
+            .constraint(&[1.0], Rel::Le, 1.0)
+            .solve()
+            .unwrap();
+        assert!(matches!(out, LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let out = LpBuilder::maximize(&[1.0, 0.0])
+            .constraint(&[0.0, 1.0], Rel::Le, 1.0)
+            .solve()
+            .unwrap();
+        assert!(matches!(out, LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn free_variable_can_go_negative() {
+        // min x s.t. x ≥ −5 with x free → optimum −5.
+        let out = LpBuilder::minimize(&[1.0])
+            .free_var(0)
+            .constraint(&[1.0], Rel::Ge, -5.0)
+            .solve()
+            .unwrap();
+        let s = out.optimal().unwrap();
+        assert!((s.x[0] + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // max −x s.t. −x ≥ −3 (i.e. x ≤ 3), x ≥ 1 → optimum x = 1.
+        let out = LpBuilder::maximize(&[-1.0])
+            .constraint(&[-1.0], Rel::Ge, -3.0)
+            .constraint(&[1.0], Rel::Ge, 1.0)
+            .solve()
+            .unwrap();
+        let s = out.optimal().unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn simplex_centroid_problem() {
+        // The inner-sphere LP shape used by algorithm AA at round 0 with the
+        // simplex facets as the only constraints (d = 3): maximize r s.t.
+        // Σu = 1, u_i ≥ r. Optimum r = 1/3 at the barycenter.
+        let d = 3;
+        let mut b = LpBuilder::maximize(&[0.0, 0.0, 0.0, 1.0]);
+        b = b.constraint(&[1.0, 1.0, 1.0, 0.0], Rel::Eq, 1.0);
+        for i in 0..d {
+            let mut row = vec![0.0; d + 1];
+            row[i] = 1.0;
+            row[d] = -1.0;
+            b = b.constraint(&row, Rel::Ge, 0.0);
+        }
+        let s = b.solve().unwrap().optimal().unwrap();
+        assert!((s.objective - 1.0 / 3.0).abs() < 1e-7);
+        for i in 0..d {
+            assert!((s.x[i] - 1.0 / 3.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Heavily degenerate: many redundant constraints through one vertex.
+        let mut b = LpBuilder::maximize(&[1.0, 1.0]);
+        for k in 1..20 {
+            let k = k as f64;
+            b = b.constraint(&[1.0, k], Rel::Le, 1.0 + k);
+        }
+        // The binding constraint is x + y ≤ 2 (k = 1); optimum value 2,
+        // attained at (2, 0) where the other 18 rows are slack.
+        let s = b.solve().unwrap().optimal().unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-6, "objective {}", s.objective);
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // min 0 s.t. x + y = 1, x − y = 0 → x = y = 0.5 (pure feasibility).
+        let s = LpBuilder::minimize(&[0.0, 0.0])
+            .constraint(&[1.0, 1.0], Rel::Eq, 1.0)
+            .constraint(&[1.0, -1.0], Rel::Eq, 0.0)
+            .solve()
+            .unwrap()
+            .optimal()
+            .unwrap();
+        assert!((s.x[0] - 0.5).abs() < 1e-8);
+        assert!((s.x[1] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let r = LpBuilder::maximize(&[1.0, 2.0])
+            .constraint(&[1.0], Rel::Le, 1.0)
+            .solve();
+        assert!(r.is_err());
+    }
+}

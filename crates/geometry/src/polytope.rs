@@ -1,0 +1,315 @@
+//! Explicit polytopes on the utility simplex: vertex enumeration and the
+//! extreme-utility-vector machinery of algorithm EA (§IV-B).
+//!
+//! The utility range `R = U ∩ ⋂ h⁺` is a polyhedron inside the affine
+//! hyperplane `Σu = 1`. Its vertices ("extreme utility vectors" in the
+//! paper) are the points where `d − 1` of the inequality constraints —
+//! simplex facets `u_i ≥ 0` and learned half-spaces `normal · u ≥ 0` —
+//! are tight simultaneously. We enumerate them by brute force over
+//! constraint subsets: with `d ≤ 5` (the regime in which EA runs — see
+//! the paper's §V, which caps polytope-maintaining algorithms at low
+//! dimensionality) and a handful of answered questions, the subset count
+//! `C(d + |H|, d − 1)` stays in the low thousands and each candidate is a
+//! single `d × d` linear solve.
+
+use crate::region::Region;
+use crate::sphere::{min_enclosing_sphere, EnclosingSphereParams, Sphere};
+use isrl_linalg::{solve_linear_system, vector, Matrix};
+
+/// Feasibility slack for vertex acceptance. Looser than the LP tolerance
+/// because the solve accumulates error over `d` eliminations.
+const VERTEX_TOL: f64 = 1e-7;
+
+/// Distance below which two candidate vertices are considered the same point.
+const DEDUP_TOL: f64 = 1e-6;
+
+/// A polytope on the utility simplex, materialized as its vertex set.
+#[derive(Debug, Clone)]
+pub struct Polytope {
+    dim: usize,
+    vertices: Vec<Vec<f64>>,
+}
+
+impl Polytope {
+    /// Enumerates the vertices of the given region. Returns `None` when the
+    /// region has no vertices (numerically empty).
+    pub fn from_region(region: &Region) -> Option<Self> {
+        let d = region.dim();
+        // Build the unified constraint list: first the d simplex facets
+        // (rows of the identity), then the learned half-space normals,
+        // each normalized so the feasibility tolerance is meaningful.
+        let mut normals: Vec<Vec<f64>> = Vec::with_capacity(d + region.len());
+        for i in 0..d {
+            let mut row = vec![0.0; d];
+            row[i] = 1.0;
+            normals.push(row);
+        }
+        for h in region.halfspaces() {
+            let n = vector::norm(h.normal());
+            normals.push(h.normal().iter().map(|x| x / n).collect());
+        }
+
+        let mut vertices: Vec<Vec<f64>> = Vec::new();
+        let mut combo: Vec<usize> = (0..d.saturating_sub(1)).collect();
+        if d == 1 {
+            return None; // no meaningful utility space below d = 2
+        }
+
+        // Iterate all (d−1)-subsets of the constraint indices.
+        let m = normals.len();
+        if combo.len() > m {
+            return None;
+        }
+        loop {
+            // System: Σu = 1 plus the chosen tight constraints = 0.
+            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(d);
+            rows.push(vec![1.0; d]);
+            for &ci in &combo {
+                rows.push(normals[ci].clone());
+            }
+            let mut rhs = vec![0.0; d];
+            rhs[0] = 1.0;
+            if let Ok(u) = solve_linear_system(Matrix::from_rows(&rows), rhs) {
+                // Feasible w.r.t. every constraint?
+                let feasible = normals
+                    .iter()
+                    .all(|nrm| vector::dot(nrm, &u) >= -VERTEX_TOL);
+                if feasible
+                    && !vertices
+                        .iter()
+                        .any(|v| vector::dist_sq(v, &u) < DEDUP_TOL * DEDUP_TOL)
+                {
+                    vertices.push(u);
+                }
+            }
+
+            // Advance the combination (lexicographic).
+            let k = combo.len();
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return if vertices.is_empty() {
+                        None
+                    } else {
+                        Some(Self { dim: d, vertices })
+                    };
+                }
+                i -= 1;
+                if combo[i] < m - (k - i) {
+                    combo[i] += 1;
+                    for j in i + 1..k {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The extreme utility vectors `ℰ`.
+    #[inline]
+    pub fn vertices(&self) -> &[Vec<f64>] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The vertex centroid (a guaranteed interior-ish point of the polytope).
+    pub fn centroid(&self) -> Vec<f64> {
+        vector::mean(&self.vertices)
+    }
+
+    /// The outer sphere of the polytope (§IV-B state, part 2): the paper's
+    /// iterative minimum-enclosing-sphere over the extreme utility vectors.
+    pub fn outer_sphere(&self) -> Sphere {
+        min_enclosing_sphere(&self.vertices, EnclosingSphereParams::default())
+    }
+
+    /// Greedy max-coverage selection of `m_e` representative extreme utility
+    /// vectors (the paper's DBSCAN-inspired scheme, Lemma 2): each vertex
+    /// `e` covers the vertices within distance `d_eps` of it; repeatedly
+    /// pick the vertex covering the most still-uncovered vertices.
+    ///
+    /// Returns at most `m_e` vertices; fewer when every vertex is covered
+    /// earlier. The greedy choice gives the classic `(1 − 1/e)`
+    /// approximation to the NP-hard optimum.
+    pub fn select_representatives(&self, m_e: usize, d_eps: f64) -> Vec<Vec<f64>> {
+        let n = self.vertices.len();
+        if n == 0 || m_e == 0 {
+            return Vec::new();
+        }
+        // Neighborhood sets S_e.
+        let d_eps_sq = d_eps * d_eps;
+        let neighborhoods: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| {
+                        vector::dist_sq(&self.vertices[i], &self.vertices[j]) <= d_eps_sq
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut covered = vec![false; n];
+        let mut chosen: Vec<usize> = Vec::with_capacity(m_e.min(n));
+        while chosen.len() < m_e && covered.iter().any(|c| !c) {
+            let (best, gain) = (0..n)
+                .filter(|i| !chosen.contains(i))
+                .map(|i| {
+                    let gain = neighborhoods[i].iter().filter(|&&j| !covered[j]).count();
+                    (i, gain)
+                })
+                .max_by_key(|&(_, gain)| gain)
+                .expect("uncovered vertices remain, so a candidate exists");
+            if gain == 0 {
+                break;
+            }
+            for &j in &neighborhoods[best] {
+                covered[j] = true;
+            }
+            chosen.push(best);
+        }
+        chosen.into_iter().map(|i| self.vertices[i].clone()).collect()
+    }
+
+    /// Fixed-length EA state block for the selected representatives: exactly
+    /// `m_e` slots of `d` numbers, padded by repeating the centroid when the
+    /// polytope has fewer than `m_e` representatives (a constant-shape
+    /// encoding is required by the Q-network).
+    pub fn encode_representatives(&self, m_e: usize, d_eps: f64) -> Vec<f64> {
+        let mut reps = self.select_representatives(m_e, d_eps);
+        let pad = self.centroid();
+        while reps.len() < m_e {
+            reps.push(pad.clone());
+        }
+        let mut out = Vec::with_capacity(m_e * self.dim);
+        for r in reps {
+            out.extend_from_slice(&r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperplane::Halfspace;
+
+    fn full(d: usize) -> Polytope {
+        Polytope::from_region(&Region::full(d)).unwrap()
+    }
+
+    #[test]
+    fn full_simplex_vertices_are_unit_axes() {
+        for d in [2usize, 3, 4, 5] {
+            let p = full(d);
+            assert_eq!(p.n_vertices(), d, "d = {d}");
+            for v in p.vertices() {
+                assert!((vector::sum(v) - 1.0).abs() < 1e-9);
+                assert_eq!(v.iter().filter(|&&x| x > 0.5).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn halving_the_triangle() {
+        // Cut the 3-simplex with u0 ≥ u1: vertices become e0, e2, and the
+        // midpoint (0.5, 0.5, 0).
+        let mut r = Region::full(3);
+        r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        let p = Polytope::from_region(&r).unwrap();
+        assert_eq!(p.n_vertices(), 3);
+        let has = |target: &[f64]| {
+            p.vertices().iter().any(|v| vector::dist(v, target) < 1e-6)
+        };
+        assert!(has(&[1.0, 0.0, 0.0]));
+        assert!(has(&[0.0, 0.0, 1.0]));
+        assert!(has(&[0.5, 0.5, 0.0]));
+    }
+
+    #[test]
+    fn empty_region_yields_none() {
+        let mut r = Region::full(2);
+        r.add(Halfspace::new(vec![0.5, -1.5]));
+        r.add(Halfspace::new(vec![-1.5, 0.5]));
+        assert!(Polytope::from_region(&r).is_none());
+    }
+
+    #[test]
+    fn vertices_satisfy_all_constraints() {
+        let mut r = Region::full(4);
+        r.add(Halfspace::new(vec![1.0, -0.5, 0.2, -0.7]));
+        r.add(Halfspace::new(vec![-0.3, 1.0, -0.8, 0.1]));
+        let p = Polytope::from_region(&r).unwrap();
+        assert!(p.n_vertices() >= 4 - 1, "cut simplex keeps several vertices");
+        for v in p.vertices() {
+            assert!(r.contains(v, 1e-6), "vertex {v:?} outside region");
+        }
+    }
+
+    #[test]
+    fn centroid_is_interior() {
+        let mut r = Region::full(3);
+        r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        let p = Polytope::from_region(&r).unwrap();
+        assert!(r.contains(&p.centroid(), 1e-9));
+    }
+
+    #[test]
+    fn outer_sphere_encloses_vertices() {
+        let p = full(4);
+        let s = p.outer_sphere();
+        for v in p.vertices() {
+            assert!(s.contains(v, 1e-5));
+        }
+    }
+
+    #[test]
+    fn representative_selection_covers_clusters() {
+        // Cluster the triangle's vertices artificially: with a huge d_eps a
+        // single representative covers everything.
+        let p = full(3);
+        let reps = p.select_representatives(3, 10.0);
+        assert_eq!(reps.len(), 1, "one representative should cover all");
+        // With zero-ish d_eps every vertex is its own cluster.
+        let reps = p.select_representatives(3, 1e-9);
+        assert_eq!(reps.len(), 3);
+    }
+
+    #[test]
+    fn representatives_capped_at_m_e() {
+        let p = full(5);
+        assert!(p.select_representatives(2, 1e-9).len() <= 2);
+    }
+
+    #[test]
+    fn encoding_has_fixed_length_and_pads_with_centroid() {
+        let p = full(3);
+        let enc = p.encode_representatives(5, 10.0);
+        assert_eq!(enc.len(), 5 * 3);
+        // Slots 2..5 are the centroid (slot 1 covers everything at d_eps = 10).
+        let c = p.centroid();
+        assert!((enc[3] - c[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_cuts_shrink_vertex_spread() {
+        let mut r = Region::full(3);
+        let spread = |p: &Polytope| p.outer_sphere().radius();
+        let before = spread(&full(3));
+        r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        r.add(Halfspace::new(vec![0.0, 1.0, -1.0]));
+        let after = spread(&Polytope::from_region(&r).unwrap());
+        assert!(after < before, "cuts must shrink the outer sphere: {before} -> {after}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Axis-aligned rectangles (boxes).
+//!
+//! Algorithm AA's state carries the outer rectangle `[e_min, e_max]` of the
+//! utility range, and its stopping condition (Lemma 9) is a bound on the
+//! rectangle's diagonal: `‖e_min − e_max‖ ≤ 2√d·ε` guarantees the returned
+//! point's regret ratio is at most `d²ε`.
+
+use isrl_linalg::vector;
+
+/// An axis-aligned box `[min, max]` in `ℝᵈ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rectangle {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl Rectangle {
+    /// Creates a rectangle from its corner vectors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or if any `min[i] > max[i] + 1e-9`
+    /// (LP round-off up to that tolerance is absorbed by swapping).
+    pub fn new(min: Vec<f64>, max: Vec<f64>) -> Self {
+        assert_eq!(min.len(), max.len(), "rectangle corner length mismatch");
+        let mut min = min;
+        let mut max = max;
+        for i in 0..min.len() {
+            if min[i] > max[i] {
+                assert!(
+                    min[i] - max[i] <= 1e-9,
+                    "inverted rectangle on axis {i}: [{}, {}]",
+                    min[i],
+                    max[i]
+                );
+                std::mem::swap(&mut min[i], &mut max[i]);
+            }
+        }
+        Self { min, max }
+    }
+
+    /// The lower corner `e_min`.
+    #[inline]
+    pub fn min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// The upper corner `e_max`.
+    #[inline]
+    pub fn max(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// The diagonal length `‖e_min − e_max‖` — AA's stopping quantity.
+    pub fn diagonal(&self) -> f64 {
+        vector::dist(&self.min, &self.max)
+    }
+
+    /// The midpoint `(e_min + e_max) / 2` — the utility vector AA returns
+    /// the best tuple for (Algorithm 4, line 11).
+    pub fn midpoint(&self) -> Vec<f64> {
+        vector::midpoint(&self.min, &self.max)
+    }
+
+    /// `true` iff `p` lies inside the box (with tolerance).
+    pub fn contains(&self, p: &[f64], tol: f64) -> bool {
+        p.len() == self.dim()
+            && p.iter()
+                .zip(self.min.iter().zip(&self.max))
+                .all(|(&x, (&lo, &hi))| x >= lo - tol && x <= hi + tol)
+    }
+
+    /// AA's stopping condition (Lemma 9): diagonal ≤ `2√d·ε`.
+    pub fn meets_stop_condition(&self, eps: f64) -> bool {
+        self.diagonal() <= 2.0 * (self.dim() as f64).sqrt() * eps
+    }
+
+    /// State encoding: `e_min ⊕ e_max`, `2d` numbers.
+    pub fn encode(&self) -> Vec<f64> {
+        let mut v = self.min.clone();
+        v.extend_from_slice(&self.max);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_of_unit_box() {
+        let r = Rectangle::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!((r.diagonal() - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_center() {
+        let r = Rectangle::new(vec![0.2, 0.4], vec![0.4, 0.8]);
+        let m = r.midpoint();
+        assert!((m[0] - 0.3).abs() < 1e-12 && (m[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_checks_all_axes() {
+        let r = Rectangle::new(vec![0.0, 0.0], vec![0.5, 0.5]);
+        assert!(r.contains(&[0.25, 0.5], 1e-12));
+        assert!(!r.contains(&[0.25, 0.6], 1e-12));
+        assert!(!r.contains(&[0.25], 1e-12));
+    }
+
+    #[test]
+    fn stop_condition_threshold() {
+        // d = 4, ε = 0.1 → threshold 2·2·0.1 = 0.4.
+        let tight = Rectangle::new(vec![0.0; 4], vec![0.19, 0.0, 0.0, 0.0]);
+        assert!(tight.meets_stop_condition(0.1));
+        let wide = Rectangle::new(vec![0.0; 4], vec![0.5, 0.0, 0.0, 0.0]);
+        assert!(!wide.meets_stop_condition(0.1));
+    }
+
+    #[test]
+    fn tiny_inversion_from_lp_roundoff_is_absorbed() {
+        let r = Rectangle::new(vec![0.5 + 1e-12], vec![0.5]);
+        assert!(r.min()[0] <= r.max()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted rectangle")]
+    fn genuine_inversion_panics() {
+        Rectangle::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn encode_concatenates_corners() {
+        let r = Rectangle::new(vec![0.1, 0.2], vec![0.3, 0.4]);
+        assert_eq!(r.encode(), vec![0.1, 0.2, 0.3, 0.4]);
+    }
+}

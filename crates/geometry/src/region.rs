@@ -1,0 +1,389 @@
+//! The utility range `R` as a half-space intersection over the simplex.
+//!
+//! This is the state substrate of algorithm AA (§IV-C of the paper): instead
+//! of materializing the polyhedron, we keep the set `H` of learned
+//! half-spaces and answer every geometric question about
+//! `R = ⋂_{h⁺ ∈ H} h⁺ ∩ U` with a small LP. The exact algorithm EA layers
+//! vertex enumeration on top of this representation (see [`crate::polytope`]).
+
+use crate::hyperplane::Halfspace;
+use crate::lp::{LpBuilder, Rel};
+use crate::rectangle::Rectangle;
+use crate::sphere::Sphere;
+use isrl_linalg::vector;
+
+/// Margin below which a strict-feasibility LP answer counts as "empty".
+const STRICT_TOL: f64 = 1e-9;
+
+/// A utility range: the intersection of the standard simplex
+/// `U = { u : u ≥ 0, Σu = 1 }` with a growing set of half-spaces through the
+/// origin, one per answered question.
+#[derive(Debug, Clone)]
+pub struct Region {
+    dim: usize,
+    halfspaces: Vec<Halfspace>,
+}
+
+impl Region {
+    /// The whole utility space `U` in dimension `d` (no questions answered yet).
+    ///
+    /// # Panics
+    /// Panics if `d < 2` — with one attribute there is only one utility
+    /// vector and no query to run.
+    pub fn full(d: usize) -> Self {
+        assert!(d >= 2, "utility space needs at least 2 dimensions");
+        Self { dim: d, halfspaces: Vec::new() }
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The learned half-spaces `H`.
+    #[inline]
+    pub fn halfspaces(&self) -> &[Halfspace] {
+        &self.halfspaces
+    }
+
+    /// Number of learned half-spaces (= answered questions).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.halfspaces.len()
+    }
+
+    /// `true` before any question has been answered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.halfspaces.is_empty()
+    }
+
+    /// Records a new half-space (one user answer).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn add(&mut self, h: Halfspace) {
+        assert_eq!(h.dim(), self.dim, "halfspace dimension mismatch");
+        self.halfspaces.push(h);
+    }
+
+    /// `true` iff `u` lies in the region (closed half-spaces, tolerance `tol`).
+    pub fn contains(&self, u: &[f64], tol: f64) -> bool {
+        u.len() == self.dim
+            && u.iter().all(|&x| x >= -tol)
+            && (vector::sum(u) - 1.0).abs() <= self.dim as f64 * tol + tol
+            && self.halfspaces.iter().all(|h| h.contains(u, tol))
+    }
+
+    /// Builds the common LP stub: variables `u[0..d]` (+ optionally extras),
+    /// with `Σu = 1`, `u ≥ 0` implicit, and `normal · u ≥ 0` per half-space.
+    fn base_lp(&self, objective: &[f64], maximize: bool) -> LpBuilder {
+        let n = objective.len();
+        debug_assert!(n >= self.dim);
+        let mut b = if maximize {
+            LpBuilder::maximize(objective)
+        } else {
+            LpBuilder::minimize(objective)
+        };
+        let mut sum_row = vec![0.0; n];
+        for v in sum_row.iter_mut().take(self.dim) {
+            *v = 1.0;
+        }
+        b = b.constraint(&sum_row, Rel::Eq, 1.0);
+        for h in &self.halfspaces {
+            let mut row = vec![0.0; n];
+            row[..self.dim].copy_from_slice(h.normal());
+            b = b.constraint(&row, Rel::Ge, 0.0);
+        }
+        b
+    }
+
+    /// Maximum strict margin: the largest `x` such that some `u ∈ U`
+    /// satisfies `normal · u ≥ x` for every learned half-space **and** every
+    /// half-space in `extra`. A positive margin certifies a strictly
+    /// feasible interior point (the paper's `maximize x` LP in §IV-C).
+    ///
+    /// Returns `None` when even the closed region is empty.
+    pub fn strict_margin(&self, extra: &[&Halfspace]) -> Option<f64> {
+        let d = self.dim;
+        // Variables: u[0..d] ≥ 0, x free (last). Only the margin rows
+        // `normal·u − x ≥ 0` are added — with x free they subsume the plain
+        // `normal·u ≥ 0` rows (an empty region simply yields a negative
+        // optimum), and halving the row count matters: this LP runs once or
+        // twice per candidate question.
+        let mut obj = vec![0.0; d + 1];
+        obj[d] = 1.0;
+        let mut b = LpBuilder::maximize(&obj).free_var(d);
+        let mut sum_row = vec![0.0; d + 1];
+        for v in sum_row.iter_mut().take(d) {
+            *v = 1.0;
+        }
+        b = b.constraint(&sum_row, Rel::Eq, 1.0);
+        for h in self.halfspaces.iter().chain(extra.iter().copied()) {
+            let mut row = vec![0.0; d + 1];
+            // Normalize so the margin is comparable across half-spaces.
+            let norm = vector::norm(h.normal());
+            for (r, c) in row.iter_mut().zip(h.normal()) {
+                *r = c / norm;
+            }
+            row[d] = -1.0;
+            b = b.constraint(&row, Rel::Ge, 0.0);
+        }
+        // Cap x so the LP is bounded even with no half-spaces at all.
+        let mut cap = vec![0.0; d + 1];
+        cap[d] = 1.0;
+        b = b.constraint(&cap, Rel::Le, 1.0);
+        match b.solve().expect("strict margin LP is well-formed") {
+            crate::lp::LpOutcome::Optimal(s) => Some(s.objective),
+            _ => None,
+        }
+    }
+
+    /// `true` iff the region has a strictly feasible interior point.
+    pub fn has_interior(&self) -> bool {
+        self.strict_margin(&[]).is_some_and(|m| m > STRICT_TOL)
+    }
+
+    /// `true` iff the hyperplane bounding `h` genuinely cuts the region:
+    /// both `R ∩ h⁺` and `R ∩ h⁻` retain interior points (the first action
+    /// condition of algorithm AA, Lemma 8).
+    pub fn is_cut_by(&self, h: &Halfspace) -> bool {
+        let flipped = h.flipped();
+        self.strict_margin(&[h]).is_some_and(|m| m > STRICT_TOL)
+            && self.strict_margin(&[&flipped]).is_some_and(|m| m > STRICT_TOL)
+    }
+
+    /// The inner sphere of the region (§IV-C state, part 1): the ball of
+    /// largest radius centered in `R` that stays inside every learned
+    /// half-space *and* inside the simplex facets `u_i ≥ 0`.
+    ///
+    /// The paper's LP constrains only the learned half-spaces; we also add
+    /// the simplex facets so the sphere is well-defined before the first
+    /// question is answered (documented substitution in DESIGN.md §2).
+    ///
+    /// Returns `None` when the region is empty.
+    pub fn inner_sphere(&self) -> Option<Sphere> {
+        let d = self.dim;
+        // Variables: center c[0..d] ≥ 0, radius r (free; optimum is ≥ 0 iff
+        // feasible). As in `strict_margin`, the distance rows with a free
+        // radius subsume the plain half-space rows, so only the simplex
+        // equality plus one row per half-space/facet is needed.
+        let mut obj = vec![0.0; d + 1];
+        obj[d] = 1.0;
+        let mut b = LpBuilder::maximize(&obj).free_var(d);
+        let mut sum_row = vec![0.0; d + 1];
+        for v in sum_row.iter_mut().take(d) {
+            *v = 1.0;
+        }
+        b = b.constraint(&sum_row, Rel::Eq, 1.0);
+        // Distance to each learned hyperplane: normal·c / ‖normal‖ ≥ r.
+        for h in &self.halfspaces {
+            let norm = vector::norm(h.normal());
+            let mut row = vec![0.0; d + 1];
+            for (r, c) in row.iter_mut().zip(h.normal()) {
+                *r = c / norm;
+            }
+            row[d] = -1.0;
+            b = b.constraint(&row, Rel::Ge, 0.0);
+        }
+        // Distance to each simplex facet u_i = 0 is simply c_i.
+        for i in 0..d {
+            let mut row = vec![0.0; d + 1];
+            row[i] = 1.0;
+            row[d] = -1.0;
+            b = b.constraint(&row, Rel::Ge, 0.0);
+        }
+        let sol = b.solve().expect("inner sphere LP is well-formed").optimal()?;
+        if sol.objective < -STRICT_TOL {
+            return None;
+        }
+        Some(Sphere::new(sol.x[..d].to_vec(), sol.objective.max(0.0)))
+    }
+
+    /// The outer rectangle of the region (§IV-C state, part 2): the smallest
+    /// axis-aligned box `[e_min, e_max]` containing `R`, found by `2d` LPs
+    /// (minimize and maximize `u[i]` over `R` for each `i`).
+    ///
+    /// Returns `None` when the region is empty.
+    pub fn outer_rectangle(&self) -> Option<Rectangle> {
+        let d = self.dim;
+        let mut lo = vec![0.0; d];
+        let mut hi = vec![0.0; d];
+        for i in 0..d {
+            let mut obj = vec![0.0; d];
+            obj[i] = 1.0;
+            let min = self.base_lp(&obj, false).solve().ok()?.optimal()?;
+            let max = self.base_lp(&obj, true).solve().ok()?.optimal()?;
+            lo[i] = min.objective.max(0.0);
+            hi[i] = max.objective.min(1.0);
+        }
+        Some(Rectangle::new(lo, hi))
+    }
+
+    /// A feasible point of the region (the inner-sphere center), if any.
+    pub fn feasible_point(&self) -> Option<Vec<f64>> {
+        self.inner_sphere().map(|s| s.center().to_vec())
+    }
+
+    /// Monte-Carlo estimate of the region's volume as a fraction of the
+    /// whole utility simplex: the acceptance rate of `n_samples` uniform
+    /// simplex samples against the half-space set.
+    ///
+    /// This is the quantity Lemma 5 reasons about (bigger fraction ⇒ more
+    /// sampled utility vectors land inside); it is also a useful progress
+    /// diagnostic — each informative answer should roughly halve it. The
+    /// estimate degrades for very small regions (the standard error of a
+    /// fraction `p` is `√(p(1−p)/n)`), which is exactly when the LP-based
+    /// summaries take over.
+    pub fn approx_volume_fraction<R: rand::Rng + ?Sized>(
+        &self,
+        n_samples: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(n_samples > 0, "volume estimate needs at least one sample");
+        let mut inside = 0usize;
+        for _ in 0..n_samples {
+            let u = crate::sampling::sample_simplex(self.dim, rng);
+            if self.halfspaces.iter().all(|h| h.contains(&u, 0.0)) {
+                inside += 1;
+            }
+        }
+        inside as f64 / n_samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_simplex_inner_sphere_is_barycentric() {
+        let r = Region::full(3);
+        let s = r.inner_sphere().unwrap();
+        for c in s.center() {
+            assert!((c - 1.0 / 3.0).abs() < 1e-6, "center {:?}", s.center());
+        }
+        assert!((s.radius() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_simplex_outer_rectangle_is_unit_box() {
+        let r = Region::full(4);
+        let rect = r.outer_rectangle().unwrap();
+        for i in 0..4 {
+            assert!(rect.min()[i].abs() < 1e-7);
+            assert!((rect.max()[i] - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn halfspace_narrows_rectangle() {
+        let mut r = Region::full(2);
+        // u0 ≥ u1 ⇒ u0 ∈ [0.5, 1].
+        r.add(Halfspace::new(vec![1.0, -1.0]));
+        let rect = r.outer_rectangle().unwrap();
+        assert!((rect.min()[0] - 0.5).abs() < 1e-6, "min {:?}", rect.min());
+        assert!((rect.max()[0] - 1.0).abs() < 1e-6);
+        assert!((rect.max()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contains_respects_halfspaces() {
+        let mut r = Region::full(3);
+        r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        assert!(r.contains(&[0.5, 0.3, 0.2], 1e-9));
+        assert!(!r.contains(&[0.2, 0.5, 0.3], 1e-9));
+        assert!(!r.contains(&[0.5, 0.5, 0.5], 1e-9)); // off the simplex
+    }
+
+    #[test]
+    fn empty_region_detected() {
+        let mut r = Region::full(2);
+        r.add(Halfspace::new(vec![0.5, -1.5])); // u0 considerably above u1
+        r.add(Halfspace::new(vec![-1.5, 0.5])); // and vice versa — impossible
+        assert!(!r.has_interior());
+        assert!(r.inner_sphere().is_none() || r.inner_sphere().unwrap().radius() < 1e-6);
+    }
+
+    #[test]
+    fn cut_detection() {
+        let r = Region::full(3);
+        // The plane u0 = u1 cuts the full simplex.
+        assert!(r.is_cut_by(&Halfspace::new(vec![1.0, -1.0, 0.0])));
+        let mut narrowed = Region::full(3);
+        narrowed.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        // The same plane no longer cuts the narrowed region (it bounds it).
+        assert!(!narrowed.is_cut_by(&Halfspace::new(vec![1.0, -1.0, 0.0])));
+    }
+
+    #[test]
+    fn inner_sphere_center_is_feasible_and_shrinks() {
+        let mut r = Region::full(3);
+        let before = r.inner_sphere().unwrap().radius();
+        r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        let s = r.inner_sphere().unwrap();
+        assert!(r.contains(s.center(), 1e-7));
+        assert!(s.radius() <= before + 1e-9, "radius must not grow");
+        assert!(s.radius() > 0.0);
+    }
+
+    #[test]
+    fn strict_margin_positive_for_full_simplex() {
+        let r = Region::full(4);
+        assert!(r.strict_margin(&[]).unwrap() > 0.0);
+        assert!(r.has_interior());
+    }
+
+    #[test]
+    fn volume_fraction_of_full_simplex_is_one() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(Region::full(3).approx_volume_fraction(500, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn volume_fraction_halves_under_a_median_cut() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut r = Region::full(2);
+        r.add(Halfspace::new(vec![1.0, -1.0])); // u0 ≥ u1: half the segment
+        let f = r.approx_volume_fraction(4_000, &mut rng);
+        assert!((f - 0.5).abs() < 0.03, "fraction {f}");
+    }
+
+    #[test]
+    fn volume_fraction_shrinks_with_each_cut() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut r = Region::full(3);
+        let mut prev = 1.0;
+        for h in [
+            Halfspace::new(vec![1.0, -1.0, 0.0]),
+            Halfspace::new(vec![0.0, 1.0, -1.0]),
+            Halfspace::new(vec![1.0, 0.2, -1.4]),
+        ] {
+            r.add(h);
+            let f = r.approx_volume_fraction(3_000, &mut rng);
+            assert!(f <= prev + 0.02, "volume grew: {prev} -> {f}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn rectangle_diagonal_shrinks_monotonically() {
+        // The AA stopping quantity ‖e_min − e_max‖ never grows as answers arrive.
+        let mut r = Region::full(3);
+        let mut prev = r.outer_rectangle().unwrap().diagonal();
+        for h in [
+            Halfspace::new(vec![1.0, -1.0, 0.0]),
+            Halfspace::new(vec![0.0, 1.0, -1.0]),
+            Halfspace::new(vec![1.0, 0.0, -1.2]),
+        ] {
+            r.add(h);
+            let diag = r.outer_rectangle().unwrap().diagonal();
+            assert!(diag <= prev + 1e-9, "diagonal grew: {prev} -> {diag}");
+            prev = diag;
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Random sampling from the utility simplex and from convex regions.
+//!
+//! Lemma 5 of the paper grounds EA's action construction in volume-weighted
+//! sampling: larger terminal polyhedrons should attract more sampled utility
+//! vectors. We provide
+//!
+//! * [`sample_simplex`] — exact uniform sampling of the standard simplex via
+//!   normalized exponentials (the Dirichlet(1,…,1) construction);
+//! * [`sample_region_rejection`] — uniform sampling of a sub-region of the
+//!   simplex by rejection, which is exact but degrades as the region shrinks;
+//! * [`sample_vertex_mixture`] — Dirichlet-weighted convex combinations of a
+//!   polytope's vertices, the documented fallback when rejection collapses.
+//!   It is not volume-uniform, but it preserves the only property Lemma 5
+//!   needs: regions occupying more of the polytope receive more samples.
+
+use crate::hyperplane::Halfspace;
+use rand::Rng;
+
+/// Draws one utility vector uniformly from the standard `(d−1)`-simplex
+/// `{ u : u ≥ 0, Σu = 1 }` using the exponential-spacing construction.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn sample_simplex<R: Rng + ?Sized>(d: usize, rng: &mut R) -> Vec<f64> {
+    assert!(d > 0, "cannot sample a 0-dimensional simplex");
+    loop {
+        let mut u: Vec<f64> = (0..d)
+            .map(|_| {
+                // Exponential(1) via inverse CDF; clamp away from 0 to avoid -ln(0).
+                let x: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -x.ln()
+            })
+            .collect();
+        let s: f64 = u.iter().sum();
+        if s > 0.0 && s.is_finite() {
+            for v in &mut u {
+                *v /= s;
+            }
+            return u;
+        }
+    }
+}
+
+/// Draws up to `count` utility vectors uniformly from the intersection of the
+/// simplex with the given half-spaces, by rejection from [`sample_simplex`].
+///
+/// Gives up after `budget` total proposals, so the returned vector may be
+/// shorter than `count` (possibly empty) when the region is small — callers
+/// fall back to [`sample_vertex_mixture`] in that case.
+pub fn sample_region_rejection<R: Rng + ?Sized>(
+    d: usize,
+    halfspaces: &[Halfspace],
+    count: usize,
+    budget: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..budget {
+        if out.len() >= count {
+            break;
+        }
+        let u = sample_simplex(d, rng);
+        if halfspaces.iter().all(|h| h.contains(&u, 0.0)) {
+            out.push(u);
+        }
+    }
+    out
+}
+
+/// Draws `count` points from the convex hull of `vertices` as Dirichlet(1)
+/// convex combinations. All returned points lie inside the polytope spanned
+/// by the vertices (hence inside any convex region containing them).
+///
+/// # Panics
+/// Panics if `vertices` is empty.
+pub fn sample_vertex_mixture<R: Rng + ?Sized>(
+    vertices: &[Vec<f64>],
+    count: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    assert!(!vertices.is_empty(), "vertex mixture needs at least one vertex");
+    let d = vertices[0].len();
+    let k = vertices.len();
+    (0..count)
+        .map(|_| {
+            let w = sample_simplex(k, rng);
+            let mut p = vec![0.0; d];
+            for (wi, v) in w.iter().zip(vertices) {
+                for j in 0..d {
+                    p[j] += wi * v[j];
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// Hit-and-run sampling inside `U ∩ ⋂ h⁺` starting from a strictly interior
+/// point (e.g. the region's inner-sphere center).
+///
+/// Each step draws a random direction in the simplex hyperplane (a Gaussian
+/// vector with its mean removed, so `Σ dir = 0` keeps the walk on
+/// `Σ u = 1`), computes the feasible chord through the current point, and
+/// jumps to a uniform point on it. One sample is emitted every `thin`
+/// steps after `thin` burn-in steps. Hit-and-run mixes toward the uniform
+/// distribution on the region, and unlike rejection it works in high
+/// dimension — this is what the per-round *maximum regret ratio* metric of
+/// the paper's Figures 7–8 uses.
+///
+/// # Panics
+/// Panics if `d < 2`, `thin == 0`, or `start` has the wrong length.
+pub fn hit_and_run<R: Rng + ?Sized>(
+    d: usize,
+    halfspaces: &[Halfspace],
+    start: &[f64],
+    count: usize,
+    thin: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    assert!(d >= 2, "hit-and-run needs d >= 2");
+    assert!(thin > 0, "thinning interval must be positive");
+    assert_eq!(start.len(), d, "start point dimension mismatch");
+    let mut x = start.to_vec();
+    let mut out = Vec::with_capacity(count);
+    let mut steps_until_emit = thin; // burn-in
+
+    let step = |x: &mut Vec<f64>, rng: &mut R| {
+        // Random direction in the Σ = 0 hyperplane.
+        let mut dir: Vec<f64> = (0..d)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect();
+        let mean = dir.iter().sum::<f64>() / d as f64;
+        dir.iter_mut().for_each(|v| *v -= mean);
+        let norm = dir.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return; // degenerate draw; try again next step
+        }
+        dir.iter_mut().for_each(|v| *v /= norm);
+
+        // Feasible chord [t_lo, t_hi]: x + t·dir must stay in the region.
+        let mut t_lo = f64::NEG_INFINITY;
+        let mut t_hi = f64::INFINITY;
+        let mut clip = |num: f64, den: f64| {
+            // Constraint num + t·den ≥ 0.
+            if den.abs() < 1e-15 {
+                return; // parallel: either always satisfied or hopeless;
+                        // the interior start guarantees "satisfied".
+            }
+            let bound = -num / den;
+            if den > 0.0 {
+                t_lo = t_lo.max(bound);
+            } else {
+                t_hi = t_hi.min(bound);
+            }
+        };
+        for i in 0..d {
+            clip(x[i], dir[i]);
+        }
+        for h in halfspaces {
+            clip(
+                h.normal().iter().zip(&*x).map(|(n, xi)| n * xi).sum(),
+                h.normal().iter().zip(&dir).map(|(n, di)| n * di).sum(),
+            );
+        }
+        if !(t_lo.is_finite() && t_hi.is_finite()) || t_hi <= t_lo {
+            return; // numerically stuck on the boundary; keep the point
+        }
+        let t = rng.gen_range(t_lo..=t_hi);
+        for i in 0..d {
+            x[i] = (x[i] + t * dir[i]).max(0.0);
+        }
+        // Renormalize against drift off the simplex.
+        let s: f64 = x.iter().sum();
+        if s > 0.0 {
+            x.iter_mut().for_each(|v| *v /= s);
+        }
+    };
+
+    while out.len() < count {
+        step(&mut x, rng);
+        steps_until_emit -= 1;
+        if steps_until_emit == 0 {
+            out.push(x.clone());
+            steps_until_emit = thin;
+        }
+    }
+    out
+}
+
+/// How many sampled vectors Lemma 5 prescribes for volume resolution `tau`
+/// and confidence `1 − delta`: `N = O((d + ln(1/δ)) / τ²)`.
+pub fn lemma5_sample_count(d: usize, tau: f64, delta: f64) -> usize {
+    assert!(tau > 0.0 && delta > 0.0 && delta < 1.0);
+    ((d as f64 + (1.0 / delta).ln()) / (tau * tau)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simplex_samples_lie_on_simplex() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in [1usize, 2, 4, 20] {
+            for _ in 0..50 {
+                let u = sample_simplex(d, &mut rng);
+                assert_eq!(u.len(), d);
+                assert!((u.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+                assert!(u.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn simplex_sampling_is_roughly_uniform() {
+        // In 2-d the first coordinate of a uniform simplex sample is U(0,1):
+        // mean 0.5, and P(u0 < 0.25) = 0.25.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_simplex(2, &mut rng)[0]).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let frac = samples.iter().filter(|&&x| x < 0.25).count() as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn rejection_respects_halfspaces() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Keep only u with u0 ≥ u1.
+        let h = Halfspace::new(vec![1.0, -1.0, 0.0]);
+        let samples = sample_region_rejection(3, std::slice::from_ref(&h), 100, 10_000, &mut rng);
+        assert!(!samples.is_empty());
+        for u in &samples {
+            assert!(u[0] >= u[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejection_returns_empty_for_empty_region() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Contradictory half-spaces: u0 − u1 ≥ 0.5·Σu is impossible together
+        // with u1 − u0 ≥ 0.5·Σu.
+        let hs = vec![
+            Halfspace::new(vec![0.5, -1.5]),
+            Halfspace::new(vec![-1.5, 0.5]),
+        ];
+        let samples = sample_region_rejection(2, &hs, 10, 2_000, &mut rng);
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn vertex_mixture_stays_in_hull() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let vertices = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        for p in sample_vertex_mixture(&vertices, 200, &mut rng) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| x >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn vertex_mixture_volume_monotonicity() {
+        // The property Lemma 5 needs: a half of the triangle receives about
+        // half of the mixture samples (Dirichlet(1) over 3 vertices is
+        // uniform on the triangle, so this is exact here).
+        let mut rng = StdRng::seed_from_u64(17);
+        let vertices = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]];
+        let samples = sample_vertex_mixture(&vertices, 4_000, &mut rng);
+        let left = samples.iter().filter(|p| p[0] >= 0.5).count() as f64;
+        let frac = left / samples.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn hit_and_run_stays_in_region() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let hs = vec![Halfspace::new(vec![1.0, -1.0, 0.0, 0.0])]; // u0 ≥ u1
+        let start = vec![0.4, 0.2, 0.2, 0.2];
+        let samples = hit_and_run(4, &hs, &start, 300, 3, &mut rng);
+        assert_eq!(samples.len(), 300);
+        for u in &samples {
+            assert!((u.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(u.iter().all(|&x| x >= -1e-12));
+            assert!(u[0] >= u[1] - 1e-9, "halfspace violated: {u:?}");
+        }
+    }
+
+    #[test]
+    fn hit_and_run_explores_the_region() {
+        // The chain must move away from its start: compare the spread of
+        // the first coordinate with zero.
+        let mut rng = StdRng::seed_from_u64(29);
+        let start = vec![1.0 / 3.0; 3];
+        let samples = hit_and_run(3, &[], &start, 500, 2, &mut rng);
+        let xs: Vec<f64> = samples.iter().map(|u| u[0]).collect();
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.5, "chain barely moved: spread {spread}");
+    }
+
+    #[test]
+    fn hit_and_run_matches_rejection_distribution_roughly() {
+        // Mean of u0 over the half-simplex {u0 ≥ u1} in 2-d is 0.75.
+        let mut rng = StdRng::seed_from_u64(31);
+        let hs = vec![Halfspace::new(vec![1.0, -1.0])];
+        let samples = hit_and_run(2, &hs, &[0.7, 0.3], 4_000, 2, &mut rng);
+        let mean: f64 = samples.iter().map(|u| u[0]).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.75).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn lemma5_count_grows_with_dimension_and_shrinks_with_tau() {
+        let base = lemma5_sample_count(4, 0.1, 0.05);
+        assert!(lemma5_sample_count(20, 0.1, 0.05) > base);
+        assert!(lemma5_sample_count(4, 0.2, 0.05) < base);
+    }
+}

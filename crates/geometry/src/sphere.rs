@@ -1,0 +1,218 @@
+//! Spheres, including the paper's iterative outer (enclosing) sphere.
+//!
+//! Algorithm EA summarizes the utility range with the smallest sphere
+//! enclosing its extreme utility vectors (§IV-B, part 2 of the state). The
+//! paper finds it with a simple iterative scheme — walk the center toward
+//! the farthest point by half the gap between the two largest distances —
+//! and proves (Lemma 3) the radius is non-increasing across iterations.
+//! We implement exactly that scheme.
+
+use isrl_linalg::vector;
+
+/// A Euclidean ball given by center and radius.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sphere {
+    center: Vec<f64>,
+    radius: f64,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    /// Panics if the radius is negative or NaN.
+    pub fn new(center: Vec<f64>, radius: f64) -> Self {
+        assert!(radius >= 0.0, "sphere radius must be non-negative, got {radius}");
+        Self { center, radius }
+    }
+
+    /// The center point.
+    #[inline]
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// The radius.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// `true` iff `p` lies inside or on the sphere (with tolerance).
+    pub fn contains(&self, p: &[f64], tol: f64) -> bool {
+        vector::dist(&self.center, p) <= self.radius + tol
+    }
+
+    /// State encoding: `center ⊕ [radius]`, `d + 1` numbers.
+    pub fn encode(&self) -> Vec<f64> {
+        let mut v = self.center.clone();
+        v.push(self.radius);
+        v
+    }
+}
+
+/// Configuration for [`min_enclosing_sphere`].
+#[derive(Debug, Clone, Copy)]
+pub struct EnclosingSphereParams {
+    /// Stop when the center offset of an iteration falls below this.
+    pub offset_tol: f64,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for EnclosingSphereParams {
+    fn default() -> Self {
+        Self { offset_tol: 1e-7, max_iters: 1_000 }
+    }
+}
+
+/// The paper's iterative minimum-enclosing-sphere approximation (§IV-B):
+/// starting from an initial center (we use the centroid rather than a random
+/// point — same convergence argument, deterministic), repeatedly move the
+/// center toward the farthest point `e₁` by `(‖c−e₁‖ − ‖c−e₂‖)/2`, where
+/// `e₂` is the second-farthest. Stops when the offset drops below
+/// `offset_tol` or after `max_iters` iterations (Lemma 3 guarantees the
+/// radius is non-increasing, so stopping early is always safe).
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn min_enclosing_sphere(points: &[Vec<f64>], params: EnclosingSphereParams) -> Sphere {
+    assert!(!points.is_empty(), "enclosing sphere of no points");
+    let d = points[0].len();
+    if points.len() == 1 {
+        return Sphere::new(points[0].clone(), 0.0);
+    }
+
+    let mut center = vector::mean(points);
+    debug_assert_eq!(center.len(), d);
+
+    for _ in 0..params.max_iters {
+        // Farthest and second-farthest points from the current center.
+        let (mut i1, mut d1) = (0usize, f64::NEG_INFINITY);
+        let (mut _i2, mut d2) = (0usize, f64::NEG_INFINITY);
+        for (i, p) in points.iter().enumerate() {
+            let dist = vector::dist(&center, p);
+            if dist > d1 {
+                _i2 = i1;
+                d2 = d1;
+                i1 = i;
+                d1 = dist;
+            } else if dist > d2 {
+                _i2 = i;
+                d2 = dist;
+            }
+        }
+        let offset = 0.5 * (d1 - d2);
+        if offset <= params.offset_tol {
+            return Sphere::new(center, d1);
+        }
+        // Move the center toward the farthest point by `offset`.
+        let dir = vector::sub(&points[i1], &center);
+        let len = vector::norm(&dir);
+        debug_assert!(len > 0.0);
+        vector::axpy(&mut center, offset / len, &dir);
+    }
+
+    let radius = points
+        .iter()
+        .map(|p| vector::dist(&center, p))
+        .fold(0.0f64, f64::max);
+    Sphere::new(center, radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encloses_all(s: &Sphere, pts: &[Vec<f64>]) -> bool {
+        pts.iter().all(|p| s.contains(p, 1e-6))
+    }
+
+    #[test]
+    fn single_point_gives_zero_sphere() {
+        let s = min_enclosing_sphere(&[vec![0.3, 0.7]], EnclosingSphereParams::default());
+        assert_eq!(s.radius(), 0.0);
+        assert_eq!(s.center(), &[0.3, 0.7][..]);
+    }
+
+    #[test]
+    fn two_points_give_midpoint_sphere() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0]];
+        let s = min_enclosing_sphere(&pts, EnclosingSphereParams::default());
+        assert!((s.radius() - 1.0).abs() < 1e-4, "radius {}", s.radius());
+        assert!((s.center()[0] - 1.0).abs() < 1e-4);
+        assert!(encloses_all(&s, &pts));
+    }
+
+    #[test]
+    fn triangle_sphere_encloses_and_is_near_optimal() {
+        // Equilateral-ish triangle on the 2-simplex; optimal radius is the
+        // circumradius ≈ dist(centroid, vertex).
+        let pts = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        let s = min_enclosing_sphere(&pts, EnclosingSphereParams::default());
+        assert!(encloses_all(&s, &pts));
+        let opt = (2.0f64 / 3.0).sqrt(); // circumradius of that triangle
+        assert!(s.radius() <= opt + 1e-3, "radius {} vs optimal {opt}", s.radius());
+    }
+
+    #[test]
+    fn radius_non_increasing_lemma3() {
+        // Re-run the iteration manually and check Lemma 3's monotonicity.
+        let pts: Vec<Vec<f64>> = vec![
+            vec![0.9, 0.05, 0.05],
+            vec![0.1, 0.8, 0.1],
+            vec![0.2, 0.2, 0.6],
+            vec![0.4, 0.4, 0.2],
+            vec![0.25, 0.5, 0.25],
+        ];
+        let mut center = isrl_linalg::vector::mean(&pts);
+        let radius_at = |c: &[f64]| {
+            pts.iter().map(|p| vector::dist(c, p)).fold(0.0f64, f64::max)
+        };
+        let mut prev = radius_at(&center);
+        for _ in 0..50 {
+            let mut dists: Vec<(usize, f64)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, vector::dist(&center, p)))
+                .collect();
+            dists.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let offset = 0.5 * (dists[0].1 - dists[1].1);
+            if offset < 1e-12 {
+                break;
+            }
+            let dir = vector::sub(&pts[dists[0].0], &center);
+            let len = vector::norm(&dir);
+            vector::axpy(&mut center, offset / len, &dir);
+            let r = radius_at(&center);
+            assert!(r <= prev + 1e-9, "Lemma 3 violated: {prev} -> {r}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn encloses_random_cloud() {
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Vec<f64>> = (0..40).map(|_| (0..5).map(|_| next()).collect()).collect();
+        let s = min_enclosing_sphere(&pts, EnclosingSphereParams::default());
+        assert!(encloses_all(&s, &pts));
+    }
+
+    #[test]
+    fn encode_appends_radius() {
+        let s = Sphere::new(vec![0.2, 0.8], 0.5);
+        assert_eq!(s.encode(), vec![0.2, 0.8, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_panics() {
+        Sphere::new(vec![0.0], -1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-validation of the simplex LP solver against brute-force vertex
+//! enumeration: for a bounded feasible LP, the optimum lies at a vertex of
+//! the feasible polyhedron, so enumerating all constraint-intersection
+//! vertices and taking the best must match the solver's objective.
+
+use isrl_geometry::lp::{LpBuilder, LpOutcome, Rel};
+use proptest::prelude::*;
+
+/// Brute-force optimum of `max c·x` over `{x ≥ 0, A x ≤ b}` in 2-d:
+/// enumerate all pairwise constraint intersections (including the axes),
+/// keep feasible ones, take the best objective. Returns `None` when no
+/// feasible vertex exists.
+fn brute_force_2d(c: &[f64; 2], rows: &[([f64; 2], f64)]) -> Option<f64> {
+    // Constraint set: a·x ≤ b rows plus x ≥ 0 (as −x ≤ 0).
+    let mut all: Vec<([f64; 2], f64)> = rows.to_vec();
+    all.push(([-1.0, 0.0], 0.0));
+    all.push(([0.0, -1.0], 0.0));
+
+    let feasible = |x: &[f64; 2]| {
+        all.iter().all(|(a, b)| a[0] * x[0] + a[1] * x[1] <= b + 1e-7)
+    };
+
+    let mut best: Option<f64> = None;
+    for i in 0..all.len() {
+        for j in (i + 1)..all.len() {
+            let (a1, b1) = all[i];
+            let (a2, b2) = all[j];
+            let det = a1[0] * a2[1] - a1[1] * a2[0];
+            if det.abs() < 1e-10 {
+                continue;
+            }
+            let x = [(b1 * a2[1] - b2 * a1[1]) / det, (a1[0] * b2 - a2[0] * b1) / det];
+            if feasible(&x) {
+                let val = c[0] * x[0] + c[1] * x[1];
+                best = Some(best.map_or(val, |b: f64| b.max(val)));
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_matches_bruteforce_on_random_bounded_2d_lps(
+        c0 in -2.0f64..2.0,
+        c1 in -2.0f64..2.0,
+        rows in prop::collection::vec(
+            ((0.1f64..2.0, 0.1f64..2.0), 0.5f64..4.0),
+            1..6,
+        ),
+    ) {
+        // Positive row coefficients + x ≥ 0 keep the region bounded in the
+        // positive-objective directions... except when both objective
+        // coefficients are negative (optimum at origin) — also covered.
+        let rows: Vec<([f64; 2], f64)> =
+            rows.into_iter().map(|((a, b), r)| ([a, b], r)).collect();
+        let mut builder = LpBuilder::maximize(&[c0, c1]);
+        for (a, b) in &rows {
+            builder = builder.constraint(a, Rel::Le, *b);
+        }
+        let outcome = builder.solve().unwrap();
+        let brute = brute_force_2d(&[c0, c1], &rows).expect("origin is always feasible");
+        match outcome {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(
+                    (s.objective - brute).abs() < 1e-6,
+                    "solver {} vs brute force {brute}",
+                    s.objective
+                );
+            }
+            other => prop_assert!(false, "expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adding_constraints_never_improves_the_optimum(
+        c0 in 0.1f64..2.0,
+        c1 in 0.1f64..2.0,
+        a in 0.2f64..1.5,
+        b in 0.2f64..1.5,
+        extra in 0.2f64..1.5,
+    ) {
+        let base = LpBuilder::maximize(&[c0, c1])
+            .constraint(&[a, b], Rel::Le, 2.0)
+            .solve()
+            .unwrap()
+            .optimal()
+            .unwrap()
+            .objective;
+        let tightened = LpBuilder::maximize(&[c0, c1])
+            .constraint(&[a, b], Rel::Le, 2.0)
+            .constraint(&[extra, extra], Rel::Le, 1.5)
+            .solve()
+            .unwrap()
+            .optimal()
+            .unwrap()
+            .objective;
+        prop_assert!(tightened <= base + 1e-7, "tightening improved: {base} -> {tightened}");
+    }
+
+    #[test]
+    fn feasible_solutions_satisfy_all_constraints(
+        c0 in -2.0f64..2.0,
+        c1 in -2.0f64..2.0,
+        c2 in -2.0f64..2.0,
+        cut in 0.1f64..0.9,
+    ) {
+        // The utility-simplex LP family used throughout the workspace.
+        let out = LpBuilder::maximize(&[c0, c1, c2])
+            .constraint(&[1.0, 1.0, 1.0], Rel::Eq, 1.0)
+            .constraint(&[1.0, 0.0, 0.0], Rel::Le, cut)
+            .solve()
+            .unwrap();
+        let s = out.optimal().expect("simplex slice is feasible and bounded");
+        prop_assert!((s.x.iter().sum::<f64>() - 1.0).abs() < 1e-7);
+        prop_assert!(s.x[0] <= cut + 1e-7);
+        prop_assert!(s.x.iter().all(|&v| v >= -1e-9));
+    }
+}

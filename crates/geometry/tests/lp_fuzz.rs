@@ -1,0 +1,96 @@
+//! Deterministic fuzz for the LP solver on the exact problem family the
+//! interactive algorithms generate: simplex-constrained LPs with
+//! preference half-spaces of wildly varying scale. The solver must never
+//! return an infeasible "optimal" point, never claim infeasibility when a
+//! known witness exists, and never exceed its iteration guard.
+
+use isrl_geometry::lp::{LpBuilder, LpOutcome, Rel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the AA-style LP: maximize `c·u` over the simplex intersected with
+/// `k` preference half-spaces oriented to keep `witness` feasible.
+fn solve_case(
+    seed: u64,
+    d: usize,
+    k: usize,
+    scale: f64,
+) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, LpOutcome) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A known-feasible witness on the simplex.
+    let mut witness: Vec<f64> = (0..d).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let s: f64 = witness.iter().sum();
+    witness.iter_mut().for_each(|w| *w /= s);
+
+    let c: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut b = LpBuilder::maximize(&c).constraint(&vec![1.0; d], Rel::Eq, 1.0);
+    let mut rows = Vec::new();
+    for _ in 0..k {
+        let mut row: Vec<f64> = (0..d).map(|_| rng.gen_range(-scale..scale)).collect();
+        // Orient so the witness satisfies it.
+        let val: f64 = row.iter().zip(&witness).map(|(r, w)| r * w).sum();
+        if val < 0.0 {
+            row.iter_mut().for_each(|r| *r = -*r);
+        }
+        b = b.constraint(&row, Rel::Ge, 0.0);
+        rows.push(row);
+    }
+    let outcome = b.solve().expect("no iteration blow-up");
+    (rows, witness, c, outcome)
+}
+
+#[test]
+fn feasible_cases_are_solved_feasibly() {
+    for seed in 0..200u64 {
+        let d = 2 + (seed % 7) as usize; // 2..=8
+        let k = (seed % 12) as usize;
+        let scale = [0.1, 1.0, 100.0][(seed % 3) as usize];
+        let (rows, witness, _, outcome) = solve_case(seed, d, k, scale);
+        match outcome {
+            LpOutcome::Optimal(sol) => {
+                // On the simplex…
+                let sum: f64 = sol.x.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-6, "seed {seed}: sum {sum}");
+                assert!(
+                    sol.x.iter().all(|&v| v >= -1e-7),
+                    "seed {seed}: negative coordinate {:?}",
+                    sol.x
+                );
+                // …and inside every half-space.
+                for (i, row) in rows.iter().enumerate() {
+                    let val: f64 = row.iter().zip(&sol.x).map(|(r, x)| r * x).sum();
+                    let norm: f64 = row.iter().map(|r| r * r).sum::<f64>().sqrt();
+                    assert!(
+                        val >= -1e-6 * norm.max(1.0),
+                        "seed {seed}: constraint {i} violated by {val}"
+                    );
+                }
+            }
+            other => panic!(
+                "seed {seed}: witness {witness:?} exists but solver said {other:?}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn optimum_beats_the_witness() {
+    // The reported optimum must be at least as good as any feasible point
+    // we can exhibit — here, the construction's witness.
+    for seed in 300..380u64 {
+        let d = 3 + (seed % 4) as usize;
+        let k = (seed % 8) as usize;
+        let (_, witness, c, outcome) = solve_case(seed, d, k, 5.0);
+        let witness_val: f64 = c.iter().zip(&witness).map(|(ci, wi)| ci * wi).sum();
+        match outcome {
+            LpOutcome::Optimal(sol) => {
+                assert!(
+                    sol.objective >= witness_val - 1e-7,
+                    "seed {seed}: optimum {} below witness {witness_val}",
+                    sol.objective
+                );
+            }
+            other => panic!("seed {seed}: feasible case reported {other:?}"),
+        }
+    }
+}

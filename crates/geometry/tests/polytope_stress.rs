@@ -1,0 +1,178 @@
+//! Randomized stress tests for vertex enumeration: many seeds, dimensions,
+//! and cut counts, cross-checked against the LP view of the same region.
+
+use isrl_geometry::{Halfspace, Polytope, Region};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_cut(d: usize, rng: &mut StdRng) -> Halfspace {
+    loop {
+        let a: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let b: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        if let Some(h) = Halfspace::preferring(&a, &b) {
+            return h;
+        }
+    }
+}
+
+#[test]
+fn vertices_and_lp_agree_across_many_random_regions() {
+    let mut tested = 0;
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = rng.gen_range(2..=5);
+        let cuts = rng.gen_range(1..=7);
+        let bary = vec![1.0 / d as f64; d];
+        let mut region = Region::full(d);
+        // Half the regions are kept non-empty (oriented toward the
+        // barycenter); the rest are left to chance.
+        let keep_alive = seed % 2 == 0;
+        for _ in 0..cuts {
+            let h = random_cut(d, &mut rng);
+            let h = if keep_alive && !h.contains(&bary, 0.0) { h.flipped() } else { h };
+            region.add(h);
+        }
+        let polytope = Polytope::from_region(&region);
+        let lp_interior = region.has_interior();
+        match (&polytope, lp_interior) {
+            (Some(p), _) => {
+                tested += 1;
+                // Every vertex satisfies the region.
+                for v in p.vertices() {
+                    assert!(region.contains(v, 1e-6), "seed {seed}: vertex escapes");
+                }
+                // The centroid is feasible and inside the outer rectangle.
+                let c = p.centroid();
+                assert!(region.contains(&c, 1e-7), "seed {seed}: centroid escapes");
+                if let Some(rect) = region.outer_rectangle() {
+                    assert!(rect.contains(&c, 1e-6), "seed {seed}: centroid outside box");
+                }
+            }
+            (None, true) => {
+                panic!("seed {seed}: LP sees interior but no vertices were found");
+            }
+            (None, false) => {} // consistently empty
+        }
+    }
+    assert!(tested >= 15, "stress test barely exercised anything: {tested}");
+}
+
+#[test]
+fn incremental_cuts_only_remove_satisfying_vertices() {
+    // After adding a half-space, every new vertex set member satisfies it,
+    // and every old vertex that satisfied all constraints strictly remains
+    // representable (it is still in the region).
+    for seed in 100..110u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = 4;
+        let bary = vec![0.25; 4];
+        let mut region = Region::full(d);
+        for step in 0..5 {
+            let h = {
+                let h = random_cut(d, &mut rng);
+                if h.contains(&bary, 0.0) {
+                    h
+                } else {
+                    h.flipped()
+                }
+            };
+            let before = Polytope::from_region(&region).expect("non-empty before cut");
+            region.add(h.clone());
+            let Some(after) = Polytope::from_region(&region) else {
+                panic!("seed {seed} step {step}: barycenter-kept region emptied");
+            };
+            for v in after.vertices() {
+                assert!(h.contains(v, 1e-6), "new vertex violates the new cut");
+            }
+            // Strictly-interior old vertices survive as region members.
+            for v in before.vertices() {
+                if h.eval(v) > 1e-6 {
+                    assert!(
+                        region.contains(v, 1e-6),
+                        "seed {seed} step {step}: surviving vertex evicted"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn outer_sphere_radius_stays_in_the_diameter_envelope() {
+    // The paper's iterative enclosing-sphere scheme (Lemma 3) converges to
+    // a *local* optimum, so the radius need not shrink monotonically under
+    // cuts — but it must always sit in the tight envelope
+    // `diameter/2 ≤ radius ≤ diameter` of the vertex set, and the sphere
+    // must enclose every vertex.
+    for seed in 200..212u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = 3;
+        let bary = vec![1.0 / 3.0; 3];
+        let mut region = Region::full(d);
+        for _ in 0..4 {
+            let h = {
+                let h = random_cut(d, &mut rng);
+                if h.contains(&bary, 0.0) {
+                    h
+                } else {
+                    h.flipped()
+                }
+            };
+            region.add(h);
+            let p = Polytope::from_region(&region).unwrap();
+            let sphere = p.outer_sphere();
+            let vs = p.vertices();
+            let mut diameter = 0.0f64;
+            for a in vs {
+                for b in vs {
+                    diameter = diameter.max(isrl_linalg::vector::dist(a, b));
+                }
+            }
+            for v in vs {
+                assert!(sphere.contains(v, 1e-5), "seed {seed}: vertex escapes sphere");
+            }
+            assert!(
+                sphere.radius() >= diameter / 2.0 - 1e-6,
+                "seed {seed}: radius {} below diameter/2 {}",
+                sphere.radius(),
+                diameter / 2.0
+            );
+            assert!(
+                sphere.radius() <= diameter + 1e-6,
+                "seed {seed}: radius {} above diameter {diameter}",
+                sphere.radius()
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_duplicate_cuts_are_harmless() {
+    let mut region = Region::full(3);
+    let h = Halfspace::new(vec![1.0, -1.0, 0.0]);
+    for _ in 0..10 {
+        region.add(h.clone());
+    }
+    let p = Polytope::from_region(&region).expect("duplicates must not break enumeration");
+    assert!(p.n_vertices() >= 3);
+    for v in p.vertices() {
+        assert!(region.contains(v, 1e-6));
+    }
+}
+
+#[test]
+fn near_parallel_cuts_stay_numerically_stable() {
+    // Families of almost-identical hyperplanes are the classic vertex
+    // enumeration stress; the dedup tolerance must absorb them.
+    let mut region = Region::full(3);
+    for k in 0..8 {
+        let wiggle = 1e-7 * k as f64;
+        region.add(Halfspace::new(vec![1.0 + wiggle, -1.0, wiggle]));
+    }
+    let p = Polytope::from_region(&region).expect("region is half the simplex");
+    for v in p.vertices() {
+        assert!(region.contains(v, 1e-5));
+    }
+    // The sliver between the wiggled planes must not blow up vertex counts.
+    assert!(p.n_vertices() <= 12, "vertex explosion: {}", p.n_vertices());
+}

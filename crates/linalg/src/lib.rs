@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Dense linear-algebra kernel for the ISRL workspace.
+//!
+//! This crate provides the small set of numerical primitives everything else
+//! in the workspace is built on: free functions over `&[f64]` slices for
+//! vector arithmetic ([`vector`]), a row-major dense [`matrix::Matrix`],
+//! and Gaussian-elimination linear solves ([`solve`]).
+//!
+//! The geometry kernel (`isrl-geometry`) uses these for hyperplane and
+//! polytope computations; the neural-network crate (`isrl-nn`) uses them for
+//! forward/backward passes. Everything is `f64`: the polytopes involved in
+//! interactive regret queries shrink geometrically with each question, so
+//! single precision runs out of head-room after a dozen rounds.
+
+pub mod matrix;
+pub mod norms;
+pub mod solve;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use solve::{solve_linear_system, SolveError};
+
+/// Absolute tolerance used throughout the workspace for geometric predicates.
+///
+/// Chosen so that after ~30 half-space intersections on the unit simplex the
+/// accumulated rounding error of vertex enumeration stays well below it.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` are equal within [`EPS`] (absolute).
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// Returns `true` if `a` and `b` are equal within the given absolute tolerance.
+#[inline]
+pub fn approx_eq_tol(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

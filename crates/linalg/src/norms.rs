@@ -1,0 +1,98 @@
+//! Statistical reductions used by the data generators and metric reporters.
+
+/// Arithmetic mean. Returns `0.0` for an empty slice (the reporting code
+/// treats an empty run set as "no data", not an error).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Maximum value; `None` when empty or any element is NaN.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().try_fold(f64::NEG_INFINITY, |acc, &x| {
+        if x.is_nan() {
+            None
+        } else {
+            Some(acc.max(x))
+        }
+    })
+    .filter(|_| !xs.is_empty())
+}
+
+/// Minimum value; `None` when empty or any element is NaN.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().try_fold(f64::INFINITY, |acc, &x| {
+        if x.is_nan() {
+            None
+        } else {
+            Some(acc.min(x))
+        }
+    })
+    .filter(|_| !xs.is_empty())
+}
+
+/// `p`-th percentile (0 ≤ p ≤ 100) by linear interpolation on the sorted data.
+/// Returns `None` when empty.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constant_sequence() {
+        assert_eq!(mean(&[2.0, 2.0, 2.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_matches_hand_computation() {
+        // Population std of [1, 3] is 1.
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_handle_empty_and_nan() {
+        assert_eq!(max(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[1.0, f64::NAN]), None);
+        assert_eq!(max(&[1.0, 4.0, 2.0]), Some(4.0));
+        assert_eq!(min(&[1.0, 4.0, 2.0]), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Linear-system solving via Gaussian elimination with partial pivoting.
+//!
+//! Vertex enumeration in `isrl-geometry` solves one `d × d` system per
+//! candidate constraint subset; `d` stays below ~25, so a dense `O(d³)`
+//! elimination with partial pivoting is both the simplest and the fastest
+//! practical choice.
+
+use crate::Matrix;
+
+/// Errors from [`solve_linear_system`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The coefficient matrix is singular (or numerically so) — the chosen
+    /// constraint subset does not determine a unique vertex.
+    Singular,
+    /// The matrix is not square or the right-hand side length disagrees.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "singular linear system"),
+            SolveError::ShapeMismatch => write!(f, "shape mismatch in linear solve"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves `A x = b` for square `A` using Gaussian elimination with partial
+/// pivoting. `A` and `b` are consumed by value because elimination works
+/// in place on a copy anyway.
+///
+/// Returns [`SolveError::Singular`] when the pivot falls below `1e-12`,
+/// which in the geometric callers means the constraint subset is degenerate
+/// and simply gets skipped.
+pub fn solve_linear_system(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::ShapeMismatch);
+    }
+    const PIVOT_TOL: f64 = 1e-12;
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at or below the diagonal.
+        let mut pivot_row = col;
+        let mut pivot_val = a[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = a[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < PIVOT_TOL {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = a[(col, j)];
+                a[(col, j)] = a[(pivot_row, j)];
+                a[(pivot_row, j)] = tmp;
+            }
+            b.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        let diag = a[(col, col)];
+        for r in (col + 1)..n {
+            let factor = a[(r, col)] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            a[(r, col)] = 0.0;
+            for j in (col + 1)..n {
+                let v = a[(col, j)];
+                a[(r, j)] -= factor * v;
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in (row + 1)..n {
+            acc -= a[(row, j)] * x[j];
+        }
+        x[row] = acc / a[(row, row)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    #[test]
+    fn solves_known_2x2() {
+        // x + y = 3, x - y = 1 => x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, -1.0]]);
+        let x = solve_linear_system(a, vec![3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_needing_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 1.0]]);
+        let x = solve_linear_system(a, vec![4.0, 5.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve_linear_system(a, vec![1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn detects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(solve_linear_system(a, vec![1.0, 2.0]), Err(SolveError::ShapeMismatch));
+        let a = Matrix::identity(2);
+        assert_eq!(solve_linear_system(a, vec![1.0]), Err(SolveError::ShapeMismatch));
+    }
+
+    #[test]
+    fn residual_is_small_for_random_systems() {
+        // Deterministic pseudo-random fill; checks ‖Ax − b‖ stays tiny.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in [1usize, 3, 8, 16] {
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let a = Matrix::from_rows(&rows);
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            match solve_linear_system(a.clone(), b.clone()) {
+                Ok(x) => {
+                    let r = vector::sub(&a.mul_vec(&x), &b);
+                    assert!(vector::norm(&r) < 1e-8, "residual too large for n={n}");
+                }
+                Err(SolveError::Singular) => {} // acceptable for random fill
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+}

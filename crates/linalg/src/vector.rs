@@ -1,0 +1,307 @@
+//! Free functions for dense vector arithmetic over `&[f64]` slices.
+//!
+//! These are the innermost loops of the whole system: utility evaluation
+//! (`dot`), hyperplane construction (`sub`), and state encoding all bottom
+//! out here. They are written as plain indexed loops over equal-length
+//! slices, which LLVM auto-vectorizes.
+
+/// Dot product `a · b`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(isrl_linalg::vector::dot(&[0.3, 0.7], &[0.5, 0.8]), 0.71);
+/// ```
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Element-wise difference `a - b` as a new vector.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+#[inline]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// In-place `a += s * b` (axpy).
+#[inline]
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "axpy: dimension mismatch");
+    for i in 0..a.len() {
+        a[i] += s * b[i];
+    }
+}
+
+/// Scalar multiple `s * a` as a new vector.
+#[inline]
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// In-place scalar multiply.
+#[inline]
+pub fn scale_mut(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist: dimension mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// Squared Euclidean distance (avoids the `sqrt` when only comparisons are needed).
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist_sq: dimension mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Sum of all components.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Midpoint `(a + b) / 2`.
+#[inline]
+pub fn midpoint(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "midpoint: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| 0.5 * (x + y)).collect()
+}
+
+/// Normalizes `a` to unit L2 norm. Returns `None` for the zero vector.
+pub fn unit(a: &[f64]) -> Option<Vec<f64>> {
+    let n = norm(a);
+    if n <= f64::EPSILON {
+        None
+    } else {
+        Some(scale(a, 1.0 / n))
+    }
+}
+
+/// Normalizes `a` so its components sum to one (projection onto the simplex
+/// scale). Returns `None` if the component sum is not positive.
+pub fn normalize_sum(a: &[f64]) -> Option<Vec<f64>> {
+    let s = sum(a);
+    if s <= f64::EPSILON {
+        None
+    } else {
+        Some(scale(a, 1.0 / s))
+    }
+}
+
+/// Index of the maximum component (first one on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmax(a: &[f64]) -> usize {
+    assert!(!a.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for i in 1..a.len() {
+        if a[i] > a[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the minimum component (first one on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmin(a: &[f64]) -> usize {
+    assert!(!a.is_empty(), "argmin of empty slice");
+    let mut best = 0;
+    for i in 1..a.len() {
+        if a[i] < a[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Linear interpolation `(1 - t) * a + t * b`.
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "lerp: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+}
+
+/// Component-wise minimum of two vectors.
+pub fn elem_min(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "elem_min: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x.min(*y)).collect()
+}
+
+/// Component-wise maximum of two vectors.
+pub fn elem_max(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "elem_max: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x.max(*y)).collect()
+}
+
+/// Mean of a non-empty set of equal-length vectors.
+///
+/// # Panics
+/// Panics if `vs` is empty or the vectors disagree on length.
+pub fn mean(vs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!vs.is_empty(), "mean of empty set");
+    let d = vs[0].len();
+    let mut acc = vec![0.0; d];
+    for v in vs {
+        assert_eq!(v.len(), d, "mean: dimension mismatch");
+        for i in 0..d {
+            acc[i] += v[i];
+        }
+    }
+    let inv = 1.0 / vs.len() as f64;
+    for x in &mut acc {
+        *x *= inv;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert!((dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_panics_on_mismatched_lengths() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sub_and_add_are_inverses() {
+        let a = [0.3, 0.7, 0.1];
+        let b = [0.2, 0.5, 0.9];
+        let back = add(&sub(&a, &b), &b);
+        for (x, y) in back.iter().zip(a.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, 2.0, &[3.0, 4.0]);
+        assert_eq!(a, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norm_of_unit_axis_is_one() {
+        assert_eq!(norm(&[0.0, 1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric_and_matches_norm_of_difference() {
+        let a = [0.1, 0.9];
+        let b = [0.7, 0.3];
+        assert!((dist(&a, &b) - dist(&b, &a)).abs() < 1e-15);
+        assert!((dist(&a, &b) - norm(&sub(&a, &b))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dist_sq_is_square_of_dist() {
+        let a = [0.2, 0.4, 0.4];
+        let b = [0.5, 0.1, 0.4];
+        assert!((dist_sq(&a, &b) - dist(&a, &b).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_rejects_zero_vector() {
+        assert!(unit(&[0.0, 0.0]).is_none());
+        let u = unit(&[3.0, 4.0]).unwrap();
+        assert!((norm(&u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_sum_lands_on_simplex() {
+        let v = normalize_sum(&[1.0, 3.0]).unwrap();
+        assert!((sum(&v) - 1.0).abs() < 1e-12);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_sum_rejects_nonpositive() {
+        assert!(normalize_sum(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmin(&[2.0, 0.5, 0.5]), 1);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [0.0, 1.0];
+        let b = [1.0, 0.0];
+        assert_eq!(lerp(&a, &b, 0.0), a.to_vec());
+        assert_eq!(lerp(&a, &b, 1.0), b.to_vec());
+        assert_eq!(lerp(&a, &b, 0.5), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn elem_min_max_bracket_inputs() {
+        let a = [0.1, 0.9];
+        let b = [0.5, 0.2];
+        assert_eq!(elem_min(&a, &b), vec![0.1, 0.2]);
+        assert_eq!(elem_max(&a, &b), vec![0.5, 0.9]);
+    }
+
+    #[test]
+    fn mean_of_vertices_is_centroid() {
+        let m = mean(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(m, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn midpoint_is_lerp_half() {
+        let a = [0.0, 0.4];
+        let b = [1.0, 0.6];
+        assert_eq!(midpoint(&a, &b), lerp(&a, &b, 0.5));
+    }
+}

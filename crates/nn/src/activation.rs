@@ -1,0 +1,121 @@
+//! Activation functions.
+//!
+//! The paper's DQN uses SELU (Klambauer et al., NeurIPS 2017) in its single
+//! 64-unit hidden layer; ReLU and Tanh are provided for ablations and tests.
+
+/// SELU's λ constant (from the self-normalizing-networks paper).
+pub const SELU_LAMBDA: f64 = 1.050_700_987_355_480_5;
+/// SELU's α constant.
+pub const SELU_ALPHA: f64 = 1.673_263_242_354_377_3;
+
+/// An elementwise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Scaled exponential linear unit — the paper's choice.
+    Selu,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// The identity (used for output layers).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Selu => {
+                if x > 0.0 {
+                    SELU_LAMBDA * x
+                } else {
+                    SELU_LAMBDA * SELU_ALPHA * (x.exp() - 1.0)
+                }
+            }
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative w.r.t. the pre-activation value.
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Selu => {
+                if x > 0.0 {
+                    SELU_LAMBDA
+                } else {
+                    SELU_LAMBDA * SELU_ALPHA * x.exp()
+                }
+            }
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - x.tanh().powi(2),
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation to a whole slice, in place.
+    pub fn apply_slice(self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selu_is_continuous_at_zero() {
+        let below = Activation::Selu.apply(-1e-12);
+        let above = Activation::Selu.apply(1e-12);
+        assert!((below - above).abs() < 1e-9);
+        assert!(Activation::Selu.apply(0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selu_positive_branch_is_linear() {
+        assert!((Activation::Selu.apply(2.0) - 2.0 * SELU_LAMBDA).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selu_saturates_below() {
+        // As x → −∞, SELU → −λα.
+        let v = Activation::Selu.apply(-50.0);
+        assert!((v + SELU_LAMBDA * SELU_ALPHA).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in [Activation::Selu, Activation::Relu, Activation::Tanh, Activation::Identity] {
+            for x in [-2.0f64, -0.5, 0.3, 1.7] {
+                if act == Activation::Relu && x.abs() < h {
+                    continue; // kink
+                }
+                let num = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let ana = act.derivative(x);
+                assert!(
+                    (num - ana).abs() < 1e-5,
+                    "{act:?} at {x}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut xs = vec![-1.0, 0.0, 2.0];
+        Activation::Selu.apply_slice(&mut xs);
+        assert_eq!(xs[2], Activation::Selu.apply(2.0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Weight initialization schemes.
+
+use isrl_linalg::Matrix;
+use rand::Rng;
+
+/// Initialization scheme for a dense layer's weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// LeCun normal: `N(0, 1/fan_in)` — the scheme SELU's self-normalizing
+    /// property is derived for, hence our default.
+    LecunNormal,
+    /// Xavier/Glorot uniform: `U(±√(6/(fan_in+fan_out)))`.
+    XavierUniform,
+}
+
+fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws an `out × in` weight matrix under the given scheme.
+pub fn init_weights<R: Rng + ?Sized>(
+    fan_out: usize,
+    fan_in: usize,
+    scheme: Init,
+    rng: &mut R,
+) -> Matrix {
+    let mut w = Matrix::zeros(fan_out, fan_in);
+    match scheme {
+        Init::LecunNormal => {
+            let sd = (1.0 / fan_in as f64).sqrt();
+            for v in w.as_mut_slice() {
+                *v = sd * std_normal(rng);
+            }
+        }
+        Init::XavierUniform => {
+            let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            for v in w.as_mut_slice() {
+                *v = rng.gen_range(-bound..bound);
+            }
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lecun_variance_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = init_weights(64, 100, Init::LecunNormal, &mut rng);
+        let vals = w.as_slice();
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 0.01).abs() < 0.003, "var {var} should be ≈ 1/100");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = init_weights(30, 70, Init::XavierUniform, &mut rng);
+        let bound = (6.0f64 / 100.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let a = init_weights(4, 4, Init::LecunNormal, &mut StdRng::seed_from_u64(5));
+        let b = init_weights(4, 4, Init::LecunNormal, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! From-scratch neural-network library for the ISRL workspace.
+//!
+//! Implements exactly what the paper's Deep-Q-Network needs (§IV-B2, §V):
+//! a small fully-connected network — one hidden layer of 64 SELU units in
+//! the paper's configuration — with manual backpropagation, MSE loss, and
+//! plain gradient descent at learning rate 0.003 (Adam available for
+//! ablations). No external ML dependency: mature RL/NN crates are not
+//! assumed available (see DESIGN.md).
+//!
+//! ```
+//! use isrl_nn::{loss, Activation, Init, Mlp, Optimizer, Sgd};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut net = Mlp::new(&[2, 64, 1], Activation::Selu, Init::LecunNormal, &mut rng);
+//! let mut opt = Sgd::paper_default(); // the paper's lr = 0.003
+//! // One gradient step toward target 1.0 must reduce the error.
+//! let x = [0.3, 0.7];
+//! let before = (net.forward(&x)[0] - 1.0).abs();
+//! let (y, cache) = net.forward_cached(&x);
+//! let grads = net.backward(&cache, &loss::mse_grad(&y, &[1.0]));
+//! opt.step(&mut net, &grads);
+//! assert!((net.forward(&x)[0] - 1.0).abs() < before);
+//! ```
+
+pub mod activation;
+pub mod init;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+
+pub use activation::Activation;
+pub use init::Init;
+pub use mlp::{Dense, ForwardCache, Gradients, Mlp};
+pub use optim::{Adam, Optimizer, Sgd};

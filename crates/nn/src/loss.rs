@@ -1,0 +1,87 @@
+//! Loss functions.
+//!
+//! The paper's DQN minimizes the mean-squared error between predicted
+//! Q-values and bootstrapped targets (§IV-B2); Huber is provided as the
+//! standard robust alternative for ablations.
+
+/// Mean-squared error `mean((pred − target)²)` over paired slices.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mse: length mismatch");
+    assert!(!pred.is_empty(), "mse of empty slices");
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Gradient of [`mse`] w.r.t. `pred`: `2 (pred − target) / n`.
+pub fn mse_grad(pred: &[f64], target: &[f64]) -> Vec<f64> {
+    assert_eq!(pred.len(), target.len(), "mse_grad: length mismatch");
+    let inv = 2.0 / pred.len() as f64;
+    pred.iter().zip(target).map(|(p, t)| inv * (p - t)).collect()
+}
+
+/// Huber loss with threshold `delta` for one scalar pair.
+pub fn huber(pred: f64, target: f64, delta: f64) -> f64 {
+    let e = (pred - target).abs();
+    if e <= delta {
+        0.5 * e * e
+    } else {
+        delta * (e - 0.5 * delta)
+    }
+}
+
+/// Derivative of [`huber`] w.r.t. `pred`.
+pub fn huber_grad(pred: f64, target: f64, delta: f64) -> f64 {
+    let e = pred - target;
+    e.clamp(-delta, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_perfect_prediction_is_zero() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        // ((1)² + (3)²)/2 = 5
+        assert_eq!(mse(&[2.0, 0.0], &[1.0, 3.0]), 5.0);
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let pred = [0.5, -1.0, 2.0];
+        let target = [0.0, 0.0, 1.0];
+        let g = mse_grad(&pred, &target);
+        let h = 1e-6;
+        for k in 0..pred.len() {
+            let mut up = pred;
+            up[k] += h;
+            let mut down = pred;
+            down[k] -= h;
+            let numeric = (mse(&up, &target) - mse(&down, &target)) / (2.0 * h);
+            assert!((numeric - g[k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_linear_outside() {
+        assert_eq!(huber(0.5, 0.0, 1.0), 0.125);
+        assert_eq!(huber(3.0, 0.0, 1.0), 2.5); // 1·(3 − 0.5)
+    }
+
+    #[test]
+    fn huber_grad_is_clamped() {
+        assert_eq!(huber_grad(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(huber_grad(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(huber_grad(-5.0, 0.0, 1.0), -1.0);
+    }
+}

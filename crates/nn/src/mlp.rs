@@ -1,0 +1,419 @@
+//! The multi-layer perceptron with manual backpropagation.
+//!
+//! The DQN of the paper is tiny — input ⊕ action features → 64 SELU units →
+//! scalar Q-value — so the implementation favors clarity: one dense layer
+//! struct, explicit forward caches, and a [`Gradients`] value mirroring the
+//! parameter shapes that the optimizers in [`crate::optim`] consume.
+
+use crate::activation::Activation;
+use crate::init::{init_weights, Init};
+use isrl_linalg::{vector, Matrix};
+use rand::Rng;
+
+/// One dense layer `y = act(W x + b)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix, `out × in`.
+    pub weights: Matrix,
+    /// Bias vector, length `out`.
+    pub bias: Vec<f64>,
+    /// Activation applied elementwise to the pre-activation.
+    pub activation: Activation,
+}
+
+impl Dense {
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Pre-activation `W x + b`.
+    fn preactivation(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = self.weights.mul_vec(x);
+        vector::axpy(&mut z, 1.0, &self.bias);
+        z
+    }
+}
+
+/// Parameter gradients for a whole [`Mlp`], in layer order.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Per layer: (dL/dW, dL/db).
+    pub layers: Vec<(Matrix, Vec<f64>)>,
+}
+
+impl Gradients {
+    /// Zero gradients shaped like the given network.
+    pub fn zeros_like(net: &Mlp) -> Self {
+        Self {
+            layers: net
+                .layers
+                .iter()
+                .map(|l| (Matrix::zeros(l.fan_out(), l.fan_in()), vec![0.0; l.fan_out()]))
+                .collect(),
+        }
+    }
+
+    /// Accumulates `other` into `self` (used to average over a batch).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn accumulate(&mut self, other: &Gradients) {
+        assert_eq!(self.layers.len(), other.layers.len(), "gradient layer mismatch");
+        for ((w, b), (ow, ob)) in self.layers.iter_mut().zip(&other.layers) {
+            w.axpy(1.0, ow);
+            vector::axpy(b, 1.0, ob);
+        }
+    }
+
+    /// Scales all gradients by `s` (e.g. `1/batch`).
+    pub fn scale(&mut self, s: f64) {
+        for (w, b) in &mut self.layers {
+            for v in w.as_mut_slice() {
+                *v *= s;
+            }
+            vector::scale_mut(b, s);
+        }
+    }
+
+    /// Global L2 norm over all gradient entries (for clipping/diagnostics).
+    pub fn norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for (w, b) in &self.layers {
+            acc += w.as_slice().iter().map(|v| v * v).sum::<f64>();
+            acc += b.iter().map(|v| v * v).sum::<f64>();
+        }
+        acc.sqrt()
+    }
+
+    /// Clips the global norm to `max_norm` (no-op when already below).
+    pub fn clip_norm(&mut self, max_norm: f64) {
+        let n = self.norm();
+        if n > max_norm && n > 0.0 {
+            self.scale(max_norm / n);
+        }
+    }
+}
+
+/// Forward-pass cache needed by [`Mlp::backward`]: the input to each layer
+/// and each layer's pre-activation.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    inputs: Vec<Vec<f64>>,
+    preacts: Vec<Vec<f64>>,
+}
+
+/// A fully-connected feed-forward network.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer widths (`sizes[0]` = input
+    /// width, `sizes.last()` = output width), `hidden` activation on every
+    /// layer except the last, and identity output.
+    ///
+    /// # Panics
+    /// Panics with fewer than two sizes.
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        hidden: Activation,
+        init: Init,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense {
+                weights: init_weights(w[1], w[0], init, rng),
+                bias: vec![0.0; w[1]],
+                activation: if i + 2 == sizes.len() { Activation::Identity } else { hidden },
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// The layers (read-only).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].fan_in()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").fan_out()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.fan_out() * (l.fan_in() + 1))
+            .sum()
+    }
+
+    /// Inference-only forward pass.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "input width mismatch");
+        let mut h = x.to_vec();
+        for layer in &self.layers {
+            let mut z = layer.preactivation(&h);
+            layer.activation.apply_slice(&mut z);
+            h = z;
+        }
+        h
+    }
+
+    /// Forward pass that also returns the cache for [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &[f64]) -> (Vec<f64>, ForwardCache) {
+        assert_eq!(x.len(), self.input_dim(), "input width mismatch");
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut preacts = Vec::with_capacity(self.layers.len());
+        let mut h = x.to_vec();
+        for layer in &self.layers {
+            inputs.push(h.clone());
+            let z = layer.preactivation(&h);
+            preacts.push(z.clone());
+            let mut a = z;
+            layer.activation.apply_slice(&mut a);
+            h = a;
+        }
+        (h, ForwardCache { inputs, preacts })
+    }
+
+    /// Backpropagates `dL/d(output)` through the cached forward pass,
+    /// returning parameter gradients (the input gradient is discarded —
+    /// nothing upstream of the network is trainable here).
+    pub fn backward(&self, cache: &ForwardCache, dloss_dout: &[f64]) -> Gradients {
+        assert_eq!(dloss_dout.len(), self.output_dim(), "output grad width mismatch");
+        let mut grads = Gradients::zeros_like(self);
+        let mut delta = dloss_dout.to_vec();
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            // δ_z = δ_a ⊙ act'(z)
+            let z = &cache.preacts[li];
+            for (d, &zi) in delta.iter_mut().zip(z) {
+                *d *= layer.activation.derivative(zi);
+            }
+            // dW = δ_z xᵀ, db = δ_z
+            let x = &cache.inputs[li];
+            let (gw, gb) = &mut grads.layers[li];
+            for (i, &di) in delta.iter().enumerate() {
+                gb[i] = di;
+                let row = gw.row_mut(i);
+                for (j, &xj) in x.iter().enumerate() {
+                    row[j] = di * xj;
+                }
+            }
+            // δ for the previous layer: Wᵀ δ_z
+            if li > 0 {
+                delta = layer.weights.mul_vec_transposed(&delta);
+            }
+        }
+        grads
+    }
+
+    /// Copies all parameters from `other` (target-network sync).
+    ///
+    /// # Panics
+    /// Panics if the architectures differ.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        for (l, o) in self.layers.iter_mut().zip(&other.layers) {
+            assert_eq!(
+                (l.fan_in(), l.fan_out()),
+                (o.fan_in(), o.fan_out()),
+                "layer shape mismatch"
+            );
+            l.weights = o.weights.clone();
+            l.bias = o.bias.clone();
+        }
+    }
+
+    /// Flattens all parameters into one vector (serialization, tests).
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_params());
+        for l in &self.layers {
+            out.extend_from_slice(l.weights.as_slice());
+            out.extend_from_slice(&l.bias);
+        }
+        out
+    }
+
+    /// Restores parameters from [`Mlp::to_flat`] output.
+    ///
+    /// # Panics
+    /// Panics if the length disagrees with the architecture.
+    pub fn from_flat(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.n_params(), "flat parameter length mismatch");
+        let mut at = 0;
+        for l in &mut self.layers {
+            let nw = l.fan_out() * l.fan_in();
+            l.weights.as_mut_slice().copy_from_slice(&flat[at..at + nw]);
+            at += nw;
+            let nb = l.fan_out();
+            l.bias.copy_from_slice(&flat[at..at + nb]);
+            at += nb;
+        }
+    }
+
+    /// Visits every (parameter, gradient) pair — the optimizer entry point.
+    pub(crate) fn visit_params_mut(
+        &mut self,
+        grads: &Gradients,
+        mut f: impl FnMut(usize, &mut f64, f64),
+    ) {
+        let mut idx = 0;
+        for (l, (gw, gb)) in self.layers.iter_mut().zip(&grads.layers) {
+            for (p, &g) in l.weights.as_mut_slice().iter_mut().zip(gw.as_slice()) {
+                f(idx, p, g);
+                idx += 1;
+            }
+            for (p, &g) in l.bias.iter_mut().zip(gb) {
+                f(idx, p, g);
+                idx += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&[3, 5, 1], Activation::Selu, Init::LecunNormal, &mut rng)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let net = tiny_net(1);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 1);
+        assert_eq!(net.n_params(), 5 * 3 + 5 + 1 * 5 + 1);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]).len(), 1);
+    }
+
+    #[test]
+    fn output_layer_is_identity() {
+        let net = tiny_net(2);
+        assert_eq!(net.layers().last().unwrap().activation, Activation::Identity);
+        assert_eq!(net.layers()[0].activation, Activation::Selu);
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let net = tiny_net(3);
+        let x = [0.4, -0.2, 0.9];
+        let (y, _) = net.forward_cached(&x);
+        assert_eq!(y, net.forward(&x));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // The canonical backprop test: perturb each parameter and compare
+        // the numeric directional derivative with the analytic gradient.
+        let mut net = tiny_net(4);
+        let x = [0.3, -0.7, 0.5];
+        let target = 1.5;
+
+        let loss = |net: &Mlp| {
+            let y = net.forward(&x)[0];
+            (y - target).powi(2)
+        };
+
+        let (y, cache) = net.forward_cached(&x);
+        let dloss = vec![2.0 * (y[0] - target)];
+        let grads = net.backward(&cache, &dloss);
+
+        // Flatten analytic grads in the same order as to_flat.
+        let mut flat_grads = Vec::new();
+        for (gw, gb) in &grads.layers {
+            flat_grads.extend_from_slice(gw.as_slice());
+            flat_grads.extend_from_slice(gb);
+        }
+
+        let mut flat = net.to_flat();
+        let h = 1e-6;
+        for k in 0..flat.len() {
+            let orig = flat[k];
+            flat[k] = orig + h;
+            net.from_flat(&flat);
+            let up = loss(&net);
+            flat[k] = orig - h;
+            net.from_flat(&flat);
+            let down = loss(&net);
+            flat[k] = orig;
+            net.from_flat(&flat);
+            let numeric = (up - down) / (2.0 * h);
+            assert!(
+                (numeric - flat_grads[k]).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "param {k}: numeric {numeric} vs analytic {}",
+                flat_grads[k]
+            );
+        }
+    }
+
+    #[test]
+    fn copy_params_makes_networks_identical() {
+        let a = tiny_net(5);
+        let mut b = tiny_net(6);
+        assert_ne!(a.to_flat(), b.to_flat());
+        b.copy_params_from(&a);
+        assert_eq!(a.to_flat(), b.to_flat());
+        assert_eq!(a.forward(&[0.1, 0.1, 0.1]), b.forward(&[0.1, 0.1, 0.1]));
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let mut net = tiny_net(7);
+        let flat = net.to_flat();
+        net.from_flat(&flat);
+        assert_eq!(net.to_flat(), flat);
+    }
+
+    #[test]
+    fn gradients_accumulate_and_scale() {
+        let net = tiny_net(8);
+        let x = [0.2, 0.2, 0.2];
+        let (y, cache) = net.forward_cached(&x);
+        let g1 = net.backward(&cache, &[2.0 * y[0]]);
+        let mut acc = Gradients::zeros_like(&net);
+        acc.accumulate(&g1);
+        acc.accumulate(&g1);
+        acc.scale(0.5);
+        assert!((acc.norm() - g1.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_norm_caps_large_gradients() {
+        let net = tiny_net(9);
+        let x = [0.9, -0.9, 0.9];
+        let (_, cache) = net.forward_cached(&x);
+        let mut g = net.backward(&cache, &[100.0]);
+        g.clip_norm(1.0);
+        assert!(g.norm() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn forward_checks_width() {
+        tiny_net(10).forward(&[1.0]);
+    }
+}

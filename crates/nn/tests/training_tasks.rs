@@ -1,0 +1,127 @@
+//! End-to-end learning tasks for the from-scratch MLP: non-linear function
+//! fitting (XOR), deliberate overfitting, and optimizer comparisons.
+
+use isrl_nn::{loss, Activation, Init, Mlp, Optimizer, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The XOR task — unlearnable without the hidden layer, the classic check
+/// that backprop trains through the non-linearity.
+#[test]
+fn xor_is_learned_through_the_hidden_layer() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Init::XavierUniform, &mut rng);
+    let mut opt = Sgd { lr: 0.1 };
+    let data: [([f64; 2], f64); 4] =
+        [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+    for _ in 0..3_000 {
+        for (x, t) in &data {
+            let (y, cache) = net.forward_cached(x);
+            let g = net.backward(&cache, &loss::mse_grad(&y, &[*t]));
+            opt.step(&mut net, &g);
+        }
+    }
+    for (x, t) in &data {
+        let y = net.forward(x)[0];
+        assert!((y - t).abs() < 0.2, "XOR({x:?}) = {y:.3}, want {t}");
+    }
+}
+
+/// A single hidden layer of 64 SELU units (the paper's architecture) can
+/// memorize a small random regression set — capacity sanity check.
+#[test]
+fn paper_architecture_memorizes_small_sets() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = Mlp::new(&[10, 64, 1], Activation::Selu, Init::LecunNormal, &mut rng);
+    let mut opt = Sgd { lr: 0.01 };
+    // 20 random (x, y) pairs.
+    let mut seed = 1234u64;
+    let mut nextf = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let data: Vec<(Vec<f64>, f64)> =
+        (0..20).map(|_| ((0..10).map(|_| nextf()).collect(), nextf())).collect();
+    for _ in 0..2_000 {
+        for (x, t) in &data {
+            let (y, cache) = net.forward_cached(x);
+            let g = net.backward(&cache, &loss::mse_grad(&y, &[*t]));
+            opt.step(&mut net, &g);
+        }
+    }
+    let mse: f64 = data
+        .iter()
+        .map(|(x, t)| (net.forward(x)[0] - t).powi(2))
+        .sum::<f64>()
+        / data.len() as f64;
+    assert!(mse < 1e-3, "64-unit SELU layer should memorize 20 points, mse {mse}");
+}
+
+/// SELU's self-normalizing property in practice: activations through a deep
+/// stack keep roughly unit variance with LeCun init (no explicit norm layers).
+#[test]
+fn selu_keeps_activation_variance_stable() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = Mlp::new(&[64, 64, 64, 64, 64], Activation::Selu, Init::LecunNormal, &mut rng);
+    // Standard-normal-ish input.
+    let mut seed = 777u64;
+    let mut nextf = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        ((seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 3.46 // var ≈ 1
+    };
+    let mut out_var = 0.0;
+    let trials = 50;
+    for _ in 0..trials {
+        let x: Vec<f64> = (0..64).map(|_| nextf()).collect();
+        let y = net.forward(&x);
+        let mean: f64 = y.iter().sum::<f64>() / y.len() as f64;
+        out_var += y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y.len() as f64;
+    }
+    out_var /= trials as f64;
+    assert!(
+        (0.1..10.0).contains(&out_var),
+        "activations should neither explode nor vanish through 4 SELU layers: var {out_var}"
+    );
+}
+
+/// Gradient descent on a convex problem (linear net, quadratic loss)
+/// converges monotonically once the step size is small enough.
+#[test]
+fn convex_loss_decreases_monotonically() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut net = Mlp::new(&[3, 1], Activation::Selu, Init::LecunNormal, &mut rng);
+    // With sizes [3, 1] there is a single (output) layer — identity
+    // activation — so the model is linear and the MSE is convex.
+    assert_eq!(net.layers().len(), 1);
+    let mut opt = Sgd { lr: 0.05 };
+    let data: [([f64; 3], f64); 4] = [
+        ([1.0, 0.0, 0.0], 2.0),
+        ([0.0, 1.0, 0.0], -1.0),
+        ([0.0, 0.0, 1.0], 0.5),
+        ([1.0, 1.0, 1.0], 1.5),
+    ];
+    let eval = |net: &Mlp| -> f64 {
+        data.iter().map(|(x, t)| (net.forward(x)[0] - t).powi(2)).sum()
+    };
+    let mut prev = eval(&net);
+    for _ in 0..200 {
+        let mut grads = None;
+        for (x, t) in &data {
+            let (y, cache) = net.forward_cached(x);
+            let g = net.backward(&cache, &loss::mse_grad(&y, &[*t]));
+            match &mut grads {
+                None => grads = Some(g),
+                Some(acc) => acc.accumulate(&g),
+            }
+        }
+        opt.step(&mut net, &grads.unwrap());
+        let now = eval(&net);
+        assert!(now <= prev + 1e-9, "convex loss increased: {prev} -> {now}");
+        prev = now;
+    }
+    assert!(prev < 0.01, "final loss {prev}");
+}

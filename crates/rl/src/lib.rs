@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Deep-Q-learning framework for the interaction MDP.
+//!
+//! Implements the reinforcement-learning machinery of the paper's §IV-B2:
+//! experience replay ([`replay`]), ε-greedy exploration schedules
+//! ([`schedule`]), and a DQN with a target network ([`dqn`]) whose
+//! Q-function scores (state ⊕ action-feature) pairs — the natural fit for
+//! this problem's per-state candidate action sets.
+//!
+//! ```
+//! use isrl_rl::{Dqn, DqnConfig, Transition};
+//!
+//! let mut dqn = Dqn::new(DqnConfig::paper_default(2, 1));
+//! // Feed a rewarded terminal transition until a batch is available.
+//! for _ in 0..64 {
+//!     dqn.push_transition(Transition {
+//!         state: vec![0.5, 0.5],
+//!         action: vec![1.0],
+//!         reward: 100.0,
+//!         next: None,
+//!     });
+//! }
+//! let loss = dqn.train_step().expect("batch is full");
+//! assert!(loss.is_finite());
+//! assert_eq!(dqn.updates(), 1);
+//! ```
+
+pub mod dqn;
+pub mod replay;
+pub mod schedule;
+
+pub use dqn::{Dqn, DqnConfig};
+pub use replay::{NextState, ReplayMemory, Transition};
+pub use schedule::EpsilonSchedule;

@@ -1,0 +1,93 @@
+//! Exploration schedules for ε-greedy action selection.
+//!
+//! The paper fixes ε = 0.9 during training (§V) — [`EpsilonSchedule::constant`]
+//! reproduces that — and the linear-decay variant is the standard refinement
+//! used in the ablation benches.
+
+/// An ε-greedy exploration schedule mapping a training step to ε ∈ [0, 1].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpsilonSchedule {
+    /// Fixed exploration rate (the paper's setting: 0.9).
+    Constant(f64),
+    /// Linear decay from `start` to `end` over `steps` steps, then `end`.
+    Linear {
+        /// ε at step 0.
+        start: f64,
+        /// ε after the decay completes.
+        end: f64,
+        /// Number of steps over which to decay.
+        steps: u64,
+    },
+}
+
+impl EpsilonSchedule {
+    /// Constant schedule.
+    ///
+    /// # Panics
+    /// Panics if `eps` is outside [0, 1].
+    pub fn constant(eps: f64) -> Self {
+        assert!((0.0..=1.0).contains(&eps), "epsilon must be in [0, 1]");
+        Self::Constant(eps)
+    }
+
+    /// The paper's training exploration rate.
+    pub fn paper_default() -> Self {
+        Self::Constant(0.9)
+    }
+
+    /// Linear decay schedule.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or zero steps.
+    pub fn linear(start: f64, end: f64, steps: u64) -> Self {
+        assert!((0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end));
+        assert!(steps > 0, "decay needs at least one step");
+        Self::Linear { start, end, steps }
+    }
+
+    /// ε at the given training step.
+    pub fn value(&self, step: u64) -> f64 {
+        match *self {
+            Self::Constant(e) => e,
+            Self::Linear { start, end, steps } => {
+                if step >= steps {
+                    end
+                } else {
+                    start + (end - start) * (step as f64 / steps as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = EpsilonSchedule::constant(0.9);
+        assert_eq!(s.value(0), 0.9);
+        assert_eq!(s.value(1_000_000), 0.9);
+    }
+
+    #[test]
+    fn paper_default_is_point_nine() {
+        assert_eq!(EpsilonSchedule::paper_default().value(42), 0.9);
+    }
+
+    #[test]
+    fn linear_interpolates_and_clamps() {
+        let s = EpsilonSchedule::linear(1.0, 0.1, 100);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(50) - 0.55).abs() < 1e-12);
+        assert_eq!(s.value(100), 0.1);
+        assert_eq!(s.value(10_000), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn rejects_out_of_range() {
+        EpsilonSchedule::constant(1.5);
+    }
+}

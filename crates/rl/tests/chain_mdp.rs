@@ -1,0 +1,128 @@
+//! DQN validation on a deterministic chain MDP with a known optimal policy
+//! and known optimal Q-values — the strongest cheap correctness check for
+//! the replay/target-network/bootstrap plumbing.
+//!
+//! The environment: states 0..N on a line; actions "left"/"right"; "right"
+//! from state N−1 reaches the terminal goal with reward R; everything else
+//! pays 0. Optimal policy: always right. Optimal values:
+//! `Q*(s, right) = R·γ^(N−1−s)`, `Q*(s, left) = γ·Q*(max(s−1,0), right)`.
+
+use isrl_rl::{Dqn, DqnConfig, EpsilonSchedule, NextState, Transition};
+
+const N: usize = 5;
+const GOAL_REWARD: f64 = 10.0;
+const GAMMA: f64 = 0.8;
+
+fn state_vec(s: usize) -> Vec<f64> {
+    let mut v = vec![0.0; N];
+    v[s] = 1.0;
+    v
+}
+
+const LEFT: [f64; 2] = [1.0, 0.0];
+const RIGHT: [f64; 2] = [0.0, 1.0];
+
+/// One environment step: (next_state, reward, terminal).
+fn step(s: usize, right: bool) -> (usize, f64, bool) {
+    if right {
+        if s + 1 == N {
+            (s, GOAL_REWARD, true)
+        } else {
+            (s + 1, 0.0, false)
+        }
+    } else {
+        (s.saturating_sub(1), 0.0, false)
+    }
+}
+
+fn optimal_q_right(s: usize) -> f64 {
+    GOAL_REWARD * GAMMA.powi((N - 1 - s) as i32)
+}
+
+fn train_on_chain(episodes: usize, seed: u64) -> Dqn {
+    let mut cfg = DqnConfig::paper_default(N, 2).with_seed(seed);
+    cfg.lr = 0.02;
+    cfg.gamma = GAMMA;
+    cfg.batch_size = 32;
+    cfg.target_sync_every = 25;
+    cfg.use_adam = true; // squeeze the small budget
+    let mut dqn = Dqn::new(cfg);
+    let schedule = EpsilonSchedule::linear(1.0, 0.1, (episodes * N) as u64);
+    let mut step_count = 0u64;
+    for _ in 0..episodes {
+        let mut s = 0usize;
+        for _ in 0..4 * N {
+            let actions = vec![LEFT.to_vec(), RIGHT.to_vec()];
+            let eps = schedule.value(step_count);
+            step_count += 1;
+            let a = dqn.select_action(&state_vec(s), &actions, eps);
+            let right = a == 1;
+            let (s2, r, terminal) = step(s, right);
+            dqn.push_transition(Transition {
+                state: state_vec(s),
+                action: if right { RIGHT.to_vec() } else { LEFT.to_vec() },
+                reward: r,
+                next: if terminal {
+                    None
+                } else {
+                    Some(NextState {
+                        state: state_vec(s2),
+                        actions: vec![LEFT.to_vec(), RIGHT.to_vec()],
+                    })
+                },
+            });
+            dqn.train_step();
+            if terminal {
+                break;
+            }
+            s = s2;
+        }
+    }
+    dqn.sync_target();
+    dqn
+}
+
+#[test]
+fn learns_the_optimal_policy() {
+    let mut dqn = train_on_chain(300, 11);
+    for s in 0..N {
+        let (best, _) = dqn.best_action(&state_vec(s), &[LEFT.to_vec(), RIGHT.to_vec()]);
+        assert_eq!(best, 1, "state {s}: optimal action is right");
+    }
+}
+
+#[test]
+fn q_values_approach_the_analytic_optimum() {
+    let mut dqn = train_on_chain(600, 13);
+    for s in 0..N {
+        let q = dqn.q_value(&state_vec(s), &RIGHT);
+        let q_star = optimal_q_right(s);
+        assert!(
+            (q - q_star).abs() < 0.25 * GOAL_REWARD,
+            "state {s}: Q {q:.2} vs Q* {q_star:.2}"
+        );
+    }
+    // Values must increase monotonically toward the goal.
+    for s in 0..N - 1 {
+        let near = dqn.q_value(&state_vec(s + 1), &RIGHT);
+        let far = dqn.q_value(&state_vec(s), &RIGHT);
+        assert!(near > far, "Q should grow toward the goal: {far:.2} !< {near:.2} at {s}");
+    }
+}
+
+#[test]
+fn greedy_rollout_reaches_the_goal_quickly() {
+    let mut dqn = train_on_chain(300, 17);
+    let mut s = 0usize;
+    for steps in 0..2 * N {
+        let (a, _) = dqn.best_action(&state_vec(s), &[LEFT.to_vec(), RIGHT.to_vec()]);
+        let (s2, r, terminal) = step(s, a == 1);
+        if terminal {
+            assert_eq!(r, GOAL_REWARD);
+            assert!(steps <= N, "optimal path is N−1 steps, took {steps}");
+            return;
+        }
+        s = s2;
+    }
+    panic!("greedy policy never reached the goal");
+}

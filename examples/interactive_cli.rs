@@ -1,0 +1,137 @@
+//! A real interactive session: *you* are the user.
+//!
+//! The agent interviews you about used cars on stdin; answer `1` or `2` to
+//! each question until the stopping condition fires, then see your car.
+//! Pass `--aa` to use the approximate agent instead of the exact one, or
+//! `--checkpoint <path>` to save/reuse the trained policy between runs.
+//!
+//! ```text
+//! cargo run -p isrl-core --release --example interactive_cli
+//! cargo run -p isrl-core --release --example interactive_cli -- --aa --checkpoint /tmp/aa.ckpt
+//! ```
+
+use isrl_core::prelude::*;
+use isrl_data::{real, skyline, Dataset};
+use std::io::Write;
+
+/// A user oracle backed by stdin.
+struct TerminalUser {
+    data_attributes: Vec<String>,
+    asked: usize,
+}
+
+impl TerminalUser {
+    fn describe(&self, label: &str, p: &[f64]) {
+        print!("  {label}: ");
+        let parts: Vec<String> = self
+            .data_attributes
+            .iter()
+            .zip(p)
+            .map(|(a, v)| format!("{a} {:.0}%", v * 100.0))
+            .collect();
+        println!("{}", parts.join(", "));
+    }
+}
+
+impl User for TerminalUser {
+    fn prefers(&mut self, p_i: &[f64], p_j: &[f64]) -> bool {
+        self.asked += 1;
+        println!("\nQuestion {} — which car do you prefer?", self.asked);
+        self.describe("car 1", p_i);
+        self.describe("car 2", p_j);
+        loop {
+            print!("answer [1/2]: ");
+            std::io::stdout().flush().expect("stdout");
+            let mut line = String::new();
+            if std::io::stdin().read_line(&mut line).is_err() {
+                println!("(read error — assuming 1)");
+                return true;
+            }
+            match line.trim() {
+                "1" => return true,
+                "2" => return false,
+                other => println!("please type 1 or 2 (got {other:?})"),
+            }
+        }
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+}
+
+fn train_or_load(data: &Dataset, use_aa: bool, ckpt: Option<&str>, eps: f64) -> Box<dyn InteractiveAlgorithm> {
+    let d = data.dim();
+    if let Some(path) = ckpt {
+        if let Ok(bytes) = std::fs::read(path) {
+            if use_aa {
+                if let Ok(agent) = isrl_core::checkpoint::load_aa(&bytes) {
+                    println!("loaded trained AA policy from {path}");
+                    return Box::new(agent);
+                }
+            } else if let Ok(agent) = isrl_core::checkpoint::load_ea(&bytes) {
+                println!("loaded trained EA policy from {path}");
+                return Box::new(agent);
+            }
+            println!("checkpoint at {path} unusable; retraining");
+        }
+    }
+    println!("training the {} agent on simulated users (one-time)…", if use_aa { "AA" } else { "EA" });
+    let train = sample_users(d, 80, 12);
+    let (boxed, bytes): (Box<dyn InteractiveAlgorithm>, Vec<u8>) = if use_aa {
+        let mut agent = AaAgent::new(d, AaConfig::paper_default().with_seed(1));
+        agent.train(data, &train, eps);
+        let b = isrl_core::checkpoint::save_aa(&agent);
+        (Box::new(agent), b)
+    } else {
+        let mut agent = EaAgent::new(d, EaConfig::paper_default().with_seed(1));
+        agent.train(data, &train, eps);
+        let b = isrl_core::checkpoint::save_ea(&agent);
+        (Box::new(agent), b)
+    };
+    if let Some(path) = ckpt {
+        match std::fs::write(path, &bytes) {
+            Ok(()) => println!("saved trained policy to {path}"),
+            Err(e) => println!("could not save checkpoint: {e}"),
+        }
+    }
+    boxed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let use_aa = args.iter().any(|a| a == "--aa");
+    let ckpt = args
+        .iter()
+        .position(|a| a == "--checkpoint")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+
+    let eps = 0.1;
+    let data = skyline(&real::car_like_sized(4_000, 3));
+    println!(
+        "Welcome to ISRL car search — {} candidate cars, attributes {:?}.",
+        data.len(),
+        data.attributes()
+    );
+    println!("(scores are percentages: 100% price = cheapest, 100% mpg = most efficient)");
+
+    let mut agent = train_or_load(&data, use_aa, ckpt, eps);
+    let mut user = TerminalUser { data_attributes: data.attributes().to_vec(), asked: 0 };
+    let outcome = agent.run(&data, &mut user, eps, TraceMode::Off);
+
+    let p = data.point(outcome.point_index);
+    println!("\ndone after {} questions — your car:", outcome.rounds);
+    let parts: Vec<String> = data
+        .attributes()
+        .iter()
+        .zip(p)
+        .map(|(a, v)| format!("{a} {:.0}%", v * 100.0))
+        .collect();
+    println!("  {}", parts.join(", "));
+    println!(
+        "guarantee: regret ratio below {}{}",
+        if use_aa { format!("{} (d²ε worst case; ≤ ε in practice)", eps * 9.0) } else { eps.to_string() },
+        if outcome.truncated { " — NOTE: stopped at the round cap" } else { "" }
+    );
+}

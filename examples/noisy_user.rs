@@ -1,0 +1,64 @@
+//! Noisy users — the paper's stated future work, implemented.
+//!
+//! Real users misclick. [`NoisyUser`] flips each answer independently with
+//! probability `q`; this example measures how each algorithm's round count
+//! and result quality degrade as `q` grows. Geometric stopping conditions
+//! are brittle under contradictory answers (the region can collapse to
+//! empty), so watch the `truncated` column, too.
+//!
+//! ```text
+//! cargo run -p isrl-core --release --example noisy_user
+//! ```
+
+use isrl_core::prelude::*;
+use isrl_core::regret::regret_ratio_of_index;
+use isrl_data::{generate, skyline, Distribution};
+
+fn main() {
+    let eps = 0.1;
+    let d = 4;
+    let data = skyline(&generate(1_500, d, Distribution::AntiCorrelated, 21));
+    println!("dataset: {} skyline tuples, d = {d}\n", data.len());
+
+    let train_users = sample_users(d, 60, 6);
+    let test_users = sample_users(d, 10, 7);
+
+    for flip in [0.0, 0.05, 0.10, 0.20] {
+        println!("— answer flip probability {flip} —");
+        // Fresh agents per noise level (training itself stays clean: the
+        // paper trains on simulated truthful users).
+        let mut ea = EaAgent::new(d, EaConfig::paper_default().with_seed(8));
+        ea.train(&data, &train_users, eps);
+        let mut aa = AaAgent::new(d, AaConfig::paper_default().with_seed(8));
+        aa.train(&data, &train_users, eps);
+        let mut algos: Vec<Box<dyn InteractiveAlgorithm>> = vec![
+            Box::new(ea),
+            Box::new(aa),
+            Box::new(UhBaseline::simplex(8)),
+            Box::new(SinglePass::seeded(8)),
+        ];
+        for algo in &mut algos {
+            let mut rounds = 0usize;
+            let mut regret = 0.0;
+            let mut truncated = 0usize;
+            for (i, u) in test_users.iter().enumerate() {
+                let mut user = NoisyUser::new(u.clone(), flip, 100 + i as u64);
+                let out = algo.run(&data, &mut user, eps, TraceMode::Off);
+                rounds += out.rounds;
+                regret += regret_ratio_of_index(&data, out.point_index, u);
+                truncated += usize::from(out.truncated);
+            }
+            let n = test_users.len() as f64;
+            println!(
+                "  {:<11} mean rounds {:>6.1}, mean regret {:.4}, truncated {}/{}",
+                algo.name(),
+                rounds as f64 / n,
+                regret / n,
+                truncated,
+                test_users.len()
+            );
+        }
+        println!();
+    }
+    println!("Noise inflates both rounds and regret; handling it robustly is the paper's open problem.");
+}

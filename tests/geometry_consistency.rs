@@ -1,0 +1,159 @@
+//! Cross-crate geometric consistency: the LP view of the utility range
+//! (`Region`, used by AA) and the vertex-enumeration view (`Polytope`,
+//! used by EA) must describe the same set.
+
+use isrl_geometry::{Halfspace, Polytope, Region};
+use isrl_linalg::vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random region built from hyperplanes through preference pairs.
+fn random_region(d: usize, cuts: usize, seed: u64) -> Region {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut region = Region::full(d);
+    let mut added = 0;
+    while added < cuts {
+        let a: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let b: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        if let Some(h) = Halfspace::preferring(&a, &b) {
+            // Keep the region non-empty: orient toward the barycenter.
+            let bary = vec![1.0 / d as f64; d];
+            let oriented = if h.contains(&bary, 0.0) { h } else { h.flipped() };
+            region.add(oriented);
+            added += 1;
+        }
+    }
+    region
+}
+
+#[test]
+fn polytope_vertices_satisfy_the_region() {
+    for seed in 0..8 {
+        for d in [2usize, 3, 4, 5] {
+            let region = random_region(d, 4, seed * 10 + d as u64);
+            let Some(polytope) = Polytope::from_region(&region) else {
+                continue;
+            };
+            for v in polytope.vertices() {
+                assert!(
+                    region.contains(v, 1e-6),
+                    "vertex {v:?} violates region (d={d}, seed={seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn inner_sphere_center_is_inside_the_polytope_hull() {
+    for seed in 0..6 {
+        let region = random_region(3, 3, 100 + seed);
+        let (Some(sphere), Some(polytope)) =
+            (region.inner_sphere(), Polytope::from_region(&region))
+        else {
+            continue;
+        };
+        // The LP center satisfies every constraint the vertices satisfy.
+        assert!(region.contains(sphere.center(), 1e-6));
+        // And lies inside the outer sphere of the vertex hull.
+        let outer = polytope.outer_sphere();
+        assert!(
+            outer.contains(sphere.center(), 1e-4),
+            "inner center outside outer sphere (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn outer_rectangle_brackets_every_vertex() {
+    for seed in 0..6 {
+        for d in [2usize, 3, 4] {
+            let region = random_region(d, 3, 200 + seed * 7 + d as u64);
+            let (Some(rect), Some(polytope)) =
+                (region.outer_rectangle(), Polytope::from_region(&region))
+            else {
+                continue;
+            };
+            for v in polytope.vertices() {
+                assert!(
+                    rect.contains(v, 1e-5),
+                    "vertex {v:?} escapes rectangle [{:?}, {:?}]",
+                    rect.min(),
+                    rect.max()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rectangle_corners_are_attained_by_vertices() {
+    // The outer rectangle is the *smallest* box: each face must touch the
+    // polytope, i.e. some vertex attains each per-axis min/max (vertices of
+    // a polytope attain all linear extrema).
+    for seed in 0..5 {
+        let region = random_region(3, 2, 300 + seed);
+        let (Some(rect), Some(polytope)) =
+            (region.outer_rectangle(), Polytope::from_region(&region))
+        else {
+            continue;
+        };
+        for axis in 0..3 {
+            let vmin = polytope
+                .vertices()
+                .iter()
+                .map(|v| v[axis])
+                .fold(f64::INFINITY, f64::min);
+            let vmax = polytope
+                .vertices()
+                .iter()
+                .map(|v| v[axis])
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                (vmin - rect.min()[axis]).abs() < 1e-5,
+                "axis {axis} min: vertices {vmin} vs LP {}",
+                rect.min()[axis]
+            );
+            assert!(
+                (vmax - rect.max()[axis]).abs() < 1e-5,
+                "axis {axis} max: vertices {vmax} vs LP {}",
+                rect.max()[axis]
+            );
+        }
+    }
+}
+
+#[test]
+fn emptiness_verdicts_agree() {
+    // Build shrinking regions; the LP (has_interior) and vertex enumeration
+    // must agree on "effectively empty" up to boundary degeneracy.
+    let mut region = Region::full(3);
+    region.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+    region.add(Halfspace::new(vec![-1.0, 1.0, 0.001])); // nearly opposite
+    let lp_alive = region.has_interior();
+    let poly_alive = Polytope::from_region(&region).is_some();
+    // A region with LP interior must have vertices.
+    if lp_alive {
+        assert!(poly_alive, "LP sees interior but no vertices found");
+    }
+}
+
+#[test]
+fn hit_and_run_samples_agree_with_region_membership() {
+    let region = random_region(4, 3, 400);
+    let Some(start) = region.feasible_point() else {
+        panic!("random region unexpectedly empty");
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    for u in isrl_geometry::sampling::hit_and_run(
+        4,
+        region.halfspaces(),
+        &start,
+        200,
+        2,
+        &mut rng,
+    ) {
+        assert!(region.contains(&u, 1e-7), "sample {u:?} escaped the region");
+        assert!((vector::sum(&u) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Failure-injection tests: adversarial, inconsistent, and degenerate
+//! users, plus degenerate datasets. No algorithm may panic or loop forever;
+//! each must terminate with an honest outcome (`truncated` set when the
+//! stopping condition could not be certified).
+
+use isrl_core::prelude::*;
+use isrl_data::{generate, skyline, Dataset, Distribution};
+
+/// A user who always prefers the second point — internally inconsistent
+/// (violates any fixed linear utility after a few answers).
+struct Contrarian {
+    asked: usize,
+}
+
+impl User for Contrarian {
+    fn prefers(&mut self, _p_i: &[f64], _p_j: &[f64]) -> bool {
+        self.asked += 1;
+        false
+    }
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+}
+
+/// A user who alternates answers regardless of content.
+struct Alternator {
+    asked: usize,
+}
+
+impl User for Alternator {
+    fn prefers(&mut self, _p_i: &[f64], _p_j: &[f64]) -> bool {
+        self.asked += 1;
+        self.asked % 2 == 0
+    }
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+}
+
+fn all_algorithms(d: usize, data: &Dataset) -> Vec<Box<dyn InteractiveAlgorithm>> {
+    let mut ea = EaAgent::new(d, EaConfig::paper_default().with_seed(1));
+    let mut aa = AaAgent::new(d, AaConfig::paper_default().with_seed(1));
+    // Light training so the DQN path is exercised too.
+    let train = sample_users(d, 5, 2);
+    ea.train(data, &train, 0.15);
+    aa.train(data, &train, 0.15);
+    vec![
+        Box::new(ea),
+        Box::new(aa),
+        Box::new(UhBaseline::random(1)),
+        Box::new(UhBaseline::simplex(1)),
+        Box::new(SinglePass::seeded(1)),
+        Box::new(UtilityApprox::default()),
+    ]
+}
+
+#[test]
+fn contrarian_user_cannot_hang_any_algorithm() {
+    let data = skyline(&generate(300, 3, Distribution::AntiCorrelated, 3));
+    for algo in &mut all_algorithms(3, &data) {
+        let mut user = Contrarian { asked: 0 };
+        let out = algo.run(&data, &mut user, 0.1, TraceMode::Off);
+        assert!(out.point_index < data.len(), "{} returned junk index", algo.name());
+        // Bounded by each algorithm's internal cap at worst.
+        assert!(out.rounds <= 5_000, "{} ran away: {} rounds", algo.name(), out.rounds);
+    }
+}
+
+#[test]
+fn alternating_user_terminates_everywhere() {
+    let data = skyline(&generate(300, 3, Distribution::AntiCorrelated, 4));
+    for algo in &mut all_algorithms(3, &data) {
+        let mut user = Alternator { asked: 0 };
+        let out = algo.run(&data, &mut user, 0.1, TraceMode::Off);
+        assert!(out.point_index < data.len());
+    }
+}
+
+#[test]
+fn maximally_noisy_user_still_yields_a_point() {
+    // flip_prob near 1 is systematically wrong — worse than random.
+    let data = skyline(&generate(200, 3, Distribution::AntiCorrelated, 5));
+    for algo in &mut all_algorithms(3, &data) {
+        let mut user = NoisyUser::new(vec![0.4, 0.3, 0.3], 0.95, 6);
+        let out = algo.run(&data, &mut user, 0.1, TraceMode::Off);
+        assert!(out.point_index < data.len(), "{} failed under noise", algo.name());
+    }
+}
+
+#[test]
+fn single_point_dataset_returns_immediately() {
+    let data = Dataset::from_points(vec![vec![0.5, 0.5, 0.5]], 3);
+    for algo in &mut all_algorithms(3, &skyline(&generate(100, 3, Distribution::Independent, 7)))
+    {
+        let mut user = SimulatedUser::new(vec![0.3, 0.3, 0.4]);
+        let out = algo.run(&data, &mut user, 0.1, TraceMode::Off);
+        assert_eq!(out.point_index, 0, "{}", algo.name());
+        // One tuple has regret 0 by definition; no more than a handful of
+        // rounds should ever be needed (zero for the geometric stoppers).
+        assert!(out.rounds <= 15, "{} asked {} rounds", algo.name(), out.rounds);
+    }
+}
+
+#[test]
+fn duplicate_points_do_not_confuse_the_agents() {
+    // Many exact duplicates: hyperplanes between duplicates are degenerate
+    // (zero normals) and must be skipped, not panicked on.
+    let base = vec![vec![0.9, 0.2], vec![0.2, 0.9], vec![0.6, 0.6]];
+    let mut pts = Vec::new();
+    for _ in 0..5 {
+        pts.extend(base.clone());
+    }
+    let data = Dataset::from_points(pts, 2);
+    let mut ea = EaAgent::new(2, EaConfig::paper_default().with_seed(8));
+    let mut user = SimulatedUser::new(vec![0.5, 0.5]);
+    let out = ea.run(&data, &mut user, 0.1, TraceMode::Off);
+    assert!(out.point_index < data.len());
+    let mut aa = AaAgent::new(2, AaConfig::paper_default().with_seed(8));
+    let mut user = SimulatedUser::new(vec![0.5, 0.5]);
+    let out = aa.run(&data, &mut user, 0.1, TraceMode::Off);
+    assert!(out.point_index < data.len());
+}
+
+#[test]
+fn tiny_epsilon_is_survivable() {
+    // ε so small the stopping conditions barely fire: round caps must keep
+    // everything finite and `truncated` must report honestly.
+    let data = skyline(&generate(150, 3, Distribution::AntiCorrelated, 9));
+    let mut aa = AaAgent::new(3, AaConfig::paper_default().with_seed(10));
+    let mut user = SimulatedUser::new(vec![0.4, 0.35, 0.25]);
+    let out = aa.run(&data, &mut user, 1e-6, TraceMode::Off);
+    assert!(out.rounds <= aa.config().max_rounds);
+    // Either it certified the (absurd) threshold or it reported truncation.
+    if out.rounds == aa.config().max_rounds {
+        assert!(out.truncated);
+    }
+}
+
+#[test]
+fn huge_epsilon_stops_immediately() {
+    let data = skyline(&generate(150, 3, Distribution::AntiCorrelated, 11));
+    for algo in &mut all_algorithms(3, &data) {
+        let mut user = SimulatedUser::new(vec![0.3, 0.3, 0.4]);
+        let out = algo.run(&data, &mut user, 0.95, TraceMode::Off);
+        assert!(
+            out.rounds <= 12,
+            "{}: with eps ~ 1 almost any tuple qualifies, got {} rounds",
+            algo.name(),
+            out.rounds
+        );
+    }
+}
