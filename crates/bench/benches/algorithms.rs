@@ -77,6 +77,40 @@ fn bench_high_dim(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_top1_batch_vs_scalar(c: &mut Criterion) {
+    // The utility-scan kernel at the regret estimator's working size:
+    // n = 100k points, d = 20, a batch of sampled utility vectors. The
+    // scalar path streams the 16 MB point buffer once per utility vector;
+    // the batched kernel streams it once in total.
+    let data = generate(100_000, 20, Distribution::AntiCorrelated, 11);
+    let d = data.dim();
+    let utilities = sample_users(d, 32, 12);
+    let flat = data.as_flat();
+
+    let mut g = c.benchmark_group("top1_batch_vs_scalar");
+    g.sample_size(10);
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(utilities.len());
+            for u in &utilities {
+                let mut best = (0usize, f64::NEG_INFINITY);
+                for (i, p) in flat.chunks_exact(d).enumerate() {
+                    let v = isrl_linalg::vector::dot(p, u);
+                    if v > best.1 {
+                        best = (i, v);
+                    }
+                }
+                out.push(best);
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| black_box(isrl_linalg::top1_batch(&utilities, flat, d)))
+    });
+    g.finish();
+}
+
 fn bench_training_episode(c: &mut Criterion) {
     // Cost of one RL training episode (the offline side of the system).
     let data = low_dim_data();
@@ -96,5 +130,11 @@ fn bench_training_episode(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_low_dim, bench_high_dim, bench_training_episode);
+criterion_group!(
+    benches,
+    bench_low_dim,
+    bench_high_dim,
+    bench_top1_batch_vs_scalar,
+    bench_training_episode
+);
 criterion_main!(benches);

@@ -9,9 +9,10 @@ fn bench_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("generate");
     g.sample_size(20);
     for (n, d) in [(10_000usize, 4usize), (10_000, 20)] {
-        g.bench_function(BenchmarkId::from_parameter(format!("anti_n{n}_d{d}")), |b| {
-            b.iter(|| black_box(generate(n, d, Distribution::AntiCorrelated, 1)))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("anti_n{n}_d{d}")),
+            |b| b.iter(|| black_box(generate(n, d, Distribution::AntiCorrelated, 1))),
+        );
     }
     g.finish();
 }
@@ -21,9 +22,10 @@ fn bench_skyline(c: &mut Criterion) {
     g.sample_size(10);
     for dist in [Distribution::Correlated, Distribution::AntiCorrelated] {
         let data = generate(10_000, 4, dist, 2);
-        g.bench_function(BenchmarkId::from_parameter(format!("{dist:?}_10k_d4")), |b| {
-            b.iter(|| black_box(skyline(&data)))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("{dist:?}_10k_d4")),
+            |b| b.iter(|| black_box(skyline(&data))),
+        );
     }
     g.finish();
 }
@@ -40,5 +42,10 @@ fn bench_utility_scans(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_skyline, bench_utility_scans);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_skyline,
+    bench_utility_scans
+);
 criterion_main!(benches);

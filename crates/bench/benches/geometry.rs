@@ -18,7 +18,11 @@ fn region_with_cuts(d: usize, cuts: usize, seed: u64) -> Region {
         let a: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
         let b: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
         if let Some(h) = Halfspace::preferring(&a, &b) {
-            region.add(if h.contains(&bary, 0.0) { h } else { h.flipped() });
+            region.add(if h.contains(&bary, 0.0) {
+                h
+            } else {
+                h.flipped()
+            });
         }
     }
     region
@@ -39,14 +43,44 @@ fn bench_vertex_enumeration(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_incremental_vs_scratch(c: &mut Criterion) {
+    // The per-round choice EA faces after each question: re-enumerate the
+    // whole region or patch the previous round's vertex set with the one
+    // new halfspace. Measured on a deep (≥10-cut) region where re-running
+    // the full combinatorial enumeration is at its most expensive.
+    let mut g = c.benchmark_group("incremental_vs_scratch_vertex_enum");
+    for d in [3usize, 4] {
+        for cuts in [10usize, 14] {
+            let region = region_with_cuts(d, cuts, 6);
+            let mut prior = Region::full(d);
+            for h in &region.halfspaces()[..cuts - 1] {
+                prior.add(h.clone());
+            }
+            let last = region.halfspaces()[cuts - 1].clone();
+            let prior_polytope = Polytope::from_region(&prior).expect("barycenter kept feasible");
+            g.bench_function(
+                BenchmarkId::new("scratch", format!("d{d}_cuts{cuts}")),
+                |b| b.iter(|| black_box(Polytope::from_region(&region))),
+            );
+            g.bench_function(
+                BenchmarkId::new("incremental", format!("d{d}_cuts{cuts}")),
+                |b| b.iter(|| black_box(prior_polytope.update(&prior, &last))),
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_outer_sphere(c: &mut Criterion) {
     let mut g = c.benchmark_group("outer_sphere");
     for d in [3usize, 5] {
         let polytope = Polytope::from_region(&region_with_cuts(d, 6, 2)).unwrap();
         let vertices = polytope.vertices().to_vec();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("d{d}")), &vertices, |b, v| {
-            b.iter(|| black_box(min_enclosing_sphere(v, EnclosingSphereParams::default())))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}")),
+            &vertices,
+            |b, v| b.iter(|| black_box(min_enclosing_sphere(v, EnclosingSphereParams::default()))),
+        );
     }
     g.finish();
 }
@@ -81,5 +115,11 @@ fn bench_sampling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_vertex_enumeration, bench_outer_sphere, bench_sampling);
+criterion_group!(
+    benches,
+    bench_vertex_enumeration,
+    bench_incremental_vs_scratch,
+    bench_outer_sphere,
+    bench_sampling
+);
 criterion_main!(benches);

@@ -16,7 +16,11 @@ fn region_with_cuts(d: usize, cuts: usize, seed: u64) -> Region {
         let a: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
         let b: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
         if let Some(h) = Halfspace::preferring(&a, &b) {
-            region.add(if h.contains(&bary, 0.0) { h } else { h.flipped() });
+            region.add(if h.contains(&bary, 0.0) {
+                h
+            } else {
+                h.flipped()
+            });
         }
     }
     region
@@ -56,12 +60,19 @@ fn bench_cut_test(c: &mut Criterion) {
         probe[0] = 1.0;
         probe[1] = -1.0;
         let h = Halfspace::new(probe);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("d{d}")), &region, |b, r| {
-            b.iter(|| black_box(r.is_cut_by(&h)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}")),
+            &region,
+            |b, r| b.iter(|| black_box(r.is_cut_by(&h))),
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_inner_sphere, bench_outer_rectangle, bench_cut_test);
+criterion_group!(
+    benches,
+    bench_inner_sphere,
+    bench_outer_rectangle,
+    bench_cut_test
+);
 criterion_main!(benches);

@@ -14,7 +14,12 @@ fn bench_forward_backward(c: &mut Criterion) {
     for input_dim in [29usize, 65] {
         // 29 = EA state at d=4 (4·5+4+1) + nothing; 65 ≈ AA state at d=20 (61) + margin.
         let mut rng = StdRng::seed_from_u64(1);
-        let net = Mlp::new(&[input_dim, 64, 1], Activation::Selu, Init::LecunNormal, &mut rng);
+        let net = Mlp::new(
+            &[input_dim, 64, 1],
+            Activation::Selu,
+            Init::LecunNormal,
+            &mut rng,
+        );
         let x = vec![0.1; input_dim];
         g.bench_function(BenchmarkId::new("forward", input_dim), |b| {
             b.iter(|| black_box(net.forward(&x)))

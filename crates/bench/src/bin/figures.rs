@@ -13,7 +13,9 @@
 //! CSV under `--out` (default `results/`).
 
 use isrl_bench::report::{f2, f4, secs, Table};
-use isrl_bench::sweep::{run_algos, run_progress, AlgoKind, DataSpec, SweepParams};
+use isrl_bench::sweep::{
+    run_algos, run_progress, run_sweep, AlgoKind, DataSpec, SweepCell, SweepParams,
+};
 use isrl_core::prelude::*;
 use isrl_core::regret::regret_ratio_of_index;
 use isrl_data::Distribution;
@@ -79,7 +81,11 @@ impl Ctx {
     }
 
     fn synth(&self, d: usize) -> DataSpec {
-        DataSpec::Synthetic { n: sc(2_000, self.scale), d, dist: Distribution::AntiCorrelated }
+        DataSpec::Synthetic {
+            n: sc(2_000, self.scale),
+            d,
+            dist: Distribution::AntiCorrelated,
+        }
     }
 }
 
@@ -98,7 +104,11 @@ fn sweep_tables(
     headers.extend(names.iter().map(String::as_str));
     let mut rounds = Table::new(format!("{id}a"), format!("{title} — rounds"), &headers);
     let mut time = Table::new(format!("{id}b"), format!("{title} — time"), &headers);
-    let mut regret = Table::new(format!("{id}c"), format!("{title} — final regret"), &headers);
+    let mut regret = Table::new(
+        format!("{id}c"),
+        format!("{title} — final regret"),
+        &headers,
+    );
     for (x, evals) in xs.iter().zip(&per_x) {
         let mut r = vec![x.clone()];
         let mut t = vec![x.clone()];
@@ -118,11 +128,23 @@ fn sweep_tables(
 fn fig6a(ctx: &Ctx) -> Vec<Table> {
     // Vary the training-set size; report mean inference rounds of EA and AA.
     let data = ctx.synth(4).build(11);
-    let sizes =
-        [0, sc(25, ctx.scale), sc(50, ctx.scale), sc(100, ctx.scale), sc(200, ctx.scale)];
-    let mut t = Table::new("fig6a", "Vary training size (d=4 synthetic)", &["train", "EA", "AA"]);
+    let sizes = [
+        0,
+        sc(25, ctx.scale),
+        sc(50, ctx.scale),
+        sc(100, ctx.scale),
+        sc(200, ctx.scale),
+    ];
+    let mut t = Table::new(
+        "fig6a",
+        "Vary training size (d=4 synthetic)",
+        &["train", "EA", "AA"],
+    );
     for &s in &sizes {
-        let params = SweepParams { train_episodes: s, ..ctx.params(21) };
+        let params = SweepParams {
+            train_episodes: s,
+            ..ctx.params(21)
+        };
         let evals = run_algos(&data, &[AlgoKind::Ea, AlgoKind::Aa], 0.1, &params);
         t.push_row(vec![
             s.to_string(),
@@ -136,8 +158,11 @@ fn fig6a(ctx: &Ctx) -> Vec<Table> {
 fn fig6b(ctx: &Ctx) -> Vec<Table> {
     // Vary the action-space size m_h.
     let data = ctx.synth(4).build(12);
-    let mut t =
-        Table::new("fig6b", "Vary action-space size m_h (d=4 synthetic)", &["m_h", "EA", "AA"]);
+    let mut t = Table::new(
+        "fig6b",
+        "Vary action-space size m_h (d=4 synthetic)",
+        &["m_h", "EA", "AA"],
+    );
     for m_h in [2usize, 5, 10, 20] {
         let params = ctx.params(22);
         let users = sample_users(4, params.test_users, params.seed.wrapping_add(300));
@@ -171,7 +196,10 @@ fn progress_tables(
     max_round: usize,
     regret_samples: usize,
 ) -> Vec<Table> {
-    let params = SweepParams { test_users: ctx.users.min(5), ..ctx.params(31) };
+    let params = SweepParams {
+        test_users: ctx.users.min(5),
+        ..ctx.params(31)
+    };
     let progress = run_progress(data, kinds, 0.1, &params, max_round, regret_samples);
     let mut headers = vec!["round".to_string()];
     for p in &progress {
@@ -209,7 +237,12 @@ fn fig7(ctx: &Ctx) -> Vec<Table> {
         "fig7",
         "Interaction progress (d=4 synthetic, eps=0.1)",
         &data,
-        &[AlgoKind::Ea, AlgoKind::Aa, AlgoKind::UhRandom, AlgoKind::UhSimplex],
+        &[
+            AlgoKind::Ea,
+            AlgoKind::Aa,
+            AlgoKind::UhRandom,
+            AlgoKind::UhSimplex,
+        ],
         ctx,
         10,
         800,
@@ -249,7 +282,10 @@ fn eps_sweep(ctx: &Ctx, id: &str, title: &str, spec: DataSpec, kinds: &[AlgoKind
                 .iter()
                 .zip(algos.iter_mut())
                 .map(|(&k, algo)| {
-                    (k, evaluate(algo.as_mut(), &data, &users, eps, TraceMode::Off))
+                    (
+                        k,
+                        evaluate(algo.as_mut(), &data, &users, eps, TraceMode::Off),
+                    )
                 })
                 .collect()
         })
@@ -258,24 +294,48 @@ fn eps_sweep(ctx: &Ctx, id: &str, title: &str, spec: DataSpec, kinds: &[AlgoKind
 }
 
 fn fig9(ctx: &Ctx) -> Vec<Table> {
-    eps_sweep(ctx, "fig9", "Vary eps (d=4 synthetic)", ctx.synth(4), &AlgoKind::roster(4))
+    eps_sweep(
+        ctx,
+        "fig9",
+        "Vary eps (d=4 synthetic)",
+        ctx.synth(4),
+        &AlgoKind::roster(4),
+    )
 }
 
 fn fig10(ctx: &Ctx) -> Vec<Table> {
-    eps_sweep(ctx, "fig10", "Vary eps (d=20 synthetic)", ctx.synth(20), &AlgoKind::roster(20))
+    eps_sweep(
+        ctx,
+        "fig10",
+        "Vary eps (d=20 synthetic)",
+        ctx.synth(20),
+        &AlgoKind::roster(20),
+    )
 }
 
 fn n_sweep(ctx: &Ctx, id: &str, title: &str, d: usize) -> Vec<Table> {
     let kinds = AlgoKind::roster(d);
-    let ns: Vec<usize> = [500usize, 2_000, 8_000].iter().map(|&n| sc(n, ctx.scale)).collect();
-    let xs: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
-    let per_x: Vec<_> = ns
+    let ns: Vec<usize> = [500usize, 2_000, 8_000]
         .iter()
-        .map(|&n| {
-            let spec = DataSpec::Synthetic { n, d, dist: Distribution::AntiCorrelated };
-            run_algos(&spec.build(16), &kinds, 0.1, &ctx.params(42))
+        .map(|&n| sc(n, ctx.scale))
+        .collect();
+    let xs: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
+    // One shared work queue across every n-cell: training and per-user
+    // items from all cells interleave instead of running cell-by-cell.
+    let cells: Vec<SweepCell> = ns
+        .iter()
+        .map(|&n| SweepCell {
+            spec: DataSpec::Synthetic {
+                n,
+                d,
+                dist: Distribution::AntiCorrelated,
+            },
+            eps: 0.1,
+            kinds: kinds.clone(),
+            data_seed: 16,
         })
         .collect();
+    let per_x = run_sweep(&cells, &ctx.params(42));
     sweep_tables(id, title, "n", &xs, per_x)
 }
 
@@ -289,15 +349,27 @@ fn fig12(ctx: &Ctx) -> Vec<Table> {
 
 fn d_sweep(ctx: &Ctx, id: &str, title: &str, dims: &[usize], kinds: &[AlgoKind]) -> Vec<Table> {
     let xs: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
-    let per_x: Vec<_> = dims
+    let cells: Vec<SweepCell> = dims
         .iter()
-        .map(|&d| run_algos(&ctx.synth(d).build(17), kinds, 0.1, &ctx.params(43)))
+        .map(|&d| SweepCell {
+            spec: ctx.synth(d),
+            eps: 0.1,
+            kinds: kinds.to_vec(),
+            data_seed: 17,
+        })
         .collect();
+    let per_x = run_sweep(&cells, &ctx.params(43));
     sweep_tables(id, title, "d", &xs, per_x)
 }
 
 fn fig13(ctx: &Ctx) -> Vec<Table> {
-    d_sweep(ctx, "fig13", "Vary d (low-dimensional)", &[2, 3, 4, 5], &AlgoKind::roster(4))
+    d_sweep(
+        ctx,
+        "fig13",
+        "Vary d (low-dimensional)",
+        &[2, 3, 4, 5],
+        &AlgoKind::roster(4),
+    )
 }
 
 fn fig14(ctx: &Ctx) -> Vec<Table> {
@@ -312,12 +384,24 @@ fn fig14(ctx: &Ctx) -> Vec<Table> {
 
 fn fig15(ctx: &Ctx) -> Vec<Table> {
     let n = sc(isrl_data::real::CAR_N, ctx.scale.min(1.0));
-    eps_sweep(ctx, "fig15", "Vary eps (Car)", DataSpec::Car { n }, &AlgoKind::roster(3))
+    eps_sweep(
+        ctx,
+        "fig15",
+        "Vary eps (Car)",
+        DataSpec::Car { n },
+        &AlgoKind::roster(3),
+    )
 }
 
 fn fig16(ctx: &Ctx) -> Vec<Table> {
     let n = sc(isrl_data::real::PLAYER_N, ctx.scale.min(1.0));
-    eps_sweep(ctx, "fig16", "Vary eps (Player)", DataSpec::Player { n }, &AlgoKind::roster(20))
+    eps_sweep(
+        ctx,
+        "fig16",
+        "Vary eps (Player)",
+        DataSpec::Player { n },
+        &AlgoKind::roster(20),
+    )
 }
 
 fn ablation(ctx: &Ctx) -> Vec<Table> {
@@ -407,7 +491,12 @@ fn noise(ctx: &Ctx) -> Vec<Table> {
     );
     for &flip in &[0.0, 0.05, 0.10, 0.20] {
         let mut row = vec![format!("{flip}")];
-        for kind in [AlgoKind::Ea, AlgoKind::Aa, AlgoKind::UhSimplex, AlgoKind::SinglePass] {
+        for kind in [
+            AlgoKind::Ea,
+            AlgoKind::Aa,
+            AlgoKind::UhSimplex,
+            AlgoKind::SinglePass,
+        ] {
             let mut algo = isrl_bench::sweep::make_algo(kind, &data, 0.1, &params);
             let mut rounds = 0.0;
             let mut regret = 0.0;
@@ -427,7 +516,11 @@ fn noise(ctx: &Ctx) -> Vec<Table> {
 
 fn main() {
     let cli = parse_cli();
-    let ctx = Ctx { scale: cli.scale, users: cli.users, train: cli.train };
+    let ctx = Ctx {
+        scale: cli.scale,
+        users: cli.users,
+        train: cli.train,
+    };
     let all = [
         "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
         "fig15", "fig16", "ablation", "noise",

@@ -33,7 +33,12 @@ impl Table {
     /// # Panics
     /// Panics if the cell count disagrees with the header count.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(cells);
     }
 
@@ -56,7 +61,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
         }
@@ -78,6 +87,71 @@ impl Table {
     pub fn save_csv(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+
+    /// JSON serialization: `{id, title, rows: [{header: cell, ...}, ...]}`.
+    /// Cells that parse as finite numbers are emitted as JSON numbers,
+    /// everything else as escaped strings. Hand-rolled because the tree
+    /// carries no serde_json.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"rows\": [",
+            json_string(&self.id),
+            json_string(&self.title)
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = write!(out, "{}\n    {{", if i == 0 { "" } else { "," });
+            for (j, (h, cell)) in self.headers.iter().zip(row).enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}{}: {}", json_string(h), json_cell(cell));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON serialization to `path`.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string for JSON embedding (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A table cell as a JSON value: verbatim when it is a finite number in
+/// plain decimal notation (which is also valid JSON), quoted otherwise.
+fn json_cell(cell: &str) -> String {
+    let body = cell.strip_prefix('-').unwrap_or(cell);
+    let plain = body.starts_with(|c: char| c.is_ascii_digit())
+        && !body.ends_with('.')
+        && body.chars().all(|c| c.is_ascii_digit() || c == '.')
+        && body.chars().filter(|&c| c == '.').count() <= 1;
+    if plain {
+        cell.to_string()
+    } else {
+        json_string(cell)
     }
 }
 
@@ -133,6 +207,23 @@ mod tests {
     fn push_row_checks_width() {
         let mut t = Table::new("t3", "demo", &["only"]);
         t.push_row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn json_emits_numbers_verbatim_and_quotes_the_rest() {
+        let mut t = Table::new("hp", "hot path", &["algo", "ms", "note"]);
+        t.push_row(vec!["EA".into(), "3.40".into(), "d=4 \"cap\"".into()]);
+        t.push_row(vec!["AA".into(), "-0.5".into(), "".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"ms\": 3.40"), "number left verbatim: {j}");
+        assert!(j.contains("\"ms\": -0.5"), "negatives too: {j}");
+        assert!(j.contains("\"algo\": \"EA\""), "strings quoted: {j}");
+        assert!(j.contains(r#"\"cap\""#), "quotes escaped: {j}");
+        // Non-JSON numeric shapes must fall back to strings.
+        assert_eq!(super::json_cell("1e9"), "\"1e9\"");
+        assert_eq!(super::json_cell(".5"), "\".5\"");
+        assert_eq!(super::json_cell("3."), "\"3.\"");
+        assert_eq!(super::json_cell("1.2.3"), "\"1.2.3\"");
     }
 
     #[test]

@@ -95,7 +95,10 @@ impl AlgoKind {
     /// Whether the algorithm maintains explicit polytopes (and so, like in
     /// the paper, is only run at low dimensionality).
     pub fn needs_polytopes(&self) -> bool {
-        matches!(self, AlgoKind::Ea | AlgoKind::UhRandom | AlgoKind::UhSimplex)
+        matches!(
+            self,
+            AlgoKind::Ea | AlgoKind::UhRandom | AlgoKind::UhSimplex
+        )
     }
 
     /// The paper's §V roster for a given dimensionality: polytope
@@ -130,7 +133,12 @@ pub struct SweepParams {
 
 impl Default for SweepParams {
     fn default() -> Self {
-        Self { test_users: 20, train_episodes: 120, ea_samples: 80, seed: 7 }
+        Self {
+            test_users: 20,
+            train_episodes: 120,
+            ea_samples: 80,
+            seed: 7,
+        }
     }
 }
 
@@ -165,33 +173,189 @@ pub fn make_algo(
     }
 }
 
+/// One sweep cell: a dataset spec evaluated at one regret threshold over
+/// one algorithm roster. [`run_sweep`] flattens a batch of these into a
+/// shared (algorithm × cell × user) work queue.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Data to run on.
+    pub spec: DataSpec,
+    /// Regret threshold ε.
+    pub eps: f64,
+    /// Algorithms to evaluate.
+    pub kinds: Vec<AlgoKind>,
+    /// Dataset construction seed.
+    pub data_seed: u64,
+}
+
+/// SplitMix64 finalizer: mixes the sweep seed with a work item's
+/// (cell, algorithm, user) coordinates so every interaction gets an
+/// independent, schedule-invariant RNG stream.
+fn item_seed(base: u64, cell: usize, algo: usize, user: usize) -> u64 {
+    let mut z = base
+        .wrapping_add((cell as u64).wrapping_mul(0x9e3779b97f4a7c15))
+        .wrapping_add((algo as u64).wrapping_mul(0xbf58476d1ce4e5b9))
+        .wrapping_add((user as u64).wrapping_mul(0x94d049bb133111eb))
+        .wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One trained-agent slot per (cell, algorithm): filled by the training
+/// phase, then locked per evaluation item (agents are stateful).
+type AgentSlots = Vec<Vec<Mutex<Option<Box<dyn InteractiveAlgorithm + Send>>>>>;
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(items.max(1))
+}
+
+/// The work-queue core shared by [`run_algos`] and [`run_sweep`]: trains
+/// every (cell × algorithm) pair, then evaluates (cell × algorithm × user)
+/// items, both phases drained by a fixed worker pool.
+///
+/// Parallelism is fine-grained: a slow algorithm (EA at d = 4) no longer
+/// serializes the whole cell behind its single thread — its per-user items
+/// interleave with every other cell and algorithm on the queue. Items for
+/// one trained agent still exclude each other (the agent is stateful), so
+/// the schedule never runs one agent concurrently; [`item_seed`] +
+/// [`InteractiveAlgorithm::reseed`] make each item's outcome a pure
+/// function of its coordinates, independent of pop order.
+fn run_cells(
+    cells: &[(&Dataset, f64, &[AlgoKind])],
+    params: &SweepParams,
+) -> Vec<Vec<(AlgoKind, Evaluation)>> {
+    // Per-cell test users (same seed per cell as the historical single-cell
+    // sweep, so user populations are comparable across cells of equal dim).
+    let users: Vec<Vec<Vec<f64>>> = cells
+        .iter()
+        .map(|(data, _, _)| {
+            sample_users(data.dim(), params.test_users, params.seed.wrapping_add(300))
+        })
+        .collect();
+
+    // Phase 1 — training queue over (cell, algo).
+    let agents: AgentSlots = cells
+        .iter()
+        .map(|(_, _, kinds)| kinds.iter().map(|_| Mutex::new(None)).collect())
+        .collect();
+    let train_queue: crossbeam::queue::SegQueue<(usize, usize)> = crossbeam::queue::SegQueue::new();
+    for (c, (_, _, kinds)) in cells.iter().enumerate() {
+        for a in 0..kinds.len() {
+            train_queue.push((c, a));
+        }
+    }
+    crossbeam::scope(|scope| {
+        for _ in 0..worker_count(train_queue.len()) {
+            scope.spawn(|_| {
+                while let Some((c, a)) = train_queue.pop() {
+                    let (data, eps, kinds) = cells[c];
+                    *agents[c][a].lock() = Some(make_algo(kinds[a], data, eps, params));
+                }
+            });
+        }
+    })
+    .expect("training worker panicked");
+
+    // Phase 2 — evaluation queue over (cell, algo, user).
+    type UserResult = (usize, usize, usize, InteractionOutcome, f64);
+    let eval_queue: crossbeam::queue::SegQueue<(usize, usize, usize)> =
+        crossbeam::queue::SegQueue::new();
+    for (c, (_, _, kinds)) in cells.iter().enumerate() {
+        for a in 0..kinds.len() {
+            for u in 0..users[c].len() {
+                eval_queue.push((c, a, u));
+            }
+        }
+    }
+    let results: Mutex<Vec<UserResult>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for _ in 0..worker_count(eval_queue.len()) {
+            scope.spawn(|_| {
+                while let Some((c, a, u)) = eval_queue.pop() {
+                    let (data, eps, _) = cells[c];
+                    let truth = &users[c][u];
+                    let mut guard = agents[c][a].lock();
+                    let algo = guard.as_mut().expect("trained in phase 1");
+                    algo.reseed(item_seed(params.seed, c, a, u));
+                    let mut user = SimulatedUser::new(truth.clone());
+                    let out = algo.run(data, &mut user, eps, TraceMode::Off);
+                    drop(guard);
+                    let regret =
+                        isrl_core::regret::regret_ratio_of_index(data, out.point_index, truth);
+                    results.lock().push((c, a, u, out, regret));
+                }
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+
+    // Reassemble per-(cell, algo) evaluations in user order.
+    let mut per_user = results.into_inner();
+    per_user.sort_by_key(|&(c, a, u, _, _)| (c, a, u));
+    let mut out: Vec<Vec<(AlgoKind, Evaluation)>> = cells
+        .iter()
+        .map(|(_, _, kinds)| {
+            kinds
+                .iter()
+                .map(|&k| {
+                    (
+                        k,
+                        Evaluation {
+                            stats: Default::default(),
+                            outcomes: Vec::new(),
+                            regrets: Vec::new(),
+                        },
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    for (c, a, _, outcome, regret) in per_user {
+        let eval = &mut out[c][a].1;
+        eval.regrets.push(regret);
+        eval.outcomes.push(outcome);
+    }
+    for cell in &mut out {
+        for (_, eval) in cell {
+            let obs: Vec<(usize, f64, f64, bool)> = eval
+                .outcomes
+                .iter()
+                .zip(&eval.regrets)
+                .map(|(o, &r)| (o.rounds, o.elapsed.as_secs_f64(), r, o.truncated))
+                .collect();
+            eval.stats = RunStats::from_observations(&obs);
+        }
+    }
+    out
+}
+
+/// Builds and evaluates a whole batch of sweep cells on one shared work
+/// queue — dataset construction, training, and per-user evaluation all
+/// overlap across cells. Results come back in cell order, each cell's
+/// algorithms in roster order.
+pub fn run_sweep(cells: &[SweepCell], params: &SweepParams) -> Vec<Vec<(AlgoKind, Evaluation)>> {
+    let datasets: Vec<Dataset> = cells.iter().map(|c| c.spec.build(c.data_seed)).collect();
+    let flat: Vec<(&Dataset, f64, &[AlgoKind])> = cells
+        .iter()
+        .zip(&datasets)
+        .map(|(c, d)| (d, c.eps, c.kinds.as_slice()))
+        .collect();
+    run_cells(&flat, params)
+}
+
 /// Evaluates each algorithm (trained where applicable) on the same test
-/// users, in parallel — one thread per algorithm. Results come back in the
-/// input order.
+/// users, in parallel over a fine-grained (algorithm × user) work queue.
+/// Results come back in the input order.
 pub fn run_algos(
     data: &Dataset,
     kinds: &[AlgoKind],
     eps: f64,
     params: &SweepParams,
 ) -> Vec<(AlgoKind, Evaluation)> {
-    let users = sample_users(data.dim(), params.test_users, params.seed.wrapping_add(300));
-    let results: Mutex<Vec<(usize, AlgoKind, Evaluation)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
-        for (i, &kind) in kinds.iter().enumerate() {
-            let users = &users;
-            let results = &results;
-            let params = params;
-            scope.spawn(move |_| {
-                let mut algo = make_algo(kind, data, eps, params);
-                let eval = evaluate(algo.as_mut(), data, users, eps, TraceMode::Off);
-                results.lock().push((i, kind, eval));
-            });
-        }
-    })
-    .expect("sweep thread panicked");
-    let mut out = results.into_inner();
-    out.sort_by_key(|(i, _, _)| *i);
-    out.into_iter().map(|(_, k, e)| (k, e)).collect()
+    run_cells(&[(data, eps, kinds)], params).remove(0)
 }
 
 /// Per-round interaction progress (Figures 7–8): mean max-regret-so-far and
@@ -239,11 +403,8 @@ pub fn run_progress(
                 // Runs that stop before max_round keep their final state for
                 // the remaining rounds (regret of the returned point, final time).
                 if out.rounds < max_round {
-                    let final_regret = isrl_core::regret::regret_ratio_of_index(
-                        data,
-                        out.point_index,
-                        u,
-                    );
+                    let final_regret =
+                        isrl_core::regret::regret_ratio_of_index(data, out.point_index, u);
                     for slot in acc.iter_mut().take(max_round).skip(out.rounds) {
                         slot.push((final_regret, out.elapsed.as_secs_f64()));
                     }
@@ -271,11 +432,19 @@ mod tests {
 
     #[test]
     fn dataspec_builds_and_preprocesses() {
-        let spec = DataSpec::Synthetic { n: 300, d: 3, dist: Distribution::AntiCorrelated };
+        let spec = DataSpec::Synthetic {
+            n: 300,
+            d: 3,
+            dist: Distribution::AntiCorrelated,
+        };
         let data = spec.build(1);
         assert_eq!(data.dim(), 3);
         assert!(data.len() <= 300, "skyline only removes points");
-        let hi = DataSpec::Synthetic { n: 100, d: 12, dist: Distribution::Independent };
+        let hi = DataSpec::Synthetic {
+            n: 100,
+            d: 12,
+            dist: Distribution::Independent,
+        };
         assert_eq!(hi.build(1).len(), 100, "no skyline pass above the cap");
     }
 
@@ -290,9 +459,18 @@ mod tests {
 
     #[test]
     fn run_algos_returns_in_order() {
-        let spec = DataSpec::Synthetic { n: 120, d: 2, dist: Distribution::AntiCorrelated };
+        let spec = DataSpec::Synthetic {
+            n: 120,
+            d: 2,
+            dist: Distribution::AntiCorrelated,
+        };
         let data = spec.build(2);
-        let params = SweepParams { test_users: 3, train_episodes: 4, ea_samples: 30, seed: 5 };
+        let params = SweepParams {
+            test_users: 3,
+            train_episodes: 4,
+            ea_samples: 30,
+            seed: 5,
+        };
         let kinds = [AlgoKind::UtilityApprox, AlgoKind::SinglePass];
         let res = run_algos(&data, &kinds, 0.15, &params);
         assert_eq!(res.len(), 2);
@@ -302,10 +480,110 @@ mod tests {
     }
 
     #[test]
+    fn run_algos_is_schedule_invariant() {
+        // Per-item reseeding makes every (algorithm × user) outcome a pure
+        // function of its coordinates: two sweeps over the same cell must
+        // agree exactly, however the queue was drained.
+        let spec = DataSpec::Synthetic {
+            n: 100,
+            d: 2,
+            dist: Distribution::AntiCorrelated,
+        };
+        let data = spec.build(4);
+        let params = SweepParams {
+            test_users: 4,
+            train_episodes: 3,
+            ea_samples: 30,
+            seed: 9,
+        };
+        let kinds = [
+            AlgoKind::UhRandom,
+            AlgoKind::SinglePass,
+            AlgoKind::UtilityApprox,
+        ];
+        let a = run_algos(&data, &kinds, 0.15, &params);
+        let b = run_algos(&data, &kinds, 0.15, &params);
+        for ((ka, ea), (kb, eb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert_eq!(ea.regrets, eb.regrets, "{}", ka.name());
+            let rounds = |e: &Evaluation| e.outcomes.iter().map(|o| o.rounds).collect::<Vec<_>>();
+            assert_eq!(rounds(ea), rounds(eb), "{}", ka.name());
+        }
+    }
+
+    #[test]
+    fn run_sweep_covers_every_cell_in_order() {
+        let params = SweepParams {
+            test_users: 2,
+            train_episodes: 2,
+            ea_samples: 30,
+            seed: 11,
+        };
+        let cells = vec![
+            SweepCell {
+                spec: DataSpec::Synthetic {
+                    n: 80,
+                    d: 2,
+                    dist: Distribution::Independent,
+                },
+                eps: 0.2,
+                kinds: vec![AlgoKind::SinglePass, AlgoKind::UtilityApprox],
+                data_seed: 21,
+            },
+            SweepCell {
+                spec: DataSpec::Synthetic {
+                    n: 60,
+                    d: 3,
+                    dist: Distribution::AntiCorrelated,
+                },
+                eps: 0.15,
+                kinds: vec![AlgoKind::UtilityApprox],
+                data_seed: 22,
+            },
+        ];
+        let res = run_sweep(&cells, &params);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].len(), 2);
+        assert_eq!(res[0][0].0, AlgoKind::SinglePass);
+        assert_eq!(res[0][1].0, AlgoKind::UtilityApprox);
+        assert_eq!(res[1].len(), 1);
+        for cell in &res {
+            for (_, eval) in cell {
+                assert_eq!(eval.stats.runs, params.test_users);
+                assert_eq!(eval.outcomes.len(), params.test_users);
+            }
+        }
+    }
+
+    #[test]
+    fn item_seeds_are_distinct_across_coordinates() {
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..4 {
+            for a in 0..6 {
+                for u in 0..50 {
+                    assert!(
+                        seen.insert(item_seed(7, c, a, u)),
+                        "collision at {c}/{a}/{u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn progress_rows_are_monotone_in_round() {
-        let spec = DataSpec::Synthetic { n: 100, d: 2, dist: Distribution::AntiCorrelated };
+        let spec = DataSpec::Synthetic {
+            n: 100,
+            d: 2,
+            dist: Distribution::AntiCorrelated,
+        };
         let data = spec.build(3);
-        let params = SweepParams { test_users: 2, train_episodes: 0, ea_samples: 30, seed: 6 };
+        let params = SweepParams {
+            test_users: 2,
+            train_episodes: 0,
+            ea_samples: 30,
+            seed: 6,
+        };
         let prog = run_progress(&data, &[AlgoKind::SinglePass], 0.1, &params, 5, 200);
         assert_eq!(prog.len(), 1);
         for w in prog[0].rows.windows(2) {

@@ -76,7 +76,9 @@ impl Args {
 
     /// Required string flag.
     pub fn required(&self, flag: &'static str) -> Result<&str, ArgError> {
-        self.get(flag).filter(|v| !v.is_empty()).ok_or(ArgError::Missing(flag))
+        self.get(flag)
+            .filter(|v| !v.is_empty())
+            .ok_or(ArgError::Missing(flag))
     }
 
     /// Optional typed flag with a default.
@@ -88,9 +90,9 @@ impl Args {
     ) -> Result<T, ArgError> {
         match self.get(flag) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| ArgError::Invalid(flag, v.to_string(), ty))
-            }
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::Invalid(flag, v.to_string(), ty)),
         }
     }
 
@@ -157,7 +159,12 @@ mod tests {
 
     #[test]
     fn errors_render_helpfully() {
-        assert_eq!(ArgError::Missing("out").to_string(), "missing required flag --out");
-        assert!(ArgError::Unknown("nope".into()).to_string().contains("nope"));
+        assert_eq!(
+            ArgError::Missing("out").to_string(),
+            "missing required flag --out"
+        );
+        assert!(ArgError::Unknown("nope".into())
+            .to_string()
+            .contains("nope"));
     }
 }

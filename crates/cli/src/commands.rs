@@ -46,7 +46,15 @@ pub fn generate(args: &Args) -> CmdResult {
 /// `isrl train` — train an EA/AA agent and save a checkpoint.
 pub fn train(args: &Args) -> CmdResult {
     args.ensure_known(&[
-        "builtin", "data", "smaller", "seed", "no-skyline", "algo", "eps", "episodes", "out",
+        "builtin",
+        "data",
+        "smaller",
+        "seed",
+        "no-skyline",
+        "algo",
+        "eps",
+        "episodes",
+        "out",
     ])?;
     let (data, source) = resolve_dataset(args)?;
     describe(&data, &source);
@@ -100,7 +108,15 @@ fn load_agent(path: &str) -> Result<Box<dyn InteractiveAlgorithm>, Box<dyn std::
 /// `isrl eval` — run a trained (or baseline) algorithm over simulated users.
 pub fn eval(args: &Args) -> CmdResult {
     args.ensure_known(&[
-        "builtin", "data", "smaller", "seed", "no-skyline", "model", "baseline", "eps", "users",
+        "builtin",
+        "data",
+        "smaller",
+        "seed",
+        "no-skyline",
+        "model",
+        "baseline",
+        "eps",
+        "users",
         "noise",
     ])?;
     let (data, source) = resolve_dataset(args)?;
@@ -110,8 +126,7 @@ pub fn eval(args: &Args) -> CmdResult {
     let seed = args.get_or("seed", 7u64, "integer")?;
     let noise = args.get_or("noise", 0.0f64, "number")?;
 
-    let mut algo: Box<dyn InteractiveAlgorithm> = match (args.get("model"), args.get("baseline"))
-    {
+    let mut algo: Box<dyn InteractiveAlgorithm> = match (args.get("model"), args.get("baseline")) {
         (Some(path), _) if !path.is_empty() => load_agent(path)?,
         (_, Some(name)) if !name.is_empty() => match name {
             "uh-random" => Box::new(UhBaseline::random(seed)),
@@ -120,8 +135,8 @@ pub fn eval(args: &Args) -> CmdResult {
             "utility-approx" => Box::new(UtilityApprox::default()),
             other => {
                 return Err(format!(
-                    "--baseline must be uh-random|uh-simplex|single-pass|utility-approx, got {other:?}"
-                )
+                "--baseline must be uh-random|uh-simplex|single-pass|utility-approx, got {other:?}"
+            )
                 .into())
             }
         },
@@ -154,7 +169,11 @@ pub fn eval(args: &Args) -> CmdResult {
     println!("users:        {n_users} (noise {noise})");
     println!("mean rounds:  {:.2}", rounds / n);
     println!("mean time:    {:.2}ms", secs / n * 1e3);
-    println!("mean regret:  {:.4} (max {:.4}, threshold {eps})", regret_sum / n, regret_max);
+    println!(
+        "mean regret:  {:.4} (max {:.4}, threshold {eps})",
+        regret_sum / n,
+        regret_max
+    );
     println!("truncated:    {truncated}/{n_users}");
     Ok(())
 }
@@ -162,7 +181,13 @@ pub fn eval(args: &Args) -> CmdResult {
 /// `isrl serve` — interview a human on stdin with a trained agent.
 pub fn serve(args: &Args) -> CmdResult {
     args.ensure_known(&[
-        "builtin", "data", "smaller", "seed", "no-skyline", "model", "eps",
+        "builtin",
+        "data",
+        "smaller",
+        "seed",
+        "no-skyline",
+        "model",
+        "eps",
     ])?;
     let (data, source) = resolve_dataset(args)?;
     describe(&data, &source);
@@ -181,11 +206,7 @@ pub fn serve(args: &Args) -> CmdResult {
                 p.iter()
                     .enumerate()
                     .map(|(k, v)| {
-                        let name = self
-                            .attrs
-                            .get(k)
-                            .map(String::as_str)
-                            .unwrap_or("attr");
+                        let name = self.attrs.get(k).map(String::as_str).unwrap_or("attr");
                         format!("{name} {:.0}%", v * 100.0)
                     })
                     .collect::<Vec<_>>()
@@ -214,7 +235,10 @@ pub fn serve(args: &Args) -> CmdResult {
     }
 
     let attrs = data.attributes().to_vec();
-    let mut user = Stdin { attrs: &attrs, asked: 0 };
+    let mut user = Stdin {
+        attrs: &attrs,
+        asked: 0,
+    };
     let out = algo.run(&data, &mut user, eps, TraceMode::Off);
     let p = data.point(out.point_index);
     println!("\nafter {} questions, your tuple:", out.rounds);
@@ -240,8 +264,14 @@ pub fn inspect(args: &Args) -> CmdResult {
             "state:             m_e={} d_eps={} variant={:?}",
             cfg.m_e, cfg.d_eps, cfg.state_variant
         );
-        println!("actions:           m_h={} n_samples={}", cfg.m_h, cfg.n_samples);
-        println!("rl:                gamma={} lr={} c={}", cfg.gamma, cfg.lr, cfg.reward_c);
+        println!(
+            "actions:           m_h={} n_samples={}",
+            cfg.m_h, cfg.n_samples
+        );
+        println!(
+            "rl:                gamma={} lr={} c={}",
+            cfg.gamma, cfg.lr, cfg.reward_c
+        );
         return Ok(());
     }
     let agent = checkpoint::load_aa(&bytes)?;
@@ -254,6 +284,9 @@ pub fn inspect(args: &Args) -> CmdResult {
         "actions:           m_h={} top_k={} rank_by_distance={}",
         cfg.m_h, cfg.pair_gen.top_k, cfg.pair_gen.rank_by_distance
     );
-    println!("rl:                gamma={} lr={} c={}", cfg.gamma, cfg.lr, cfg.reward_c);
+    println!(
+        "rl:                gamma={} lr={} c={}",
+        cfg.gamma, cfg.lr, cfg.reward_c
+    );
     Ok(())
 }

@@ -73,7 +73,10 @@ pub fn resolve_dataset(args: &Args) -> Result<(Dataset, DataSource), DataError> 
         }
         (_, Some(path)) if !path.is_empty() => {
             let text = std::fs::read_to_string(path)?;
-            (load_csv(&text, args.get("smaller").unwrap_or(""))?, DataSource::Csv(path.into()))
+            (
+                load_csv(&text, args.get("smaller").unwrap_or(""))?,
+                DataSource::Csv(path.into()),
+            )
         }
         _ => {
             return Err(DataError::BadSource(
@@ -104,7 +107,11 @@ fn builtin(name: &str, seed: u64) -> Result<Dataset, DataError> {
         "anti" => Distribution::AntiCorrelated,
         "corr" => Distribution::Correlated,
         "indep" => Distribution::Independent,
-        other => return Err(DataError::BadSource(format!("unknown distribution {other:?}"))),
+        other => {
+            return Err(DataError::BadSource(format!(
+                "unknown distribution {other:?}"
+            )))
+        }
     };
     let (n, d) = shape
         .split_once('x')

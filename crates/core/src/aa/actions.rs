@@ -34,7 +34,12 @@ pub struct PairGenConfig {
 
 impl Default for PairGenConfig {
     fn default() -> Self {
-        Self { top_k: 20, random_pairs: 20, max_lp_checks: 24, rank_by_distance: true }
+        Self {
+            top_k: 20,
+            random_pairs: 20,
+            max_lp_checks: 24,
+            rank_by_distance: true,
+        }
     }
 }
 
@@ -50,6 +55,7 @@ impl Default for PairGenConfig {
 /// pool on one side almost certainly fails the LP cut test, so the LP is
 /// never run for it. This keeps the per-round LP count near `2·m_h` even
 /// in high dimension.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's question-generation inputs
 pub fn candidate_pairs<R: Rng + ?Sized>(
     data: &Dataset,
     region: &Region,
@@ -66,14 +72,18 @@ pub fn candidate_pairs<R: Rng + ?Sized>(
     }
     let normalized = |a: usize, b: usize| if a < b { (a, b) } else { (b, a) };
 
-    // Top-K tuples by utility w.r.t. the center.
+    // Top-K tuples by utility w.r.t. the center: one linear pass over the
+    // point buffer for all scores, then an O(n) selection — versus the old
+    // comparator that recomputed `d`-dot products per comparison.
     let k = cfg.top_k.min(n);
+    let mut utils: Vec<f64> = Vec::new();
+    data.utilities_into(center, &mut utils);
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        let ua = data.utility(a, center);
-        let ub = data.utility(b, center);
-        ub.partial_cmp(&ua).expect("NaN utility")
-    });
+    let by_desc = |&a: &usize, &b: &usize| utils[b].partial_cmp(&utils[a]).expect("NaN utility");
+    if 0 < k && k < n {
+        order.select_nth_unstable_by(k - 1, by_desc);
+    }
+    order[..k].sort_unstable_by(by_desc);
     let top = &order[..k];
 
     // Assemble unique unasked candidate pairs.
@@ -215,14 +225,33 @@ mod tests {
         let region = Region::full(2);
         let center = vec![0.5, 0.5];
         let mut rng = StdRng::seed_from_u64(2);
-        let qs = candidate_pairs(&data, &region, &center, 2, &[], &[], PairGenConfig::default(), &mut rng);
+        let qs = candidate_pairs(
+            &data,
+            &region,
+            &center,
+            2,
+            &[],
+            &[],
+            PairGenConfig::default(),
+            &mut rng,
+        );
         assert!(qs.len() <= 2);
-        let asked: Vec<(usize, usize)> =
-            qs.iter().map(|q| (q.i.min(q.j), q.i.max(q.j))).collect();
-        let qs2 =
-            candidate_pairs(&data, &region, &center, 5, &asked, &[], PairGenConfig::default(), &mut rng);
+        let asked: Vec<(usize, usize)> = qs.iter().map(|q| (q.i.min(q.j), q.i.max(q.j))).collect();
+        let qs2 = candidate_pairs(
+            &data,
+            &region,
+            &center,
+            5,
+            &asked,
+            &[],
+            PairGenConfig::default(),
+            &mut rng,
+        );
         for q in &qs2 {
-            assert!(!asked.contains(&(q.i.min(q.j), q.i.max(q.j))), "re-asked {q:?}");
+            assert!(
+                !asked.contains(&(q.i.min(q.j), q.i.max(q.j))),
+                "re-asked {q:?}"
+            );
         }
     }
 
@@ -234,7 +263,16 @@ mod tests {
         let region = Region::full(2);
         let center = vec![0.5, 0.5];
         let mut rng = StdRng::seed_from_u64(3);
-        let qs = candidate_pairs(&data, &region, &center, 2, &[], &[], PairGenConfig::default(), &mut rng);
+        let qs = candidate_pairs(
+            &data,
+            &region,
+            &center,
+            2,
+            &[],
+            &[],
+            PairGenConfig::default(),
+            &mut rng,
+        );
         let mut all: Vec<f64> = Vec::new();
         for a in 0..data.len() {
             for b in a + 1..data.len() {
@@ -247,7 +285,10 @@ mod tests {
         let median = all[all.len() / 2];
         for q in &qs {
             let d = hyperplane_distance(&data, *q, &center).unwrap();
-            assert!(d <= median + 1e-9, "selected pair too far: {d} > median {median}");
+            assert!(
+                d <= median + 1e-9,
+                "selected pair too far: {d} > median {median}"
+            );
         }
     }
 
@@ -262,7 +303,16 @@ mod tests {
         region.add(Halfspace::new(vec![-0.50, 0.50])); // u0 ≤ 0.5
         let center = region.feasible_point().unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let qs = candidate_pairs(&data, &region, &center, 5, &[], &[], PairGenConfig::default(), &mut rng);
+        let qs = candidate_pairs(
+            &data,
+            &region,
+            &center,
+            5,
+            &[],
+            &[],
+            PairGenConfig::default(),
+            &mut rng,
+        );
         for q in &qs {
             let h = Halfspace::preferring(data.point(q.i), data.point(q.j)).unwrap();
             assert!(region.is_cut_by(&h));

@@ -22,7 +22,7 @@ use crate::interaction::{
 };
 use crate::user::User;
 use isrl_data::Dataset;
-use isrl_geometry::{Halfspace, Region};
+use isrl_geometry::{Halfspace, RegionGeometry};
 use isrl_linalg::vector;
 use isrl_rl::{Dqn, DqnConfig, EpsilonSchedule, NextState, Transition};
 use rand::rngs::StdRng;
@@ -124,7 +124,13 @@ impl AaAgent {
         dqn_cfg.use_adam = cfg.use_adam;
         let dqn = Dqn::new(dqn_cfg);
         let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
-        Self { cfg, dim, dqn, rng, episodes_trained: 0 }
+        Self {
+            cfg,
+            dim,
+            dqn,
+            rng,
+            episodes_trained: 0,
+        }
     }
 
     /// The configuration.
@@ -157,10 +163,11 @@ impl AaAgent {
     fn observe(
         &mut self,
         data: &Dataset,
-        region: &Region,
+        geom: &RegionGeometry,
         eps: f64,
         asked: &[(usize, usize)],
     ) -> Option<Observation> {
+        let region = geom.region();
         let summary = AaSummary::from_region(region)?;
         let mid = summary.midpoint();
         let best = data.argmax_utility(&mid);
@@ -195,8 +202,17 @@ impl AaAgent {
             self.cfg.pair_gen,
             &mut self.rng,
         );
-        let action_feats = questions.iter().map(|&q| encode_question(data, q)).collect();
-        Some(Observation { terminal: false, state, questions, action_feats, best })
+        let action_feats = questions
+            .iter()
+            .map(|&q| encode_question(data, q))
+            .collect();
+        Some(Observation {
+            terminal: false,
+            state,
+            questions,
+            action_feats,
+            best,
+        })
     }
 
     fn episode(
@@ -211,13 +227,14 @@ impl AaAgent {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
         let sw = Stopwatch::start();
-        let mut region = Region::full(self.dim);
+        // AA never materializes vertices; `summary_only` keeps cuts O(1).
+        let mut geom = RegionGeometry::summary_only(self.dim);
         let mut asked: Vec<(usize, usize)> = Vec::new();
         let mut trace: Vec<RoundTrace> = Vec::new();
         let mut rounds = 0usize;
 
         let mut obs = self
-            .observe(data, &region, eps, &asked)
+            .observe(data, &geom, eps, &asked)
             .expect("the full utility simplex is never empty");
 
         loop {
@@ -243,7 +260,8 @@ impl AaAgent {
             }
 
             let idx = if learn {
-                self.dqn.select_action(&obs.state, &obs.action_feats, explore_eps)
+                self.dqn
+                    .select_action(&obs.state, &obs.action_feats, explore_eps)
             } else {
                 self.dqn.best_action(&obs.state, &obs.action_feats).0
             };
@@ -253,10 +271,10 @@ impl AaAgent {
             asked.push((q.i.min(q.j), q.i.max(q.j)));
             rounds += 1;
             if let Some(h) = Halfspace::preferring(data.point(win), data.point(lose)) {
-                region.add(h);
+                geom.add(h);
             }
 
-            match self.observe(data, &region, eps, &asked) {
+            match self.observe(data, &geom, eps, &asked) {
                 None => {
                     return InteractionOutcome {
                         point_index: obs.best,
@@ -272,7 +290,11 @@ impl AaAgent {
                         let transition = Transition {
                             state: std::mem::take(&mut obs.state),
                             action: obs.action_feats[idx].clone(),
-                            reward: if next_obs.terminal { self.cfg.reward_c } else { 0.0 },
+                            reward: if next_obs.terminal {
+                                self.cfg.reward_c
+                            } else {
+                                0.0
+                            },
                             next: if next_obs.terminal || dead_end {
                                 None
                             } else {
@@ -292,7 +314,7 @@ impl AaAgent {
                             round: rounds,
                             elapsed: sw.elapsed(),
                             best_index: next_obs.best,
-                            region: region.clone(),
+                            region: geom.region().clone(),
                         });
                     }
                     obs = next_obs;
@@ -333,6 +355,10 @@ impl InteractiveAlgorithm for AaAgent {
         let mut answer = |p_i: &[f64], p_j: &[f64]| user.prefers(p_i, p_j);
         self.episode(data, &mut answer, eps, 0.0, false, trace)
     }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
 }
 
 #[cfg(test)]
@@ -366,7 +392,10 @@ mod tests {
         // Lemma 9's hard guarantee is d²ε; §V observes ≤ ε in practice —
         // check the hard bound strictly and the empirical one loosely.
         assert!(regret <= 4.0 * eps + 1e-9, "hard bound violated: {regret}");
-        assert!(regret <= eps + 0.05, "empirically regret stays near ε: {regret}");
+        assert!(
+            regret <= eps + 0.05,
+            "empirically regret stays near ε: {regret}"
+        );
     }
 
     #[test]
@@ -406,11 +435,15 @@ mod tests {
     fn training_runs_and_reports() {
         let data = small_data();
         let mut agent = AaAgent::new(2, AaConfig::paper_default().with_seed(4));
-        let utilities: Vec<Vec<f64>> =
-            (1..=8).map(|i| vec![i as f64 / 9.0, 1.0 - i as f64 / 9.0]).collect();
+        let utilities: Vec<Vec<f64>> = (1..=8)
+            .map(|i| vec![i as f64 / 9.0, 1.0 - i as f64 / 9.0])
+            .collect();
         let report = agent.train(&data, &utilities, 0.1);
         assert_eq!(report.episodes, 8);
-        assert!(agent.dqn().replay_len() > 0, "training must fill the replay");
+        assert!(
+            agent.dqn().replay_len() > 0,
+            "training must fill the replay"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use super::{AaAgent, Observation};
 use crate::interaction::{Question, Stopwatch};
 use isrl_data::Dataset;
-use isrl_geometry::{Halfspace, Region};
+use isrl_geometry::{Halfspace, Region, RegionGeometry};
 
 /// An in-flight AA interaction. Holds the agent mutably (Q-network
 /// evaluation shares its scratch buffers) and the dataset immutably.
@@ -18,7 +18,7 @@ pub struct AaSession<'a> {
     agent: &'a mut AaAgent,
     data: &'a Dataset,
     eps: f64,
-    region: Region,
+    geom: RegionGeometry,
     asked: Vec<(usize, usize)>,
     obs: Observation,
     question: Option<(usize, Question)>,
@@ -35,16 +35,16 @@ impl AaAgent {
     pub fn start_session<'a>(&'a mut self, data: &'a Dataset, eps: f64) -> AaSession<'a> {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
-        let region = Region::full(self.dim);
+        let geom = RegionGeometry::summary_only(self.dim);
         let asked = Vec::new();
         let obs = self
-            .observe(data, &region, eps, &asked)
+            .observe(data, &geom, eps, &asked)
             .expect("the full utility simplex is never empty");
         let mut session = AaSession {
             agent: self,
             data,
             eps,
-            region,
+            geom,
             asked,
             obs,
             question: None,
@@ -93,14 +93,24 @@ impl AaSession<'_> {
     /// # Panics
     /// Panics if the session is already finished.
     pub fn answer(&mut self, prefers_first: bool) {
-        let (_, q) = self.question.take().expect("session is finished; no pending question");
-        let (win, lose) = if prefers_first { (q.i, q.j) } else { (q.j, q.i) };
+        let (_, q) = self
+            .question
+            .take()
+            .expect("session is finished; no pending question");
+        let (win, lose) = if prefers_first {
+            (q.i, q.j)
+        } else {
+            (q.j, q.i)
+        };
         self.asked.push((q.i.min(q.j), q.i.max(q.j)));
         self.rounds += 1;
         if let Some(h) = Halfspace::preferring(self.data.point(win), self.data.point(lose)) {
-            self.region.add(h);
+            self.geom.add(h);
         }
-        match self.agent.observe(self.data, &self.region, self.eps, &self.asked) {
+        match self
+            .agent
+            .observe(self.data, &self.geom, self.eps, &self.asked)
+        {
             None => {
                 self.truncated = true; // region numerically collapsed
             }
@@ -139,7 +149,7 @@ impl AaSession<'_> {
 
     /// The learned utility range so far (half-space view).
     pub fn region(&self) -> &Region {
-        &self.region
+        self.geom.region()
     }
 }
 
@@ -176,7 +186,9 @@ mod tests {
         // …and via the step API with identical answers.
         let mut agent2 = AaAgent::new(2, AaConfig::paper_default().with_seed(4));
         let mut session = agent2.start_session(&d, 0.1);
-        while let Some((p, q)) = session.current_points().map(|(a, b)| (a.to_vec(), b.to_vec()))
+        while let Some((p, q)) = session
+            .current_points()
+            .map(|(a, b)| (a.to_vec(), b.to_vec()))
         {
             session.answer(vector::dot(&truth, &p) >= vector::dot(&truth, &q));
         }
@@ -195,7 +207,10 @@ mod tests {
         let mut oracle = SimulatedUser::new(truth.clone());
         let mut guard = 0;
         while !session.is_finished() {
-            let (p, q) = session.current_points().map(|(a, b)| (a.to_vec(), b.to_vec())).unwrap();
+            let (p, q) = session
+                .current_points()
+                .map(|(a, b)| (a.to_vec(), b.to_vec()))
+                .unwrap();
             session.answer(oracle.prefers(&p, &q));
             guard += 1;
             assert!(guard < 500, "session failed to finish");

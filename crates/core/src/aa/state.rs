@@ -99,7 +99,11 @@ mod tests {
         r.add(Halfspace::new(vec![0.50, -0.50])); // u0 ≥ u1  (u0 ≥ 0.5)
         r.add(Halfspace::new(vec![-0.48, 0.52])); // 0.52·u1 ≥ 0.48·u0 (u0 ≤ 0.52)
         let s = AaSummary::from_region(&r).unwrap();
-        assert!(s.meets_stop_condition(0.05), "diag {}", s.rectangle.diagonal());
+        assert!(
+            s.meets_stop_condition(0.05),
+            "diag {}",
+            s.rectangle.diagonal()
+        );
         assert!(!s.meets_stop_condition(0.001));
     }
 }

@@ -34,20 +34,23 @@ struct IntervalBox {
 
 impl IntervalBox {
     fn full(d: usize) -> Self {
-        Self { lo: vec![0.0; d], hi: vec![1.0; d] }
+        Self {
+            lo: vec![0.0; d],
+            hi: vec![1.0; d],
+        }
     }
 
     /// Interval evaluation of `v · u`: the (min, max) over the box.
     fn eval(&self, v: &[f64]) -> (f64, f64) {
         let mut min = 0.0;
         let mut max = 0.0;
-        for i in 0..v.len() {
-            if v[i] >= 0.0 {
-                min += v[i] * self.lo[i];
-                max += v[i] * self.hi[i];
+        for ((&vi, &lo), &hi) in v.iter().zip(&self.lo).zip(&self.hi) {
+            if vi >= 0.0 {
+                min += vi * lo;
+                max += vi * hi;
             } else {
-                min += v[i] * self.hi[i];
-                max += v[i] * self.lo[i];
+                min += vi * hi;
+                max += vi * lo;
             }
         }
         (min, max)
@@ -61,25 +64,25 @@ impl IntervalBox {
         for v in constraints {
             // For each coordinate, isolate: v_i · u_i ≥ −Σ_{j≠i} v_j u_j.
             let (min_all, max_all) = self.eval(v);
-            for i in 0..d {
-                let (term_min, term_max) = if v[i] >= 0.0 {
-                    (v[i] * self.lo[i], v[i] * self.hi[i])
+            for (i, &vi) in v.iter().enumerate().take(d) {
+                let (term_min, term_max) = if vi >= 0.0 {
+                    (vi * self.lo[i], vi * self.hi[i])
                 } else {
-                    (v[i] * self.hi[i], v[i] * self.lo[i])
+                    (vi * self.hi[i], vi * self.lo[i])
                 };
                 let rest_min = min_all - term_min;
                 let rest_max = max_all - term_max;
                 // u_i ≥ (−rest_max) / v_i when v_i > 0;
                 // u_i ≤ (−rest_min) / v_i when v_i < 0 (after flipping).
                 let _ = rest_min;
-                if v[i] > 1e-12 {
-                    let bound = -rest_max / v[i];
+                if vi > 1e-12 {
+                    let bound = -rest_max / vi;
                     if bound > self.lo[i] + 1e-12 {
                         self.lo[i] = bound.min(self.hi[i]);
                         changed = true;
                     }
-                } else if v[i] < -1e-12 {
-                    let bound = -rest_max / v[i];
+                } else if vi < -1e-12 {
+                    let bound = -rest_max / vi;
                     if bound < self.hi[i] - 1e-12 {
                         self.hi[i] = bound.max(self.lo[i]);
                         changed = true;
@@ -131,7 +134,12 @@ pub struct SinglePassConfig {
 
 impl Default for SinglePassConfig {
     fn default() -> Self {
-        Self { propagation_sweeps: 3, use_diag_stop: true, max_rounds: 5_000, seed: 0 }
+        Self {
+            propagation_sweeps: 3,
+            use_diag_stop: true,
+            max_rounds: 5_000,
+            seed: 0,
+        }
     }
 }
 
@@ -149,13 +157,20 @@ impl SinglePass {
 
     /// Default configuration with the given seed.
     pub fn seeded(seed: u64) -> Self {
-        Self::new(SinglePassConfig { seed, ..SinglePassConfig::default() })
+        Self::new(SinglePassConfig {
+            seed,
+            ..SinglePassConfig::default()
+        })
     }
 }
 
 impl InteractiveAlgorithm for SinglePass {
     fn name(&self) -> &'static str {
         "SinglePass"
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.cfg.seed = seed; // the stream order is re-derived per run
     }
 
     fn run(
@@ -211,7 +226,11 @@ impl InteractiveAlgorithm for SinglePass {
             }
             let prefers_champ = user.prefers(data.point(champion), data.point(challenger));
             rounds += 1;
-            let normal = if prefers_champ { diff } else { vector::scale(&diff, -1.0) };
+            let normal = if prefers_champ {
+                diff
+            } else {
+                vector::scale(&diff, -1.0)
+            };
             constraints.push(normal.clone());
             region.add(Halfspace::new(normal));
             if !prefers_champ {
@@ -252,7 +271,13 @@ impl InteractiveAlgorithm for SinglePass {
             champion
         };
 
-        InteractionOutcome { point_index, rounds, elapsed: sw.elapsed(), trace, truncated }
+        InteractionOutcome {
+            point_index,
+            rounds,
+            elapsed: sw.elapsed(),
+            trace,
+            truncated,
+        }
     }
 }
 
@@ -312,7 +337,10 @@ mod tests {
         let mut user = SimulatedUser::new(truth.clone());
         let out = algo.run(&data, &mut user, 0.05, TraceMode::Off);
         let regret = regret_ratio_of_index(&data, out.point_index, &truth);
-        assert!(regret < 1e-9, "full pass must find the exact favorite, regret {regret}");
+        assert!(
+            regret < 1e-9,
+            "full pass must find the exact favorite, regret {regret}"
+        );
     }
 
     #[test]
@@ -371,6 +399,10 @@ mod tests {
                 break;
             }
         }
-        assert!(b.hi[1] <= 1.0 / 3.0 + 1e-9, "u1 bounded by u0/3 ≤ 1/3: {}", b.hi[1]);
+        assert!(
+            b.hi[1] <= 1.0 / 3.0 + 1e-9,
+            "u1 bounded by u0/3 ≤ 1/3: {}",
+            b.hi[1]
+        );
     }
 }

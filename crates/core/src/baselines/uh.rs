@@ -41,7 +41,11 @@ pub struct UhConfig {
 
 impl Default for UhConfig {
     fn default() -> Self {
-        Self { n_samples: 100, max_rounds: 150, seed: 0 }
+        Self {
+            n_samples: 100,
+            max_rounds: 150,
+            seed: 0,
+        }
     }
 }
 
@@ -62,22 +66,29 @@ impl UhBaseline {
 
     /// UH-Random with default configuration.
     pub fn random(seed: u64) -> Self {
-        Self::new(UhStrategy::Random, UhConfig { seed, ..UhConfig::default() })
+        Self::new(
+            UhStrategy::Random,
+            UhConfig {
+                seed,
+                ..UhConfig::default()
+            },
+        )
     }
 
     /// UH-Simplex with default configuration.
     pub fn simplex(seed: u64) -> Self {
-        Self::new(UhStrategy::Simplex, UhConfig { seed, ..UhConfig::default() })
+        Self::new(
+            UhStrategy::Simplex,
+            UhConfig {
+                seed,
+                ..UhConfig::default()
+            },
+        )
     }
 
     /// Candidate points still able to be the user's favorite, found the
     /// same way EA builds `P_R` (sampled + extreme utility vectors).
-    fn candidates(
-        &mut self,
-        data: &Dataset,
-        region: &Region,
-        vertices: &[Vec<f64>],
-    ) -> Vec<usize> {
+    fn candidates(&mut self, data: &Dataset, region: &Region, vertices: &[Vec<f64>]) -> Vec<usize> {
         let mut samples = sampling::sample_region_rejection(
             region.dim(),
             region.halfspaces(),
@@ -87,7 +98,11 @@ impl UhBaseline {
         );
         if samples.len() < self.cfg.n_samples {
             let need = self.cfg.n_samples - samples.len();
-            samples.extend(sampling::sample_vertex_mixture(vertices, need, &mut self.rng));
+            samples.extend(sampling::sample_vertex_mixture(
+                vertices,
+                need,
+                &mut self.rng,
+            ));
         }
         samples.extend(vertices.iter().cloned());
         terminal_points(data, samples.iter())
@@ -134,7 +149,10 @@ impl UhBaseline {
                         }
                     }
                 }
-                Some(Question { i: ranked[0], j: ranked[1] })
+                Some(Question {
+                    i: ranked[0],
+                    j: ranked[1],
+                })
             }
         }
     }
@@ -146,6 +164,10 @@ impl InteractiveAlgorithm for UhBaseline {
             UhStrategy::Random => "UH-Random",
             UhStrategy::Simplex => "UH-Simplex",
         }
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     fn run(
@@ -290,7 +312,11 @@ mod tests {
         let data = small_data();
         let mut algo = UhBaseline::new(
             UhStrategy::Random,
-            UhConfig { n_samples: 20, max_rounds: 1, seed: 4 },
+            UhConfig {
+                n_samples: 20,
+                max_rounds: 1,
+                seed: 4,
+            },
         );
         let mut user = SimulatedUser::new(vec![0.5, 0.5]);
         let out = algo.run(&data, &mut user, 0.001, TraceMode::Off);

@@ -29,7 +29,10 @@ pub struct UtilityApproxConfig {
 
 impl Default for UtilityApproxConfig {
     fn default() -> Self {
-        Self { width_factor: 2.0, max_rounds: 500 }
+        Self {
+            width_factor: 2.0,
+            max_rounds: 500,
+        }
     }
 }
 
@@ -191,16 +194,24 @@ mod tests {
         }
         let data = small_data();
         let mut algo = UtilityApprox::default();
-        let mut spy = Spy { inner: SimulatedUser::new(vec![0.5, 0.5]), saw_axis_tuple: false };
+        let mut spy = Spy {
+            inner: SimulatedUser::new(vec![0.5, 0.5]),
+            saw_axis_tuple: false,
+        };
         algo.run(&data, &mut spy, 0.1, TraceMode::Off);
-        assert!(spy.saw_axis_tuple, "UtilityApprox must present artificial axis tuples");
+        assert!(
+            spy.saw_axis_tuple,
+            "UtilityApprox must present artificial axis tuples"
+        );
     }
 
     #[test]
     fn round_cap_truncates() {
         let data = small_data();
-        let mut algo =
-            UtilityApprox::new(UtilityApproxConfig { width_factor: 2.0, max_rounds: 1 });
+        let mut algo = UtilityApprox::new(UtilityApproxConfig {
+            width_factor: 2.0,
+            max_rounds: 1,
+        });
         let mut user = SimulatedUser::new(vec![0.5, 0.5]);
         let out = algo.run(&data, &mut user, 0.001, TraceMode::Off);
         assert!(out.truncated);

@@ -134,7 +134,10 @@ fn check_header(buf: &mut &[u8], expected_tag: u8) -> Result<(), CheckpointError
     }
     let tag = buf.get_u8();
     if tag != expected_tag {
-        return Err(CheckpointError::WrongAgent { found: tag, expected: expected_tag });
+        return Err(CheckpointError::WrongAgent {
+            found: tag,
+            expected: expected_tag,
+        });
     }
     Ok(())
 }
@@ -378,7 +381,13 @@ mod tests {
     fn agent_kinds_do_not_cross_load() {
         let ea = EaAgent::new(2, EaConfig::paper_default());
         let err = load_aa(&save_ea(&ea)).unwrap_err();
-        assert!(matches!(err, CheckpointError::WrongAgent { found: 1, expected: 2 }));
+        assert!(matches!(
+            err,
+            CheckpointError::WrongAgent {
+                found: 1,
+                expected: 2
+            }
+        ));
     }
 
     #[test]
@@ -387,6 +396,9 @@ mod tests {
         cfg.epsilon = EpsilonSchedule::linear(0.9, 0.1, 500);
         let agent = EaAgent::new(3, cfg);
         let restored = load_ea(&save_ea(&agent)).unwrap();
-        assert_eq!(restored.config().epsilon, EpsilonSchedule::linear(0.9, 0.1, 500));
+        assert_eq!(
+            restored.config().epsilon,
+            EpsilonSchedule::linear(0.9, 0.1, 500)
+        );
     }
 }

@@ -78,7 +78,11 @@ pub fn analyze(
             churn += 1;
         }
         prev_best = Some(t.best_index);
-        let decay = if prev_fraction > 0.0 { fraction / prev_fraction } else { 1.0 };
+        let decay = if prev_fraction > 0.0 {
+            fraction / prev_fraction
+        } else {
+            1.0
+        };
         decay_log_sum += decay.max(1e-12).ln();
         prev_fraction = fraction;
         rounds.push(RoundDiagnostic {
@@ -89,7 +93,11 @@ pub fn analyze(
         });
     }
     let mean_decay = (decay_log_sum / rounds.len() as f64).exp();
-    Some(DiagnosticReport { rounds, mean_decay, churn })
+    Some(DiagnosticReport {
+        rounds,
+        mean_decay,
+        churn,
+    })
 }
 
 /// Fraction of the region-before-the-last-answer kept by the last answer's
@@ -173,7 +181,11 @@ mod tests {
         let (_, out) = traced_outcome();
         let report = analyze(&out, 2_000, 3).unwrap();
         for r in &report.rounds {
-            assert!((0.0..=1.0).contains(&r.cut_balance), "balance {}", r.cut_balance);
+            assert!(
+                (0.0..=1.0).contains(&r.cut_balance),
+                "balance {}",
+                r.cut_balance
+            );
         }
     }
 

@@ -45,7 +45,10 @@ pub fn build_action_space<R: Rng + ?Sized>(
         for a in 0..k {
             for b in a + 1..k {
                 if !is_asked(p_r[a], p_r[b]) {
-                    all.push(Question { i: p_r[a], j: p_r[b] });
+                    all.push(Question {
+                        i: p_r[a],
+                        j: p_r[b],
+                    });
                 }
             }
         }
@@ -69,7 +72,13 @@ pub fn build_action_space<R: Rng + ?Sized>(
         if a == b {
             continue;
         }
-        push_unique(Question { i: p_r[a], j: p_r[b] }, &mut out);
+        push_unique(
+            Question {
+                i: p_r[a],
+                j: p_r[b],
+            },
+            &mut out,
+        );
     }
     out
 }
@@ -133,10 +142,7 @@ mod tests {
 
     #[test]
     fn question_features_are_orientation_invariant() {
-        let d = isrl_data::Dataset::from_points(
-            vec![vec![0.1, 0.2], vec![0.3, 0.4]],
-            2,
-        );
+        let d = isrl_data::Dataset::from_points(vec![vec![0.1, 0.2], vec![0.3, 0.4]], 2);
         assert_eq!(
             encode_question(&d, Question { i: 0, j: 1 }),
             vec![0.1, 0.2, 0.3, 0.4]

@@ -23,7 +23,7 @@ use crate::interaction::{
 };
 use crate::user::User;
 use isrl_data::Dataset;
-use isrl_geometry::{sampling, Halfspace, Polytope, Region};
+use isrl_geometry::{sampling, Halfspace, RegionGeometry};
 use isrl_linalg::vector;
 use isrl_rl::{Dqn, DqnConfig, EpsilonSchedule, NextState, Transition};
 use rand::rngs::StdRng;
@@ -120,7 +120,11 @@ impl TrainReport {
         } else {
             tail.iter().sum::<usize>() as f64 / tail.len() as f64
         };
-        Self { episodes: n, rounds_per_episode: rounds, mean_rounds_final_quarter: mean }
+        Self {
+            episodes: n,
+            rounds_per_episode: rounds,
+            mean_rounds_final_quarter: mean,
+        }
     }
 }
 
@@ -147,8 +151,7 @@ pub struct EaAgent {
 impl EaAgent {
     /// Creates an untrained agent for datasets of dimensionality `dim`.
     pub fn new(dim: usize, cfg: EaConfig) -> Self {
-        let encoder =
-            EaStateEncoder::with_variant(dim, cfg.m_e, cfg.d_eps, cfg.state_variant);
+        let encoder = EaStateEncoder::with_variant(dim, cfg.m_e, cfg.d_eps, cfg.state_variant);
         let mut dqn_cfg = DqnConfig::paper_default(encoder.state_dim(), 2 * dim)
             .with_seed(cfg.seed.wrapping_add(1));
         dqn_cfg.lr = cfg.lr;
@@ -159,7 +162,14 @@ impl EaAgent {
         dqn_cfg.use_adam = cfg.use_adam;
         let dqn = Dqn::new(dqn_cfg);
         let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
-        Self { cfg, dim, encoder, dqn, rng, episodes_trained: 0 }
+        Self {
+            cfg,
+            dim,
+            encoder,
+            dqn,
+            rng,
+            episodes_trained: 0,
+        }
     }
 
     /// The configuration.
@@ -190,22 +200,23 @@ impl EaAgent {
     }
 
     /// Derives state, terminal status, and the candidate action space from
-    /// the current region. Returns `None` when vertex enumeration finds no
-    /// vertices (numerically collapsed region).
+    /// the current region geometry. The vertex set is read straight off the
+    /// incrementally-maintained polytope — no re-enumeration per round.
+    /// Returns `None` when the region has collapsed to no vertices.
     fn observe(
         &mut self,
         data: &Dataset,
-        region: &Region,
+        geom: &RegionGeometry,
         eps: f64,
         asked: &[(usize, usize)],
     ) -> Option<Observation> {
-        let polytope = Polytope::from_region(region)?;
+        let polytope = geom.polytope()?;
         let vertices = polytope.vertices().to_vec();
         let terminal = check_terminal(data, &vertices, eps);
 
         let centroid = polytope.centroid();
         let fallback_best = data.argmax_utility(&centroid);
-        let state = self.encoder.encode(&polytope);
+        let state = self.encoder.encode(polytope);
 
         if terminal.is_some() {
             return Some(Observation {
@@ -221,14 +232,18 @@ impl EaAgent {
         // fallback) plus the extreme utility vectors of R (Lemma 5/6).
         let mut samples = sampling::sample_region_rejection(
             self.dim,
-            region.halfspaces(),
+            geom.region().halfspaces(),
             self.cfg.n_samples,
             self.cfg.n_samples * 10,
             &mut self.rng,
         );
         if samples.len() < self.cfg.n_samples {
             let need = self.cfg.n_samples - samples.len();
-            samples.extend(sampling::sample_vertex_mixture(&vertices, need, &mut self.rng));
+            samples.extend(sampling::sample_vertex_mixture(
+                &vertices,
+                need,
+                &mut self.rng,
+            ));
         }
         samples.extend(vertices);
         let p_r = terminal_points(data, samples.iter());
@@ -239,8 +254,17 @@ impl EaAgent {
             // stalling (the DQN will pick the most informative repeat).
             questions = build_action_space(&p_r, self.cfg.m_h, &[], &mut self.rng);
         }
-        let action_feats = questions.iter().map(|&q| encode_question(data, q)).collect();
-        Some(Observation { terminal: None, state, questions, action_feats, fallback_best })
+        let action_feats = questions
+            .iter()
+            .map(|&q| encode_question(data, q))
+            .collect();
+        Some(Observation {
+            terminal: None,
+            state,
+            questions,
+            action_feats,
+            fallback_best,
+        })
     }
 
     /// Runs one interaction episode. `answer` is the preference oracle;
@@ -258,13 +282,13 @@ impl EaAgent {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
         let sw = Stopwatch::start();
-        let mut region = Region::full(self.dim);
+        let mut geom = RegionGeometry::exact(self.dim);
         let mut asked: Vec<(usize, usize)> = Vec::new();
         let mut trace: Vec<RoundTrace> = Vec::new();
         let mut rounds = 0usize;
 
         let mut obs = self
-            .observe(data, &region, eps, &asked)
+            .observe(data, &geom, eps, &asked)
             .expect("the full utility simplex always has vertices");
 
         loop {
@@ -288,7 +312,8 @@ impl EaAgent {
             }
 
             let idx = if learn {
-                self.dqn.select_action(&obs.state, &obs.action_feats, explore_eps)
+                self.dqn
+                    .select_action(&obs.state, &obs.action_feats, explore_eps)
             } else {
                 self.dqn.best_action(&obs.state, &obs.action_feats).0
             };
@@ -298,10 +323,10 @@ impl EaAgent {
             asked.push((q.i.min(q.j), q.i.max(q.j)));
             rounds += 1;
             if let Some(h) = Halfspace::preferring(data.point(win), data.point(lose)) {
-                region.add(h);
+                geom.add(h);
             }
 
-            match self.observe(data, &region, eps, &asked) {
+            match self.observe(data, &geom, eps, &asked) {
                 None => {
                     // Region numerically collapsed — finish on the last
                     // known recommendation.
@@ -320,7 +345,11 @@ impl EaAgent {
                         let transition = Transition {
                             state: std::mem::take(&mut obs.state),
                             action: obs.action_feats[idx].clone(),
-                            reward: if reached_terminal { self.cfg.reward_c } else { 0.0 },
+                            reward: if reached_terminal {
+                                self.cfg.reward_c
+                            } else {
+                                0.0
+                            },
                             next: if reached_terminal || dead_end {
                                 None
                             } else {
@@ -340,7 +369,7 @@ impl EaAgent {
                             round: rounds,
                             elapsed: sw.elapsed(),
                             best_index: next_obs.terminal.unwrap_or(next_obs.fallback_best),
-                            region: region.clone(),
+                            region: geom.region().clone(),
                         });
                     }
                     obs = next_obs;
@@ -382,6 +411,10 @@ impl InteractiveAlgorithm for EaAgent {
         let mut answer = |p_i: &[f64], p_j: &[f64]| user.prefers(p_i, p_j);
         self.episode(data, &mut answer, eps, 0.0, false, trace)
     }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
 }
 
 #[cfg(test)]
@@ -414,7 +447,10 @@ mod tests {
         assert!(!out.truncated, "EA must hit its stopping condition");
         assert!(out.rounds <= 20, "rounds {}", out.rounds);
         let regret = regret_ratio_of_index(&data, out.point_index, user.ground_truth());
-        assert!(regret < eps, "EA is exact: regret {regret} must be below {eps}");
+        assert!(
+            regret < eps,
+            "EA is exact: regret {regret} must be below {eps}"
+        );
     }
 
     #[test]
@@ -425,8 +461,7 @@ mod tests {
             for w in [0.1, 0.45, 0.8] {
                 let mut user = SimulatedUser::new(vec![w, 1.0 - w]);
                 let out = agent.run(&data, &mut user, eps, TraceMode::Off);
-                let regret =
-                    regret_ratio_of_index(&data, out.point_index, user.ground_truth());
+                let regret = regret_ratio_of_index(&data, out.point_index, user.ground_truth());
                 assert!(
                     regret < eps,
                     "eps {eps}, user {w}: regret {regret} (rounds {})",
@@ -442,8 +477,9 @@ mod tests {
         let mut cfg = EaConfig::paper_default().with_seed(3);
         cfg.n_samples = 30;
         let mut agent = EaAgent::new(2, cfg);
-        let utilities: Vec<Vec<f64>> =
-            (1..=10).map(|i| vec![i as f64 / 11.0, 1.0 - i as f64 / 11.0]).collect();
+        let utilities: Vec<Vec<f64>> = (1..=10)
+            .map(|i| vec![i as f64 / 11.0, 1.0 - i as f64 / 11.0])
+            .collect();
         let report = agent.train(&data, &utilities, 0.1);
         assert_eq!(report.episodes, 10);
         assert_eq!(agent.episodes_trained(), 10);

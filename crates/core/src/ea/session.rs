@@ -4,14 +4,14 @@
 use super::{EaAgent, Observation};
 use crate::interaction::{Question, Stopwatch};
 use isrl_data::Dataset;
-use isrl_geometry::{Halfspace, Region};
+use isrl_geometry::{Halfspace, Region, RegionGeometry};
 
 /// An in-flight EA interaction.
 pub struct EaSession<'a> {
     agent: &'a mut EaAgent,
     data: &'a Dataset,
     eps: f64,
-    region: Region,
+    geom: RegionGeometry,
     asked: Vec<(usize, usize)>,
     obs: Observation,
     question: Option<(usize, Question)>,
@@ -28,16 +28,16 @@ impl EaAgent {
     pub fn start_session<'a>(&'a mut self, data: &'a Dataset, eps: f64) -> EaSession<'a> {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
-        let region = Region::full(self.dim);
+        let geom = RegionGeometry::exact(self.dim);
         let asked = Vec::new();
         let obs = self
-            .observe(data, &region, eps, &asked)
+            .observe(data, &geom, eps, &asked)
             .expect("the full utility simplex always has vertices");
         let mut session = EaSession {
             agent: self,
             data,
             eps,
-            region,
+            geom,
             asked,
             obs,
             question: None,
@@ -83,14 +83,24 @@ impl EaSession<'_> {
     /// # Panics
     /// Panics if the session is already finished.
     pub fn answer(&mut self, prefers_first: bool) {
-        let (_, q) = self.question.take().expect("session is finished; no pending question");
-        let (win, lose) = if prefers_first { (q.i, q.j) } else { (q.j, q.i) };
+        let (_, q) = self
+            .question
+            .take()
+            .expect("session is finished; no pending question");
+        let (win, lose) = if prefers_first {
+            (q.i, q.j)
+        } else {
+            (q.j, q.i)
+        };
         self.asked.push((q.i.min(q.j), q.i.max(q.j)));
         self.rounds += 1;
         if let Some(h) = Halfspace::preferring(self.data.point(win), self.data.point(lose)) {
-            self.region.add(h);
+            self.geom.add(h);
         }
-        match self.agent.observe(self.data, &self.region, self.eps, &self.asked) {
+        match self
+            .agent
+            .observe(self.data, &self.geom, self.eps, &self.asked)
+        {
             None => {
                 self.truncated = true;
             }
@@ -130,7 +140,7 @@ impl EaSession<'_> {
 
     /// The learned utility range so far (half-space view).
     pub fn region(&self) -> &Region {
-        &self.region
+        self.geom.region()
     }
 }
 
@@ -167,7 +177,9 @@ mod tests {
 
         let mut agent2 = EaAgent::new(2, EaConfig::paper_default().with_seed(7));
         let mut session = agent2.start_session(&d, eps);
-        while let Some((p, q)) = session.current_points().map(|(a, b)| (a.to_vec(), b.to_vec()))
+        while let Some((p, q)) = session
+            .current_points()
+            .map(|(a, b)| (a.to_vec(), b.to_vec()))
         {
             session.answer(vector::dot(&truth, &p) >= vector::dot(&truth, &q));
         }
@@ -187,6 +199,9 @@ mod tests {
         // favorite — but it must be a valid index.
         assert!(session.recommendation() < d.len());
         assert_eq!(session.rounds(), 0);
-        assert!(!session.is_finished(), "eps=0.05 needs at least one question here");
+        assert!(
+            !session.is_finished(),
+            "eps=0.05 needs at least one question here"
+        );
     }
 }

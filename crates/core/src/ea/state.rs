@@ -59,15 +59,18 @@ impl EaStateEncoder {
         assert!(m_e > 0, "m_e must be positive");
         assert!(d_eps > 0.0, "d_eps must be positive");
         assert!(dim >= 2, "dimension must be at least 2");
-        Self { m_e, d_eps, dim, variant }
+        Self {
+            m_e,
+            d_eps,
+            dim,
+            variant,
+        }
     }
 
     /// Width of the produced state vector for the configured variant.
     pub fn state_dim(&self) -> usize {
         match self.variant {
-            StateVariant::Full | StateVariant::StridedReps => {
-                self.dim * self.m_e + self.dim + 1
-            }
+            StateVariant::Full | StateVariant::StridedReps => self.dim * self.m_e + self.dim + 1,
             StateVariant::RepsOnly => self.dim * self.m_e,
             StateVariant::SphereOnly => self.dim + 1,
         }
@@ -175,11 +178,14 @@ mod tests {
         let state = enc.encode(&p);
         let centroid = p.centroid();
         for chunk in state[..4 * 6].chunks(4) {
-            let is_vertex = p.vertices().iter().any(|v| {
-                v.iter().zip(chunk).all(|(a, b)| (a - b).abs() < 1e-12)
-            });
-            let is_centroid =
-                centroid.iter().zip(chunk).all(|(a, b)| (a - b).abs() < 1e-12);
+            let is_vertex = p
+                .vertices()
+                .iter()
+                .any(|v| v.iter().zip(chunk).all(|(a, b)| (a - b).abs() < 1e-12));
+            let is_centroid = centroid
+                .iter()
+                .zip(chunk)
+                .all(|(a, b)| (a - b).abs() < 1e-12);
             assert!(is_vertex || is_centroid);
         }
     }

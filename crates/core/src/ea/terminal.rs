@@ -43,15 +43,22 @@ pub fn in_terminal_polyhedron(data: &Dataset, i: usize, u: &[f64], eps: f64) -> 
 /// given utility vectors: the distinct top-1 indices (each utility vector's
 /// polyhedron is `T_{argmax(u)}` by the shortcut above). Order follows
 /// first appearance.
+///
+/// All argmaxes come from one cache-blocked [`Dataset::top1_batch`] pass —
+/// bit-identical to a per-vector [`Dataset::argmax_utility`] scan, but the
+/// point buffer is streamed once instead of once per utility vector.
 pub fn terminal_points<'a>(
     data: &Dataset,
     utilities: impl Iterator<Item = &'a Vec<f64>>,
 ) -> Vec<usize> {
+    let us: Vec<&[f64]> = utilities.map(Vec::as_slice).collect();
+    if us.is_empty() {
+        return Vec::new();
+    }
     let mut seen: Vec<usize> = Vec::new();
-    for u in utilities {
-        let best = data.argmax_utility(u);
-        if !seen.contains(&best) {
-            seen.push(best);
+    for t in data.top1_batch(&us) {
+        if !seen.contains(&t.index) {
+            seen.push(t.index);
         }
     }
     seen
@@ -82,7 +89,9 @@ pub fn check_terminal(data: &Dataset, vertices: &[Vec<f64>], eps: f64) -> Option
         return Some(anchors[0]);
     }
     anchors.into_iter().find(|&a| {
-        vertices.iter().all(|e| in_terminal_polyhedron(data, a, e, eps))
+        vertices
+            .iter()
+            .all(|e| in_terminal_polyhedron(data, a, e, eps))
     })
 }
 
@@ -92,10 +101,7 @@ mod tests {
 
     /// Two well-separated specialists plus an all-rounder.
     fn data() -> Dataset {
-        Dataset::from_points(
-            vec![vec![0.95, 0.1], vec![0.1, 0.95], vec![0.6, 0.6]],
-            2,
-        )
+        Dataset::from_points(vec![vec![0.95, 0.1], vec![0.1, 0.95], vec![0.6, 0.6]], 2)
     }
 
     #[test]

@@ -90,6 +90,12 @@ pub trait InteractiveAlgorithm {
         eps: f64,
         trace: TraceMode,
     ) -> InteractionOutcome;
+
+    /// Reseeds the algorithm's internal randomness. Parallel sweeps call
+    /// this before every interaction with a seed derived from the work
+    /// item's coordinates, making each outcome independent of thread
+    /// scheduling. Deterministic algorithms keep the default no-op.
+    fn reseed(&mut self, _seed: u64) {}
 }
 
 /// A tiny stopwatch wrapper so algorithms report consistent timings.
@@ -101,7 +107,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.

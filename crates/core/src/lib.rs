@@ -74,13 +74,13 @@ pub mod prelude {
         SinglePass, SinglePassConfig, UhBaseline, UhConfig, UhStrategy, UtilityApprox,
         UtilityApproxConfig,
     };
+    pub use crate::checkpoint::{load_aa, load_ea, save_aa, save_ea, CheckpointError};
     pub use crate::ea::{EaAgent, EaConfig, EaSession};
     pub use crate::interaction::{
         InteractionOutcome, InteractiveAlgorithm, Question, RoundTrace, TraceMode,
     };
     pub use crate::metrics::{max_regret_estimate, RunStats};
     pub use crate::regret::{regret_ratio, regret_ratio_of_index};
-    pub use crate::checkpoint::{load_aa, load_ea, save_aa, save_ea, CheckpointError};
     pub use crate::runner::{evaluate, sample_users, Evaluation};
     pub use crate::user::{NoisyUser, SimulatedUser, User};
 }

@@ -7,7 +7,6 @@
 //! way the paper describes: sample utility vectors from the learned region,
 //! take the recommendation's worst regret over the samples.
 
-use crate::regret::regret_ratio_of_index;
 use isrl_data::Dataset;
 use isrl_geometry::{sampling, Region};
 use rand::rngs::StdRng;
@@ -55,10 +54,27 @@ pub fn max_regret_estimate(
             &mut rng,
         ));
     }
-    samples
+    if samples.is_empty() {
+        return None;
+    }
+    // One cache-blocked pass for every sample's best utility value (the
+    // numerator's `max_p f_u(p)`), instead of a full dataset scan per
+    // sample. Same dot products and tie-breaking as `regret_ratio_of_index`.
+    let q = data.point(point_index);
+    let tops = isrl_linalg::top1_batch(&samples, data.as_flat(), d);
+    let worst = samples
         .iter()
-        .map(|u| regret_ratio_of_index(data, point_index, u))
-        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+        .zip(&tops)
+        .map(|(u, t)| {
+            let best = t.value;
+            assert!(
+                best > 0.0,
+                "maximum utility must be positive on normalized data"
+            );
+            ((best - isrl_linalg::vector::dot(q, u)) / best).max(0.0)
+        })
+        .fold(0.0, f64::max);
+    Some(worst)
 }
 
 /// Aggregate over repeated runs: mean rounds, mean time (seconds), mean and
@@ -103,10 +119,7 @@ mod tests {
     use isrl_geometry::Halfspace;
 
     fn diagonal_data() -> Dataset {
-        Dataset::from_points(
-            vec![vec![0.9, 0.1], vec![0.6, 0.6], vec![0.1, 0.9]],
-            2,
-        )
+        Dataset::from_points(vec![vec![0.9, 0.1], vec![0.6, 0.6], vec![0.1, 0.9]], 2)
     }
 
     #[test]
@@ -115,7 +128,10 @@ mod tests {
         // for utility vectors favoring attribute 2.
         let data = diagonal_data();
         let r = max_regret_estimate(&data, &Region::full(2), 0, 2_000, 1).unwrap();
-        assert!(r > 0.3, "corner recommendation should look bad somewhere: {r}");
+        assert!(
+            r > 0.3,
+            "corner recommendation should look bad somewhere: {r}"
+        );
     }
 
     #[test]
@@ -132,7 +148,10 @@ mod tests {
             "narrowing must not increase max regret: {wide} -> {narrow}"
         );
         // The balanced point is in fact optimal on this narrowed region.
-        assert!(narrow < 0.05, "balanced point should be near-optimal: {narrow}");
+        assert!(
+            narrow < 0.05,
+            "balanced point should be near-optimal: {narrow}"
+        );
     }
 
     #[test]
@@ -146,10 +165,7 @@ mod tests {
 
     #[test]
     fn run_stats_aggregate() {
-        let stats = RunStats::from_observations(&[
-            (10, 1.0, 0.05, false),
-            (20, 3.0, 0.15, true),
-        ]);
+        let stats = RunStats::from_observations(&[(10, 1.0, 0.05, false), (20, 3.0, 0.15, true)]);
         assert_eq!(stats.mean_rounds, 15.0);
         assert_eq!(stats.mean_seconds, 2.0);
         assert!((stats.mean_regret - 0.10).abs() < 1e-12);

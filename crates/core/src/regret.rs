@@ -18,7 +18,10 @@ use isrl_linalg::vector;
 /// happen for `(0, 1]`-normalized data with a simplex utility vector).
 pub fn regret_ratio(data: &Dataset, q: &[f64], u: &[f64]) -> f64 {
     let best = data.max_utility(u);
-    assert!(best > 0.0, "maximum utility must be positive on normalized data");
+    assert!(
+        best > 0.0,
+        "maximum utility must be positive on normalized data"
+    );
     ((best - vector::dot(q, u)) / best).max(0.0)
 }
 

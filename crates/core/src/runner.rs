@@ -15,7 +15,9 @@ use rand::SeedableRng;
 /// paper's protocol for both training sets and test users.
 pub fn sample_users(d: usize, count: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| sampling::sample_simplex(d, &mut rng)).collect()
+    (0..count)
+        .map(|_| sampling::sample_simplex(d, &mut rng))
+        .collect()
 }
 
 /// Result of [`evaluate`]: per-user outcomes plus the aggregate statistics.
@@ -49,7 +51,11 @@ pub fn evaluate(
         regrets.push(regret);
         outcomes.push(out);
     }
-    Evaluation { stats: RunStats::from_observations(&obs), outcomes, regrets }
+    Evaluation {
+        stats: RunStats::from_observations(&obs),
+        outcomes,
+        regrets,
+    }
 }
 
 #[cfg(test)]
@@ -75,10 +81,7 @@ mod tests {
 
     #[test]
     fn evaluate_aggregates_per_user_runs() {
-        let data = Dataset::from_points(
-            vec![vec![0.9, 0.2], vec![0.6, 0.6], vec![0.2, 0.9]],
-            2,
-        );
+        let data = Dataset::from_points(vec![vec![0.9, 0.2], vec![0.6, 0.6], vec![0.2, 0.9]], 2);
         let users = sample_users(2, 4, 3);
         let mut algo = UtilityApprox::default();
         let eval = evaluate(&mut algo, &data, &users, 0.15, TraceMode::Off);
@@ -86,6 +89,9 @@ mod tests {
         assert_eq!(eval.regrets.len(), 4);
         assert_eq!(eval.stats.runs, 4);
         assert!(eval.stats.mean_rounds > 0.0);
-        assert!(eval.stats.max_regret <= 0.15 + 1e-9, "UtilityApprox is exact here");
+        assert!(
+            eval.stats.max_regret <= 0.15 + 1e-9,
+            "UtilityApprox is exact here"
+        );
     }
 }

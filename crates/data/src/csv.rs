@@ -103,10 +103,7 @@ pub fn parse(text: &str) -> Result<CsvTable, CsvError> {
 
 /// Loads selected numeric columns from a CSV text into a normalized
 /// [`Dataset`], pairing each column with its [`Direction`].
-pub fn load_dataset(
-    text: &str,
-    columns: &[(&str, Direction)],
-) -> Result<Dataset, CsvError> {
+pub fn load_dataset(text: &str, columns: &[(&str, Direction)]) -> Result<Dataset, CsvError> {
     let table = parse(text)?;
     let idx: Vec<usize> = columns
         .iter()
@@ -153,7 +150,8 @@ pub fn write_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "price,horsepower,name\n5000,450,\"Falcon, Mk \"\"II\"\"\"\n4000,400,Swift\n";
+    const SAMPLE: &str =
+        "price,horsepower,name\n5000,450,\"Falcon, Mk \"\"II\"\"\"\n4000,400,Swift\n";
 
     #[test]
     fn parses_quotes_and_escapes() {
@@ -191,7 +189,10 @@ mod tests {
     fn load_dataset_selects_and_normalizes() {
         let d = load_dataset(
             SAMPLE,
-            &[("price", Direction::SmallerBetter), ("horsepower", Direction::LargerBetter)],
+            &[
+                ("price", Direction::SmallerBetter),
+                ("horsepower", Direction::LargerBetter),
+            ],
         )
         .unwrap();
         assert_eq!(d.dim(), 2);

@@ -31,7 +31,11 @@ impl Dataset {
             assert_eq!(p.len(), dim, "point dimension mismatch");
             data.extend_from_slice(p);
         }
-        Self { dim, data, attributes: Vec::new() }
+        Self {
+            dim,
+            data,
+            attributes: Vec::new(),
+        }
     }
 
     /// Builds a dataset directly from a flat row-major buffer.
@@ -41,7 +45,11 @@ impl Dataset {
     pub fn from_flat(data: Vec<f64>, dim: usize) -> Self {
         assert!(dim > 0, "dataset dimension must be positive");
         assert_eq!(data.len() % dim, 0, "flat buffer length must be n * dim");
-        Self { dim, data, attributes: Vec::new() }
+        Self {
+            dim,
+            data,
+            attributes: Vec::new(),
+        }
     }
 
     /// Attaches attribute names (for reporting; ignored by the algorithms).
@@ -122,6 +130,33 @@ impl Dataset {
         self.utility(self.argmax_utility(u), u)
     }
 
+    /// The flat row-major point buffer (for batched kernels).
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Top-1 point per utility vector in one cache-blocked pass over the
+    /// point buffer (see [`isrl_linalg::scan::top1_batch`]). Identical
+    /// results to calling [`Dataset::argmax_utility`] /
+    /// [`Dataset::max_utility`] per vector, but the buffer is streamed once
+    /// instead of once per vector.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or a utility-vector dimension mismatch.
+    pub fn top1_batch<U: AsRef<[f64]>>(&self, utilities: &[U]) -> Vec<isrl_linalg::Top1> {
+        isrl_linalg::top1_batch(utilities, &self.data, self.dim)
+    }
+
+    /// Every point's utility w.r.t. `u`, written into `out` (cleared
+    /// first) — the single pass backing top-k selection.
+    ///
+    /// # Panics
+    /// Panics on a utility-vector dimension mismatch.
+    pub fn utilities_into(&self, u: &[f64], out: &mut Vec<f64>) {
+        isrl_linalg::row_dots(&self.data, self.dim, u, out);
+    }
+
     /// A new dataset keeping only the given indices (preserving order).
     ///
     /// # Panics
@@ -131,7 +166,11 @@ impl Dataset {
         for &i in indices {
             data.extend_from_slice(self.point(i));
         }
-        Dataset { dim: self.dim, data, attributes: self.attributes.clone() }
+        Dataset {
+            dim: self.dim,
+            data,
+            attributes: self.attributes.clone(),
+        }
     }
 
     /// Verifies every coordinate lies in `(0, 1]` (the paper's normalization
@@ -217,6 +256,34 @@ mod tests {
         let d = paper_table3();
         assert_eq!(d.iter().count(), 5);
         assert_eq!(d.iter().next().unwrap(), d.point(0));
+    }
+
+    #[test]
+    fn top1_batch_agrees_with_scalar_argmax() {
+        let d = paper_table3();
+        let utilities = vec![
+            vec![0.3, 0.7],
+            vec![0.9, 0.1],
+            vec![0.5, 0.5],
+            vec![0.05, 0.95],
+        ];
+        let batched = d.top1_batch(&utilities);
+        for (u, t) in utilities.iter().zip(&batched) {
+            assert_eq!(t.index, d.argmax_utility(u));
+            assert_eq!(t.value, d.max_utility(u));
+        }
+    }
+
+    #[test]
+    fn utilities_into_matches_per_index_utility() {
+        let d = paper_table3();
+        let u = [0.3, 0.7];
+        let mut out = Vec::new();
+        d.utilities_into(&u, &mut out);
+        assert_eq!(out.len(), d.len());
+        for i in 0..d.len() {
+            assert_eq!(out[i], d.utility(i, &u));
+        }
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub fn normalize_table(rows: &[Vec<f64>], directions: &[Direction]) -> Vec<Vec<f
         return Vec::new();
     }
     let d = directions.len();
-    assert!(rows.iter().all(|r| r.len() == d), "ragged rows or direction mismatch");
+    assert!(
+        rows.iter().all(|r| r.len() == d),
+        "ragged rows or direction mismatch"
+    );
     let mut out = rows.to_vec();
     let mut column = vec![0.0; rows.len()];
     for j in 0..d {
@@ -125,7 +128,11 @@ mod tests {
         normalize_column(&mut col, Direction::LargerBetter);
         for i in 0..raw.len() {
             for j in 0..raw.len() {
-                assert_eq!(raw[i] < raw[j], col[i] < col[j], "order broken at ({i},{j})");
+                assert_eq!(
+                    raw[i] < raw[j],
+                    col[i] < col[j],
+                    "order broken at ({i},{j})"
+                );
             }
         }
     }
@@ -140,7 +147,11 @@ mod tests {
 
     #[test]
     fn table_normalization_is_per_column() {
-        let rows = vec![vec![5000.0, 450.0], vec![4000.0, 400.0], vec![3500.0, 350.0]];
+        let rows = vec![
+            vec![5000.0, 450.0],
+            vec![4000.0, 400.0],
+            vec![3500.0, 350.0],
+        ];
         let out = normalize_table(&rows, &[Direction::SmallerBetter, Direction::LargerBetter]);
         assert_eq!(out[2][0], 1.0, "cheapest price wins");
         assert_eq!(out[0][1], 1.0, "highest horsepower wins");

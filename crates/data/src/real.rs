@@ -52,17 +52,19 @@ pub fn car_like_sized(n: usize, seed: u64) -> Dataset {
         // gives used-car data its sizeable skylines.
         let class: f64 = rng.gen_range(0.0..1.0);
         let condition: f64 = rng.gen_range(0.0..1.0);
-        let price =
-            (8.6 + 1.1 * class + 1.0 * condition + 0.04 * std_normal(&mut rng)).exp();
-        let mileage = (120_000.0 * (1.05 - condition)
-            * (1.0 + 0.06 * std_normal(&mut rng)).abs())
-        .max(100.0);
+        let price = (8.6 + 1.1 * class + 1.0 * condition + 0.04 * std_normal(&mut rng)).exp();
+        let mileage =
+            (120_000.0 * (1.05 - condition) * (1.0 + 0.06 * std_normal(&mut rng)).abs()).max(100.0);
         let mpg = (52.0 - 26.0 * class + 0.8 * std_normal(&mut rng)).clamp(8.0, 70.0);
         rows.push(vec![price, mileage, mpg]);
     }
     let normalized = normalize_table(
         &rows,
-        &[Direction::SmallerBetter, Direction::SmallerBetter, Direction::LargerBetter],
+        &[
+            Direction::SmallerBetter,
+            Direction::SmallerBetter,
+            Direction::LargerBetter,
+        ],
     );
     Dataset::from_points(normalized, CAR_D).with_attributes(vec![
         "price".into(),
@@ -73,10 +75,26 @@ pub fn car_like_sized(n: usize, seed: u64) -> Dataset {
 
 /// Attribute names of the *Player*-shaped dataset, in column order.
 pub const PLAYER_ATTRIBUTES: [&str; PLAYER_D] = [
-    "games", "minutes", "points", "field_goals", "fg_attempts", "three_pointers",
-    "three_pt_attempts", "free_throws", "ft_attempts", "off_rebounds", "def_rebounds",
-    "total_rebounds", "assists", "steals", "blocks", "turnovers_inv", "fouls_inv",
-    "fg_pct", "three_pct", "ft_pct",
+    "games",
+    "minutes",
+    "points",
+    "field_goals",
+    "fg_attempts",
+    "three_pointers",
+    "three_pt_attempts",
+    "free_throws",
+    "ft_attempts",
+    "off_rebounds",
+    "def_rebounds",
+    "total_rebounds",
+    "assists",
+    "steals",
+    "blocks",
+    "turnovers_inv",
+    "fouls_inv",
+    "fg_pct",
+    "three_pct",
+    "ft_pct",
 ];
 
 /// A *Player*-shaped dataset at the paper's full size: 20 box-score
@@ -94,26 +112,26 @@ pub fn player_like_sized(n: usize, seed: u64) -> Dataset {
     // Loadings of the 20 attributes on (skill, minutes); noise scale last.
     // Volume stats load on both factors, percentages mostly on skill.
     const LOADINGS: [(f64, f64, f64); PLAYER_D] = [
-        (0.2, 0.9, 0.25), // games
-        (0.3, 1.0, 0.20), // minutes
-        (0.8, 0.7, 0.25), // points
-        (0.8, 0.7, 0.25), // field goals
-        (0.6, 0.8, 0.25), // fg attempts
-        (0.7, 0.4, 0.40), // three pointers
-        (0.5, 0.5, 0.40), // three attempts
-        (0.7, 0.6, 0.30), // free throws
-        (0.6, 0.7, 0.30), // ft attempts
-        (0.4, 0.7, 0.35), // off rebounds
-        (0.5, 0.7, 0.30), // def rebounds
-        (0.5, 0.7, 0.30), // total rebounds
-        (0.7, 0.5, 0.35), // assists
-        (0.6, 0.5, 0.40), // steals
-        (0.4, 0.5, 0.45), // blocks
+        (0.2, 0.9, 0.25),  // games
+        (0.3, 1.0, 0.20),  // minutes
+        (0.8, 0.7, 0.25),  // points
+        (0.8, 0.7, 0.25),  // field goals
+        (0.6, 0.8, 0.25),  // fg attempts
+        (0.7, 0.4, 0.40),  // three pointers
+        (0.5, 0.5, 0.40),  // three attempts
+        (0.7, 0.6, 0.30),  // free throws
+        (0.6, 0.7, 0.30),  // ft attempts
+        (0.4, 0.7, 0.35),  // off rebounds
+        (0.5, 0.7, 0.30),  // def rebounds
+        (0.5, 0.7, 0.30),  // total rebounds
+        (0.7, 0.5, 0.35),  // assists
+        (0.6, 0.5, 0.40),  // steals
+        (0.4, 0.5, 0.45),  // blocks
         (-0.3, 0.8, 0.35), // turnovers (raw: more minutes, more turnovers)
         (-0.2, 0.7, 0.40), // fouls
-        (0.9, 0.1, 0.30), // fg%
-        (0.8, 0.1, 0.40), // 3p%
-        (0.8, 0.1, 0.35), // ft%
+        (0.9, 0.1, 0.30),  // fg%
+        (0.8, 0.1, 0.40),  // 3p%
+        (0.8, 0.1, 0.35),  // ft%
     ];
     let mut rows = Vec::with_capacity(n);
     for _ in 0..n {

@@ -63,7 +63,9 @@ mod tests {
     fn skyline_of_anti_chain_is_everything() {
         // Points on a descending diagonal are pairwise incomparable.
         let d = Dataset::from_points(
-            (1..=5).map(|i| vec![i as f64 / 5.0, (6 - i) as f64 / 5.0]).collect(),
+            (1..=5)
+                .map(|i| vec![i as f64 / 5.0, (6 - i) as f64 / 5.0])
+                .collect(),
             2,
         );
         assert_eq!(skyline_indices(&d).len(), 5);
@@ -118,7 +120,12 @@ mod tests {
     #[test]
     fn skyline_is_idempotent() {
         let d = Dataset::from_points(
-            vec![vec![0.9, 0.2], vec![0.2, 0.9], vec![0.5, 0.5], vec![0.4, 0.4]],
+            vec![
+                vec![0.9, 0.2],
+                vec![0.2, 0.9],
+                vec![0.5, 0.5],
+                vec![0.4, 0.4],
+            ],
             2,
         );
         let once = skyline(&d);

@@ -149,8 +149,14 @@ mod tests {
         let anti = skyline_indices(&generate(n, 3, Distribution::AntiCorrelated, 5)).len();
         let indep = skyline_indices(&generate(n, 3, Distribution::Independent, 5)).len();
         let corr = skyline_indices(&generate(n, 3, Distribution::Correlated, 5)).len();
-        assert!(anti > indep, "anti ({anti}) should exceed independent ({indep})");
-        assert!(indep > corr, "independent ({indep}) should exceed correlated ({corr})");
+        assert!(
+            anti > indep,
+            "anti ({anti}) should exceed independent ({indep})"
+        );
+        assert!(
+            indep > corr,
+            "independent ({indep}) should exceed correlated ({corr})"
+        );
     }
 
     fn pearson(xs: &[f64], ys: &[f64]) -> f64 {

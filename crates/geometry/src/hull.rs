@@ -61,8 +61,7 @@ pub fn convex_hull_2d(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len
-            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }
@@ -106,7 +105,12 @@ mod tests {
 
     #[test]
     fn hull_drops_collinear_points() {
-        let pts = vec![vec![0.0, 0.0], vec![0.5, 0.5], vec![1.0, 1.0], vec![0.0, 1.0]];
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.5],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+        ];
         let hull = convex_hull_2d(&pts);
         assert_eq!(hull.len(), 3);
     }

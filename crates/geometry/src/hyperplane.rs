@@ -111,7 +111,9 @@ impl Halfspace {
 
     /// The complementary half-space (same boundary, flipped normal).
     pub fn flipped(&self) -> Self {
-        Self { normal: vector::scale(&self.normal, -1.0) }
+        Self {
+            normal: vector::scale(&self.normal, -1.0),
+        }
     }
 
     /// Euclidean distance from point `u` to the boundary hyperplane.

@@ -13,6 +13,8 @@
 //!   intersection with LP-backed queries (algorithm AA's substrate);
 //! * [`polytope`] — explicit vertex enumeration, representative selection,
 //!   and the outer sphere (algorithm EA's substrate);
+//! * [`region_geometry`] — the region bundled with its incrementally
+//!   updated vertex set, the per-episode state both agents carry;
 //! * [`lp`] — a dense two-phase simplex solver sized for `d + 1` variables;
 //! * [`sphere`] / [`rectangle`] — the state-encoding shapes;
 //! * [`sampling`] — simplex and region sampling (Lemma 5);
@@ -42,6 +44,7 @@ pub mod lp;
 pub mod polytope;
 pub mod rectangle;
 pub mod region;
+pub mod region_geometry;
 pub mod sampling;
 pub mod sphere;
 
@@ -49,4 +52,5 @@ pub use hyperplane::{Halfspace, Side};
 pub use polytope::Polytope;
 pub use rectangle::Rectangle;
 pub use region::Region;
+pub use region_geometry::RegionGeometry;
 pub use sphere::{min_enclosing_sphere, EnclosingSphereParams, Sphere};

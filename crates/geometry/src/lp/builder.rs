@@ -46,7 +46,11 @@ impl LpBuilder {
 
     /// Adds a constraint row `coeffs · x (≤|≥|=) rhs`.
     pub fn constraint(mut self, coeffs: &[f64], rel: Rel, rhs: f64) -> Self {
-        self.problem.constraints.push(Constraint { coeffs: coeffs.to_vec(), rel, rhs });
+        self.problem.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
         self
     }
 

@@ -153,9 +153,7 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
         // Pivot any residual (degenerate, value-0) artificials out of the basis.
         for i in 0..m {
             if basis[i] >= n_split + n_slack {
-                if let Some(j) = (0..n_split + n_slack)
-                    .find(|&j| tab[i][j].abs() > PIVOT_TOL)
-                {
+                if let Some(j) = (0..n_split + n_slack).find(|&j| tab[i][j].abs() > PIVOT_TOL) {
                     pivot(&mut tab, &mut basis, i, j);
                 } // else: the row is all-zero over real columns — redundant, leave it.
             }
@@ -186,12 +184,7 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
     for j in 0..n {
         x[j] = x_split[j] - neg_col[j].map_or(0.0, |c| x_split[c]);
     }
-    let objective: f64 = p
-        .objective
-        .iter()
-        .zip(&x)
-        .map(|(c, v)| c * v)
-        .sum();
+    let objective: f64 = p.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
     Ok(LpOutcome::Optimal(LpSolution { x, objective }))
 }
 
@@ -254,8 +247,7 @@ fn run_simplex(
             if a > PIVOT_TOL {
                 let ratio = tab[i][total] / a;
                 if ratio < best_ratio - 1e-12
-                    || (ratio < best_ratio + 1e-12
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best_ratio + 1e-12 && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -308,7 +300,11 @@ mod tests {
             .solve()
             .unwrap();
         let s = out.optimal().expect("should be optimal");
-        assert!((s.objective - 2.8).abs() < 1e-7, "objective {}", s.objective);
+        assert!(
+            (s.objective - 2.8).abs() < 1e-7,
+            "objective {}",
+            s.objective
+        );
         assert!((s.x[0] - 1.6).abs() < 1e-7);
         assert!((s.x[1] - 1.2).abs() < 1e-7);
     }
@@ -402,7 +398,11 @@ mod tests {
         // The binding constraint is x + y ≤ 2 (k = 1); optimum value 2,
         // attained at (2, 0) where the other 18 rows are slack.
         let s = b.solve().unwrap().optimal().unwrap();
-        assert!((s.objective - 2.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 2.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]

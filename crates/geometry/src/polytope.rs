@@ -12,6 +12,7 @@
 //! `C(d + |H|, d − 1)` stays in the low thousands and each candidate is a
 //! single `d × d` linear solve.
 
+use crate::hyperplane::Halfspace;
 use crate::region::Region;
 use crate::sphere::{min_enclosing_sphere, EnclosingSphereParams, Sphere};
 use isrl_linalg::{solve_linear_system, vector, Matrix};
@@ -22,6 +23,107 @@ const VERTEX_TOL: f64 = 1e-7;
 
 /// Distance below which two candidate vertices are considered the same point.
 const DEDUP_TOL: f64 = 1e-6;
+
+/// Slack below which a constraint counts as *active* (tight) at a vertex.
+/// Vertices come out of exact `d × d` solves or segment interpolation, so
+/// their defining constraints are tight to ~1e-13; 1e-8 leaves three
+/// orders of headroom without conflating distinct constraints.
+const ACTIVE_TOL: f64 = 1e-8;
+
+/// Pivot threshold for the tight-constraint rank check in [`Polytope::update`].
+const RANK_TOL: f64 = 1e-9;
+
+/// The unified constraint-normal list of a region: the `d` simplex facets
+/// (rows of the identity), then each learned half-space normal normalized
+/// to unit length so feasibility/activity tolerances are distances.
+fn constraint_normals(region: &Region) -> Vec<Vec<f64>> {
+    let d = region.dim();
+    let mut normals: Vec<Vec<f64>> = Vec::with_capacity(d + region.len());
+    for i in 0..d {
+        let mut row = vec![0.0; d];
+        row[i] = 1.0;
+        normals.push(row);
+    }
+    for h in region.halfspaces() {
+        let n = vector::norm(h.normal());
+        normals.push(h.normal().iter().map(|x| x / n).collect());
+    }
+    normals
+}
+
+/// Tolerance-deduplicates candidate vertices in `O(V log V + V·w)` instead
+/// of the quadratic all-pairs scan: sort lexicographically, then compare
+/// each candidate only against retained vertices whose leading coordinate
+/// is within [`DEDUP_TOL`] (two points closer than `DEDUP_TOL` in Euclidean
+/// distance are at least that close per coordinate, so the sorted window
+/// cannot miss a duplicate).
+fn dedup_vertices(mut candidates: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    candidates.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(candidates.len());
+    let mut window = 0usize;
+    'next: for c in candidates {
+        while window < out.len() && c[0] - out[window][0] > DEDUP_TOL {
+            window += 1;
+        }
+        for v in &out[window..] {
+            if vector::dist_sq(v, &c) < DEDUP_TOL * DEDUP_TOL {
+                continue 'next;
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Rank of the row set under Gaussian elimination with partial pivoting
+/// (rows are unit-scale: constraint normals and the all-ones simplex row).
+fn row_rank(mut rows: Vec<Vec<f64>>, d: usize) -> usize {
+    let mut rank = 0usize;
+    for col in 0..d {
+        let pivot = (rank..rows.len())
+            .max_by(|&a, &b| {
+                rows[a][col]
+                    .abs()
+                    .partial_cmp(&rows[b][col].abs())
+                    .expect("finite rows")
+            })
+            .filter(|&r| rows[r][col].abs() > RANK_TOL);
+        let Some(pivot) = pivot else { continue };
+        rows.swap(rank, pivot);
+        for r in rank + 1..rows.len() {
+            let factor = rows[r][col] / rows[rank][col];
+            if factor != 0.0 {
+                let (head, tail) = rows.split_at_mut(r);
+                let pivot_row = &head[rank];
+                for (dst, &src) in tail[0][col..d].iter_mut().zip(&pivot_row[col..d]) {
+                    *dst -= factor * src;
+                }
+            }
+        }
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+    rank
+}
+
+/// Number of indices shared by two ascending index lists (merge scan).
+fn shared_count(a: &[usize], b: &[usize]) -> usize {
+    let (mut i, mut j, mut shared) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    shared
+}
 
 /// A polytope on the utility simplex, materialized as its vertex set.
 #[derive(Debug, Clone)]
@@ -35,25 +137,13 @@ impl Polytope {
     /// region has no vertices (numerically empty).
     pub fn from_region(region: &Region) -> Option<Self> {
         let d = region.dim();
-        // Build the unified constraint list: first the d simplex facets
-        // (rows of the identity), then the learned half-space normals,
-        // each normalized so the feasibility tolerance is meaningful.
-        let mut normals: Vec<Vec<f64>> = Vec::with_capacity(d + region.len());
-        for i in 0..d {
-            let mut row = vec![0.0; d];
-            row[i] = 1.0;
-            normals.push(row);
-        }
-        for h in region.halfspaces() {
-            let n = vector::norm(h.normal());
-            normals.push(h.normal().iter().map(|x| x / n).collect());
-        }
-
-        let mut vertices: Vec<Vec<f64>> = Vec::new();
-        let mut combo: Vec<usize> = (0..d.saturating_sub(1)).collect();
         if d == 1 {
             return None; // no meaningful utility space below d = 2
         }
+        let normals = constraint_normals(region);
+
+        let mut candidates: Vec<Vec<f64>> = Vec::new();
+        let mut combo: Vec<usize> = (0..d - 1).collect();
 
         // Iterate all (d−1)-subsets of the constraint indices.
         let m = normals.len();
@@ -74,12 +164,8 @@ impl Polytope {
                 let feasible = normals
                     .iter()
                     .all(|nrm| vector::dot(nrm, &u) >= -VERTEX_TOL);
-                if feasible
-                    && !vertices
-                        .iter()
-                        .any(|v| vector::dist_sq(v, &u) < DEDUP_TOL * DEDUP_TOL)
-                {
-                    vertices.push(u);
+                if feasible {
+                    candidates.push(u);
                 }
             }
 
@@ -88,6 +174,7 @@ impl Polytope {
             let mut i = k;
             loop {
                 if i == 0 {
+                    let vertices = dedup_vertices(candidates);
                     return if vertices.is_empty() {
                         None
                     } else {
@@ -103,6 +190,96 @@ impl Polytope {
                     break;
                 }
             }
+        }
+    }
+
+    /// Incrementally cuts this polytope — the vertex set of `region` — with
+    /// one additional half-space, returning the vertex set of
+    /// `region ∪ {new_halfspace}` without re-enumerating from scratch.
+    ///
+    /// Kept vertices are those satisfying the cut. New vertices can only
+    /// appear on the cut hyperplane, at its crossings with *edges* of the
+    /// old polytope: for every (kept, dropped) vertex pair sharing at least
+    /// `d − 2` active constraints (the adjacency certificate — an edge is a
+    /// 1-face pinned by `d − 2` tight constraints plus `Σu = 1`), the
+    /// segment crossing is computed by interpolation and accepted iff its
+    /// tight-constraint set has full rank `d` (which rejects the spurious
+    /// mid-face points degenerate vertices can induce). Cost is
+    /// `O(V·m·d + K·D·d)` for `V` vertices, `m` constraints, `K` kept and
+    /// `D` dropped vertices — versus `C(m + 1, d − 1)` linear solves for a
+    /// from-scratch enumeration.
+    ///
+    /// Returns `None` when the cut leaves no vertices (empty region).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches. The caller must pass the same
+    /// `region` this polytope was enumerated from (*without*
+    /// `new_halfspace`); this is not checked.
+    pub fn update(&self, region: &Region, new_halfspace: &Halfspace) -> Option<Self> {
+        let d = self.dim;
+        assert_eq!(region.dim(), d, "region dimension mismatch");
+        assert_eq!(new_halfspace.dim(), d, "halfspace dimension mismatch");
+        let norm = vector::norm(new_halfspace.normal());
+        let g: Vec<f64> = new_halfspace.normal().iter().map(|x| x / norm).collect();
+
+        let scores: Vec<f64> = self.vertices.iter().map(|v| vector::dot(&g, v)).collect();
+        if scores.iter().all(|&s| s >= -VERTEX_TOL) {
+            return Some(self.clone()); // cut is redundant: hull unchanged
+        }
+        if scores.iter().all(|&s| s < -VERTEX_TOL) {
+            return None; // every vertex beyond the cut: intersection empty
+        }
+
+        let normals = constraint_normals(region);
+        // Active (tight) constraint set per vertex, ascending by index.
+        let active: Vec<Vec<usize>> = self
+            .vertices
+            .iter()
+            .map(|v| {
+                normals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| vector::dot(n, v).abs() <= ACTIVE_TOL)
+                    .map(|(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        let (kept, dropped): (Vec<usize>, Vec<usize>) =
+            (0..self.vertices.len()).partition(|&i| scores[i] >= -VERTEX_TOL);
+
+        let mut candidates: Vec<Vec<f64>> =
+            kept.iter().map(|&i| self.vertices[i].clone()).collect();
+        for &i in &kept {
+            for &j in &dropped {
+                if shared_count(&active[i], &active[j]) + 2 < d {
+                    continue; // not adjacent: the segment is not an edge
+                }
+                let (si, sj) = (scores[i].max(0.0), scores[j]);
+                let t = si / (si - sj); // sj < −tol ⇒ t ∈ [0, 1)
+                let p: Vec<f64> = self.vertices[i]
+                    .iter()
+                    .zip(&self.vertices[j])
+                    .map(|(a, b)| a + t * (b - a))
+                    .collect();
+                // Full-rank tight set ⇒ the crossing is a genuine 0-face.
+                let mut tight: Vec<Vec<f64>> = vec![vec![1.0; d]];
+                tight.extend(
+                    normals
+                        .iter()
+                        .chain(std::iter::once(&g))
+                        .filter(|n| vector::dot(n, &p).abs() <= ACTIVE_TOL)
+                        .cloned(),
+                );
+                if row_rank(tight, d) == d {
+                    candidates.push(p);
+                }
+            }
+        }
+        let vertices = dedup_vertices(candidates);
+        if vertices.is_empty() {
+            None
+        } else {
+            Some(Self { dim: d, vertices })
         }
     }
 
@@ -153,9 +330,7 @@ impl Polytope {
         let neighborhoods: Vec<Vec<usize>> = (0..n)
             .map(|i| {
                 (0..n)
-                    .filter(|&j| {
-                        vector::dist_sq(&self.vertices[i], &self.vertices[j]) <= d_eps_sq
-                    })
+                    .filter(|&j| vector::dist_sq(&self.vertices[i], &self.vertices[j]) <= d_eps_sq)
                     .collect()
             })
             .collect();
@@ -179,7 +354,10 @@ impl Polytope {
             }
             chosen.push(best);
         }
-        chosen.into_iter().map(|i| self.vertices[i].clone()).collect()
+        chosen
+            .into_iter()
+            .map(|i| self.vertices[i].clone())
+            .collect()
     }
 
     /// Fixed-length EA state block for the selected representatives: exactly
@@ -229,9 +407,7 @@ mod tests {
         r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
         let p = Polytope::from_region(&r).unwrap();
         assert_eq!(p.n_vertices(), 3);
-        let has = |target: &[f64]| {
-            p.vertices().iter().any(|v| vector::dist(v, target) < 1e-6)
-        };
+        let has = |target: &[f64]| p.vertices().iter().any(|v| vector::dist(v, target) < 1e-6);
         assert!(has(&[1.0, 0.0, 0.0]));
         assert!(has(&[0.0, 0.0, 1.0]));
         assert!(has(&[0.5, 0.5, 0.0]));
@@ -251,7 +427,10 @@ mod tests {
         r.add(Halfspace::new(vec![1.0, -0.5, 0.2, -0.7]));
         r.add(Halfspace::new(vec![-0.3, 1.0, -0.8, 0.1]));
         let p = Polytope::from_region(&r).unwrap();
-        assert!(p.n_vertices() >= 4 - 1, "cut simplex keeps several vertices");
+        assert!(
+            p.n_vertices() >= 4 - 1,
+            "cut simplex keeps several vertices"
+        );
         for v in p.vertices() {
             assert!(r.contains(v, 1e-6), "vertex {v:?} outside region");
         }
@@ -302,6 +481,76 @@ mod tests {
         assert!((enc[3] - c[0]).abs() < 1e-12);
     }
 
+    /// Same vertex set up to tolerance, order-independent.
+    fn same_vertex_set(a: &Polytope, b: &Polytope) -> bool {
+        a.n_vertices() == b.n_vertices()
+            && a.vertices()
+                .iter()
+                .all(|v| b.vertices().iter().any(|w| vector::dist(v, w) < 1e-6))
+    }
+
+    #[test]
+    fn update_matches_from_scratch_on_cut_sequence() {
+        for d in [2usize, 3, 4, 5] {
+            let mut region = Region::full(d);
+            let mut incremental = Polytope::from_region(&region).unwrap();
+            // A deterministic sequence of cuts that keeps the region nonempty
+            // (each prefers coordinate i over i+1, slightly tilted).
+            for (step, i) in (0..d - 1).chain(0..d - 1).enumerate() {
+                let mut normal = vec![0.01 * (step as f64 + 1.0); d];
+                normal[i] = 1.0;
+                normal[i + 1] = -0.9;
+                let h = Halfspace::new(normal);
+                incremental = incremental
+                    .update(&region, &h)
+                    .expect("cut keeps the region nonempty");
+                region.add(h);
+                let scratch = Polytope::from_region(&region).unwrap();
+                assert!(
+                    same_vertex_set(&incremental, &scratch),
+                    "d={d} step={step}: incremental {:?} vs scratch {:?}",
+                    incremental.vertices(),
+                    scratch.vertices()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_with_redundant_cut_is_identity() {
+        let region = Region::full(3);
+        let p = Polytope::from_region(&region).unwrap();
+        // The whole simplex satisfies u0 + u1 + u2 ≥ 0.
+        let q = p
+            .update(&region, &Halfspace::new(vec![1.0, 1.0, 1.0]))
+            .unwrap();
+        assert!(same_vertex_set(&p, &q));
+    }
+
+    #[test]
+    fn update_with_infeasible_cut_is_none() {
+        let region = Region::full(3);
+        let p = Polytope::from_region(&region).unwrap();
+        // No point of the simplex satisfies −(u0 + u1 + u2) ≥ 0 strictly.
+        assert!(p
+            .update(&region, &Halfspace::new(vec![-1.0, -1.0, -1.0]))
+            .is_none());
+    }
+
+    #[test]
+    fn update_halving_the_triangle_matches_known_vertices() {
+        let region = Region::full(3);
+        let p = Polytope::from_region(&region).unwrap();
+        let q = p
+            .update(&region, &Halfspace::new(vec![1.0, -1.0, 0.0]))
+            .unwrap();
+        assert_eq!(q.n_vertices(), 3);
+        let has = |target: &[f64]| q.vertices().iter().any(|v| vector::dist(v, target) < 1e-6);
+        assert!(has(&[1.0, 0.0, 0.0]));
+        assert!(has(&[0.0, 0.0, 1.0]));
+        assert!(has(&[0.5, 0.5, 0.0]));
+    }
+
     #[test]
     fn repeated_cuts_shrink_vertex_spread() {
         let mut r = Region::full(3);
@@ -310,6 +559,9 @@ mod tests {
         r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
         r.add(Halfspace::new(vec![0.0, 1.0, -1.0]));
         let after = spread(&Polytope::from_region(&r).unwrap());
-        assert!(after < before, "cuts must shrink the outer sphere: {before} -> {after}");
+        assert!(
+            after < before,
+            "cuts must shrink the outer sphere: {before} -> {after}"
+        );
     }
 }

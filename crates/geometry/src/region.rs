@@ -32,7 +32,10 @@ impl Region {
     /// vector and no query to run.
     pub fn full(d: usize) -> Self {
         assert!(d >= 2, "utility space needs at least 2 dimensions");
-        Self { dim: d, halfspaces: Vec::new() }
+        Self {
+            dim: d,
+            halfspaces: Vec::new(),
+        }
     }
 
     /// Dimensionality of the ambient space.
@@ -151,7 +154,9 @@ impl Region {
     pub fn is_cut_by(&self, h: &Halfspace) -> bool {
         let flipped = h.flipped();
         self.strict_margin(&[h]).is_some_and(|m| m > STRICT_TOL)
-            && self.strict_margin(&[&flipped]).is_some_and(|m| m > STRICT_TOL)
+            && self
+                .strict_margin(&[&flipped])
+                .is_some_and(|m| m > STRICT_TOL)
     }
 
     /// The inner sphere of the region (§IV-C state, part 1): the ball of
@@ -194,7 +199,10 @@ impl Region {
             row[d] = -1.0;
             b = b.constraint(&row, Rel::Ge, 0.0);
         }
-        let sol = b.solve().expect("inner sphere LP is well-formed").optimal()?;
+        let sol = b
+            .solve()
+            .expect("inner sphere LP is well-formed")
+            .optimal()?;
         if sol.objective < -STRICT_TOL {
             return None;
         }

@@ -1,0 +1,172 @@
+//! Incrementally-maintained region geometry: the per-episode state carried
+//! by the interactive agents.
+//!
+//! Both EA and AA narrow the utility range `R` one half-space per round.
+//! EA additionally needs `R`'s vertex set every round — and re-enumerating
+//! it from scratch costs `C(d + |H|, d − 1)` linear solves, a figure that
+//! grows combinatorially with the number of answered questions. A
+//! [`RegionGeometry`] bundles the region with its [`Polytope`] and keeps
+//! the vertex set current through [`Polytope::update`]'s edge-crossing
+//! rule, so each question costs work proportional to the *current* vertex
+//! count instead of the full subset enumeration.
+//!
+//! AA never materializes vertices (that is the point of its LP-summary
+//! state, which scales to `d = 25`); it uses [`RegionGeometry::summary_only`]
+//! so the polytope is simply never computed.
+
+use crate::hyperplane::Halfspace;
+use crate::polytope::Polytope;
+use crate::region::Region;
+
+/// A region plus (optionally) its incrementally-maintained vertex set.
+#[derive(Debug, Clone)]
+pub struct RegionGeometry {
+    region: Region,
+    /// `Some` while the region has vertices and tracking is on; once the
+    /// region collapses to (numerically) empty this stays `None`.
+    polytope: Option<Polytope>,
+    track_vertices: bool,
+}
+
+impl RegionGeometry {
+    /// The full utility simplex with vertex tracking on (EA's view).
+    pub fn exact(dim: usize) -> Self {
+        let region = Region::full(dim);
+        let polytope = Polytope::from_region(&region);
+        Self {
+            region,
+            polytope,
+            track_vertices: true,
+        }
+    }
+
+    /// The full utility simplex with vertex tracking off (AA's view):
+    /// [`RegionGeometry::polytope`] is always `None` and cuts cost only the
+    /// region push.
+    pub fn summary_only(dim: usize) -> Self {
+        Self {
+            region: Region::full(dim),
+            polytope: None,
+            track_vertices: false,
+        }
+    }
+
+    /// Wraps an existing region, enumerating its vertices from scratch once
+    /// if tracking is requested. Used to resume an episode mid-way.
+    pub fn from_region(region: Region, track_vertices: bool) -> Self {
+        let polytope = if track_vertices {
+            Polytope::from_region(&region)
+        } else {
+            None
+        };
+        Self {
+            region,
+            polytope,
+            track_vertices,
+        }
+    }
+
+    /// Narrows the region by one half-space, updating the vertex set
+    /// incrementally when tracking is on.
+    pub fn add(&mut self, h: Halfspace) {
+        if self.track_vertices {
+            self.polytope = self
+                .polytope
+                .as_ref()
+                .and_then(|p| p.update(&self.region, &h));
+        }
+        self.region.add(h);
+    }
+
+    /// The underlying region.
+    #[inline]
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// The current vertex set: `Some` iff tracking is on and the region
+    /// still has vertices.
+    #[inline]
+    pub fn polytope(&self) -> Option<&Polytope> {
+        self.polytope.as_ref()
+    }
+
+    /// Dimensionality of the utility space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.region.dim()
+    }
+
+    /// Whether this geometry maintains the vertex set.
+    #[inline]
+    pub fn tracks_vertices(&self) -> bool {
+        self.track_vertices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrl_linalg::vector;
+
+    #[test]
+    fn exact_starts_with_simplex_vertices() {
+        let g = RegionGeometry::exact(4);
+        assert_eq!(g.polytope().unwrap().n_vertices(), 4);
+        assert!(g.tracks_vertices());
+    }
+
+    #[test]
+    fn summary_only_never_materializes() {
+        let mut g = RegionGeometry::summary_only(25);
+        g.add(Halfspace::new({
+            let mut n = vec![0.0; 25];
+            n[0] = 1.0;
+            n[1] = -1.0;
+            n
+        }));
+        assert!(g.polytope().is_none());
+        assert_eq!(g.region().len(), 1);
+    }
+
+    #[test]
+    fn add_tracks_the_from_scratch_enumeration() {
+        let mut g = RegionGeometry::exact(3);
+        let cuts = [
+            Halfspace::new(vec![1.0, -1.0, 0.0]),
+            Halfspace::new(vec![0.0, 1.0, -0.8]),
+        ];
+        for h in cuts {
+            g.add(h);
+            let scratch = Polytope::from_region(g.region()).unwrap();
+            let inc = g.polytope().unwrap();
+            assert_eq!(inc.n_vertices(), scratch.n_vertices());
+            for v in inc.vertices() {
+                assert!(
+                    scratch.vertices().iter().any(|w| vector::dist(v, w) < 1e-6),
+                    "incremental vertex {v:?} missing from scratch set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_region_stays_collapsed() {
+        let mut g = RegionGeometry::exact(2);
+        g.add(Halfspace::new(vec![1.0, -3.0]));
+        g.add(Halfspace::new(vec![-3.0, 1.0])); // contradicts the first cut
+        assert!(g.polytope().is_none());
+        g.add(Halfspace::new(vec![1.0, 1.0]));
+        assert!(g.polytope().is_none(), "no resurrection after collapse");
+    }
+
+    #[test]
+    fn from_region_enumerates_once() {
+        let mut r = Region::full(3);
+        r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        let g = RegionGeometry::from_region(r.clone(), true);
+        let scratch = Polytope::from_region(&r).unwrap();
+        assert_eq!(g.polytope().unwrap().n_vertices(), scratch.n_vertices());
+        assert!(RegionGeometry::from_region(r, false).polytope().is_none());
+    }
+}

@@ -78,7 +78,10 @@ pub fn sample_vertex_mixture<R: Rng + ?Sized>(
     count: usize,
     rng: &mut R,
 ) -> Vec<Vec<f64>> {
-    assert!(!vertices.is_empty(), "vertex mixture needs at least one vertex");
+    assert!(
+        !vertices.is_empty(),
+        "vertex mixture needs at least one vertex"
+    );
     let d = vertices[0].len();
     let k = vertices.len();
     (0..count)
@@ -258,7 +261,11 @@ mod tests {
     #[test]
     fn vertex_mixture_stays_in_hull() {
         let mut rng = StdRng::seed_from_u64(13);
-        let vertices = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        let vertices = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
         for p in sample_vertex_mixture(&vertices, 200, &mut rng) {
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             assert!(p.iter().all(|&x| x >= -1e-12));

@@ -22,7 +22,10 @@ impl Sphere {
     /// # Panics
     /// Panics if the radius is negative or NaN.
     pub fn new(center: Vec<f64>, radius: f64) -> Self {
-        assert!(radius >= 0.0, "sphere radius must be non-negative, got {radius}");
+        assert!(
+            radius >= 0.0,
+            "sphere radius must be non-negative, got {radius}"
+        );
         Self { center, radius }
     }
 
@@ -62,7 +65,10 @@ pub struct EnclosingSphereParams {
 
 impl Default for EnclosingSphereParams {
     fn default() -> Self {
-        Self { offset_tol: 1e-7, max_iters: 1_000 }
+        Self {
+            offset_tol: 1e-7,
+            max_iters: 1_000,
+        }
     }
 }
 
@@ -148,11 +154,19 @@ mod tests {
     fn triangle_sphere_encloses_and_is_near_optimal() {
         // Equilateral-ish triangle on the 2-simplex; optimal radius is the
         // circumradius ≈ dist(centroid, vertex).
-        let pts = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        let pts = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
         let s = min_enclosing_sphere(&pts, EnclosingSphereParams::default());
         assert!(encloses_all(&s, &pts));
         let opt = (2.0f64 / 3.0).sqrt(); // circumradius of that triangle
-        assert!(s.radius() <= opt + 1e-3, "radius {} vs optimal {opt}", s.radius());
+        assert!(
+            s.radius() <= opt + 1e-3,
+            "radius {} vs optimal {opt}",
+            s.radius()
+        );
     }
 
     #[test]
@@ -167,7 +181,9 @@ mod tests {
         ];
         let mut center = isrl_linalg::vector::mean(&pts);
         let radius_at = |c: &[f64]| {
-            pts.iter().map(|p| vector::dist(c, p)).fold(0.0f64, f64::max)
+            pts.iter()
+                .map(|p| vector::dist(c, p))
+                .fold(0.0f64, f64::max)
         };
         let mut prev = radius_at(&center);
         for _ in 0..50 {

@@ -1,0 +1,98 @@
+//! Property tests for incremental vertex enumeration: on random cut
+//! sequences, [`Polytope::update`] must land on the same vertex set as a
+//! from-scratch [`Polytope::from_region`] after every single cut.
+
+use isrl_geometry::{Halfspace, Polytope, Region};
+use isrl_linalg::vector;
+use proptest::prelude::*;
+
+/// Order-independent vertex-set equality within the dedup tolerance.
+fn same_vertex_set(a: &Polytope, b: &Polytope) -> bool {
+    a.n_vertices() == b.n_vertices()
+        && a.vertices()
+            .iter()
+            .all(|v| b.vertices().iter().any(|w| vector::dist(v, w) < 1e-6))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn update_agrees_with_from_scratch_on_random_cut_sequences(
+        d in 2usize..=5,
+        raw in prop::collection::vec(
+            (
+                prop::collection::vec(0.01f64..1.0, 5),
+                prop::collection::vec(0.01f64..1.0, 5),
+            ),
+            1..10,
+        )
+    ) {
+        // Cuts are preference hyperplanes between random points, oriented
+        // toward the barycenter so the region never empties out and both
+        // enumeration paths stay comparable at every step.
+        let bary = vec![1.0 / d as f64; d];
+        let mut region = Region::full(d);
+        let mut incremental = Polytope::from_region(&region).expect("full simplex");
+        for (step, (a, b)) in raw.iter().enumerate() {
+            let Some(h) = Halfspace::preferring(&a[..d], &b[..d]) else { continue };
+            let h = if h.contains(&bary, 0.0) { h } else { h.flipped() };
+            let updated = incremental.update(&region, &h);
+            region.add(h);
+            let scratch = Polytope::from_region(&region);
+            match (updated, scratch) {
+                (Some(u), Some(s)) => {
+                    prop_assert!(
+                        same_vertex_set(&u, &s),
+                        "d={} step={}: incremental {:?} != scratch {:?}",
+                        d, step, u.vertices(), s.vertices()
+                    );
+                    incremental = u;
+                }
+                (u, s) => {
+                    prop_assert!(
+                        false,
+                        "d={} step={}: one path collapsed (incremental {:?}, scratch {:?}) \
+                         though the barycenter stays feasible",
+                        d, step, u.map(|p| p.n_vertices()), s.map(|p| p.n_vertices())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_never_produces_infeasible_vertices(
+        d in 2usize..=5,
+        raw in prop::collection::vec(
+            (
+                prop::collection::vec(0.01f64..1.0, 5),
+                prop::collection::vec(0.01f64..1.0, 5),
+            ),
+            1..10,
+        )
+    ) {
+        // Without orientation the region may genuinely empty out; whatever
+        // the incremental path returns must stay inside the region.
+        let mut region = Region::full(d);
+        let mut polytope = Polytope::from_region(&region).expect("full simplex");
+        for (a, b) in &raw {
+            let Some(h) = Halfspace::preferring(&a[..d], &b[..d]) else { continue };
+            let updated = polytope.update(&region, &h);
+            region.add(h);
+            match updated {
+                None => break, // collapsed: nothing further to check
+                Some(p) => {
+                    for v in p.vertices() {
+                        prop_assert!(
+                            region.contains(v, 1e-6),
+                            "vertex {:?} escapes the region at d={}", v, d
+                        );
+                        let sum: f64 = v.iter().sum();
+                        prop_assert!((sum - 1.0).abs() < 1e-6, "off-simplex vertex {:?}", v);
+                    }
+                    polytope = p;
+                }
+            }
+        }
+    }
+}

@@ -17,7 +17,8 @@ fn brute_force_2d(c: &[f64; 2], rows: &[([f64; 2], f64)]) -> Option<f64> {
     all.push(([0.0, -1.0], 0.0));
 
     let feasible = |x: &[f64; 2]| {
-        all.iter().all(|(a, b)| a[0] * x[0] + a[1] * x[1] <= b + 1e-7)
+        all.iter()
+            .all(|(a, b)| a[0] * x[0] + a[1] * x[1] <= b + 1e-7)
     };
 
     let mut best: Option<f64> = None;
@@ -29,7 +30,10 @@ fn brute_force_2d(c: &[f64; 2], rows: &[([f64; 2], f64)]) -> Option<f64> {
             if det.abs() < 1e-10 {
                 continue;
             }
-            let x = [(b1 * a2[1] - b2 * a1[1]) / det, (a1[0] * b2 - a2[0] * b1) / det];
+            let x = [
+                (b1 * a2[1] - b2 * a1[1]) / det,
+                (a1[0] * b2 - a2[0] * b1) / det,
+            ];
             if feasible(&x) {
                 let val = c[0] * x[0] + c[1] * x[1];
                 best = Some(best.map_or(val, |b: f64| b.max(val)));

@@ -66,9 +66,7 @@ fn feasible_cases_are_solved_feasibly() {
                     );
                 }
             }
-            other => panic!(
-                "seed {seed}: witness {witness:?} exists but solver said {other:?}"
-            ),
+            other => panic!("seed {seed}: witness {witness:?} exists but solver said {other:?}"),
         }
     }
 }

@@ -29,7 +29,11 @@ fn vertices_and_lp_agree_across_many_random_regions() {
         let keep_alive = seed % 2 == 0;
         for _ in 0..cuts {
             let h = random_cut(d, &mut rng);
-            let h = if keep_alive && !h.contains(&bary, 0.0) { h.flipped() } else { h };
+            let h = if keep_alive && !h.contains(&bary, 0.0) {
+                h.flipped()
+            } else {
+                h
+            };
             region.add(h);
         }
         let polytope = Polytope::from_region(&region);
@@ -54,7 +58,10 @@ fn vertices_and_lp_agree_across_many_random_regions() {
             (None, false) => {} // consistently empty
         }
     }
-    assert!(tested >= 15, "stress test barely exercised anything: {tested}");
+    assert!(
+        tested >= 15,
+        "stress test barely exercised anything: {tested}"
+    );
 }
 
 #[test]
@@ -129,7 +136,10 @@ fn outer_sphere_radius_stays_in_the_diameter_envelope() {
                 }
             }
             for v in vs {
-                assert!(sphere.contains(v, 1e-5), "seed {seed}: vertex escapes sphere");
+                assert!(
+                    sphere.contains(v, 1e-5),
+                    "seed {seed}: vertex escapes sphere"
+                );
             }
             assert!(
                 sphere.radius() >= diameter / 2.0 - 1e-6,

@@ -4,7 +4,8 @@
 //! This crate provides the small set of numerical primitives everything else
 //! in the workspace is built on: free functions over `&[f64]` slices for
 //! vector arithmetic ([`vector`]), a row-major dense [`matrix::Matrix`],
-//! and Gaussian-elimination linear solves ([`solve`]).
+//! Gaussian-elimination linear solves ([`solve`]), and cache-blocked
+//! batched utility scans ([`scan`]).
 //!
 //! The geometry kernel (`isrl-geometry`) uses these for hyperplane and
 //! polytope computations; the neural-network crate (`isrl-nn`) uses them for
@@ -14,10 +15,12 @@
 
 pub mod matrix;
 pub mod norms;
+pub mod scan;
 pub mod solve;
 pub mod vector;
 
 pub use matrix::Matrix;
+pub use scan::{row_dots, top1_batch, Top1};
 pub use solve::{solve_linear_system, SolveError};
 
 /// Absolute tolerance used throughout the workspace for geometric predicates.

@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -42,7 +46,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The identity matrix of order `n`.
@@ -96,7 +104,9 @@ impl Matrix {
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
-        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+        (0..self.rows)
+            .map(|i| vector::dot(self.row(i), x))
+            .collect()
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -106,11 +116,10 @@ impl Matrix {
     pub fn mul_vec_transposed(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "mul_vec_transposed: dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &xi) in x.iter().enumerate() {
             let row = self.row(i);
-            let xi = x[i];
-            for j in 0..self.cols {
-                out[j] += row[j] * xi;
+            for (o, &rj) in out.iter_mut().zip(row) {
+                *o += rj * xi;
             }
         }
         out
@@ -155,7 +164,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, s: f64, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy: shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += s * b;
         }

@@ -20,26 +20,28 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Maximum value; `None` when empty or any element is NaN.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().try_fold(f64::NEG_INFINITY, |acc, &x| {
-        if x.is_nan() {
-            None
-        } else {
-            Some(acc.max(x))
-        }
-    })
-    .filter(|_| !xs.is_empty())
+    xs.iter()
+        .try_fold(f64::NEG_INFINITY, |acc, &x| {
+            if x.is_nan() {
+                None
+            } else {
+                Some(acc.max(x))
+            }
+        })
+        .filter(|_| !xs.is_empty())
 }
 
 /// Minimum value; `None` when empty or any element is NaN.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().try_fold(f64::INFINITY, |acc, &x| {
-        if x.is_nan() {
-            None
-        } else {
-            Some(acc.min(x))
-        }
-    })
-    .filter(|_| !xs.is_empty())
+    xs.iter()
+        .try_fold(f64::INFINITY, |acc, &x| {
+            if x.is_nan() {
+                None
+            } else {
+                Some(acc.min(x))
+            }
+        })
+        .filter(|_| !xs.is_empty())
 }
 
 /// `p`-th percentile (0 ≤ p ≤ 100) by linear interpolation on the sorted data.

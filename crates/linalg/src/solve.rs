@@ -118,15 +118,24 @@ mod tests {
     #[test]
     fn detects_singular_matrix() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert_eq!(solve_linear_system(a, vec![1.0, 2.0]), Err(SolveError::Singular));
+        assert_eq!(
+            solve_linear_system(a, vec![1.0, 2.0]),
+            Err(SolveError::Singular)
+        );
     }
 
     #[test]
     fn detects_shape_mismatch() {
         let a = Matrix::zeros(2, 3);
-        assert_eq!(solve_linear_system(a, vec![1.0, 2.0]), Err(SolveError::ShapeMismatch));
+        assert_eq!(
+            solve_linear_system(a, vec![1.0, 2.0]),
+            Err(SolveError::ShapeMismatch)
+        );
         let a = Matrix::identity(2);
-        assert_eq!(solve_linear_system(a, vec![1.0]), Err(SolveError::ShapeMismatch));
+        assert_eq!(
+            solve_linear_system(a, vec![1.0]),
+            Err(SolveError::ShapeMismatch)
+        );
     }
 
     #[test]
@@ -140,8 +149,7 @@ mod tests {
             (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         for n in [1usize, 3, 8, 16] {
-            let rows: Vec<Vec<f64>> =
-                (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
             let a = Matrix::from_rows(&rows);
             let b: Vec<f64> = (0..n).map(|_| next()).collect();
             match solve_linear_system(a.clone(), b.clone()) {

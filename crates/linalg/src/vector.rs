@@ -157,7 +157,10 @@ pub fn argmin(a: &[f64]) -> usize {
 /// Linear interpolation `(1 - t) * a + t * b`.
 pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "lerp: dimension mismatch");
-    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (1.0 - t) * x + t * y)
+        .collect()
 }
 
 /// Component-wise minimum of two vectors.

@@ -1,0 +1,82 @@
+//! Property tests for the batched utility-scan kernel: [`top1_batch`] must
+//! be *bit-exact* against the scalar one-utility-at-a-time scan — same dot
+//! products, same first-index tie-breaking — for arbitrary buffer shapes.
+
+use isrl_linalg::{row_dots, top1_batch, vector, Top1};
+use proptest::prelude::*;
+
+/// The reference implementation: one full scan per utility vector.
+fn scalar_top1(u: &[f64], points: &[f64], dim: usize) -> Top1 {
+    let mut best = Top1 {
+        index: 0,
+        value: f64::NEG_INFINITY,
+    };
+    for (i, p) in points.chunks_exact(dim).enumerate() {
+        let v = vector::dot(p, u);
+        if v > best.value {
+            best = Top1 { index: i, value: v };
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn top1_batch_is_bit_exact_against_scalar_scan(
+        dim in 1usize..=24,
+        raw_points in prop::collection::vec(0.0f64..1.0, 24..4096),
+        raw_utils in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 24),
+            0..12,
+        )
+    ) {
+        // Truncate the raw buffer to a whole number of dim-rows and every
+        // utility vector to dim coordinates.
+        let n = (raw_points.len() / dim).max(1);
+        let points = &raw_points[..n * dim];
+        let utilities: Vec<Vec<f64>> =
+            raw_utils.iter().map(|u| u[..dim].to_vec()).collect();
+
+        let batched = top1_batch(&utilities, points, dim);
+        prop_assert_eq!(batched.len(), utilities.len());
+        for (u, b) in utilities.iter().zip(&batched) {
+            let s = scalar_top1(u, points, dim);
+            prop_assert_eq!(b.index, s.index, "n={} dim={}", n, dim);
+            prop_assert_eq!(b.value, s.value, "value must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn row_dots_matches_per_row_dot_products(
+        dim in 1usize..=16,
+        raw_points in prop::collection::vec(0.0f64..1.0, 16..512),
+        raw_u in prop::collection::vec(0.0f64..1.0, 16)
+    ) {
+        let n = (raw_points.len() / dim).max(1);
+        let points = &raw_points[..n * dim];
+        let u = &raw_u[..dim];
+        let mut out = Vec::new();
+        row_dots(points, dim, u, &mut out);
+        prop_assert_eq!(out.len(), n);
+        for (i, p) in points.chunks_exact(dim).enumerate() {
+            prop_assert_eq!(out[i], vector::dot(p, u));
+        }
+    }
+
+    #[test]
+    fn duplicated_rows_tie_break_to_the_first_index(
+        dim in 1usize..=8,
+        row in prop::collection::vec(0.1f64..1.0, 8),
+        copies in 2usize..=5
+    ) {
+        // A buffer of identical rows: every utility vector ties everywhere,
+        // and the batched kernel must pick index 0 like the scalar scan.
+        let row = &row[..dim];
+        let points: Vec<f64> =
+            std::iter::repeat(row).take(copies).flatten().copied().collect();
+        let u = vec![1.0 / dim as f64; dim];
+        let out = top1_batch(&[u], &points, dim);
+        prop_assert_eq!(out[0].index, 0);
+    }
+}

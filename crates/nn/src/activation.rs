@@ -97,7 +97,12 @@ mod tests {
     #[test]
     fn derivatives_match_finite_differences() {
         let h = 1e-6;
-        for act in [Activation::Selu, Activation::Relu, Activation::Tanh, Activation::Identity] {
+        for act in [
+            Activation::Selu,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
             for x in [-2.0f64, -0.5, 0.3, 1.7] {
                 if act == Activation::Relu && x.abs() < h {
                     continue; // kink

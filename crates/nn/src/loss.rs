@@ -22,7 +22,10 @@ pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
 pub fn mse_grad(pred: &[f64], target: &[f64]) -> Vec<f64> {
     assert_eq!(pred.len(), target.len(), "mse_grad: length mismatch");
     let inv = 2.0 / pred.len() as f64;
-    pred.iter().zip(target).map(|(p, t)| inv * (p - t)).collect()
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| inv * (p - t))
+        .collect()
 }
 
 /// Huber loss with threshold `delta` for one scalar pair.

@@ -54,7 +54,12 @@ impl Gradients {
             layers: net
                 .layers
                 .iter()
-                .map(|l| (Matrix::zeros(l.fan_out(), l.fan_in()), vec![0.0; l.fan_out()]))
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.fan_out(), l.fan_in()),
+                        vec![0.0; l.fan_out()],
+                    )
+                })
                 .collect(),
         }
     }
@@ -64,7 +69,11 @@ impl Gradients {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn accumulate(&mut self, other: &Gradients) {
-        assert_eq!(self.layers.len(), other.layers.len(), "gradient layer mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "gradient layer mismatch"
+        );
         for ((w, b), (ow, ob)) in self.layers.iter_mut().zip(&other.layers) {
             w.axpy(1.0, ow);
             vector::axpy(b, 1.0, ob);
@@ -127,14 +136,21 @@ impl Mlp {
         init: Init,
         rng: &mut R,
     ) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .enumerate()
             .map(|(i, w)| Dense {
                 weights: init_weights(w[1], w[0], init, rng),
                 bias: vec![0.0; w[1]],
-                activation: if i + 2 == sizes.len() { Activation::Identity } else { hidden },
+                activation: if i + 2 == sizes.len() {
+                    Activation::Identity
+                } else {
+                    hidden
+                },
             })
             .collect();
         Self { layers }
@@ -199,7 +215,11 @@ impl Mlp {
     /// returning parameter gradients (the input gradient is discarded —
     /// nothing upstream of the network is trainable here).
     pub fn backward(&self, cache: &ForwardCache, dloss_dout: &[f64]) -> Gradients {
-        assert_eq!(dloss_dout.len(), self.output_dim(), "output grad width mismatch");
+        assert_eq!(
+            dloss_dout.len(),
+            self.output_dim(),
+            "output grad width mismatch"
+        );
         let mut grads = Gradients::zeros_like(self);
         let mut delta = dloss_dout.to_vec();
         for (li, layer) in self.layers.iter().enumerate().rev() {
@@ -231,7 +251,11 @@ impl Mlp {
     /// # Panics
     /// Panics if the architectures differ.
     pub fn copy_params_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (l, o) in self.layers.iter_mut().zip(&other.layers) {
             assert_eq!(
                 (l.fan_in(), l.fan_out()),
@@ -258,7 +282,11 @@ impl Mlp {
     /// # Panics
     /// Panics if the length disagrees with the architecture.
     pub fn from_flat(&mut self, flat: &[f64]) {
-        assert_eq!(flat.len(), self.n_params(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.n_params(),
+            "flat parameter length mismatch"
+        );
         let mut at = 0;
         for l in &mut self.layers {
             let nw = l.fan_out() * l.fan_in();
@@ -313,7 +341,10 @@ mod tests {
     #[test]
     fn output_layer_is_identity() {
         let net = tiny_net(2);
-        assert_eq!(net.layers().last().unwrap().activation, Activation::Identity);
+        assert_eq!(
+            net.layers().last().unwrap().activation,
+            Activation::Identity
+        );
         assert_eq!(net.layers()[0].activation, Activation::Selu);
     }
 

@@ -52,7 +52,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with the conventional hyper-parameters at the given learning rate.
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -118,7 +126,10 @@ mod tests {
     #[test]
     fn sgd_reduces_loss() {
         let (before, after) = train_linear_task(Sgd { lr: 0.01 }, 200);
-        assert!(after < before * 0.05, "SGD failed to learn: {before} -> {after}");
+        assert!(
+            after < before * 0.05,
+            "SGD failed to learn: {before} -> {after}"
+        );
     }
 
     #[test]

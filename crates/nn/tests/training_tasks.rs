@@ -12,8 +12,12 @@ fn xor_is_learned_through_the_hidden_layer() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Init::XavierUniform, &mut rng);
     let mut opt = Sgd { lr: 0.1 };
-    let data: [([f64; 2], f64); 4] =
-        [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+    let data: [([f64; 2], f64); 4] = [
+        ([0.0, 0.0], 0.0),
+        ([0.0, 1.0], 1.0),
+        ([1.0, 0.0], 1.0),
+        ([1.0, 1.0], 0.0),
+    ];
     for _ in 0..3_000 {
         for (x, t) in &data {
             let (y, cache) = net.forward_cached(x);
@@ -42,8 +46,9 @@ fn paper_architecture_memorizes_small_sets() {
         seed ^= seed << 17;
         (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
     };
-    let data: Vec<(Vec<f64>, f64)> =
-        (0..20).map(|_| ((0..10).map(|_| nextf()).collect(), nextf())).collect();
+    let data: Vec<(Vec<f64>, f64)> = (0..20)
+        .map(|_| ((0..10).map(|_| nextf()).collect(), nextf()))
+        .collect();
     for _ in 0..2_000 {
         for (x, t) in &data {
             let (y, cache) = net.forward_cached(x);
@@ -56,7 +61,10 @@ fn paper_architecture_memorizes_small_sets() {
         .map(|(x, t)| (net.forward(x)[0] - t).powi(2))
         .sum::<f64>()
         / data.len() as f64;
-    assert!(mse < 1e-3, "64-unit SELU layer should memorize 20 points, mse {mse}");
+    assert!(
+        mse < 1e-3,
+        "64-unit SELU layer should memorize 20 points, mse {mse}"
+    );
 }
 
 /// SELU's self-normalizing property in practice: activations through a deep
@@ -64,7 +72,12 @@ fn paper_architecture_memorizes_small_sets() {
 #[test]
 fn selu_keeps_activation_variance_stable() {
     let mut rng = StdRng::seed_from_u64(3);
-    let net = Mlp::new(&[64, 64, 64, 64, 64], Activation::Selu, Init::LecunNormal, &mut rng);
+    let net = Mlp::new(
+        &[64, 64, 64, 64, 64],
+        Activation::Selu,
+        Init::LecunNormal,
+        &mut rng,
+    );
     // Standard-normal-ish input.
     let mut seed = 777u64;
     let mut nextf = move || {
@@ -105,7 +118,9 @@ fn convex_loss_decreases_monotonically() {
         ([1.0, 1.0, 1.0], 1.5),
     ];
     let eval = |net: &Mlp| -> f64 {
-        data.iter().map(|(x, t)| (net.forward(x)[0] - t).powi(2)).sum()
+        data.iter()
+            .map(|(x, t)| (net.forward(x)[0] - t).powi(2))
+            .sum()
     };
     let mut prev = eval(&net);
     for _ in 0..200 {

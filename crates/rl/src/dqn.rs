@@ -90,8 +90,14 @@ impl Dqn {
     /// # Panics
     /// Panics on zero feature widths or an empty hidden spec.
     pub fn new(cfg: DqnConfig) -> Self {
-        assert!(cfg.state_dim > 0 && cfg.action_dim > 0, "feature widths must be positive");
-        assert!(!cfg.hidden.is_empty(), "at least one hidden layer is required");
+        assert!(
+            cfg.state_dim > 0 && cfg.action_dim > 0,
+            "feature widths must be positive"
+        );
+        assert!(
+            !cfg.hidden.is_empty(),
+            "at least one hidden layer is required"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut sizes = Vec::with_capacity(cfg.hidden.len() + 2);
         sizes.push(cfg.state_dim + cfg.action_dim);
@@ -103,7 +109,17 @@ impl Dqn {
         let sgd = Sgd { lr: cfg.lr };
         let adam = Adam::new(cfg.lr);
         let scratch = vec![0.0; cfg.state_dim + cfg.action_dim];
-        Self { cfg, q, target, replay, sgd, adam, updates: 0, rng, scratch }
+        Self {
+            cfg,
+            q,
+            target,
+            replay,
+            sgd,
+            adam,
+            updates: 0,
+            rng,
+            scratch,
+        }
     }
 
     /// The configuration.
@@ -296,7 +312,10 @@ mod tests {
                 state: s0.clone(),
                 action: a.clone(),
                 reward: 0.0,
-                next: Some(NextState { state: s1.clone(), actions: vec![a.clone()] }),
+                next: Some(NextState {
+                    state: s1.clone(),
+                    actions: vec![a.clone()],
+                }),
             });
             dqn.push_transition(Transition {
                 state: s1.clone(),
@@ -309,8 +328,14 @@ mod tests {
         dqn.sync_target();
         let q1 = dqn.q_value(&s1, &a);
         let q0 = dqn.q_value(&s0, &a);
-        assert!((q1 - 10.0).abs() < 1.5, "Q(s1) should approach 10, got {q1}");
-        assert!((q0 - 8.0).abs() < 1.5, "Q(s0) should approach γ·10 = 8, got {q0}");
+        assert!(
+            (q1 - 10.0).abs() < 1.5,
+            "Q(s1) should approach 10, got {q1}"
+        );
+        assert!(
+            (q0 - 8.0).abs() < 1.5,
+            "Q(s0) should approach γ·10 = 8, got {q0}"
+        );
     }
 
     #[test]
@@ -328,7 +353,10 @@ mod tests {
         for _ in 0..300 {
             seen[dqn.select_action(&[0.5], &actions, 1.0)] += 1;
         }
-        assert!(seen.iter().all(|&c| c > 50), "all actions explored: {seen:?}");
+        assert!(
+            seen.iter().all(|&c| c > 50),
+            "all actions explored: {seen:?}"
+        );
     }
 
     #[test]

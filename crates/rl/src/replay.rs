@@ -91,10 +91,18 @@ impl Transition {
                 for _ in 0..count {
                     actions.push(get_vec(buf)?);
                 }
-                Some(NextState { state: nstate, actions })
+                Some(NextState {
+                    state: nstate,
+                    actions,
+                })
             }
         };
-        Some(Transition { state, action, reward, next })
+        Some(Transition {
+            state,
+            action,
+            reward,
+            next,
+        })
     }
 }
 
@@ -112,7 +120,10 @@ impl ReplayMemory {
     /// Panics when `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        Self { capacity, buffer: VecDeque::with_capacity(capacity.min(8_192)) }
+        Self {
+            capacity,
+            buffer: VecDeque::with_capacity(capacity.min(8_192)),
+        }
     }
 
     /// Stores a transition, evicting the oldest when full.
@@ -206,7 +217,10 @@ mod tests {
         assert_eq!(m.len(), 3);
         let mut rng = StdRng::seed_from_u64(1);
         let rewards: Vec<f64> = m.sample(100, &mut rng).iter().map(|t| t.reward).collect();
-        assert!(rewards.iter().all(|&r| r >= 2.0), "old transitions must be gone");
+        assert!(
+            rewards.iter().all(|&r| r >= 2.0),
+            "old transitions must be gone"
+        );
     }
 
     #[test]
@@ -228,7 +242,10 @@ mod tests {
             .iter()
             .map(|t| t.reward as u64)
             .collect();
-        assert!(seen.len() >= 9, "uniform sampling should hit nearly all slots");
+        assert!(
+            seen.len() >= 9,
+            "uniform sampling should hit nearly all slots"
+        );
     }
 
     #[test]

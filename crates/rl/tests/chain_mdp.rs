@@ -106,7 +106,10 @@ fn q_values_approach_the_analytic_optimum() {
     for s in 0..N - 1 {
         let near = dqn.q_value(&state_vec(s + 1), &RIGHT);
         let far = dqn.q_value(&state_vec(s), &RIGHT);
-        assert!(near > far, "Q should grow toward the goal: {far:.2} !< {near:.2} at {s}");
+        assert!(
+            near > far,
+            "Q should grow toward the goal: {far:.2} !< {near:.2} at {s}"
+        );
     }
 }
 

@@ -44,7 +44,10 @@ fn main() {
         Box::new(UtilityApprox::default()),
     ];
 
-    println!("{:<14} {:>9} {:>12} {:>10}   returned car (price, mileage, mpg scores)", "algorithm", "questions", "time", "regret");
+    println!(
+        "{:<14} {:>9} {:>12} {:>10}   returned car (price, mileage, mpg scores)",
+        "algorithm", "questions", "time", "regret"
+    );
     for algo in &mut algos {
         let mut user = SimulatedUser::new(alice.clone());
         let out = algo.run(&data, &mut user, eps, TraceMode::Off);

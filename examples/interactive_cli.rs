@@ -60,7 +60,12 @@ impl User for TerminalUser {
     }
 }
 
-fn train_or_load(data: &Dataset, use_aa: bool, ckpt: Option<&str>, eps: f64) -> Box<dyn InteractiveAlgorithm> {
+fn train_or_load(
+    data: &Dataset,
+    use_aa: bool,
+    ckpt: Option<&str>,
+    eps: f64,
+) -> Box<dyn InteractiveAlgorithm> {
     let d = data.dim();
     if let Some(path) = ckpt {
         if let Ok(bytes) = std::fs::read(path) {
@@ -76,7 +81,10 @@ fn train_or_load(data: &Dataset, use_aa: bool, ckpt: Option<&str>, eps: f64) -> 
             println!("checkpoint at {path} unusable; retraining");
         }
     }
-    println!("training the {} agent on simulated users (one-time)…", if use_aa { "AA" } else { "EA" });
+    println!(
+        "training the {} agent on simulated users (one-time)…",
+        if use_aa { "AA" } else { "EA" }
+    );
     let train = sample_users(d, 80, 12);
     let (boxed, bytes): (Box<dyn InteractiveAlgorithm>, Vec<u8>) = if use_aa {
         let mut agent = AaAgent::new(d, AaConfig::paper_default().with_seed(1));
@@ -117,7 +125,10 @@ fn main() {
     println!("(scores are percentages: 100% price = cheapest, 100% mpg = most efficient)");
 
     let mut agent = train_or_load(&data, use_aa, ckpt, eps);
-    let mut user = TerminalUser { data_attributes: data.attributes().to_vec(), asked: 0 };
+    let mut user = TerminalUser {
+        data_attributes: data.attributes().to_vec(),
+        asked: 0,
+    };
     let outcome = agent.run(&data, &mut user, eps, TraceMode::Off);
 
     let p = data.point(outcome.point_index);
@@ -131,7 +142,15 @@ fn main() {
     println!("  {}", parts.join(", "));
     println!(
         "guarantee: regret ratio below {}{}",
-        if use_aa { format!("{} (d²ε worst case; ≤ ε in practice)", eps * 9.0) } else { eps.to_string() },
-        if outcome.truncated { " — NOTE: stopped at the round cap" } else { "" }
+        if use_aa {
+            format!("{} (d²ε worst case; ≤ ε in practice)", eps * 9.0)
+        } else {
+            eps.to_string()
+        },
+        if outcome.truncated {
+            " — NOTE: stopped at the round cap"
+        } else {
+            ""
+        }
     );
 }

@@ -60,5 +60,7 @@ fn main() {
         }
         println!();
     }
-    println!("Noise inflates both rounds and regret; handling it robustly is the paper's open problem.");
+    println!(
+        "Noise inflates both rounds and regret; handling it robustly is the paper's open problem."
+    );
 }

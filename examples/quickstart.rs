@@ -15,7 +15,11 @@ fn main() {
     let d = 3;
     let raw = generate(1_000, d, Distribution::AntiCorrelated, 42);
     let data = skyline(&raw);
-    println!("dataset: {} tuples ({} after skyline), d = {d}", raw.len(), data.len());
+    println!(
+        "dataset: {} tuples ({} after skyline), d = {d}",
+        raw.len(),
+        data.len()
+    );
 
     // 2. Train EA on simulated users drawn uniformly from the utility simplex.
     let eps = 0.1;
@@ -34,14 +38,21 @@ fn main() {
 
     println!("\ninteraction finished in {} rounds:", outcome.rounds);
     for t in &outcome.trace {
-        println!("  after round {}: current recommendation is tuple #{}", t.round, t.best_index);
+        println!(
+            "  after round {}: current recommendation is tuple #{}",
+            t.round, t.best_index
+        );
     }
     let p = data.point(outcome.point_index);
     let regret = regret_ratio_of_index(&data, outcome.point_index, user.ground_truth());
     println!("\nreturned tuple #{}: {p:?}", outcome.point_index);
     println!(
         "regret ratio: {regret:.4} (threshold {eps}) — {}",
-        if regret < eps { "within guarantee" } else { "VIOLATION" }
+        if regret < eps {
+            "within guarantee"
+        } else {
+            "VIOLATION"
+        }
     );
     assert!(regret < eps, "EA is exact: the guarantee must hold");
 }

@@ -31,11 +31,16 @@ fn train_ship_serve_round_trip_ea() {
     // Online: reload and serve three users through sessions.
     let bytes = std::fs::read(&path).unwrap();
     let mut served = checkpoint::load_ea(&bytes).unwrap();
-    for truth in [vec![0.5, 0.3, 0.2], vec![0.2, 0.2, 0.6], vec![0.34, 0.33, 0.33]] {
+    for truth in [
+        vec![0.5, 0.3, 0.2],
+        vec![0.2, 0.2, 0.6],
+        vec![0.34, 0.33, 0.33],
+    ] {
         let mut session = served.start_session(&data, eps);
         let mut rounds_guard = 0;
-        while let Some((p, q)) =
-            session.current_points().map(|(a, b)| (a.to_vec(), b.to_vec()))
+        while let Some((p, q)) = session
+            .current_points()
+            .map(|(a, b)| (a.to_vec(), b.to_vec()))
         {
             session.answer(vector::dot(&truth, &p) >= vector::dot(&truth, &q));
             rounds_guard += 1;
@@ -69,11 +74,17 @@ fn train_ship_serve_round_trip_aa() {
     let mut served = checkpoint::load_aa(&bytes).unwrap();
     let truth = vec![0.25, 0.45, 0.3];
     let mut session = served.start_session(&data, eps);
-    while let Some((p, q)) = session.current_points().map(|(a, b)| (a.to_vec(), b.to_vec())) {
+    while let Some((p, q)) = session
+        .current_points()
+        .map(|(a, b)| (a.to_vec(), b.to_vec()))
+    {
         session.answer(vector::dot(&truth, &p) >= vector::dot(&truth, &q));
     }
     let regret = regret_ratio_of_index(&data, session.recommendation(), &truth);
-    assert!(regret <= 9.0 * eps + 1e-9, "served AA must keep its d²ε bound: {regret}");
+    assert!(
+        regret <= 9.0 * eps + 1e-9,
+        "served AA must keep its d²ε bound: {regret}"
+    );
     // The session exposes the learned region for downstream explanation UIs.
     assert_eq!(session.region().len(), session.rounds());
     std::fs::remove_dir_all(&dir).ok();

@@ -24,10 +24,10 @@ fn every_algorithm_meets_its_regret_contract_at_d3() {
     aa.train(&data, &train, eps);
 
     let mut algos: Vec<(Box<dyn InteractiveAlgorithm>, f64)> = vec![
-        (Box::new(ea), eps),                        // exact
-        (Box::new(aa), 9.0 * eps),                  // Lemma 9: d²ε hard bound
-        (Box::new(UhBaseline::random(4)), eps),     // exact
-        (Box::new(UhBaseline::simplex(4)), eps),    // exact
+        (Box::new(ea), eps),                     // exact
+        (Box::new(aa), 9.0 * eps),               // Lemma 9: d²ε hard bound
+        (Box::new(UhBaseline::random(4)), eps),  // exact
+        (Box::new(UhBaseline::simplex(4)), eps), // exact
         (Box::new(SinglePass::seeded(4)), 9.0 * eps),
         (Box::new(UtilityApprox::default()), 9.0 * eps),
     ];
@@ -91,7 +91,10 @@ fn aa_handles_high_dimension_where_ea_is_not_run() {
             "hard bound violated: {regret}"
         );
         // The paper's empirical finding: regret typically below ε itself.
-        assert!(regret <= 2.0 * eps, "regret {regret} surprisingly high at d = {d}");
+        assert!(
+            regret <= 2.0 * eps,
+            "regret {regret} surprisingly high at d = {d}"
+        );
     }
 }
 
@@ -141,8 +144,14 @@ fn max_regret_estimates_shrink_along_any_interaction() {
     let mut user = SimulatedUser::new(vec![0.4, 0.35, 0.25]);
     let out = algo.run(&data, &mut user, 0.1, TraceMode::PerRound);
     assert!(out.rounds >= 2, "need at least two rounds to compare");
-    let first = max_regret_estimate(&data, &out.trace[0].region, out.trace[0].best_index, 2_000, 1)
-        .unwrap();
+    let first = max_regret_estimate(
+        &data,
+        &out.trace[0].region,
+        out.trace[0].best_index,
+        2_000,
+        1,
+    )
+    .unwrap();
     let last_t = out.trace.last().unwrap();
     let last = max_regret_estimate(&data, &last_t.region, last_t.best_index, 2_000, 1).unwrap();
     assert!(

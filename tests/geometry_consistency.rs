@@ -18,7 +18,11 @@ fn random_region(d: usize, cuts: usize, seed: u64) -> Region {
         if let Some(h) = Halfspace::preferring(&a, &b) {
             // Keep the region non-empty: orient toward the barycenter.
             let bary = vec![1.0 / d as f64; d];
-            let oriented = if h.contains(&bary, 0.0) { h } else { h.flipped() };
+            let oriented = if h.contains(&bary, 0.0) {
+                h
+            } else {
+                h.flipped()
+            };
             region.add(oriented);
             added += 1;
         }
@@ -145,14 +149,8 @@ fn hit_and_run_samples_agree_with_region_membership() {
         panic!("random region unexpectedly empty");
     };
     let mut rng = StdRng::seed_from_u64(5);
-    for u in isrl_geometry::sampling::hit_and_run(
-        4,
-        region.halfspaces(),
-        &start,
-        200,
-        2,
-        &mut rng,
-    ) {
+    for u in isrl_geometry::sampling::hit_and_run(4, region.halfspaces(), &start, 200, 2, &mut rng)
+    {
         assert!(region.contains(&u, 1e-7), "sample {u:?} escaped the region");
         assert!((vector::sum(&u) - 1.0).abs() < 1e-9);
     }

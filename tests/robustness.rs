@@ -60,9 +60,18 @@ fn contrarian_user_cannot_hang_any_algorithm() {
     for algo in &mut all_algorithms(3, &data) {
         let mut user = Contrarian { asked: 0 };
         let out = algo.run(&data, &mut user, 0.1, TraceMode::Off);
-        assert!(out.point_index < data.len(), "{} returned junk index", algo.name());
+        assert!(
+            out.point_index < data.len(),
+            "{} returned junk index",
+            algo.name()
+        );
         // Bounded by each algorithm's internal cap at worst.
-        assert!(out.rounds <= 5_000, "{} ran away: {} rounds", algo.name(), out.rounds);
+        assert!(
+            out.rounds <= 5_000,
+            "{} ran away: {} rounds",
+            algo.name(),
+            out.rounds
+        );
     }
 }
 
@@ -83,21 +92,29 @@ fn maximally_noisy_user_still_yields_a_point() {
     for algo in &mut all_algorithms(3, &data) {
         let mut user = NoisyUser::new(vec![0.4, 0.3, 0.3], 0.95, 6);
         let out = algo.run(&data, &mut user, 0.1, TraceMode::Off);
-        assert!(out.point_index < data.len(), "{} failed under noise", algo.name());
+        assert!(
+            out.point_index < data.len(),
+            "{} failed under noise",
+            algo.name()
+        );
     }
 }
 
 #[test]
 fn single_point_dataset_returns_immediately() {
     let data = Dataset::from_points(vec![vec![0.5, 0.5, 0.5]], 3);
-    for algo in &mut all_algorithms(3, &skyline(&generate(100, 3, Distribution::Independent, 7)))
-    {
+    for algo in &mut all_algorithms(3, &skyline(&generate(100, 3, Distribution::Independent, 7))) {
         let mut user = SimulatedUser::new(vec![0.3, 0.3, 0.4]);
         let out = algo.run(&data, &mut user, 0.1, TraceMode::Off);
         assert_eq!(out.point_index, 0, "{}", algo.name());
         // One tuple has regret 0 by definition; no more than a handful of
         // rounds should ever be needed (zero for the geometric stoppers).
-        assert!(out.rounds <= 15, "{} asked {} rounds", algo.name(), out.rounds);
+        assert!(
+            out.rounds <= 15,
+            "{} asked {} rounds",
+            algo.name(),
+            out.rounds
+        );
     }
 }
 

@@ -1,0 +1,317 @@
+//! Offline micro-benchmark harness, source-compatible with the subset of
+//! the `criterion` API this workspace uses (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! Measurement model: per benchmark, a short warm-up sizes the iteration
+//! batch, then `sample_size` timed batches run within the measurement
+//! budget. Mean/min/max per-iteration times are printed to stdout and
+//! appended to `target/criterion-offline.jsonl` so runs leave a machine-
+//! readable artifact behind (the upstream HTML machinery is out of scope
+//! offline).
+//!
+//! `--test` (passed by `cargo test` to bench targets) switches to a
+//! run-once smoke mode; a positional CLI argument filters benchmarks by
+//! substring, like upstream.
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, recording per-iteration seconds into the run's samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm-up: run once to estimate cost and pull code/data into cache.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let budget = self.measurement_time.as_secs_f64();
+        let per_sample = budget / self.sample_size as f64;
+        let iters = (per_sample / once).clamp(1.0, 1e7) as u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    settings: Settings,
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {} // ignore unknown flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self {
+            settings: Settings::default(),
+            filter,
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let settings = self.settings;
+        self.run_one(&id.into().to_string(), settings, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, full_id: &str, s: Settings, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::with_capacity(s.sample_size);
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: s.sample_size.max(1),
+            measurement_time: s.measurement_time,
+            smoke: self.smoke,
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("{full_id}: ok (smoke)");
+            return;
+        }
+        if samples.is_empty() {
+            println!("{full_id}: no samples recorded");
+            return;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{full_id:<48} time: [{} {} {}]",
+            fmt_secs(min),
+            fmt_secs(mean),
+            fmt_secs(max)
+        );
+        append_record(full_id, mean, min, max);
+    }
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let settings = self.settings;
+        self.criterion.run_one(&full, settings, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let settings = self.settings;
+        self.criterion.run_one(&full, settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op offline).
+    pub fn finish(self) {}
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn append_record(id: &str, mean: f64, min: f64, max: f64) {
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("target/criterion-offline.jsonl")
+    else {
+        return; // benches may run from a read-only checkout; results were printed
+    };
+    let _ = writeln!(
+        f,
+        "{{\"id\":\"{}\",\"mean_s\":{mean:e},\"min_s\":{min:e},\"max_s\":{max:e}}}",
+        id.replace('"', "'")
+    );
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("d4").to_string(), "d4");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(5),
+            smoke: false,
+        };
+        b.iter(|| black_box(2u64.pow(10)));
+        assert_eq!(samples.len(), 3);
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+}

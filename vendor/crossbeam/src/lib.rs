@@ -1,0 +1,62 @@
+//! Offline subset of `crossbeam`: scoped threads (backed by
+//! `std::thread::scope`) and an unbounded MPMC queue. API-compatible with
+//! the call patterns used in this workspace.
+
+pub mod queue;
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`] closures; spawn borrows non-`'static`
+/// data for the duration of the scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a scope argument for
+    /// crossbeam compatibility; nested spawning is not supported by this
+    /// stub, so the argument is `()` (call sites use `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// joins them all before returning.
+///
+/// Upstream crossbeam returns `Err` when a child panicked; `std::thread::scope`
+/// instead propagates the panic after joining, so the `Ok` here is only
+/// reached when every child completed — callers' `.expect(...)` still
+/// type-checks and never fires spuriously.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        scope(|s| {
+            for &x in &data {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(x, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

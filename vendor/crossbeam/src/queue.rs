@@ -1,0 +1,87 @@
+//! Concurrent queues. `SegQueue` here is a mutex-protected `VecDeque`
+//! rather than a lock-free segment list — identical semantics, and the
+//! sweep workloads pop coarse work items (whole interaction runs), so the
+//! lock is never contended enough to matter.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// An unbounded MPMC FIFO queue.
+#[derive(Debug, Default)]
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends an element at the back.
+    pub fn push(&self, value: T) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(value);
+    }
+
+    /// Removes the front element, `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// `true` when no elements are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_drain_sees_every_item() {
+        let q = SegQueue::new();
+        for i in 0..1000 {
+            q.push(i);
+        }
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(x) = q.pop() {
+                        total.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 999 * 1000 / 2);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline marker-trait subset of `serde`.
+//!
+//! No serializer backend ships in this workspace (checkpoints use the
+//! hand-rolled binary codec in `isrl-core::checkpoint`), so `Serialize` and
+//! `Deserialize` are marker traits: deriving them documents intent and keeps
+//! the public API source-compatible with upstream serde for when a real
+//! backend is vendored later.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize {}

@@ -1,0 +1,47 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as marker
+//! derives (no serializer backend is wired up offline), so both derives
+//! emit the corresponding marker-trait impl and nothing else.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following `struct`/`enum` in a derive input.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match type_name(&input) {
+        // Generic types would need bound plumbing; no workspace type derives
+        // serde on a generic container, so plain impls suffice.
+        Some(name) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Marker `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Marker `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
