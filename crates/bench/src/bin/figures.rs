@@ -28,6 +28,7 @@ struct Cli {
     out: PathBuf,
     users: usize,
     train: usize,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_cli() -> Cli {
@@ -37,6 +38,7 @@ fn parse_cli() -> Cli {
         out: PathBuf::from("results"),
         users: 15,
         train: 100,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,11 +47,18 @@ fn parse_cli() -> Cli {
             "--out" => cli.out = PathBuf::from(args.next().expect("--out needs a value")),
             "--users" => cli.users = args.next().expect("--users needs a value").parse().unwrap(),
             "--train" => cli.train = args.next().expect("--train needs a value").parse().unwrap(),
+            "--trace-out" => {
+                cli.trace_out = Some(PathBuf::from(
+                    args.next().expect("--trace-out needs a value"),
+                ));
+            }
             other => cli.experiments.push(other.to_string()),
         }
     }
     if cli.experiments.is_empty() {
-        eprintln!("usage: figures <exp>... [--scale X] [--out DIR] [--users N] [--train N]");
+        eprintln!(
+            "usage: figures <exp>... [--scale X] [--out DIR] [--users N] [--train N] [--trace-out t.jsonl]"
+        );
         eprintln!(
             "exps: fig6a fig6b fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 ablation noise all"
         );
@@ -516,6 +525,10 @@ fn noise(ctx: &Ctx) -> Vec<Table> {
 
 fn main() {
     let cli = parse_cli();
+    if cli.trace_out.is_some() {
+        isrl_obs::reset();
+        isrl_obs::set_enabled(true);
+    }
     let ctx = Ctx {
         scale: cli.scale,
         users: cli.users,
@@ -561,5 +574,28 @@ fn main() {
             }
         }
         eprintln!("<< {exp} done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+
+    // Per-item sweep telemetry rides along with the tables: every
+    // evaluated (cell, algo, user) item is a `sweep_item` event, and the
+    // trailing summary line carries the LP/sampling/scan aggregates.
+    if let Some(path) = &cli.trace_out {
+        isrl_obs::set_enabled(false);
+        let snap = isrl_obs::snapshot();
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                let mut w = std::io::BufWriter::new(file);
+                if let Err(e) = snap.write_jsonl(&mut w) {
+                    eprintln!("warning: could not write trace: {e}");
+                } else {
+                    eprintln!(
+                        "trace: {} events written to {}",
+                        snap.n_events(),
+                        path.display()
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
+        }
     }
 }

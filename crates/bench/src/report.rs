@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(3.46159), "3.46");
         assert_eq!(f4(0.123456), "0.1235");
         assert_eq!(secs(0.0000005), "0.00ms");
         assert_eq!(secs(0.5), "500.0ms");

@@ -275,7 +275,7 @@ fn run_cells(
         for _ in 0..worker_count(eval_queue.len()) {
             scope.spawn(|_| {
                 while let Some((c, a, u)) = eval_queue.pop() {
-                    let (data, eps, _) = cells[c];
+                    let (data, eps, kinds) = cells[c];
                     let truth = &users[c][u];
                     let mut guard = agents[c][a].lock();
                     let algo = guard.as_mut().expect("trained in phase 1");
@@ -285,6 +285,21 @@ fn run_cells(
                     drop(guard);
                     let regret =
                         isrl_core::regret::regret_ratio_of_index(data, out.point_index, truth);
+                    if isrl_obs::enabled() {
+                        // Schema (DESIGN.md §9) wants a human-readable cell
+                        // label; cells here are anonymous, so derive one.
+                        let cell = format!("c{c}_d{}_n{}_eps{eps}", data.dim(), data.len());
+                        isrl_obs::emit(
+                            isrl_obs::Event::new("sweep_item")
+                                .field("cell", cell)
+                                .field("algo", kinds[a].name())
+                                .field("user", u as u64)
+                                .field("rounds", out.rounds as u64)
+                                .field("secs", out.elapsed.as_secs_f64())
+                                .field("regret", regret)
+                                .field("truncated", out.truncated),
+                        );
+                    }
                     results.lock().push((c, a, u, out, regret));
                 }
             });

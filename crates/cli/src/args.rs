@@ -59,7 +59,6 @@ impl Args {
     }
 
     /// Positional arguments in order.
-    #[allow(dead_code)] // exercised by tests; kept for future subcommand args
     pub fn positional(&self) -> &[String] {
         &self.positional
     }

@@ -55,9 +55,12 @@ pub fn train(args: &Args) -> CmdResult {
         "eps",
         "episodes",
         "out",
+        "trace-out",
+        "metrics",
     ])?;
     let (data, source) = resolve_dataset(args)?;
     describe(&data, &source);
+    let tracing = crate::trace::begin(args);
     let algo = args.get("algo").unwrap_or("ea");
     let eps = args.get_or("eps", 0.1f64, "number")?;
     let episodes = args.get_or("episodes", 200usize, "integer")?;
@@ -94,7 +97,7 @@ pub fn train(args: &Args) -> CmdResult {
         start.elapsed().as_secs_f64(),
         blob.len()
     );
-    Ok(())
+    crate::trace::finish(&tracing)
 }
 
 fn load_agent(path: &str) -> Result<Box<dyn InteractiveAlgorithm>, Box<dyn std::error::Error>> {
@@ -118,9 +121,12 @@ pub fn eval(args: &Args) -> CmdResult {
         "eps",
         "users",
         "noise",
+        "trace-out",
+        "metrics",
     ])?;
     let (data, source) = resolve_dataset(args)?;
     describe(&data, &source);
+    let tracing = crate::trace::begin(args);
     let eps = args.get_or("eps", 0.1f64, "number")?;
     let n_users = args.get_or("users", 30usize, "integer")?;
     let seed = args.get_or("seed", 7u64, "integer")?;
@@ -175,7 +181,7 @@ pub fn eval(args: &Args) -> CmdResult {
         regret_max
     );
     println!("truncated:    {truncated}/{n_users}");
-    Ok(())
+    crate::trace::finish(&tracing)
 }
 
 /// `isrl serve` — interview a human on stdin with a trained agent.

@@ -13,6 +13,7 @@
 mod args;
 mod commands;
 mod data_io;
+mod trace;
 
 use args::Args;
 
@@ -28,15 +29,23 @@ COMMANDS:
              [--seed N] --out file.csv
   train      train an RL agent and save a checkpoint
              <dataset flags> --algo ea|aa [--eps 0.1] [--episodes 200]
-             [--seed N] --out model.ckpt
+             [--seed N] [--trace-out t.jsonl] [--metrics] --out model.ckpt
   eval       evaluate a checkpoint or baseline over simulated users
              <dataset flags> (--model model.ckpt | --baseline
              uh-random|uh-simplex|single-pass|utility-approx)
              [--eps 0.1] [--users 30] [--noise 0.0]
+             [--trace-out t.jsonl] [--metrics]
   serve      interview a human on stdin with a trained agent
              <dataset flags> --model model.ckpt [--eps 0.1]
   inspect    summarize a checkpoint
              --model model.ckpt
+  trace-validate  check a --trace-out file against the event schema
+             (exits nonzero on malformed lines or warning counters)
+
+TELEMETRY:
+  --trace-out <file>  stream per-round / per-episode events as JSONL
+                      (one event per line, trailing summary line)
+  --metrics           print counter/span/histogram aggregates to stderr
 ";
 
 fn main() {
@@ -53,6 +62,7 @@ fn main() {
         "eval" => commands::eval(&args),
         "serve" => commands::serve(&args),
         "inspect" => commands::inspect(&args),
+        "trace-validate" => trace::validate(&args),
         other => {
             eprintln!("unknown command {other:?}\n\n{USAGE}");
             std::process::exit(2);

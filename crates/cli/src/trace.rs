@@ -1,0 +1,82 @@
+//! `--trace-out` / `--metrics` plumbing and the `trace-validate` command.
+//!
+//! Telemetry is opt-in: the sink stays disabled (every instrumentation
+//! site is one relaxed atomic load) unless one of the two flags is given.
+//! At the end of the command the sink is drained exactly once — the JSONL
+//! file gets every buffered event plus the trailing `summary` line, and
+//! `--metrics` prints the aggregate table to stderr so it never mixes
+//! with a command's stdout output.
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+
+/// What the user asked for; returned by [`begin`], consumed by [`finish`].
+pub struct TraceOpts {
+    out: Option<String>,
+    metrics: bool,
+}
+
+/// Reads `--trace-out` / `--metrics` and, if either is present, resets and
+/// enables the global telemetry sink.
+pub fn begin(args: &Args) -> TraceOpts {
+    let out = args
+        .get("trace-out")
+        .filter(|p| !p.is_empty())
+        .map(String::from);
+    let metrics = args.has("metrics");
+    if out.is_some() || metrics {
+        isrl_obs::reset();
+        isrl_obs::set_enabled(true);
+    }
+    TraceOpts { out, metrics }
+}
+
+/// Drains the sink: writes the JSONL trace (events + one `summary` line)
+/// when `--trace-out` was given, prints the aggregate table to stderr when
+/// `--metrics` was given. No-op when neither flag was present.
+pub fn finish(opts: &TraceOpts) -> CmdResult {
+    if opts.out.is_none() && !opts.metrics {
+        return Ok(());
+    }
+    isrl_obs::set_enabled(false);
+    let snap = isrl_obs::snapshot();
+    if let Some(path) = &opts.out {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        snap.write_jsonl(&mut file)?;
+        use std::io::Write as _;
+        file.flush()?;
+        eprintln!("trace: {} events written to {path}", snap.n_events());
+    }
+    if opts.metrics {
+        eprint!("{}", snap.render());
+    }
+    Ok(())
+}
+
+/// `isrl trace-validate <file>` — checks a `--trace-out` file against the
+/// documented schema (DESIGN.md §9). Exits with an error when any line is
+/// malformed, when the summary line is missing or duplicated, or when a
+/// warning counter (LP iteration caps, EA sampling fallbacks) is nonzero.
+pub fn validate(args: &Args) -> CmdResult {
+    args.ensure_known(&[])?;
+    let [path] = args.positional() else {
+        return Err("usage: isrl trace-validate <trace.jsonl>".into());
+    };
+    let text = std::fs::read_to_string(path)?;
+    let report = isrl_obs::schema::validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    for (kind, n) in &report.events {
+        println!("{kind:<12} {n}");
+    }
+    if !report.warnings.is_empty() {
+        for (name, v) in &report.warnings {
+            eprintln!("warning counter {name} = {v} (expected 0)");
+        }
+        return Err(format!(
+            "{path}: {} warning counter(s) nonzero",
+            report.warnings.len()
+        )
+        .into());
+    }
+    println!("{path}: valid trace");
+    Ok(())
+}

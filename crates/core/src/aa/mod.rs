@@ -20,6 +20,7 @@ pub use state::AaSummary;
 use crate::interaction::{
     InteractionOutcome, InteractiveAlgorithm, Question, RoundTrace, Stopwatch, TraceMode,
 };
+use crate::telemetry::{emit_episode_event, emit_round_event};
 use crate::user::User;
 use isrl_data::Dataset;
 use isrl_geometry::{Halfspace, RegionGeometry};
@@ -109,6 +110,10 @@ pub struct AaAgent {
     dqn: Dqn,
     rng: StdRng,
     episodes_trained: u64,
+    /// Mean TD loss over the most recent learning episode (`None` until the
+    /// replay buffer can fill a minibatch). Feeds the `episode` telemetry
+    /// event stream.
+    last_episode_loss: Option<f64>,
 }
 
 impl AaAgent {
@@ -130,6 +135,7 @@ impl AaAgent {
             dqn,
             rng,
             episodes_trained: 0,
+            last_episode_loss: None,
         }
     }
 
@@ -163,14 +169,20 @@ impl AaAgent {
     fn observe(
         &mut self,
         data: &Dataset,
-        geom: &RegionGeometry,
+        geom: &mut RegionGeometry,
         eps: f64,
         asked: &[(usize, usize)],
     ) -> Option<Observation> {
+        // The geometry's summary cache means the sphere/rectangle LPs run
+        // at most once per cut even though the state encoding, stop test,
+        // and trace events all consume them.
+        let summary = AaSummary::from_geometry(geom)?;
         let region = geom.region();
-        let summary = AaSummary::from_region(region)?;
         let mid = summary.midpoint();
-        let best = data.argmax_utility(&mid);
+        let best = {
+            let _t = isrl_obs::span("top1");
+            data.argmax_utility(&mid)
+        };
         let state = summary.encode();
         if summary.meets_stop_condition(eps) {
             return Some(Observation {
@@ -184,14 +196,17 @@ impl AaAgent {
         // Cheap pool of region samples for hyperplane pre-filtering: a
         // short hit-and-run walk from the inner-sphere center. Keeps the
         // per-round LP count near 2·m_h even at d = 25 (DESIGN.md §2).
-        let pool = isrl_geometry::sampling::hit_and_run(
-            self.dim,
-            region.halfspaces(),
-            summary.sphere.center(),
-            48,
-            2,
-            &mut self.rng,
-        );
+        let pool = {
+            let _s = isrl_obs::span("sampling");
+            isrl_geometry::sampling::hit_and_run(
+                self.dim,
+                region.halfspaces(),
+                summary.sphere.center(),
+                48,
+                2,
+                &mut self.rng,
+            )
+        };
         let questions = candidate_pairs(
             data,
             region,
@@ -232,9 +247,12 @@ impl AaAgent {
         let mut asked: Vec<(usize, usize)> = Vec::new();
         let mut trace: Vec<RoundTrace> = Vec::new();
         let mut rounds = 0usize;
+        let mut loss_sum = 0.0;
+        let mut loss_n = 0u64;
+        self.last_episode_loss = None;
 
         let mut obs = self
-            .observe(data, &geom, eps, &asked)
+            .observe(data, &mut geom, eps, &asked)
             .expect("the full utility simplex is never empty");
 
         loop {
@@ -259,11 +277,21 @@ impl AaAgent {
                 };
             }
 
-            let idx = if learn {
-                self.dqn
-                    .select_action(&obs.state, &obs.action_feats, explore_eps)
-            } else {
-                self.dqn.best_action(&obs.state, &obs.action_feats).0
+            // Phase timings are collected per round (into the trace and the
+            // `round` event stream) whenever either consumer is active.
+            let record = trace_mode.should_trace(rounds + 1) || isrl_obs::enabled();
+            if record {
+                isrl_obs::round_begin();
+            }
+
+            let idx = {
+                let _nn = isrl_obs::span("nn");
+                if learn {
+                    self.dqn
+                        .select_action(&obs.state, &obs.action_feats, explore_eps)
+                } else {
+                    self.dqn.best_action(&obs.state, &obs.action_feats).0
+                }
             };
             let q = obs.questions[idx];
             let prefers_i = answer(data.point(q.i), data.point(q.j));
@@ -274,8 +302,11 @@ impl AaAgent {
                 geom.add(h);
             }
 
-            match self.observe(data, &geom, eps, &asked) {
+            let next_obs = match self.observe(data, &mut geom, eps, &asked) {
                 None => {
+                    if record {
+                        isrl_obs::round_end();
+                    }
                     return InteractionOutcome {
                         point_index: obs.best,
                         rounds,
@@ -284,42 +315,64 @@ impl AaAgent {
                         truncated: true,
                     };
                 }
-                Some(next_obs) => {
-                    if learn {
-                        let dead_end = !next_obs.terminal && next_obs.questions.is_empty();
-                        let transition = Transition {
-                            state: std::mem::take(&mut obs.state),
-                            action: obs.action_feats[idx].clone(),
-                            reward: if next_obs.terminal {
-                                self.cfg.reward_c
-                            } else {
-                                0.0
-                            },
-                            next: if next_obs.terminal || dead_end {
-                                None
-                            } else {
-                                Some(NextState {
-                                    state: next_obs.state.clone(),
-                                    actions: next_obs.action_feats.clone(),
-                                })
-                            },
-                        };
-                        self.dqn.push_transition(transition);
-                        for _ in 0..self.cfg.train_steps_per_round.max(1) {
-                            self.dqn.train_step();
-                        }
+                Some(next_obs) => next_obs,
+            };
+
+            if learn {
+                let dead_end = !next_obs.terminal && next_obs.questions.is_empty();
+                let transition = Transition {
+                    state: std::mem::take(&mut obs.state),
+                    action: obs.action_feats[idx].clone(),
+                    reward: if next_obs.terminal {
+                        self.cfg.reward_c
+                    } else {
+                        0.0
+                    },
+                    next: if next_obs.terminal || dead_end {
+                        None
+                    } else {
+                        Some(NextState {
+                            state: next_obs.state.clone(),
+                            actions: next_obs.action_feats.clone(),
+                        })
+                    },
+                };
+                self.dqn.push_transition(transition);
+                for _ in 0..self.cfg.train_steps_per_round.max(1) {
+                    if let Some(loss) = self.dqn.train_step() {
+                        loss_sum += loss;
+                        loss_n += 1;
                     }
-                    if trace_mode.should_trace(rounds) {
-                        trace.push(RoundTrace {
-                            round: rounds,
-                            elapsed: sw.elapsed(),
-                            best_index: next_obs.best,
-                            region: geom.region().clone(),
-                        });
-                    }
-                    obs = next_obs;
+                }
+                if loss_n > 0 {
+                    self.last_episode_loss = Some(loss_sum / loss_n as f64);
                 }
             }
+
+            if record {
+                let phases = isrl_obs::round_end();
+                let volume = geom.volume_proxy();
+                if isrl_obs::enabled() {
+                    emit_round_event(
+                        "AA",
+                        rounds,
+                        Some(q),
+                        sw.elapsed(),
+                        None,
+                        None,
+                        volume,
+                        &phases,
+                    );
+                }
+                if trace_mode.should_trace(rounds) {
+                    let mut t =
+                        RoundTrace::new(rounds, sw.elapsed(), next_obs.best, geom.region().clone());
+                    t.phases = phases;
+                    t.volume_proxy = volume;
+                    trace.push(t);
+                }
+            }
+            obs = next_obs;
         }
     }
 
@@ -332,6 +385,20 @@ impl AaAgent {
             let mut answer =
                 move |p_i: &[f64], p_j: &[f64]| vector::dot(&u, p_i) >= vector::dot(&u, p_j);
             let outcome = self.episode(data, &mut answer, eps, explore, true, TraceMode::Off);
+            emit_episode_event(
+                "AA",
+                self.episodes_trained,
+                outcome.rounds,
+                explore,
+                if outcome.truncated {
+                    0.0
+                } else {
+                    self.cfg.reward_c
+                },
+                self.dqn.replay_len(),
+                outcome.truncated,
+                self.last_episode_loss,
+            );
             rounds.push(outcome.rounds);
             self.episodes_trained += 1;
         }

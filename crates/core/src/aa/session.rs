@@ -9,6 +9,7 @@
 
 use super::{AaAgent, Observation};
 use crate::interaction::{Question, Stopwatch};
+use crate::telemetry::emit_round_event;
 use isrl_data::Dataset;
 use isrl_geometry::{Halfspace, Region, RegionGeometry};
 
@@ -35,10 +36,10 @@ impl AaAgent {
     pub fn start_session<'a>(&'a mut self, data: &'a Dataset, eps: f64) -> AaSession<'a> {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
-        let geom = RegionGeometry::summary_only(self.dim);
+        let mut geom = RegionGeometry::summary_only(self.dim);
         let asked = Vec::new();
         let obs = self
-            .observe(data, &geom, eps, &asked)
+            .observe(data, &mut geom, eps, &asked)
             .expect("the full utility simplex is never empty");
         let mut session = AaSession {
             agent: self,
@@ -97,6 +98,10 @@ impl AaSession<'_> {
             .question
             .take()
             .expect("session is finished; no pending question");
+        let record = isrl_obs::enabled();
+        if record {
+            isrl_obs::round_begin();
+        }
         let (win, lose) = if prefers_first {
             (q.i, q.j)
         } else {
@@ -109,7 +114,7 @@ impl AaSession<'_> {
         }
         match self
             .agent
-            .observe(self.data, &self.geom, self.eps, &self.asked)
+            .observe(self.data, &mut self.geom, self.eps, &self.asked)
         {
             None => {
                 self.truncated = true; // region numerically collapsed
@@ -118,6 +123,19 @@ impl AaSession<'_> {
                 self.obs = next;
                 self.pick_question();
             }
+        }
+        if record {
+            let phases = isrl_obs::round_end();
+            emit_round_event(
+                "AA",
+                self.rounds,
+                Some(q),
+                self.sw.elapsed(),
+                None,
+                None,
+                self.geom.volume_proxy(),
+                &phases,
+            );
         }
     }
 

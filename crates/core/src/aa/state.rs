@@ -7,7 +7,7 @@
 //! `center ⊕ radius ⊕ e_min ⊕ e_max`, i.e. `3d + 1` numbers — independent of
 //! how many questions have been answered.
 
-use isrl_geometry::{Rectangle, Region, Sphere};
+use isrl_geometry::{Rectangle, Region, RegionGeometry, Sphere};
 
 /// The two shapes summarizing a region for AA.
 #[derive(Debug, Clone)]
@@ -24,6 +24,16 @@ impl AaSummary {
     pub fn from_region(region: &Region) -> Option<Self> {
         let sphere = region.inner_sphere()?;
         let rectangle = region.outer_rectangle()?;
+        Some(Self { sphere, rectangle })
+    }
+
+    /// Like [`AaSummary::from_region`], but reads the geometry's per-cut
+    /// summary cache: the sphere/rectangle LPs run at most once per answered
+    /// question no matter how many consumers (state encoding, stop test,
+    /// diagnostics, trace events) ask for them.
+    pub fn from_geometry(geom: &mut RegionGeometry) -> Option<Self> {
+        let sphere = geom.inner_sphere()?;
+        let rectangle = geom.outer_rectangle()?;
         Some(Self { sphere, rectangle })
     }
 

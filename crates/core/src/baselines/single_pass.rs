@@ -14,8 +14,9 @@
 //! signature observation: cheap rounds, but *hundreds* of them at d = 20.
 
 use crate::interaction::{
-    InteractionOutcome, InteractiveAlgorithm, RoundTrace, Stopwatch, TraceMode,
+    InteractionOutcome, InteractiveAlgorithm, Question, RoundTrace, Stopwatch, TraceMode,
 };
+use crate::telemetry::emit_round_event;
 use crate::user::User;
 use isrl_data::Dataset;
 use isrl_geometry::{Halfspace, Region};
@@ -224,6 +225,10 @@ impl InteractiveAlgorithm for SinglePass {
                 truncated = true;
                 break 'stream;
             }
+            let q = Question {
+                i: champion,
+                j: challenger,
+            };
             let prefers_champ = user.prefers(data.point(champion), data.point(challenger));
             rounds += 1;
             let normal = if prefers_champ {
@@ -241,13 +246,23 @@ impl InteractiveAlgorithm for SinglePass {
                     break;
                 }
             }
+            emit_round_event(
+                self.name(),
+                rounds,
+                Some(q),
+                sw.elapsed(),
+                None,
+                None,
+                None,
+                &[],
+            );
             if trace_mode.should_trace(rounds) {
-                trace.push(RoundTrace {
-                    round: rounds,
-                    elapsed: sw.elapsed(),
-                    best_index: champion,
-                    region: region.clone(),
-                });
+                trace.push(RoundTrace::new(
+                    rounds,
+                    sw.elapsed(),
+                    champion,
+                    region.clone(),
+                ));
             }
             if self.cfg.use_diag_stop && boxx.diag() <= diag_threshold {
                 stopped_by_diag = true;

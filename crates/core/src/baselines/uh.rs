@@ -13,6 +13,7 @@ use crate::ea::{check_terminal, terminal_points};
 use crate::interaction::{
     InteractionOutcome, InteractiveAlgorithm, Question, RoundTrace, Stopwatch, TraceMode,
 };
+use crate::telemetry::emit_round_event;
 use crate::user::User;
 use isrl_data::Dataset;
 use isrl_geometry::{sampling, Halfspace, Polytope, Region};
@@ -89,14 +90,18 @@ impl UhBaseline {
     /// Candidate points still able to be the user's favorite, found the
     /// same way EA builds `P_R` (sampled + extreme utility vectors).
     fn candidates(&mut self, data: &Dataset, region: &Region, vertices: &[Vec<f64>]) -> Vec<usize> {
-        let mut samples = sampling::sample_region_rejection(
-            region.dim(),
-            region.halfspaces(),
-            self.cfg.n_samples,
-            self.cfg.n_samples * 10,
-            &mut self.rng,
-        );
+        let mut samples = {
+            let _s = isrl_obs::span("sampling");
+            sampling::sample_region_rejection(
+                region.dim(),
+                region.halfspaces(),
+                self.cfg.n_samples,
+                self.cfg.n_samples * 10,
+                &mut self.rng,
+            )
+        };
         if samples.len() < self.cfg.n_samples {
+            let _s = isrl_obs::span("sampling");
             let need = self.cfg.n_samples - samples.len();
             samples.extend(sampling::sample_vertex_mixture(
                 vertices,
@@ -105,6 +110,7 @@ impl UhBaseline {
             ));
         }
         samples.extend(vertices.iter().cloned());
+        let _t = isrl_obs::span("top1");
         terminal_points(data, samples.iter())
     }
 
@@ -217,8 +223,18 @@ impl InteractiveAlgorithm for UhBaseline {
                 };
             }
 
+            // Per-round phase collection (candidate sampling, top-1 scans)
+            // whenever the trace or the event stream consumes it.
+            let record = trace_mode.should_trace(rounds + 1) || isrl_obs::enabled();
+            if record {
+                isrl_obs::round_begin();
+            }
+
             let candidates = self.candidates(data, &region, &vertices);
             let Some(q) = self.select_question(data, &candidates, &centroid, &asked) else {
+                if record {
+                    isrl_obs::round_end();
+                }
                 return InteractionOutcome {
                     point_index: last_best,
                     rounds,
@@ -235,13 +251,24 @@ impl InteractiveAlgorithm for UhBaseline {
             if let Some(h) = Halfspace::preferring(data.point(win), data.point(lose)) {
                 region.add(h);
             }
-            if trace_mode.should_trace(rounds) {
-                trace.push(RoundTrace {
-                    round: rounds,
-                    elapsed: sw.elapsed(),
-                    best_index: last_best,
-                    region: region.clone(),
-                });
+            if record {
+                let phases = isrl_obs::round_end();
+                emit_round_event(
+                    self.name(),
+                    rounds,
+                    Some(q),
+                    sw.elapsed(),
+                    Some(vertices.len()),
+                    None,
+                    None,
+                    &phases,
+                );
+                if trace_mode.should_trace(rounds) {
+                    let mut t = RoundTrace::new(rounds, sw.elapsed(), last_best, region.clone());
+                    t.phases = phases;
+                    t.vertex_count = Some(vertices.len());
+                    trace.push(t);
+                }
             }
         }
     }

@@ -12,6 +12,7 @@
 use crate::interaction::{
     InteractionOutcome, InteractiveAlgorithm, RoundTrace, Stopwatch, TraceMode,
 };
+use crate::telemetry::emit_round_event;
 use crate::user::User;
 use isrl_data::Dataset;
 use isrl_geometry::{Halfspace, Region};
@@ -103,14 +104,24 @@ impl InteractiveAlgorithm for UtilityApprox {
             } {
                 region.add(h);
             }
+            emit_round_event(
+                self.name(),
+                rounds,
+                None,
+                sw.elapsed(),
+                None,
+                None,
+                None,
+                &[],
+            );
             if trace_mode.should_trace(rounds) {
                 let mid = middle_utility(&lo, &hi);
-                trace.push(RoundTrace {
-                    round: rounds,
-                    elapsed: sw.elapsed(),
-                    best_index: data.argmax_utility(&mid),
-                    region: region.clone(),
-                });
+                trace.push(RoundTrace::new(
+                    rounds,
+                    sw.elapsed(),
+                    data.argmax_utility(&mid),
+                    region.clone(),
+                ));
             }
         }
 

@@ -4,28 +4,76 @@
 //! instruments behind DESIGN.md §5's ablations:
 //!
 //! * **shrinkage** — per-round multiplicative decay of the region's volume
-//!   fraction (an ideal binary-search question scores 0.5);
-//! * **cut balance** — how evenly each asked hyperplane split the region
-//!   *before* the answer (0.5 = perfect halving, near 0/1 = wasted
-//!   question);
+//!   measure (an ideal binary-search question scores 0.5);
+//! * **cut balance** — how much of the pre-answer region each asked
+//!   hyperplane kept (0.5 = perfect halving, near 1 = wasted question);
 //! * **recommendation churn** — how often the interim recommendation
 //!   changed (late churn means the stopping condition, not the questioning,
 //!   is the bottleneck).
+//!
+//! Two volume backends. The default, [`VolumeMode::Geometric`], reads the
+//! outer-rectangle volume proxy the session's incrementally-maintained
+//! [`isrl_geometry::RegionGeometry`] already computed (recorded in
+//! [`crate::interaction::RoundTrace::volume_proxy`]); it is deterministic,
+//! costs nothing beyond the interaction itself, and keeps resolution at
+//! volume fractions far below what sampling can see. The pre-telemetry
+//! Monte-Carlo estimator remains available behind
+//! [`VolumeMode::MonteCarlo`] as a cross-check — it measures true
+//! simplex-relative volume, at O(n_samples · rounds²) cost and with noise
+//! floor ~1/n_samples.
 
 use crate::interaction::InteractionOutcome;
-use isrl_geometry::{sampling, Region};
+use isrl_geometry::{sampling, Region, RegionGeometry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// How per-round region volumes are measured.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum VolumeMode {
+    /// Outer-rectangle volume proxy from the trace's cached geometry
+    /// (exact, deterministic, already paid for by the interaction). In this
+    /// mode `cut_balance` is the per-round proxy decay — the fraction of
+    /// the previous round's box volume the answer kept.
+    #[default]
+    Geometric,
+    /// Fresh Monte-Carlo estimation per round with the given sample count.
+    /// True simplex-relative volume, but noisy below ~1/n_samples and
+    /// O(rounds) half-space tests per sample.
+    MonteCarlo {
+        /// Samples per round for the volume and balance estimates.
+        n_samples: usize,
+    },
+}
+
+/// Configuration of [`analyze`].
+#[derive(Debug, Clone, Default)]
+pub struct DiagnosticsConfig {
+    /// Volume backend.
+    pub mode: VolumeMode,
+    /// RNG seed (Monte-Carlo mode only).
+    pub seed: u64,
+}
+
+impl DiagnosticsConfig {
+    /// The pre-telemetry behavior: Monte-Carlo volumes.
+    pub fn monte_carlo(n_samples: usize, seed: u64) -> Self {
+        Self {
+            mode: VolumeMode::MonteCarlo { n_samples },
+            seed,
+        }
+    }
+}
 
 /// Per-round diagnostic row.
 #[derive(Debug, Clone)]
 pub struct RoundDiagnostic {
     /// 1-based round.
     pub round: usize,
-    /// Monte-Carlo volume fraction of the region *after* this round.
+    /// Volume measure of the region *after* this round: the rectangle
+    /// proxy (geometric mode) or the Monte-Carlo simplex fraction.
     pub volume_fraction: f64,
-    /// Fraction of the pre-answer region on the winning side of this
-    /// round's hyperplane (0.5 = the question halved the region).
+    /// Fraction of the pre-answer region kept by this round's answer
+    /// (0.5 = the question halved the region).
     pub cut_balance: f64,
     /// Whether the interim recommendation changed at this round.
     pub recommendation_changed: bool,
@@ -43,24 +91,17 @@ pub struct DiagnosticReport {
     pub churn: usize,
 }
 
-/// Analyzes a traced interaction. `n_samples` controls the Monte-Carlo
-/// volume estimates (a few thousand is plenty for d ≤ 10; the estimate —
-/// and the `cut_balance` derived from it — loses resolution once the
-/// region's volume fraction falls below ~1/n_samples).
-///
-/// Returns `None` when the outcome carries no trace.
-pub fn analyze(
-    outcome: &InteractionOutcome,
-    n_samples: usize,
-    seed: u64,
-) -> Option<DiagnosticReport> {
+/// Analyzes a traced interaction. Returns `None` when the outcome carries
+/// no trace.
+pub fn analyze(outcome: &InteractionOutcome, cfg: &DiagnosticsConfig) -> Option<DiagnosticReport> {
     if outcome.trace.is_empty() {
         return None;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let d = outcome.trace[0].region.dim();
 
-    // Volume fraction before any answer is 1 by definition.
+    // Volume measure before any answer is 1 by definition (both the unit
+    // box proxy of the full simplex and the Monte-Carlo fraction).
     let mut prev_fraction = 1.0f64;
     let mut prev_best: Option<usize> = None;
     let mut rounds = Vec::with_capacity(outcome.trace.len());
@@ -68,21 +109,29 @@ pub fn analyze(
     let mut churn = 0usize;
 
     for t in &outcome.trace {
-        let fraction = t.region.approx_volume_fraction(n_samples, &mut rng);
-        // Balance of this round's cut: fraction of the *previous* region
-        // kept by the newest half-space. Estimated against the previous
-        // region's half-space set (all but the newest).
-        let balance = cut_balance(&t.region, n_samples, &mut rng, d);
+        let fraction = match cfg.mode {
+            VolumeMode::Geometric => geometric_volume(t),
+            VolumeMode::MonteCarlo { n_samples } => {
+                t.region.approx_volume_fraction(n_samples, &mut rng)
+            }
+        };
+        let decay = if prev_fraction > 0.0 {
+            (fraction / prev_fraction).min(1.0)
+        } else {
+            1.0
+        };
+        let balance = match cfg.mode {
+            // Proxy decay *is* the kept fraction under the box measure.
+            VolumeMode::Geometric => decay,
+            VolumeMode::MonteCarlo { n_samples } => {
+                mc_cut_balance(&t.region, n_samples, &mut rng, d)
+            }
+        };
         let changed = prev_best.is_some_and(|b| b != t.best_index);
         if changed {
             churn += 1;
         }
         prev_best = Some(t.best_index);
-        let decay = if prev_fraction > 0.0 {
-            fraction / prev_fraction
-        } else {
-            1.0
-        };
         decay_log_sum += decay.max(1e-12).ln();
         prev_fraction = fraction;
         rounds.push(RoundDiagnostic {
@@ -100,9 +149,21 @@ pub fn analyze(
     })
 }
 
+/// The round's volume proxy: recorded by the session when tracing was on,
+/// else recomputed once through the geometry's summary cache (2d extent
+/// LPs). A collapsed (empty) region measures 0.
+fn geometric_volume(t: &crate::interaction::RoundTrace) -> f64 {
+    if let Some(v) = t.volume_proxy {
+        return v;
+    }
+    RegionGeometry::from_region(t.region.clone(), false)
+        .volume_proxy()
+        .unwrap_or(0.0)
+}
+
 /// Fraction of the region-before-the-last-answer kept by the last answer's
 /// half-space, estimated by sampling the before-region.
-fn cut_balance(after: &Region, n_samples: usize, rng: &mut StdRng, d: usize) -> f64 {
+fn mc_cut_balance(after: &Region, n_samples: usize, rng: &mut StdRng, d: usize) -> f64 {
     let hs = after.halfspaces();
     let Some((newest, before)) = hs.split_last() else {
         return 1.0;
@@ -132,9 +193,11 @@ fn cut_balance(after: &Region, n_samples: usize, rng: &mut StdRng, d: usize) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::interaction::{InteractiveAlgorithm, TraceMode};
+    use crate::interaction::{InteractiveAlgorithm, RoundTrace, TraceMode};
     use crate::prelude::*;
     use isrl_data::Dataset;
+    use isrl_geometry::Halfspace;
+    use std::time::Duration;
 
     fn traced_outcome() -> (Dataset, InteractionOutcome) {
         let data = Dataset::from_points(
@@ -156,16 +219,40 @@ mod tests {
     #[test]
     fn report_shapes_match_the_trace() {
         let (_, out) = traced_outcome();
-        let report = analyze(&out, 2_000, 1).expect("trace present");
+        let report = analyze(&out, &DiagnosticsConfig::default()).expect("trace present");
         assert_eq!(report.rounds.len(), out.trace.len());
         assert!(report.mean_decay > 0.0 && report.mean_decay <= 1.0 + 1e-9);
         assert!(report.churn <= out.rounds);
     }
 
     #[test]
+    fn geometric_mode_reads_the_traced_proxies() {
+        let (_, out) = traced_outcome();
+        assert!(
+            out.trace.iter().all(|t| t.volume_proxy.is_some()),
+            "AA records the proxy every traced round"
+        );
+        let report = analyze(&out, &DiagnosticsConfig::default()).unwrap();
+        for (r, t) in report.rounds.iter().zip(&out.trace) {
+            assert_eq!(r.volume_fraction, t.volume_proxy.unwrap());
+        }
+    }
+
+    #[test]
     fn volume_fractions_are_monotone_non_increasing() {
         let (_, out) = traced_outcome();
-        let report = analyze(&out, 3_000, 2).unwrap();
+        // Geometric: exactly monotone (boxes nest under cuts).
+        let report = analyze(&out, &DiagnosticsConfig::default()).unwrap();
+        for w in report.rounds.windows(2) {
+            assert!(
+                w[1].volume_fraction <= w[0].volume_fraction + 1e-12,
+                "proxy grew: {} -> {}",
+                w[0].volume_fraction,
+                w[1].volume_fraction
+            );
+        }
+        // Monte-Carlo: monotone up to sampling noise.
+        let report = analyze(&out, &DiagnosticsConfig::monte_carlo(3_000, 2)).unwrap();
         for w in report.rounds.windows(2) {
             assert!(
                 w[1].volume_fraction <= w[0].volume_fraction + 0.03,
@@ -177,15 +264,20 @@ mod tests {
     }
 
     #[test]
-    fn cut_balances_are_probabilities() {
+    fn cut_balances_are_probabilities_in_both_modes() {
         let (_, out) = traced_outcome();
-        let report = analyze(&out, 2_000, 3).unwrap();
-        for r in &report.rounds {
-            assert!(
-                (0.0..=1.0).contains(&r.cut_balance),
-                "balance {}",
-                r.cut_balance
-            );
+        for cfg in [
+            DiagnosticsConfig::default(),
+            DiagnosticsConfig::monte_carlo(2_000, 3),
+        ] {
+            let report = analyze(&out, &cfg).unwrap();
+            for r in &report.rounds {
+                assert!(
+                    (0.0..=1.0).contains(&r.cut_balance),
+                    "balance {} under {cfg:?}",
+                    r.cut_balance
+                );
+            }
         }
     }
 
@@ -195,14 +287,59 @@ mod tests {
         let mut agent = AaAgent::new(2, AaConfig::paper_default().with_seed(4));
         let mut user = SimulatedUser::new(vec![0.5, 0.5]);
         let out = agent.run(&data, &mut user, 0.1, TraceMode::Off);
-        assert!(analyze(&out, 100, 4).is_none());
+        assert!(analyze(&out, &DiagnosticsConfig::default()).is_none());
+        assert!(analyze(&out, &DiagnosticsConfig::monte_carlo(100, 4)).is_none());
+    }
+
+    #[test]
+    fn empty_trace_on_a_nonempty_outcome_yields_none() {
+        // An outcome can report rounds > 0 with an empty trace (TraceMode::
+        // FirstRounds(0)); analyze must refuse rather than divide by zero.
+        let out = InteractionOutcome {
+            point_index: 0,
+            rounds: 3,
+            elapsed: Duration::from_millis(1),
+            trace: Vec::new(),
+            truncated: false,
+        };
+        assert!(analyze(&out, &DiagnosticsConfig::default()).is_none());
+    }
+
+    #[test]
+    fn degenerate_region_trace_stays_finite() {
+        // A trace whose region collapses to empty mid-interaction: the
+        // geometric volume hits 0 and every later decay must stay finite.
+        let mut region = Region::full(2);
+        region.add(Halfspace::new(vec![1.0, -3.0]));
+        let t1 = RoundTrace::new(1, Duration::from_millis(1), 0, region.clone());
+        region.add(Halfspace::new(vec![-3.0, 1.0])); // contradicts the first
+        let t2 = RoundTrace::new(2, Duration::from_millis(2), 1, region.clone());
+        region.add(Halfspace::new(vec![0.0, 1.0]));
+        let t3 = RoundTrace::new(3, Duration::from_millis(3), 1, region);
+        let out = InteractionOutcome {
+            point_index: 1,
+            rounds: 3,
+            elapsed: Duration::from_millis(3),
+            trace: vec![t1, t2, t3],
+            truncated: true,
+        };
+        let report = analyze(&out, &DiagnosticsConfig::default()).expect("trace present");
+        assert_eq!(report.rounds.len(), 3);
+        for r in &report.rounds {
+            assert!(r.volume_fraction.is_finite());
+            assert!(r.cut_balance.is_finite());
+            assert!((0.0..=1.0).contains(&r.cut_balance), "{}", r.cut_balance);
+        }
+        assert!(report.mean_decay.is_finite() && report.mean_decay >= 0.0);
+        assert_eq!(report.rounds[1].volume_fraction, 0.0, "collapsed region");
+        assert_eq!(report.churn, 1);
     }
 
     #[test]
     fn good_questioners_decay_fast() {
         // AA's near-center cuts should average well below "no progress".
         let (_, out) = traced_outcome();
-        let report = analyze(&out, 3_000, 5).unwrap();
+        let report = analyze(&out, &DiagnosticsConfig::monte_carlo(3_000, 5)).unwrap();
         assert!(
             report.mean_decay < 0.9,
             "AA's questions should shrink the region: decay {}",

@@ -21,6 +21,7 @@ pub use terminal::{check_terminal, in_terminal_polyhedron, terminal_points};
 use crate::interaction::{
     InteractionOutcome, InteractiveAlgorithm, Question, RoundTrace, Stopwatch, TraceMode,
 };
+use crate::telemetry::{emit_episode_event, emit_round_event};
 use crate::user::User;
 use isrl_data::Dataset;
 use isrl_geometry::{sampling, Halfspace, RegionGeometry};
@@ -146,6 +147,10 @@ pub struct EaAgent {
     dqn: Dqn,
     rng: StdRng,
     episodes_trained: u64,
+    /// Mean TD loss over the most recent learning episode (`None` until the
+    /// replay buffer can fill a minibatch). Feeds the `episode` telemetry
+    /// event stream.
+    last_episode_loss: Option<f64>,
 }
 
 impl EaAgent {
@@ -169,6 +174,7 @@ impl EaAgent {
             dqn,
             rng,
             episodes_trained: 0,
+            last_episode_loss: None,
         }
     }
 
@@ -212,10 +218,16 @@ impl EaAgent {
     ) -> Option<Observation> {
         let polytope = geom.polytope()?;
         let vertices = polytope.vertices().to_vec();
-        let terminal = check_terminal(data, &vertices, eps);
+        let terminal = {
+            let _t = isrl_obs::span("terminal_check");
+            check_terminal(data, &vertices, eps)
+        };
 
         let centroid = polytope.centroid();
-        let fallback_best = data.argmax_utility(&centroid);
+        let fallback_best = {
+            let _t = isrl_obs::span("top1");
+            data.argmax_utility(&centroid)
+        };
         let state = self.encoder.encode(polytope);
 
         if terminal.is_some() {
@@ -230,14 +242,19 @@ impl EaAgent {
 
         // Build V: sampled utility vectors (rejection, then vertex-mixture
         // fallback) plus the extreme utility vectors of R (Lemma 5/6).
-        let mut samples = sampling::sample_region_rejection(
-            self.dim,
-            geom.region().halfspaces(),
-            self.cfg.n_samples,
-            self.cfg.n_samples * 10,
-            &mut self.rng,
-        );
+        let mut samples = {
+            let _s = isrl_obs::span("sampling");
+            sampling::sample_region_rejection(
+                self.dim,
+                geom.region().halfspaces(),
+                self.cfg.n_samples,
+                self.cfg.n_samples * 10,
+                &mut self.rng,
+            )
+        };
         if samples.len() < self.cfg.n_samples {
+            isrl_obs::add("ea.sample_fallbacks", 1);
+            let _s = isrl_obs::span("sampling");
             let need = self.cfg.n_samples - samples.len();
             samples.extend(sampling::sample_vertex_mixture(
                 &vertices,
@@ -246,7 +263,10 @@ impl EaAgent {
             ));
         }
         samples.extend(vertices);
-        let p_r = terminal_points(data, samples.iter());
+        let p_r = {
+            let _t = isrl_obs::span("top1");
+            terminal_points(data, samples.iter())
+        };
 
         let mut questions = build_action_space(&p_r, self.cfg.m_h, asked, &mut self.rng);
         if questions.is_empty() && p_r.len() >= 2 {
@@ -286,6 +306,9 @@ impl EaAgent {
         let mut asked: Vec<(usize, usize)> = Vec::new();
         let mut trace: Vec<RoundTrace> = Vec::new();
         let mut rounds = 0usize;
+        let mut loss_sum = 0.0;
+        let mut loss_n = 0u64;
+        self.last_episode_loss = None;
 
         let mut obs = self
             .observe(data, &geom, eps, &asked)
@@ -311,25 +334,39 @@ impl EaAgent {
                 };
             }
 
-            let idx = if learn {
-                self.dqn
-                    .select_action(&obs.state, &obs.action_feats, explore_eps)
-            } else {
-                self.dqn.best_action(&obs.state, &obs.action_feats).0
+            // Phase timings are collected per round (into the trace and the
+            // `round` event stream) whenever either consumer is active.
+            let record = trace_mode.should_trace(rounds + 1) || isrl_obs::enabled();
+            if record {
+                isrl_obs::round_begin();
+            }
+
+            let idx = {
+                let _nn = isrl_obs::span("nn");
+                if learn {
+                    self.dqn
+                        .select_action(&obs.state, &obs.action_feats, explore_eps)
+                } else {
+                    self.dqn.best_action(&obs.state, &obs.action_feats).0
+                }
             };
             let q = obs.questions[idx];
             let prefers_i = answer(data.point(q.i), data.point(q.j));
             let (win, lose) = if prefers_i { (q.i, q.j) } else { (q.j, q.i) };
             asked.push((q.i.min(q.j), q.i.max(q.j)));
             rounds += 1;
+            let vertices_before = geom.vertex_count();
             if let Some(h) = Halfspace::preferring(data.point(win), data.point(lose)) {
                 geom.add(h);
             }
 
-            match self.observe(data, &geom, eps, &asked) {
+            let next_obs = match self.observe(data, &geom, eps, &asked) {
                 None => {
                     // Region numerically collapsed — finish on the last
                     // known recommendation.
+                    if record {
+                        isrl_obs::round_end();
+                    }
                     return InteractionOutcome {
                         point_index: obs.fallback_best,
                         rounds,
@@ -338,43 +375,71 @@ impl EaAgent {
                         truncated: true,
                     };
                 }
-                Some(next_obs) => {
-                    if learn {
-                        let reached_terminal = next_obs.terminal.is_some();
-                        let dead_end = next_obs.questions.is_empty();
-                        let transition = Transition {
-                            state: std::mem::take(&mut obs.state),
-                            action: obs.action_feats[idx].clone(),
-                            reward: if reached_terminal {
-                                self.cfg.reward_c
-                            } else {
-                                0.0
-                            },
-                            next: if reached_terminal || dead_end {
-                                None
-                            } else {
-                                Some(NextState {
-                                    state: next_obs.state.clone(),
-                                    actions: next_obs.action_feats.clone(),
-                                })
-                            },
-                        };
-                        self.dqn.push_transition(transition);
-                        for _ in 0..self.cfg.train_steps_per_round.max(1) {
-                            self.dqn.train_step();
-                        }
+                Some(next_obs) => next_obs,
+            };
+
+            if learn {
+                let reached_terminal = next_obs.terminal.is_some();
+                let dead_end = next_obs.questions.is_empty();
+                let transition = Transition {
+                    state: std::mem::take(&mut obs.state),
+                    action: obs.action_feats[idx].clone(),
+                    reward: if reached_terminal {
+                        self.cfg.reward_c
+                    } else {
+                        0.0
+                    },
+                    next: if reached_terminal || dead_end {
+                        None
+                    } else {
+                        Some(NextState {
+                            state: next_obs.state.clone(),
+                            actions: next_obs.action_feats.clone(),
+                        })
+                    },
+                };
+                self.dqn.push_transition(transition);
+                for _ in 0..self.cfg.train_steps_per_round.max(1) {
+                    if let Some(loss) = self.dqn.train_step() {
+                        loss_sum += loss;
+                        loss_n += 1;
                     }
-                    if trace_mode.should_trace(rounds) {
-                        trace.push(RoundTrace {
-                            round: rounds,
-                            elapsed: sw.elapsed(),
-                            best_index: next_obs.terminal.unwrap_or(next_obs.fallback_best),
-                            region: geom.region().clone(),
-                        });
-                    }
-                    obs = next_obs;
+                }
+                if loss_n > 0 {
+                    self.last_episode_loss = Some(loss_sum / loss_n as f64);
                 }
             }
+
+            if record {
+                let phases = isrl_obs::round_end();
+                let vertices_after = geom.vertex_count();
+                let volume = geom.volume_proxy();
+                if isrl_obs::enabled() {
+                    emit_round_event(
+                        "EA",
+                        rounds,
+                        Some(q),
+                        sw.elapsed(),
+                        vertices_before,
+                        vertices_after,
+                        volume,
+                        &phases,
+                    );
+                }
+                if trace_mode.should_trace(rounds) {
+                    let mut t = RoundTrace::new(
+                        rounds,
+                        sw.elapsed(),
+                        next_obs.terminal.unwrap_or(next_obs.fallback_best),
+                        geom.region().clone(),
+                    );
+                    t.phases = phases;
+                    t.vertex_count = vertices_after;
+                    t.volume_proxy = volume;
+                    trace.push(t);
+                }
+            }
+            obs = next_obs;
         }
     }
 
@@ -388,6 +453,20 @@ impl EaAgent {
             let mut answer =
                 move |p_i: &[f64], p_j: &[f64]| vector::dot(&u, p_i) >= vector::dot(&u, p_j);
             let outcome = self.episode(data, &mut answer, eps, explore, true, TraceMode::Off);
+            emit_episode_event(
+                "EA",
+                self.episodes_trained,
+                outcome.rounds,
+                explore,
+                if outcome.truncated {
+                    0.0
+                } else {
+                    self.cfg.reward_c
+                },
+                self.dqn.replay_len(),
+                outcome.truncated,
+                self.last_episode_loss,
+            );
             rounds.push(outcome.rounds);
             self.episodes_trained += 1;
         }

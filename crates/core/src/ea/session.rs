@@ -3,6 +3,7 @@
 
 use super::{EaAgent, Observation};
 use crate::interaction::{Question, Stopwatch};
+use crate::telemetry::emit_round_event;
 use isrl_data::Dataset;
 use isrl_geometry::{Halfspace, Region, RegionGeometry};
 
@@ -87,6 +88,10 @@ impl EaSession<'_> {
             .question
             .take()
             .expect("session is finished; no pending question");
+        let record = isrl_obs::enabled();
+        if record {
+            isrl_obs::round_begin();
+        }
         let (win, lose) = if prefers_first {
             (q.i, q.j)
         } else {
@@ -94,6 +99,7 @@ impl EaSession<'_> {
         };
         self.asked.push((q.i.min(q.j), q.i.max(q.j)));
         self.rounds += 1;
+        let vertices_before = self.geom.vertex_count();
         if let Some(h) = Halfspace::preferring(self.data.point(win), self.data.point(lose)) {
             self.geom.add(h);
         }
@@ -108,6 +114,19 @@ impl EaSession<'_> {
                 self.obs = next;
                 self.pick_question();
             }
+        }
+        if record {
+            let phases = isrl_obs::round_end();
+            emit_round_event(
+                "EA",
+                self.rounds,
+                Some(q),
+                self.sw.elapsed(),
+                vertices_before,
+                self.geom.vertex_count(),
+                self.geom.volume_proxy(),
+                &phases,
+            );
         }
     }
 

@@ -65,6 +65,7 @@ pub mod interaction;
 pub mod metrics;
 pub mod regret;
 pub mod runner;
+pub(crate) mod telemetry;
 pub mod user;
 
 /// One-stop imports for applications and benches.
@@ -75,6 +76,7 @@ pub mod prelude {
         UtilityApproxConfig,
     };
     pub use crate::checkpoint::{load_aa, load_ea, save_aa, save_ea, CheckpointError};
+    pub use crate::diagnostics::{analyze, DiagnosticReport, DiagnosticsConfig, VolumeMode};
     pub use crate::ea::{EaAgent, EaConfig, EaSession};
     pub use crate::interaction::{
         InteractionOutcome, InteractiveAlgorithm, Question, RoundTrace, TraceMode,

@@ -1,0 +1,90 @@
+//! Event-emission helpers shared by the interactive algorithms.
+//!
+//! All algorithms speak the same trace schema (see `isrl_obs::schema` and
+//! DESIGN.md §9): one `round` event per question asked, one `episode` event
+//! per training episode. The helpers here own the field layout so EA, AA,
+//! the baselines, and the step-wise sessions cannot drift apart.
+
+use crate::interaction::Question;
+use isrl_obs::{Event, Json};
+use std::time::Duration;
+
+/// Emits one `round` event. `q` is `None` for algorithms whose questions
+/// are synthetic comparisons rather than dataset pairs (UtilityApprox);
+/// `vertices_before`/`after` and `volume_proxy` are omitted from the event
+/// when the algorithm does not track them. No-op when the sink is disabled.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_round_event(
+    algo: &'static str,
+    round: usize,
+    q: Option<Question>,
+    elapsed: Duration,
+    vertices_before: Option<usize>,
+    vertices_after: Option<usize>,
+    volume_proxy: Option<f64>,
+    phases: &[(&'static str, Duration)],
+) {
+    if !isrl_obs::enabled() {
+        return;
+    }
+    let mut ev = Event::new("round")
+        .field("algo", algo)
+        .field("round", round)
+        .field("elapsed_ms", elapsed.as_secs_f64() * 1e3);
+    if let Some(q) = q {
+        ev = ev.field("i", q.i).field("j", q.j);
+    }
+    if let Some(v) = vertices_before {
+        ev = ev.field("vertices_before", v);
+    }
+    if let Some(v) = vertices_after {
+        ev = ev.field("vertices_after", v);
+    }
+    if let Some(v) = volume_proxy {
+        ev = ev.field("volume_proxy", v);
+    }
+    if !phases.is_empty() {
+        ev = ev.field("phase_ms", phases_json(phases));
+    }
+    isrl_obs::emit(ev);
+}
+
+/// Emits one `episode` event after a learning episode. No-op when the sink
+/// is disabled.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_episode_event(
+    algo: &'static str,
+    episode: u64,
+    rounds: usize,
+    epsilon: f64,
+    reward: f64,
+    replay_len: usize,
+    truncated: bool,
+    loss_mean: Option<f64>,
+) {
+    if !isrl_obs::enabled() {
+        return;
+    }
+    let mut ev = Event::new("episode")
+        .field("algo", algo)
+        .field("episode", episode)
+        .field("rounds", rounds)
+        .field("epsilon", epsilon)
+        .field("reward", reward)
+        .field("replay_len", replay_len)
+        .field("truncated", truncated);
+    if let Some(l) = loss_mean {
+        ev = ev.field("loss_mean", l);
+    }
+    isrl_obs::emit(ev);
+}
+
+/// `{"sampling": 1.25, "lp": 0.4, …}` — phase totals in milliseconds.
+fn phases_json(phases: &[(&'static str, Duration)]) -> Json {
+    Json::Obj(
+        phases
+            .iter()
+            .map(|(name, d)| (name.to_string(), Json::from(d.as_secs_f64() * 1e3)))
+            .collect(),
+    )
+}

@@ -71,6 +71,12 @@ pub enum LpOutcome {
     Infeasible,
     /// The objective is unbounded over the feasible region.
     Unbounded,
+    /// Phase 2 hit its iteration cap before proving optimality. The carried
+    /// solution is the incumbent basic **feasible** point — a valid member
+    /// of the region whose objective bounds the optimum from the wrong
+    /// side. Callers must not treat it as the optimum; the solver counts
+    /// every such event under the `lp.cap_hits` telemetry counter.
+    IterationCapped(LpSolution),
 }
 
 impl LpOutcome {
@@ -82,9 +88,24 @@ impl LpOutcome {
         }
     }
 
+    /// Returns a feasible solution whether or not it was proven optimal:
+    /// `Some` for [`LpOutcome::Optimal`] and [`LpOutcome::IterationCapped`].
+    pub fn solution(self) -> Option<LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) | LpOutcome::IterationCapped(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// `true` iff a finite optimum was found.
     pub fn is_optimal(&self) -> bool {
         matches!(self, LpOutcome::Optimal(_))
+    }
+
+    /// `true` iff the solver gave up at the iteration cap with a feasible
+    /// but unproven incumbent.
+    pub fn is_capped(&self) -> bool {
+        matches!(self, LpOutcome::IterationCapped(_))
     }
 }
 
@@ -93,7 +114,10 @@ impl LpOutcome {
 pub enum LpError {
     /// Objective/constraint widths disagree with `n_vars`.
     ShapeMismatch,
-    /// The simplex method exceeded its iteration budget (cycling guard).
+    /// The simplex method exceeded its iteration budget **in phase 1**, so
+    /// even feasibility is undetermined (a phase-2 cap instead yields
+    /// [`LpOutcome::IterationCapped`] with the feasible incumbent). Counted
+    /// under the `lp.phase1_cap_hits` telemetry counter.
     IterationLimit,
 }
 

@@ -128,17 +128,27 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
     }
 
     // --- 3. Phase 1: minimize the sum of artificials. ---------------------
+    isrl_obs::add("lp.solves", 1);
     if n_art > 0 {
         let mut phase1_cost = vec![0.0; total];
         for c in &mut phase1_cost[n_split + n_slack..] {
             *c = 1.0;
         }
-        match run_simplex(&mut tab, &mut basis, &phase1_cost, total)? {
+        let (end, iters) = run_simplex(&mut tab, &mut basis, &phase1_cost, total);
+        isrl_obs::add("lp.phase1_iters", iters);
+        isrl_obs::add("lp.pivots", iters);
+        match end {
             SimplexEnd::Optimal => {}
             SimplexEnd::Unbounded => {
                 // Phase-1 objective is bounded below by 0; unbounded here
                 // would indicate a numerical breakdown — treat as infeasible.
                 return Ok(LpOutcome::Infeasible);
+            }
+            SimplexEnd::Capped => {
+                // Feasibility itself is undetermined — surface the cap as
+                // an error the caller must handle, and count it.
+                isrl_obs::add("lp.phase1_cap_hits", 1);
+                return Err(LpError::IterationLimit);
             }
         }
         let art_sum: f64 = basis
@@ -168,10 +178,20 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
     for c in &mut phase2_cost[real..] {
         *c = 1e30;
     }
-    match run_simplex(&mut tab, &mut basis, &phase2_cost, real)? {
-        SimplexEnd::Optimal => {}
+    let (end, iters) = run_simplex(&mut tab, &mut basis, &phase2_cost, real);
+    isrl_obs::add("lp.phase2_iters", iters);
+    isrl_obs::add("lp.pivots", iters);
+    let capped = match end {
+        SimplexEnd::Optimal => false,
         SimplexEnd::Unbounded => return Ok(LpOutcome::Unbounded),
-    }
+        SimplexEnd::Capped => {
+            // Phase 2 preserves feasibility, so the incumbent basic point
+            // is a genuine member of the region — return it, flagged, so
+            // callers stop mistaking a truncated solve for convergence.
+            isrl_obs::add("lp.cap_hits", 1);
+            true
+        }
+    };
 
     // --- 5. Read out the solution. ----------------------------------------
     let mut x_split = vec![0.0; n_split];
@@ -185,26 +205,34 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
         x[j] = x_split[j] - neg_col[j].map_or(0.0, |c| x_split[c]);
     }
     let objective: f64 = p.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    Ok(LpOutcome::Optimal(LpSolution { x, objective }))
+    let sol = LpSolution { x, objective };
+    Ok(if capped {
+        LpOutcome::IterationCapped(sol)
+    } else {
+        LpOutcome::Optimal(sol)
+    })
 }
 
 enum SimplexEnd {
     Optimal,
     Unbounded,
+    /// The iteration budget ran out; the tableau holds the incumbent basis.
+    Capped,
 }
 
 /// Runs the simplex method on the tableau, minimizing `cost` over columns
 /// `0..enter_limit` (columns at or past the limit never enter the basis —
-/// used to keep artificials out in phase 2).
+/// used to keep artificials out in phase 2). Returns the end state plus
+/// the number of pivots performed.
 fn run_simplex(
     tab: &mut [Vec<f64>],
     basis: &mut [usize],
     cost: &[f64],
     enter_limit: usize,
-) -> Result<SimplexEnd, LpError> {
+) -> (SimplexEnd, u64) {
     let m = tab.len();
     if m == 0 {
-        return Ok(SimplexEnd::Optimal);
+        return (SimplexEnd::Optimal, 0);
     }
     let total = tab[0].len() - 1;
     let max_iters = 200 * (m + total) + 1000;
@@ -236,7 +264,7 @@ fn run_simplex(
             }
         }
         let Some(e) = entering else {
-            return Ok(SimplexEnd::Optimal);
+            return (SimplexEnd::Optimal, iter as u64);
         };
 
         // Ratio test (Bland tie-break on basis index for anti-cycling).
@@ -255,11 +283,11 @@ fn run_simplex(
             }
         }
         let Some(l) = leave else {
-            return Ok(SimplexEnd::Unbounded);
+            return (SimplexEnd::Unbounded, iter as u64);
         };
         pivot(tab, basis, l, e);
     }
-    Err(LpError::IterationLimit)
+    (SimplexEnd::Capped, max_iters as u64)
 }
 
 /// Gauss–Jordan pivot on `tab[row][col]`.

@@ -7,7 +7,7 @@
 //! vertex enumeration on top of this representation (see [`crate::polytope`]).
 
 use crate::hyperplane::Halfspace;
-use crate::lp::{LpBuilder, Rel};
+use crate::lp::{LpBuilder, LpError, LpOutcome, Rel};
 use crate::rectangle::Rectangle;
 use crate::sphere::Sphere;
 use isrl_linalg::vector;
@@ -109,6 +109,7 @@ impl Region {
     ///
     /// Returns `None` when even the closed region is empty.
     pub fn strict_margin(&self, extra: &[&Halfspace]) -> Option<f64> {
+        let _lp = isrl_obs::span("lp");
         let d = self.dim;
         // Variables: u[0..d] ≥ 0, x free (last). Only the margin rows
         // `normal·u − x ≥ 0` are added — with x free they subsume the plain
@@ -137,9 +138,17 @@ impl Region {
         let mut cap = vec![0.0; d + 1];
         cap[d] = 1.0;
         b = b.constraint(&cap, Rel::Le, 1.0);
-        match b.solve().expect("strict margin LP is well-formed") {
-            crate::lp::LpOutcome::Optimal(s) => Some(s.objective),
-            _ => None,
+        match b.solve() {
+            // A phase-2 cap still certifies feasibility of the incumbent
+            // margin (a lower bound on the optimum) — usable, and counted
+            // by the solver under `lp.cap_hits`.
+            Ok(LpOutcome::Optimal(s)) | Ok(LpOutcome::IterationCapped(s)) => Some(s.objective),
+            Ok(_) => None,
+            // Phase-1 cap: feasibility undetermined. Reported as "no
+            // certified margin" instead of the panic this used to be;
+            // counted under `lp.phase1_cap_hits`.
+            Err(LpError::IterationLimit) => None,
+            Err(LpError::ShapeMismatch) => unreachable!("strict margin LP is well-formed"),
         }
     }
 
@@ -169,6 +178,7 @@ impl Region {
     ///
     /// Returns `None` when the region is empty.
     pub fn inner_sphere(&self) -> Option<Sphere> {
+        let _lp = isrl_obs::span("lp");
         let d = self.dim;
         // Variables: center c[0..d] ≥ 0, radius r (free; optimum is ≥ 0 iff
         // feasible). As in `strict_margin`, the distance rows with a free
@@ -199,10 +209,15 @@ impl Region {
             row[d] = -1.0;
             b = b.constraint(&row, Rel::Ge, 0.0);
         }
-        let sol = b
-            .solve()
-            .expect("inner sphere LP is well-formed")
-            .optimal()?;
+        // A capped solve carries a feasible center with an achieved (if
+        // possibly sub-optimal) radius — still a valid inner sphere. A
+        // phase-1 cap leaves feasibility unknown: report "empty" rather
+        // than panic; both cases are counted by the solver.
+        let sol = match b.solve() {
+            Ok(out) => out.solution()?,
+            Err(LpError::IterationLimit) => return None,
+            Err(LpError::ShapeMismatch) => unreachable!("inner sphere LP is well-formed"),
+        };
         if sol.objective < -STRICT_TOL {
             return None;
         }
@@ -215,16 +230,32 @@ impl Region {
     ///
     /// Returns `None` when the region is empty.
     pub fn outer_rectangle(&self) -> Option<Rectangle> {
+        let _lp = isrl_obs::span("lp");
         let d = self.dim;
         let mut lo = vec![0.0; d];
         let mut hi = vec![0.0; d];
+        // A truncated extent LP (phase-2 cap or phase-1 cap) used to flow
+        // through `.ok()?.optimal()?` and read as "empty region" — silently
+        // terminating the interaction. Instead fall back to the trivial
+        // simplex facet bound for that coordinate: the rectangle stays a
+        // true enclosure of `R`, just looser, and the solver counts the cap.
         for i in 0..d {
             let mut obj = vec![0.0; d];
             obj[i] = 1.0;
-            let min = self.base_lp(&obj, false).solve().ok()?.optimal()?;
-            let max = self.base_lp(&obj, true).solve().ok()?.optimal()?;
-            lo[i] = min.objective.max(0.0);
-            hi[i] = max.objective.min(1.0);
+            lo[i] = match self.base_lp(&obj, false).solve() {
+                Ok(LpOutcome::Optimal(s)) => s.objective.max(0.0),
+                // Capped minimization: the incumbent only bounds the true
+                // minimum from above, so it cannot shrink the box.
+                Ok(LpOutcome::IterationCapped(_)) | Err(LpError::IterationLimit) => 0.0,
+                Ok(_) => return None,
+                Err(LpError::ShapeMismatch) => unreachable!("extent LP is well-formed"),
+            };
+            hi[i] = match self.base_lp(&obj, true).solve() {
+                Ok(LpOutcome::Optimal(s)) => s.objective.min(1.0),
+                Ok(LpOutcome::IterationCapped(_)) | Err(LpError::IterationLimit) => 1.0,
+                Ok(_) => return None,
+                Err(LpError::ShapeMismatch) => unreachable!("extent LP is well-formed"),
+            };
         }
         Some(Rectangle::new(lo, hi))
     }

@@ -16,7 +16,20 @@
 
 use crate::hyperplane::Halfspace;
 use crate::polytope::Polytope;
+use crate::rectangle::Rectangle;
 use crate::region::Region;
+use crate::sphere::Sphere;
+
+/// Lazily-computed per-round summaries, invalidated by every cut. The
+/// outer `Option` is "computed yet?"; the inner one is the answer (`None`
+/// = region empty). Caching these is what lets AA's state encoding and
+/// the diagnostics layer share one inner-sphere/rectangle solve per round
+/// instead of re-running the LPs at each consumer.
+#[derive(Debug, Clone, Default)]
+struct SummaryCache {
+    sphere: Option<Option<Sphere>>,
+    rect: Option<Option<Rectangle>>,
+}
 
 /// A region plus (optionally) its incrementally-maintained vertex set.
 #[derive(Debug, Clone)]
@@ -26,6 +39,7 @@ pub struct RegionGeometry {
     /// region collapses to (numerically) empty this stays `None`.
     polytope: Option<Polytope>,
     track_vertices: bool,
+    cache: SummaryCache,
 }
 
 impl RegionGeometry {
@@ -37,6 +51,7 @@ impl RegionGeometry {
             region,
             polytope,
             track_vertices: true,
+            cache: SummaryCache::default(),
         }
     }
 
@@ -48,6 +63,7 @@ impl RegionGeometry {
             region: Region::full(dim),
             polytope: None,
             track_vertices: false,
+            cache: SummaryCache::default(),
         }
     }
 
@@ -63,12 +79,14 @@ impl RegionGeometry {
             region,
             polytope,
             track_vertices,
+            cache: SummaryCache::default(),
         }
     }
 
     /// Narrows the region by one half-space, updating the vertex set
-    /// incrementally when tracking is on.
+    /// incrementally when tracking is on. Invalidates the summary cache.
     pub fn add(&mut self, h: Halfspace) {
+        let _span = isrl_obs::span("geom_update");
         if self.track_vertices {
             self.polytope = self
                 .polytope
@@ -76,6 +94,8 @@ impl RegionGeometry {
                 .and_then(|p| p.update(&self.region, &h));
         }
         self.region.add(h);
+        self.cache = SummaryCache::default();
+        isrl_obs::add("geom.cuts", 1);
     }
 
     /// The underlying region.
@@ -102,6 +122,72 @@ impl RegionGeometry {
     pub fn tracks_vertices(&self) -> bool {
         self.track_vertices
     }
+
+    /// Current vertex count, when tracking is on and the region is nonempty.
+    #[inline]
+    pub fn vertex_count(&self) -> Option<usize> {
+        self.polytope.as_ref().map(Polytope::n_vertices)
+    }
+
+    /// The region's inner sphere, computed at most once per cut (cached
+    /// until the next [`RegionGeometry::add`]). `None` when empty.
+    pub fn inner_sphere(&mut self) -> Option<Sphere> {
+        if self.cache.sphere.is_none() {
+            self.cache.sphere = Some(self.region.inner_sphere());
+        } else {
+            isrl_obs::add("geom.sphere_cache_hits", 1);
+        }
+        self.cache.sphere.clone().unwrap()
+    }
+
+    /// The region's outer rectangle, cached like the inner sphere. When the
+    /// vertex set is tracked the box comes for free from the vertices (a
+    /// linear extreme over a polytope is attained at a vertex, so the
+    /// bounding box *is* the outer rectangle); otherwise the `2d` extent
+    /// LPs run once per cut.
+    pub fn outer_rectangle(&mut self) -> Option<Rectangle> {
+        if self.cache.rect.is_none() {
+            let rect = match &self.polytope {
+                Some(p) => vertex_bounding_rectangle(p),
+                None => self.region.outer_rectangle(),
+            };
+            self.cache.rect = Some(rect);
+        } else {
+            isrl_obs::add("geom.rect_cache_hits", 1);
+        }
+        self.cache.rect.clone().unwrap()
+    }
+
+    /// A cheap volume proxy: the outer rectangle's volume. Starts at 1.0
+    /// on the full simplex (the unit box) and shrinks monotonically with
+    /// each informative cut — not the true simplex-relative volume the
+    /// Monte-Carlo estimator computes, but an always-available, exactly
+    /// reproducible progress measure for traces and diagnostics.
+    pub fn volume_proxy(&mut self) -> Option<f64> {
+        self.outer_rectangle().map(|r| {
+            r.min()
+                .iter()
+                .zip(r.max())
+                .map(|(lo, hi)| (hi - lo).max(0.0))
+                .product()
+        })
+    }
+}
+
+/// Axis-aligned bounding box of the polytope's vertices. `None` when the
+/// vertex set is empty (collapsed region).
+fn vertex_bounding_rectangle(p: &Polytope) -> Option<Rectangle> {
+    let vertices = p.vertices();
+    let first = vertices.first()?;
+    let mut lo = first.clone();
+    let mut hi = first.clone();
+    for v in &vertices[1..] {
+        for (i, &x) in v.iter().enumerate() {
+            lo[i] = lo[i].min(x);
+            hi[i] = hi[i].max(x);
+        }
+    }
+    Some(Rectangle::new(lo, hi))
 }
 
 #[cfg(test)]
@@ -158,6 +244,40 @@ mod tests {
         assert!(g.polytope().is_none());
         g.add(Halfspace::new(vec![1.0, 1.0]));
         assert!(g.polytope().is_none(), "no resurrection after collapse");
+    }
+
+    #[test]
+    fn cached_summaries_match_the_region_and_invalidate_on_add() {
+        let mut g = RegionGeometry::exact(3);
+        let mut plain = Region::full(3);
+        for h in [
+            Halfspace::new(vec![1.0, -1.0, 0.0]),
+            Halfspace::new(vec![0.0, 1.0, -0.7]),
+        ] {
+            g.add(h.clone());
+            plain.add(h);
+            // Vertex-derived rectangle equals the LP rectangle.
+            let cached = g.outer_rectangle().unwrap();
+            let lp = plain.outer_rectangle().unwrap();
+            for i in 0..3 {
+                assert!((cached.min()[i] - lp.min()[i]).abs() < 1e-7);
+                assert!((cached.max()[i] - lp.max()[i]).abs() < 1e-7);
+            }
+            // Second call returns the cached value unchanged.
+            assert_eq!(g.outer_rectangle().unwrap(), cached);
+            let sphere = g.inner_sphere().unwrap();
+            let direct = plain.inner_sphere().unwrap();
+            assert!((sphere.radius() - direct.radius()).abs() < 1e-9);
+        }
+        let proxy = g.volume_proxy().unwrap();
+        assert!(proxy > 0.0 && proxy < 1.0, "proxy {proxy}");
+    }
+
+    #[test]
+    fn summary_only_volume_proxy_starts_at_unit_box() {
+        let mut g = RegionGeometry::summary_only(4);
+        let v = g.volume_proxy().unwrap();
+        assert!((v - 1.0).abs() < 1e-7, "full simplex proxy {v}");
     }
 
     #[test]

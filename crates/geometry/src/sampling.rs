@@ -55,14 +55,21 @@ pub fn sample_region_rejection<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<Vec<f64>> {
     let mut out = Vec::with_capacity(count);
+    let mut proposals = 0u64;
     for _ in 0..budget {
         if out.len() >= count {
             break;
         }
+        proposals += 1;
         let u = sample_simplex(d, rng);
         if halfspaces.iter().all(|h| h.contains(&u, 0.0)) {
             out.push(u);
         }
+    }
+    isrl_obs::add("sampling.rejection_proposals", proposals);
+    isrl_obs::add("sampling.rejection_accepted", out.len() as u64);
+    if out.len() < count {
+        isrl_obs::add("sampling.rejection_exhausted", 1);
     }
     out
 }
@@ -126,8 +133,9 @@ pub fn hit_and_run<R: Rng + ?Sized>(
     let mut x = start.to_vec();
     let mut out = Vec::with_capacity(count);
     let mut steps_until_emit = thin; // burn-in
+    let mut stuck = 0u64;
 
-    let step = |x: &mut Vec<f64>, rng: &mut R| {
+    let mut step = |x: &mut Vec<f64>, rng: &mut R| {
         // Random direction in the Σ = 0 hyperplane.
         let mut dir: Vec<f64> = (0..d)
             .map(|_| {
@@ -140,6 +148,7 @@ pub fn hit_and_run<R: Rng + ?Sized>(
         dir.iter_mut().for_each(|v| *v -= mean);
         let norm = dir.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm < 1e-12 {
+            stuck += 1;
             return; // degenerate draw; try again next step
         }
         dir.iter_mut().for_each(|v| *v /= norm);
@@ -170,6 +179,7 @@ pub fn hit_and_run<R: Rng + ?Sized>(
             );
         }
         if !(t_lo.is_finite() && t_hi.is_finite()) || t_hi <= t_lo {
+            stuck += 1;
             return; // numerically stuck on the boundary; keep the point
         }
         let t = rng.gen_range(t_lo..=t_hi);
@@ -191,6 +201,8 @@ pub fn hit_and_run<R: Rng + ?Sized>(
             steps_until_emit = thin;
         }
     }
+    isrl_obs::add("sampling.hitrun_samples", out.len() as u64);
+    isrl_obs::add("sampling.hitrun_stuck", stuck);
     out
 }
 

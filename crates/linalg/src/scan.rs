@@ -57,6 +57,12 @@ pub fn top1_batch<U: AsRef<[f64]>>(utilities: &[U], points: &[f64], dim: usize) 
         utilities.len()
     ];
     let rows_per_block = block_rows(dim);
+    isrl_obs::add("scan.top1_calls", 1);
+    isrl_obs::add("scan.top1_utilities", utilities.len() as u64);
+    isrl_obs::add(
+        "scan.top1_blocks",
+        points.len().div_ceil(rows_per_block * dim) as u64,
+    );
     for (block_idx, block) in points.chunks(rows_per_block * dim).enumerate() {
         let base = block_idx * rows_per_block;
         for (u, b) in utilities.iter().zip(best.iter_mut()) {

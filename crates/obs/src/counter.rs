@@ -1,0 +1,84 @@
+//! Monotonic counters.
+//!
+//! A counter is a named `AtomicU64` in a global registry. The hot-path
+//! contract: [`add`] costs one relaxed atomic load when the sink is
+//! disabled; when enabled it takes the registry lock once per call, which
+//! instrumented code keeps off inner loops by accumulating locally and
+//! adding once per solve/scan/round.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A handle to one named counter; cheap to clone, usable from any thread.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` when the global sink is enabled; no-op otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one when the global sink is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Arc<AtomicU64>>> {
+    static REG: OnceLock<Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>> = OnceLock::new();
+    REG.get_or_init(Default::default)
+}
+
+/// Returns (registering on first use) the counter named `name`. Hot loops
+/// should hold on to the handle instead of re-resolving per event.
+pub fn counter(name: &'static str) -> Counter {
+    let mut reg = registry().lock().unwrap();
+    Counter(reg.entry(name).or_default().clone())
+}
+
+/// Adds `n` to the counter named `name`. Early-returns on the disabled
+/// sink before touching the registry lock.
+#[inline]
+pub fn add(name: &'static str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    counter(name).0.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Current value of the counter named `name` (0 if never registered).
+pub fn counter_value(name: &str) -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .get(name)
+        .map_or(0, |c| c.load(Ordering::Relaxed))
+}
+
+/// All counters and their values, sorted by name.
+pub(crate) fn snapshot_counters() -> Vec<(String, u64)> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Zeroes every registered counter.
+pub(crate) fn reset_counters() {
+    for c in registry().lock().unwrap().values() {
+        c.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,92 @@
+//! Structured events and the JSONL buffer.
+//!
+//! An [`Event`] is a named bag of JSON fields stamped with milliseconds
+//! since the recorder epoch. [`emit`] appends to a global buffer (bounded:
+//! past [`EVENT_CAP`] events are counted in `obs.events_dropped` instead
+//! of stored); [`crate::snapshot`] drains the buffer for serialization.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Hard cap on buffered events; a week-long sweep cannot OOM the sink.
+pub const EVENT_CAP: usize = 1 << 20;
+
+/// One structured telemetry event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event kind (`"round"`, `"episode"`, `"sweep_item"`, …).
+    pub name: &'static str,
+    /// Milliseconds since the recorder epoch (process start or last reset).
+    pub t_ms: f64,
+    /// Ordered fields.
+    pub fields: Vec<(&'static str, Json)>,
+}
+
+impl Event {
+    /// Starts an event stamped now. Build fields with [`Event::field`],
+    /// then [`emit`] it.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            t_ms: since_epoch_ms(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches one field (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<Json>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The JSONL object form: `{"ev": name, "t_ms": …, fields…}`.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::with_capacity(self.fields.len() + 2);
+        fields.push(("ev".to_string(), Json::from(self.name)));
+        fields.push(("t_ms".to_string(), Json::from(self.t_ms)));
+        for (k, v) in &self.fields {
+            fields.push((k.to_string(), v.clone()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+fn epoch() -> &'static Mutex<Instant> {
+    static EPOCH: OnceLock<Mutex<Instant>> = OnceLock::new();
+    EPOCH.get_or_init(|| Mutex::new(Instant::now()))
+}
+
+fn since_epoch_ms() -> f64 {
+    epoch().lock().unwrap().elapsed().as_secs_f64() * 1e3
+}
+
+pub(crate) fn reset_epoch() {
+    *epoch().lock().unwrap() = Instant::now();
+}
+
+fn buffer() -> &'static Mutex<Vec<Event>> {
+    static BUF: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+    BUF.get_or_init(Default::default)
+}
+
+/// Appends `e` to the event buffer when the sink is enabled. Dropped (and
+/// counted) past [`EVENT_CAP`].
+pub fn emit(e: Event) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut buf = buffer().lock().unwrap();
+    if buf.len() >= EVENT_CAP {
+        drop(buf);
+        crate::add("obs.events_dropped", 1);
+        return;
+    }
+    buf.push(e);
+}
+
+/// Removes and returns every buffered event.
+pub(crate) fn drain_events() -> Vec<Event> {
+    std::mem::take(&mut *buffer().lock().unwrap())
+}

@@ -1,0 +1,194 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! Buckets are powers of two: bucket `i` covers `[2^(MIN_EXP + i),
+//! 2^(MIN_EXP + i + 1))`. With `MIN_EXP = -30` and 56 buckets the grid
+//! spans ~1e-9 … ~6.7e7, ample for the quantities we record (DQN losses,
+//! acceptance ratios, millisecond timings). Bucket 0 additionally absorbs
+//! everything at or below the floor (including zero and negatives); the
+//! last bucket absorbs everything above the ceiling — recording never
+//! drops a value, it only saturates resolution.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// Number of power-of-two buckets per histogram.
+pub const N_BUCKETS: usize = 56;
+/// Exponent of the lowest bucket's lower edge: bucket 0 starts at `2^MIN_EXP`.
+pub const MIN_EXP: i32 = -30;
+
+/// Index of the bucket holding `v` (see the module docs for edge handling).
+pub fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || v.is_nan() {
+        return 0; // zero, negatives, NaN: underflow bucket
+    }
+    let e = v.log2().floor() as i64;
+    (e - MIN_EXP as i64).clamp(0, N_BUCKETS as i64 - 1) as usize
+}
+
+/// The `[lo, hi)` value range of bucket `i` (ignoring the saturating edges).
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    assert!(i < N_BUCKETS);
+    (
+        2f64.powi(MIN_EXP + i as i32),
+        2f64.powi(MIN_EXP + i as i32 + 1),
+    )
+}
+
+/// One histogram: bucket counts plus an exact running count/sum/max.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bits, updated by CAS.
+    sum_bits: AtomicU64,
+    /// `f64` bits of the running maximum, updated by CAS.
+    max_bits: AtomicU64,
+}
+
+fn cas_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            cas_f64(&self.sum_bits, |s| s + v);
+            cas_f64(&self.max_bits, |m| m.max(v));
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Aggregates the current state (racy reads are fine: telemetry).
+    pub fn summary(&self) -> HistSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let pct = |p: f64| -> f64 {
+            let total: u64 = counts.iter().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            let target = (p * total as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    let (lo, hi) = bucket_bounds(i);
+                    return (lo * hi).sqrt(); // geometric bucket midpoint
+                }
+            }
+            let (lo, hi) = bucket_bounds(N_BUCKETS - 1);
+            (lo * hi).sqrt()
+        };
+        HistSummary {
+            count,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: pct(0.50),
+            p90: pct(0.90),
+            max: if count == 0 { 0.0 } else { max },
+        }
+    }
+}
+
+/// The serialized view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact mean of the recorded values.
+    pub mean: f64,
+    /// Bucket-resolution median (geometric midpoint of the median bucket).
+    pub p50: f64,
+    /// Bucket-resolution 90th percentile.
+    pub p90: f64,
+    /// Exact maximum recorded value.
+    pub max: f64,
+}
+
+impl HistSummary {
+    /// JSON object form used inside summary events.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::from(self.count)),
+            ("mean".into(), Json::from(self.mean)),
+            ("p50".into(), Json::from(self.p50)),
+            ("p90".into(), Json::from(self.p90)),
+            ("max".into(), Json::from(self.max)),
+        ])
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Arc<Histogram>>> {
+    static REG: OnceLock<Mutex<BTreeMap<&'static str, Arc<Histogram>>>> = OnceLock::new();
+    REG.get_or_init(Default::default)
+}
+
+/// Returns (registering on first use) the histogram named `name`.
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    let mut reg = registry().lock().unwrap();
+    reg.entry(name)
+        .or_insert_with(|| Arc::new(Histogram::new()))
+        .clone()
+}
+
+/// Records `v` into the histogram named `name` when the sink is enabled.
+#[inline]
+pub fn record(name: &'static str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    histogram(name).record(v);
+}
+
+/// All histograms with at least one recorded value, sorted by name.
+pub(crate) fn snapshot_hists() -> Vec<(String, HistSummary)> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.summary()))
+        .filter(|(_, s)| s.count > 0)
+        .collect()
+}
+
+/// Clears every registered histogram.
+pub(crate) fn reset_hists() {
+    for h in registry().lock().unwrap().values() {
+        h.reset();
+    }
+}

@@ -1,0 +1,179 @@
+//! The documented trace schema (DESIGN.md §9) and its validator.
+//!
+//! A trace file is JSONL: one event object per line, ending with exactly
+//! one `summary` event. The validator is what `isrl trace-validate` and
+//! the CI smoke job run; it checks structural requirements per event kind
+//! and extracts the warning counters a healthy run must keep at zero.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Json};
+
+/// Counters that indicate silent degradation when nonzero: LP iteration
+/// caps (phase 1 or 2) and EA's vertex-mixture sampling fallback.
+pub const WARNING_COUNTERS: &[&str] = &["lp.cap_hits", "lp.phase1_cap_hits", "ea.sample_fallbacks"];
+
+/// Field requirement: name plus expected shape.
+enum Shape {
+    Num,
+    Str,
+    Obj,
+}
+
+fn check(obj: &Json, field: &str, shape: Shape) -> Result<(), String> {
+    let v = obj
+        .get(field)
+        .ok_or_else(|| format!("missing required field '{field}'"))?;
+    let ok = match shape {
+        Shape::Num => v.as_f64().is_some(),
+        Shape::Str => v.as_str().is_some(),
+        Shape::Obj => v.as_obj().is_some(),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("field '{field}' has the wrong type"))
+    }
+}
+
+/// Validates one JSONL line; returns the event kind on success.
+pub fn validate_line(line: &str) -> Result<String, String> {
+    let doc = parse(line)?;
+    if doc.as_obj().is_none() {
+        return Err("event line is not a JSON object".into());
+    }
+    let kind = doc
+        .get("ev")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'ev'")?
+        .to_string();
+    check(&doc, "t_ms", Shape::Num)?;
+    match kind.as_str() {
+        "round" => {
+            check(&doc, "algo", Shape::Str)?;
+            check(&doc, "round", Shape::Num)?;
+            check(&doc, "elapsed_ms", Shape::Num)?;
+        }
+        "episode" => {
+            check(&doc, "algo", Shape::Str)?;
+            check(&doc, "episode", Shape::Num)?;
+            check(&doc, "rounds", Shape::Num)?;
+            check(&doc, "epsilon", Shape::Num)?;
+            check(&doc, "replay_len", Shape::Num)?;
+        }
+        "sweep_item" => {
+            check(&doc, "cell", Shape::Str)?;
+            check(&doc, "algo", Shape::Str)?;
+            check(&doc, "user", Shape::Num)?;
+            check(&doc, "rounds", Shape::Num)?;
+            check(&doc, "secs", Shape::Num)?;
+        }
+        "summary" => {
+            check(&doc, "counters", Shape::Obj)?;
+            check(&doc, "spans", Shape::Obj)?;
+            check(&doc, "hists", Shape::Obj)?;
+        }
+        other => return Err(format!("unknown event kind '{other}'")),
+    }
+    Ok(kind)
+}
+
+/// What [`validate_trace`] learned about a whole trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Events per kind.
+    pub events: BTreeMap<String, usize>,
+    /// Warning counters present in the summary with nonzero values.
+    pub warnings: Vec<(String, u64)>,
+}
+
+/// Validates a whole JSONL trace: every line must pass [`validate_line`]
+/// and exactly one `summary` line must be present. Returns the per-kind
+/// event census and any nonzero warning counters from the summary.
+pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
+    let mut report = TraceReport::default();
+    let mut summaries = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let kind = validate_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if kind == "summary" {
+            summaries += 1;
+            let doc = parse(line).expect("validated above");
+            let counters = doc.get("counters").expect("validated above").to_num_map();
+            for &w in WARNING_COUNTERS {
+                if let Some(&v) = counters.get(w) {
+                    if v > 0.0 {
+                        report.warnings.push((w.to_string(), v as u64));
+                    }
+                }
+            }
+        }
+        *report.events.entry(kind).or_insert(0) += 1;
+    }
+    if summaries != 1 {
+        return Err(format!(
+            "expected exactly one summary event, found {summaries}"
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_documented_events() {
+        assert_eq!(
+            validate_line(
+                r#"{"ev":"round","t_ms":1.5,"algo":"EA","round":1,"elapsed_ms":0.3,"i":2,"j":7}"#
+            )
+            .unwrap(),
+            "round"
+        );
+        assert_eq!(
+            validate_line(
+                r#"{"ev":"episode","t_ms":9,"algo":"AA","episode":0,"rounds":4,"epsilon":0.9,"replay_len":12}"#
+            )
+            .unwrap(),
+            "episode"
+        );
+        assert_eq!(
+            validate_line(
+                r#"{"ev":"sweep_item","t_ms":1,"cell":"d4","algo":"EA","user":3,"rounds":5,"secs":0.01}"#
+            )
+            .unwrap(),
+            "sweep_item"
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_or_malformed_events() {
+        assert!(validate_line(r#"{"ev":"mystery","t_ms":0}"#).is_err());
+        assert!(validate_line(r#"{"t_ms":0}"#).is_err());
+        assert!(validate_line(r#"{"ev":"round","t_ms":0,"algo":"EA"}"#).is_err());
+        assert!(validate_line("not json").is_err());
+    }
+
+    #[test]
+    fn whole_trace_needs_one_summary_and_flags_warnings() {
+        let good = concat!(
+            r#"{"ev":"round","t_ms":0,"algo":"EA","round":1,"elapsed_ms":1}"#,
+            "\n",
+            r#"{"ev":"summary","t_ms":2,"counters":{"lp.pivots":9},"spans":{},"hists":{}}"#,
+            "\n"
+        );
+        let r = validate_trace(good).unwrap();
+        assert_eq!(r.events["round"], 1);
+        assert!(r.warnings.is_empty());
+
+        let warn =
+            r#"{"ev":"summary","t_ms":2,"counters":{"lp.cap_hits":3},"spans":{},"hists":{}}"#;
+        let r = validate_trace(warn).unwrap();
+        assert_eq!(r.warnings, vec![("lp.cap_hits".to_string(), 3)]);
+
+        assert!(validate_trace("").is_err(), "no summary event");
+    }
+}

@@ -1,0 +1,131 @@
+//! Hierarchical span timers.
+//!
+//! [`span`] returns an RAII guard; while any guard is live on a thread, its
+//! name sits on a thread-local stack, and the guard's drop attributes the
+//! elapsed time to the `/`-joined path of the stack at entry (so `"round"`
+//! inside `"episode"` aggregates as `"episode/round"`). Aggregation is
+//! per-path into a global registry.
+//!
+//! Cost model: when the global sink is disabled *and* no round scope is
+//! active on the thread, [`span`] is one atomic load plus one thread-local
+//! flag read — no clock call, no allocation. That is the fast path the
+//! `hotpath` bench guards.
+//!
+//! **Round scopes** exist so interactive sessions can fill
+//! `RoundTrace::phases` without going through the global sink: between
+//! [`round_begin`] and [`round_end`] every span finishing on the thread
+//! also adds its duration to a per-leaf-name accumulator, which
+//! [`round_end`] returns. This works even when the sink is disabled, so
+//! `--trace-out`-less traced runs still get per-phase wall time.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static ROUND: RefCell<Option<Vec<(&'static str, Duration)>>> = const { RefCell::new(None) };
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans on this path.
+    pub count: u64,
+    /// Total time across all of them.
+    pub total: Duration,
+    /// Longest single span.
+    pub max: Duration,
+}
+
+impl SpanStat {
+    fn add(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.max = self.max.max(d);
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static REG: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    REG.get_or_init(Default::default)
+}
+
+/// RAII guard created by [`span`]; records on drop.
+#[must_use = "a span guard times the scope it lives in"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+fn round_active() -> bool {
+    ROUND.with(|r| r.borrow().is_some())
+}
+
+/// Opens a span named `name`. Inert (no clock read) when the sink is
+/// disabled and no round scope is active on this thread.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() && !round_active() {
+        return SpanGuard { name, start: None };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur = start.elapsed();
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        if crate::enabled() {
+            registry().lock().unwrap().entry(path).or_default().add(dur);
+        }
+        ROUND.with(|r| {
+            if let Some(acc) = r.borrow_mut().as_mut() {
+                match acc.iter_mut().find(|(n, _)| *n == self.name) {
+                    Some(slot) => slot.1 += dur,
+                    None => acc.push((self.name, dur)),
+                }
+            }
+        });
+    }
+}
+
+/// Opens a round scope on this thread: until [`round_end`], finishing spans
+/// also accumulate into a per-leaf-name table. Nested round scopes are not
+/// supported; a second `round_begin` restarts the accumulator.
+pub fn round_begin() {
+    ROUND.with(|r| *r.borrow_mut() = Some(Vec::new()));
+}
+
+/// Closes the thread's round scope and returns `(leaf name, total)` pairs
+/// in first-seen order. Empty if no scope was open.
+pub fn round_end() -> Vec<(&'static str, Duration)> {
+    ROUND.with(|r| r.borrow_mut().take()).unwrap_or_default()
+}
+
+/// All span paths and their aggregated stats, sorted by path.
+pub(crate) fn snapshot_spans() -> Vec<(String, SpanStat)> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Clears the global span registry (thread-local scopes are unaffected).
+pub(crate) fn reset_spans() {
+    registry().lock().unwrap().clear();
+}

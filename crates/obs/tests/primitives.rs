@@ -1,0 +1,195 @@
+//! Integration tests for the telemetry primitives.
+//!
+//! The sink is global, so every test takes one shared lock and calls
+//! `obs::reset()` on entry — the cases can run under the default parallel
+//! test harness without observing each other's data.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(Default::default)
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    isrl_obs::set_enabled(false);
+    isrl_obs::reset();
+    guard
+}
+
+#[test]
+fn spans_nest_into_slash_paths_across_threads() {
+    let _g = sink_lock();
+    isrl_obs::set_enabled(true);
+
+    let worker = || {
+        let _outer = isrl_obs::span("episode");
+        for _ in 0..3 {
+            let _inner = isrl_obs::span("round");
+            std::hint::black_box(());
+        }
+    };
+    let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(worker)).collect();
+    worker();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = isrl_obs::snapshot();
+    let stat = |path: &str| {
+        snap.spans
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| panic!("span path '{path}' missing from {:?}", snap.spans))
+    };
+    // 5 workers (4 threads + the main thread), each: 1 episode, 3 rounds.
+    assert_eq!(stat("episode").count, 5);
+    assert_eq!(stat("episode/round").count, 15);
+    // The nested path exists instead of a flat "round" path.
+    assert!(!snap.spans.iter().any(|(p, _)| p == "round"));
+    // Parent spans cover their children.
+    assert!(stat("episode").total >= stat("episode/round").total);
+}
+
+#[test]
+fn round_scope_collects_phase_durations_even_when_sink_disabled() {
+    let _g = sink_lock();
+    assert!(!isrl_obs::enabled());
+
+    isrl_obs::round_begin();
+    {
+        let _a = isrl_obs::span("lp");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    {
+        let _b = isrl_obs::span("lp");
+    }
+    {
+        let _c = isrl_obs::span("top1");
+    }
+    let phases = isrl_obs::round_end();
+    let names: Vec<&str> = phases.iter().map(|(n, _)| *n).collect();
+    assert_eq!(names, vec!["lp", "top1"], "leaf names in first-seen order");
+    assert!(phases[0].1 >= Duration::from_millis(1));
+
+    // With the sink disabled nothing reached the global registry.
+    assert!(isrl_obs::snapshot().spans.is_empty());
+    // And a second round_end without a begin is empty, not stale.
+    assert!(isrl_obs::round_end().is_empty());
+}
+
+#[test]
+fn histogram_bucket_edges_are_powers_of_two() {
+    let _g = sink_lock();
+
+    // Exact powers of two land in their own bucket; the values just below
+    // land one bucket down.
+    let b1 = isrl_obs::bucket_index(1.0);
+    assert_eq!(isrl_obs::bucket_index(2.0), b1 + 1);
+    assert_eq!(isrl_obs::bucket_index(1.999_999), b1);
+    assert_eq!(isrl_obs::bucket_index(0.999_999), b1 - 1);
+    let (lo, hi) = isrl_obs::bucket_bounds(b1);
+    assert_eq!(lo, 1.0);
+    assert_eq!(hi, 2.0);
+
+    // Saturating edges: zero/negative/NaN underflow to bucket 0, huge
+    // values clamp to the last bucket.
+    assert_eq!(isrl_obs::bucket_index(0.0), 0);
+    assert_eq!(isrl_obs::bucket_index(-5.0), 0);
+    assert_eq!(isrl_obs::bucket_index(f64::NAN), 0);
+    assert_eq!(isrl_obs::bucket_index(1e300), isrl_obs::N_BUCKETS - 1);
+    assert_eq!(isrl_obs::bucket_index(1e-300), 0);
+
+    // Recorded summaries: exact count/mean/max, bucket-resolution median.
+    isrl_obs::set_enabled(true);
+    for v in [0.5, 1.5, 1.6, 100.0] {
+        isrl_obs::record("t.hist", v);
+    }
+    let snap = isrl_obs::snapshot();
+    let (_, h) = snap.hists.iter().find(|(k, _)| k == "t.hist").unwrap();
+    assert_eq!(h.count, 4);
+    assert!((h.mean - 25.9).abs() < 1e-9);
+    assert_eq!(h.max, 100.0);
+    assert!(
+        h.p50 >= 1.0 && h.p50 < 2.0,
+        "median bucket is [1,2): {}",
+        h.p50
+    );
+}
+
+#[test]
+fn disabled_sink_records_nothing_and_stays_cheap() {
+    let _g = sink_lock();
+    assert!(!isrl_obs::enabled());
+
+    let c = isrl_obs::counter("t.disabled");
+    c.add(7);
+    isrl_obs::add("t.disabled", 3);
+    isrl_obs::record("t.disabled_hist", 1.0);
+    isrl_obs::emit(isrl_obs::Event::new("round").field("round", 1usize));
+    {
+        let _s = isrl_obs::span("t.disabled_span");
+    }
+    let snap = isrl_obs::snapshot();
+    assert_eq!(isrl_obs::counter_value("t.disabled"), 0);
+    assert!(snap.hists.is_empty());
+    assert!(snap.spans.is_empty());
+    assert!(snap.events.is_empty());
+
+    // Fast-path sanity: a disabled counter bump plus a disabled span must
+    // be orders of magnitude below a syscall — bound it loosely so the
+    // test never flakes, while still catching an accidental clock read or
+    // lock on the disabled path.
+    let iters = 100_000u32;
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        c.add(1);
+        let _s = isrl_obs::span("t.fast");
+        std::hint::black_box(&c);
+    }
+    let per_op = t.elapsed().as_nanos() as f64 / iters as f64;
+    assert!(per_op < 1_000.0, "disabled-path op took {per_op} ns");
+}
+
+#[test]
+fn events_serialize_as_schema_valid_jsonl() {
+    let _g = sink_lock();
+    isrl_obs::set_enabled(true);
+
+    isrl_obs::add("lp.pivots", 12);
+    isrl_obs::emit(
+        isrl_obs::Event::new("round")
+            .field("algo", "EA")
+            .field("round", 1usize)
+            .field("elapsed_ms", 0.25)
+            .field("cut", &[0.5, -0.5][..]),
+    );
+    isrl_obs::emit(
+        isrl_obs::Event::new("episode")
+            .field("algo", "EA")
+            .field("episode", 0usize)
+            .field("rounds", 4usize)
+            .field("epsilon", 0.9)
+            .field("replay_len", 16usize),
+    );
+
+    let snap = isrl_obs::snapshot();
+    let mut buf = Vec::new();
+    snap.write_jsonl(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let report = isrl_obs::schema::validate_trace(&text).expect("schema-valid JSONL");
+    assert_eq!(report.events.get("round"), Some(&1));
+    assert_eq!(report.events.get("episode"), Some(&1));
+    assert_eq!(report.events.get("summary"), Some(&1));
+    assert!(report.warnings.is_empty());
+
+    // A second snapshot has no events left (drained) but keeps aggregates.
+    let again = isrl_obs::snapshot();
+    assert!(again.events.is_empty());
+    assert!(again
+        .counters
+        .iter()
+        .any(|(k, v)| k == "lp.pivots" && *v == 12));
+}

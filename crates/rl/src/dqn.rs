@@ -193,6 +193,8 @@ impl Dqn {
         if self.replay.len() < self.cfg.batch_size {
             return None;
         }
+        let _span = isrl_obs::span("dqn_train");
+        isrl_obs::add("dqn.train_steps", 1);
         // Sample indices first so the borrow of replay ends before training.
         let batch: Vec<Transition> = self
             .replay
@@ -236,8 +238,11 @@ impl Dqn {
         self.updates += 1;
         if self.updates % self.cfg.target_sync_every == 0 {
             self.target.copy_params_from(&self.q);
+            isrl_obs::add("dqn.target_syncs", 1);
         }
-        Some(loss_acc / batch.len() as f64)
+        let loss = loss_acc / batch.len() as f64;
+        isrl_obs::record("dqn.loss", loss);
+        Some(loss)
     }
 
     /// Forces a target-network sync (used at the end of training).
