@@ -1,0 +1,85 @@
+//! Warm-started vs cold LP solving on AA's actual per-round workload:
+//! replaying a cut sequence and recomputing the region summaries (inner
+//! sphere, outer rectangle) plus a batch of candidate cut tests after
+//! every cut — once through a carried [`RegionLpCache`], once cold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isrl_geometry::{Halfspace, Region, RegionLpCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A cut sequence keeping the barycenter feasible, plus probe hyperplanes
+/// standing in for the candidate cut tests of each round.
+fn workload(d: usize, cuts: usize, probes: usize, seed: u64) -> (Vec<Halfspace>, Vec<Halfspace>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bary = vec![1.0 / d as f64; d];
+    let mut seq = Vec::with_capacity(cuts);
+    while seq.len() < cuts {
+        let a: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let b: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        if let Some(h) = Halfspace::preferring(&a, &b) {
+            seq.push(if h.contains(&bary, 0.0) {
+                h
+            } else {
+                h.flipped()
+            });
+        }
+    }
+    let probe_set = (0..probes)
+        .map(|_| {
+            let v: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            Halfspace::new(v)
+        })
+        .collect();
+    (seq, probe_set)
+}
+
+/// One interactive episode's LP bill, cold: every summary and cut test
+/// solved from scratch.
+fn replay_cold(d: usize, seq: &[Halfspace], probes: &[Halfspace]) {
+    let mut region = Region::full(d);
+    for h in seq {
+        region.add(h.clone());
+        black_box(region.inner_sphere());
+        black_box(region.outer_rectangle());
+        for p in probes {
+            black_box(region.is_cut_by(p));
+        }
+    }
+}
+
+/// The same bill through a carried basis cache.
+fn replay_warm(d: usize, seq: &[Halfspace], probes: &[Halfspace]) {
+    let mut region = Region::full(d);
+    let mut cache = RegionLpCache::new();
+    for h in seq {
+        region.add(h.clone());
+        black_box(region.inner_sphere_with(&mut cache));
+        black_box(region.outer_rectangle_with(&mut cache));
+        for p in probes {
+            black_box(region.is_cut_by_with(p, &mut cache));
+        }
+    }
+}
+
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_warm_vs_cold");
+    for (d, cuts) in [(4usize, 15usize), (8, 15), (20, 15)] {
+        let (seq, probes) = workload(d, cuts, 6, 1);
+        g.bench_with_input(
+            BenchmarkId::new("cold", format!("d{d}_H{cuts}")),
+            &(d, &seq, &probes),
+            |b, (d, seq, probes)| b.iter(|| replay_cold(*d, seq, probes)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("warm", format!("d{d}_H{cuts}")),
+            &(d, &seq, &probes),
+            |b, (d, seq, probes)| b.iter(|| replay_warm(*d, seq, probes)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_warm_vs_cold);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Emits `BENCH_lp_warm.json`: warm-started vs cold LP solving on AA's
+//! per-round workload — replaying a seeded cut sequence and recomputing
+//! the region summaries (inner sphere, outer rectangle) plus a batch of
+//! candidate cut tests after every cut, once through a carried
+//! [`RegionLpCache`] and once cold.
+//!
+//! Besides the timing ratio, the sweep replays both paths side by side and
+//! counts *divergences* (summary or verdict mismatches beyond 1e-9); the
+//! artifact must report zero. Warm-path telemetry (`lp.warm.*` hit/fallback
+//! counters) is captured for the same sweep so the hit rate is on record.
+//!
+//! Usage: `cargo run -p isrl-bench --release --bin lp_warm [-- out.json]`
+//! (run from the repository root so the artifact lands next to ROADMAP.md).
+
+use isrl_bench::report::{f2, Table};
+use isrl_geometry::{Halfspace, Region, RegionLpCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// A cut sequence keeping the barycenter feasible, plus probe hyperplanes
+/// standing in for the candidate cut tests of each round.
+fn workload(d: usize, cuts: usize, probes: usize, seed: u64) -> (Vec<Halfspace>, Vec<Halfspace>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bary = vec![1.0 / d as f64; d];
+    let mut seq = Vec::with_capacity(cuts);
+    while seq.len() < cuts {
+        let a: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let b: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        if let Some(h) = Halfspace::preferring(&a, &b) {
+            seq.push(if h.contains(&bary, 0.0) {
+                h
+            } else {
+                h.flipped()
+            });
+        }
+    }
+    let probe_set = (0..probes)
+        .map(|_| {
+            let v: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            Halfspace::new(v)
+        })
+        .collect();
+    (seq, probe_set)
+}
+
+fn replay_cold(d: usize, seq: &[Halfspace], probes: &[Halfspace]) {
+    let mut region = Region::full(d);
+    for h in seq {
+        region.add(h.clone());
+        black_box(region.inner_sphere());
+        black_box(region.outer_rectangle());
+        for p in probes {
+            black_box(region.is_cut_by(p));
+        }
+    }
+}
+
+fn replay_warm(d: usize, seq: &[Halfspace], probes: &[Halfspace]) {
+    let mut region = Region::full(d);
+    let mut cache = RegionLpCache::new();
+    for h in seq {
+        region.add(h.clone());
+        black_box(region.inner_sphere_with(&mut cache));
+        black_box(region.outer_rectangle_with(&mut cache));
+        for p in probes {
+            black_box(region.is_cut_by_with(p, &mut cache));
+        }
+    }
+}
+
+/// Replays both paths in lockstep and counts summary/verdict mismatches.
+fn count_divergences(d: usize, seq: &[Halfspace], probes: &[Halfspace]) -> usize {
+    const TOL: f64 = 1e-9;
+    let mut region = Region::full(d);
+    let mut cache = RegionLpCache::new();
+    let mut divergences = 0usize;
+    for h in seq {
+        region.add(h.clone());
+        match (region.inner_sphere(), region.inner_sphere_with(&mut cache)) {
+            (Some(c), Some(w)) => {
+                if (c.radius() - w.radius()).abs() > TOL * c.radius().abs().max(1.0) {
+                    divergences += 1;
+                }
+            }
+            (None, None) => {}
+            _ => divergences += 1,
+        }
+        match (
+            region.outer_rectangle(),
+            region.outer_rectangle_with(&mut cache),
+        ) {
+            (Some(c), Some(w)) => {
+                let off = |a: &[f64], b: &[f64]| a.iter().zip(b).any(|(x, y)| (x - y).abs() > TOL);
+                if off(c.min(), w.min()) || off(c.max(), w.max()) {
+                    divergences += 1;
+                }
+            }
+            (None, None) => {}
+            _ => divergences += 1,
+        }
+        for p in probes {
+            if region.is_cut_by(p) != region.is_cut_by_with(p, &mut cache) {
+                divergences += 1;
+            }
+        }
+    }
+    divergences
+}
+
+/// Mean milliseconds per call of `f` over `iters` calls.
+fn time_ms<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_lp_warm.json"));
+    let mut table = Table::new(
+        "lp_warm",
+        "Warm-started vs cold LP solving on the per-round geometry workload",
+        &[
+            "d",
+            "cuts",
+            "probes",
+            "cold_ms",
+            "warm_ms",
+            "speedup",
+            "divergences",
+        ],
+    );
+
+    let configs = [(4usize, 15usize), (8, 15), (12, 15), (20, 15)];
+    let probes = 6usize;
+    let mut total_divergences = 0usize;
+    for (d, cuts) in configs {
+        let (seq, probe_set) = workload(d, cuts, probes, 1);
+        let divergences = count_divergences(d, &seq, &probe_set);
+        total_divergences += divergences;
+        let iters = if d >= 12 { 20 } else { 60 };
+        // Interleave a warm-up of each path before timing it.
+        replay_cold(d, &seq, &probe_set);
+        let cold_ms = time_ms(iters, || replay_cold(d, &seq, &probe_set));
+        replay_warm(d, &seq, &probe_set);
+        let warm_ms = time_ms(iters, || replay_warm(d, &seq, &probe_set));
+        eprintln!(
+            "d={d} cuts={cuts}: cold {cold_ms:.3} ms, warm {warm_ms:.3} ms, \
+             speedup {:.2}, divergences {divergences}",
+            cold_ms / warm_ms
+        );
+        table.push_row(vec![
+            d.to_string(),
+            cuts.to_string(),
+            probes.to_string(),
+            format!("{cold_ms:.4}"),
+            format!("{warm_ms:.4}"),
+            f2(cold_ms / warm_ms),
+            divergences.to_string(),
+        ]);
+    }
+
+    // Warm-path telemetry over one representative sweep: how often the
+    // carried basis survives vs falls back to the cold path.
+    isrl_obs::set_enabled(true);
+    isrl_obs::reset();
+    for (d, cuts) in configs {
+        let (seq, probe_set) = workload(d, cuts, probes, 1);
+        replay_warm(d, &seq, &probe_set);
+    }
+    let snap = isrl_obs::snapshot();
+    isrl_obs::set_enabled(false);
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let (attempts, hits, fallbacks) = (
+        counter("lp.warm.attempts"),
+        counter("lp.warm.hits"),
+        counter("lp.warm.fallbacks"),
+    );
+    let counters_json = format!(
+        "{{\"lp.warm.attempts\": {attempts}, \"lp.warm.hits\": {hits}, \
+         \"lp.warm.fallbacks\": {fallbacks}, \"lp.warm.repair_pivots\": {}, \
+         \"lp.warm.refactor_pivots\": {}, \"hit_rate\": {:.4}}}",
+        counter("lp.warm.repair_pivots"),
+        counter("lp.warm.refactor_pivots"),
+        if attempts == 0 {
+            0.0
+        } else {
+            hits as f64 / attempts as f64
+        },
+    );
+
+    let combined = format!(
+        "{{\n\"lp_warm\": {},\n\"warm_counters\": {},\n\"total_divergences\": {}\n}}\n",
+        table.to_json().trim_end(),
+        counters_json,
+        total_divergences
+    );
+    std::fs::write(&out, combined).expect("writing the lp_warm artifact");
+    println!("{}", table.render());
+    println!("warm counters: attempts={attempts} hits={hits} fallbacks={fallbacks}");
+    println!("wrote {}", out.display());
+    assert_eq!(
+        total_divergences, 0,
+        "warm and cold LP paths disagreed {total_divergences} times"
+    );
+}

@@ -73,6 +73,13 @@ impl Args {
         self.flags.contains_key(flag)
     }
 
+    /// `true` iff `--help` was supplied. Checked before command dispatch so
+    /// `isrl <command> --help` prints usage instead of tripping the
+    /// unknown-flag rejection in [`Args::ensure_known`].
+    pub fn wants_help(&self) -> bool {
+        self.has("help")
+    }
+
     /// Required string flag.
     pub fn required(&self, flag: &'static str) -> Result<&str, ArgError> {
         self.get(flag)
@@ -147,6 +154,13 @@ mod tests {
         assert_eq!(a.required("ok").unwrap(), "fine");
         assert_eq!(a.required("empty"), Err(ArgError::Missing("empty")));
         assert_eq!(a.required("absent"), Err(ArgError::Missing("absent")));
+    }
+
+    #[test]
+    fn help_is_detected_anywhere_in_the_flags() {
+        assert!(parse("train --help").wants_help());
+        assert!(parse("eval --builtin car --help").wants_help());
+        assert!(!parse("train --out m.ckpt").wants_help());
     }
 
     #[test]

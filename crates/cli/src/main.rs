@@ -48,6 +48,77 @@ TELEMETRY:
   --metrics           print counter/span/histogram aggregates to stderr
 ";
 
+/// Shared dataset-selection flags, accepted by every command that loads data.
+const DATASET_FLAGS: &str = "\
+  --builtin <name>       car | player | anti:<n>x<d> | corr:<n>x<d> | indep:<n>x<d>
+  --data <file.csv>      load a CSV instead of a builtin
+  --smaller <c1,c2>      CSV columns where smaller is better
+  --no-skyline           keep dominated tuples
+  --seed <N>             dataset / simulation seed
+";
+
+/// Shared telemetry flags (`train` and `eval`).
+const TELEMETRY_FLAGS: &str = "\
+  --trace-out <file>     stream per-round / per-episode events as JSONL
+                         (one event per line, trailing summary line)
+  --metrics              print counter/span/histogram aggregates to stderr
+";
+
+/// Per-subcommand usage text for `isrl <command> --help`.
+fn command_help(command: &str) -> Option<String> {
+    let (summary, flags) = match command {
+        "generate" => (
+            "write a dataset as CSV",
+            format!("{DATASET_FLAGS}  --out <file.csv>       output path (required)\n"),
+        ),
+        "train" => (
+            "train an RL agent and save a checkpoint",
+            format!(
+                "{DATASET_FLAGS}\
+  --algo ea|aa           algorithm to train (default ea)
+  --eps <x>              stop-condition threshold (default 0.1)
+  --episodes <N>         training episodes (default 200)
+  --out <model.ckpt>     checkpoint output path (required)
+{TELEMETRY_FLAGS}"
+            ),
+        ),
+        "eval" => (
+            "evaluate a checkpoint or baseline over simulated users",
+            format!(
+                "{DATASET_FLAGS}\
+  --model <model.ckpt>   trained agent to evaluate, or:
+  --baseline <name>      uh-random | uh-simplex | single-pass | utility-approx
+  --eps <x>              stop-condition threshold (default 0.1)
+  --users <N>            simulated users (default 30)
+  --noise <x>            answer-flip probability (default 0.0)
+{TELEMETRY_FLAGS}"
+            ),
+        ),
+        "serve" => (
+            "interview a human on stdin with a trained agent",
+            format!(
+                "{DATASET_FLAGS}\
+  --model <model.ckpt>   trained agent to serve (required)
+  --eps <x>              stop-condition threshold (default 0.1)\n"
+            ),
+        ),
+        "inspect" => (
+            "summarize a checkpoint",
+            "  --model <model.ckpt>   checkpoint to describe (required)\n".to_string(),
+        ),
+        "trace-validate" => (
+            "check a --trace-out file against the event schema",
+            "  <file.jsonl>           trace to validate (positional); exits
+                         nonzero on malformed lines or warning counters\n"
+                .to_string(),
+        ),
+        _ => return None,
+    };
+    Some(format!(
+        "isrl {command} — {summary}\n\nUSAGE: isrl {command} [flags]\n\nFLAGS:\n{flags}"
+    ))
+}
+
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
@@ -56,6 +127,18 @@ fn main() {
     }
     let command = raw.remove(0);
     let args = Args::parse(raw);
+    if args.wants_help() {
+        match command_help(&command) {
+            Some(text) => {
+                print!("{text}");
+                std::process::exit(0);
+            }
+            None => {
+                eprintln!("unknown command {command:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     let result = match command.as_str() {
         "generate" => commands::generate(&args),
         "train" => commands::train(&args),

@@ -1,0 +1,82 @@
+//! Smoke test: every subcommand's `--help` must parse, exit zero, and
+//! document its flags — including the `--trace-out` telemetry flag whose
+//! help text went missing in an earlier refactor. Runs the real binary via
+//! `CARGO_BIN_EXE_isrl`, so this also covers arg parsing end to end.
+
+use std::process::Command;
+
+const SUBCOMMANDS: &[&str] = &[
+    "generate",
+    "train",
+    "eval",
+    "serve",
+    "inspect",
+    "trace-validate",
+];
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_isrl"))
+        .args(args)
+        .output()
+        .expect("failed to spawn isrl")
+}
+
+#[test]
+fn every_subcommand_help_exits_zero_with_usage() {
+    for cmd in SUBCOMMANDS {
+        let out = run(&[cmd, "--help"]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            out.status.success(),
+            "`isrl {cmd} --help` failed ({:?}): {stderr}",
+            out.status.code()
+        );
+        assert!(
+            stdout.contains(&format!("isrl {cmd}")),
+            "`isrl {cmd} --help` does not name the command:\n{stdout}"
+        );
+        assert!(
+            stdout.contains("USAGE:"),
+            "`isrl {cmd} --help` has no usage section:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn help_works_with_other_flags_present() {
+    // `--help` must win even when mixed with otherwise-valid flags, instead
+    // of the command running (or rejecting the combination).
+    let out = run(&["eval", "--builtin", "car", "--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("isrl eval"));
+}
+
+#[test]
+fn train_and_eval_help_document_trace_out() {
+    for cmd in ["train", "eval"] {
+        let out = run(&[cmd, "--help"]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("--trace-out"),
+            "`isrl {cmd} --help` lost the --trace-out help text:\n{stdout}"
+        );
+        assert!(stdout.contains("--metrics"));
+    }
+}
+
+#[test]
+fn top_level_help_lists_every_subcommand() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    for cmd in SUBCOMMANDS {
+        assert!(text.contains(cmd), "top-level help omits {cmd}:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_command_help_still_errors() {
+    let out = run(&["frobnicate", "--help"]);
+    assert!(!out.status.success());
+}

@@ -14,7 +14,7 @@
 
 use crate::interaction::Question;
 use isrl_data::Dataset;
-use isrl_geometry::{Halfspace, Region};
+use isrl_geometry::{Halfspace, Region, RegionLpCache};
 use rand::Rng;
 
 /// Tuning knobs for [`candidate_pairs`].
@@ -55,6 +55,11 @@ impl Default for PairGenConfig {
 /// pool on one side almost certainly fails the LP cut test, so the LP is
 /// never run for it. This keeps the per-round LP count near `2·m_h` even
 /// in high dimension.
+///
+/// `lp_cache`, when supplied, warm-starts the per-candidate cut-test LPs
+/// from one candidate to the next (and across rounds) — the problems
+/// differ by a single tail row, so the carried basis usually survives with
+/// a pivot or two of repair.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's question-generation inputs
 pub fn candidate_pairs<R: Rng + ?Sized>(
     data: &Dataset,
@@ -65,6 +70,7 @@ pub fn candidate_pairs<R: Rng + ?Sized>(
     pool: &[Vec<f64>],
     cfg: PairGenConfig,
     rng: &mut R,
+    mut lp_cache: Option<&mut RegionLpCache>,
 ) -> Vec<Question> {
     let n = data.len();
     if n < 2 || m_h == 0 {
@@ -158,7 +164,11 @@ pub fn candidate_pairs<R: Rng + ?Sized>(
             continue;
         }
         lp_budget -= 1;
-        if region.is_cut_by(&h) {
+        let cuts = match lp_cache.as_deref_mut() {
+            Some(cache) => region.is_cut_by_with(&h, cache),
+            None => region.is_cut_by(&h),
+        };
+        if cuts {
             out.push(Question { i: a, j: b });
         }
     }
@@ -211,6 +221,7 @@ mod tests {
             &[],
             PairGenConfig::default(),
             &mut rng,
+            None,
         );
         assert!(!qs.is_empty());
         for q in &qs {
@@ -234,6 +245,7 @@ mod tests {
             &[],
             PairGenConfig::default(),
             &mut rng,
+            None,
         );
         assert!(qs.len() <= 2);
         let asked: Vec<(usize, usize)> = qs.iter().map(|q| (q.i.min(q.j), q.i.max(q.j))).collect();
@@ -246,6 +258,7 @@ mod tests {
             &[],
             PairGenConfig::default(),
             &mut rng,
+            None,
         );
         for q in &qs2 {
             assert!(
@@ -272,6 +285,7 @@ mod tests {
             &[],
             PairGenConfig::default(),
             &mut rng,
+            None,
         );
         let mut all: Vec<f64> = Vec::new();
         for a in 0..data.len() {
@@ -312,6 +326,7 @@ mod tests {
             &[],
             PairGenConfig::default(),
             &mut rng,
+            None,
         );
         for q in &qs {
             let h = Halfspace::preferring(data.point(q.i), data.point(q.j)).unwrap();
@@ -332,7 +347,8 @@ mod tests {
             &[],
             &[],
             PairGenConfig::default(),
-            &mut rng
+            &mut rng,
+            None
         )
         .is_empty());
     }

@@ -60,6 +60,11 @@ pub struct AaConfig {
     pub epsilon: EpsilonSchedule,
     /// RNG seed.
     pub seed: u64,
+    /// Warm-start the per-round geometry LPs from the previous round's
+    /// simplex bases (on by default). Purely a speed knob: the warm solver
+    /// repairs or discards stale bases, so outcomes are identical either
+    /// way — the differential shadow tests flip this to prove it.
+    pub warm_lp: bool,
 }
 
 impl AaConfig {
@@ -79,6 +84,7 @@ impl AaConfig {
             use_adam: false,
             epsilon: EpsilonSchedule::paper_default(),
             seed: 0,
+            warm_lp: true,
         }
     }
 
@@ -207,6 +213,7 @@ impl AaAgent {
                 &mut self.rng,
             )
         };
+        let (region, lp_cache) = geom.region_and_lp_cache();
         let questions = candidate_pairs(
             data,
             region,
@@ -216,6 +223,7 @@ impl AaAgent {
             &pool,
             self.cfg.pair_gen,
             &mut self.rng,
+            lp_cache,
         );
         let action_feats = questions
             .iter()
@@ -244,6 +252,7 @@ impl AaAgent {
         let sw = Stopwatch::start();
         // AA never materializes vertices; `summary_only` keeps cuts O(1).
         let mut geom = RegionGeometry::summary_only(self.dim);
+        geom.set_warm_lp(self.cfg.warm_lp);
         let mut asked: Vec<(usize, usize)> = Vec::new();
         let mut trace: Vec<RoundTrace> = Vec::new();
         let mut rounds = 0usize;

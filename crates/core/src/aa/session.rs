@@ -37,6 +37,7 @@ impl AaAgent {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
         let mut geom = RegionGeometry::summary_only(self.dim);
+        geom.set_warm_lp(self.cfg.warm_lp);
         let asked = Vec::new();
         let obs = self
             .observe(data, &mut geom, eps, &asked)

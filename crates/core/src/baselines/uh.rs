@@ -16,7 +16,7 @@ use crate::interaction::{
 use crate::telemetry::emit_round_event;
 use crate::user::User;
 use isrl_data::Dataset;
-use isrl_geometry::{sampling, Halfspace, Polytope, Region};
+use isrl_geometry::{sampling, Halfspace, Polytope, Region, RegionLpCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,6 +38,12 @@ pub struct UhConfig {
     pub max_rounds: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Per-round budget of warm-started cut-test LPs spent screening
+    /// candidate questions for ones whose hyperplane still cuts the
+    /// region (0 disables the screen). A pair that fails the screen can
+    /// still be asked — the original selection is the fallback — so this
+    /// only steers the baselines away from wasted questions.
+    pub cut_lp_checks: usize,
 }
 
 impl Default for UhConfig {
@@ -46,6 +52,7 @@ impl Default for UhConfig {
             n_samples: 100,
             max_rounds: 150,
             seed: 0,
+            cut_lp_checks: 8,
         }
     }
 }
@@ -114,9 +121,29 @@ impl UhBaseline {
         terminal_points(data, samples.iter())
     }
 
+    /// `true` when the pair's hyperplane provably cuts the region, `None`
+    /// when the screen is disabled / budget exhausted / pair degenerate.
+    fn screen_cut(
+        data: &Dataset,
+        region: &Region,
+        lp: &mut RegionLpCache,
+        budget: &mut usize,
+        a: usize,
+        b: usize,
+    ) -> Option<bool> {
+        if *budget == 0 {
+            return None;
+        }
+        let h = Halfspace::preferring(data.point(a), data.point(b))?;
+        *budget -= 1;
+        Some(region.is_cut_by_with(&h, lp))
+    }
+
     fn select_question(
         &mut self,
         data: &Dataset,
+        region: &Region,
+        lp: &mut RegionLpCache,
         candidates: &[usize],
         centroid: &[f64],
         asked: &[(usize, usize)],
@@ -124,6 +151,13 @@ impl UhBaseline {
         if candidates.len() < 2 {
             return None;
         }
+        // Both strategies first look for a pair whose hyperplane still
+        // cuts the region (a warm-started LP pair per check, bounded by
+        // `cut_lp_checks`); an unscreened or screen-failing pair is kept
+        // as the fallback so selection never comes back empty where the
+        // unscreened policy would have picked something.
+        let mut budget = self.cfg.cut_lp_checks;
+        let mut fallback: Option<Question> = None;
         match self.strategy {
             UhStrategy::Random => {
                 // Uniform random unasked pair; falls back to any pair when
@@ -132,12 +166,18 @@ impl UhBaseline {
                     let a = candidates[self.rng.gen_range(0..candidates.len())];
                     let b = candidates[self.rng.gen_range(0..candidates.len())];
                     if a != b && !asked.contains(&(a.min(b), a.max(b))) {
-                        return Some(Question { i: a, j: b });
+                        let q = Question { i: a, j: b };
+                        match Self::screen_cut(data, region, lp, &mut budget, a, b) {
+                            Some(true) => return Some(q),
+                            Some(false) => fallback.get_or_insert(q),
+                            None => return Some(fallback.unwrap_or(q)),
+                        };
                     }
                 }
-                let a = candidates[0];
-                let b = candidates[1];
-                Some(Question { i: a, j: b })
+                Some(fallback.unwrap_or(Question {
+                    i: candidates[0],
+                    j: candidates[1],
+                }))
             }
             UhStrategy::Simplex => {
                 // Rank candidates by centroid utility; question the best
@@ -151,14 +191,19 @@ impl UhBaseline {
                 for (ai, &a) in ranked.iter().enumerate() {
                     for &b in &ranked[ai + 1..] {
                         if !asked.contains(&(a.min(b), a.max(b))) {
-                            return Some(Question { i: a, j: b });
+                            let q = Question { i: a, j: b };
+                            match Self::screen_cut(data, region, lp, &mut budget, a, b) {
+                                Some(true) => return Some(q),
+                                Some(false) => fallback.get_or_insert(q),
+                                None => return Some(fallback.unwrap_or(q)),
+                            };
                         }
                     }
                 }
-                Some(Question {
+                Some(fallback.unwrap_or(Question {
                     i: ranked[0],
                     j: ranked[1],
-                })
+                }))
             }
         }
     }
@@ -186,6 +231,9 @@ impl InteractiveAlgorithm for UhBaseline {
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
         let sw = Stopwatch::start();
         let mut region = Region::full(data.dim());
+        // Warm-start bases for the per-round cut screens; carried across
+        // rounds because the region only gains half-spaces within a run.
+        let mut lp = RegionLpCache::new();
         let mut asked: Vec<(usize, usize)> = Vec::new();
         let mut trace: Vec<RoundTrace> = Vec::new();
         let mut rounds = 0usize;
@@ -231,7 +279,9 @@ impl InteractiveAlgorithm for UhBaseline {
             }
 
             let candidates = self.candidates(data, &region, &vertices);
-            let Some(q) = self.select_question(data, &candidates, &centroid, &asked) else {
+            let Some(q) =
+                self.select_question(data, &region, &mut lp, &candidates, &centroid, &asked)
+            else {
                 if record {
                     isrl_obs::round_end();
                 }
@@ -343,6 +393,7 @@ mod tests {
                 n_samples: 20,
                 max_rounds: 1,
                 seed: 4,
+                ..UhConfig::default()
             },
         );
         let mut user = SimulatedUser::new(vec![0.5, 0.5]);

@@ -293,6 +293,9 @@ pub fn load_aa(mut bytes: &[u8]) -> Result<AaAgent, CheckpointError> {
             }
             buf.get_u64_le()
         },
+        // Not persisted: a pure speed knob with no effect on outcomes, so
+        // restored agents always get the (default) warm path.
+        warm_lp: true,
     };
     let episodes = buf.get_u64_le();
     let params = get_params(buf)?;

@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn terminal_points_dedupe_by_argmax() {
         let d = data();
-        let us = vec![
+        let us = [
             vec![0.9, 0.1],
             vec![0.85, 0.15], // same argmax as above
             vec![0.1, 0.9],

@@ -281,8 +281,8 @@ mod tests {
         let mut out = Vec::new();
         d.utilities_into(&u, &mut out);
         assert_eq!(out.len(), d.len());
-        for i in 0..d.len() {
-            assert_eq!(out[i], d.utility(i, &u));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, d.utility(i, &u));
         }
     }
 

@@ -49,8 +49,9 @@ pub mod sampling;
 pub mod sphere;
 
 pub use hyperplane::{Halfspace, Side};
+pub use lp::Basis;
 pub use polytope::Polytope;
 pub use rectangle::Rectangle;
-pub use region::Region;
+pub use region::{Region, RegionLpCache};
 pub use region_geometry::RegionGeometry;
 pub use sphere::{min_enclosing_sphere, EnclosingSphereParams, Sphere};

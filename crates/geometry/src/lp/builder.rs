@@ -1,6 +1,6 @@
 //! Fluent builder for small LPs.
 
-use super::{simplex, Constraint, LpError, LpOutcome, Problem, Rel};
+use super::{simplex, warm, Basis, Constraint, LpError, LpOutcome, Problem, Rel};
 
 /// Builds a [`Problem`] row by row and solves it.
 ///
@@ -71,7 +71,22 @@ impl LpBuilder {
 
     /// Finalizes and solves the problem.
     pub fn solve(self) -> Result<LpOutcome, LpError> {
-        simplex::solve(&self.problem)
+        simplex::solve(&self.problem).map(|(out, _)| out)
+    }
+
+    /// Finalizes and solves the problem through a warm-start slot: if
+    /// `slot` carries a [`Basis`] from an earlier related solve, the warm
+    /// path is used; either way the slot is refilled with this solve's
+    /// final basis (or cleared when none exists, e.g. infeasible).
+    pub fn solve_with(self, slot: &mut Option<Basis>) -> Result<LpOutcome, LpError> {
+        let result = match slot.take() {
+            Some(basis) => warm::solve_warm(&self.problem, &basis),
+            None => simplex::solve(&self.problem),
+        };
+        result.map(|(out, basis)| {
+            *slot = basis;
+            out
+        })
     }
 
     /// Returns the assembled problem without solving (for inspection/tests).

@@ -10,9 +10,55 @@
 
 mod builder;
 mod simplex;
+mod warm;
 
 pub use builder::LpBuilder;
 pub use simplex::solve;
+pub use warm::solve_warm;
+
+/// An opaque simplex basis, returned by [`solve`]/[`solve_warm`] and fed
+/// back into [`solve_warm`] to hot-start a related problem.
+///
+/// The basis stores *logical* column identities — decision variables (in
+/// the internal free-split space) and per-row slack columns — rather than
+/// raw tableau indices, so it survives the row edits the interactive
+/// algorithms actually perform: appending one half-space cut per round,
+/// deleting a constraint, or duplicating a redundant one. Feeding a basis
+/// from an unrelated problem is *safe* (the warm solver re-factorizes,
+/// repairs feasibility, and falls back to the cold two-phase path on any
+/// singularity), just not fast.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Variable count of the problem this basis was extracted from.
+    pub(crate) n_vars: usize,
+    /// Free-variable pattern (the split layout must match to reuse columns).
+    pub(crate) free: Vec<bool>,
+    /// Preferred basic columns; at most one per constraint row.
+    pub(crate) cols: Vec<BasisCol>,
+}
+
+impl Basis {
+    /// Number of stored basic columns (diagnostic; tests use this).
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` when the basis carries no columns at all.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// A logical basic column: a split-space decision variable or the slack /
+/// surplus column of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BasisCol {
+    /// Split-space variable column `j` (original vars first, then the
+    /// appended negative parts of free variables).
+    Var(usize),
+    /// Slack (Le) or surplus (Ge) column of constraint row `i`.
+    Slack(usize),
+}
 
 /// Relation of a linear constraint row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

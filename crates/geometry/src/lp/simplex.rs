@@ -6,14 +6,59 @@
 //! rule with an automatic switch to Bland's rule after `3 (m + n)` iterations
 //! to guarantee termination on degenerate problems (which do occur: the
 //! utility simplex makes many constraints tight at its corners).
+//!
+//! The standard-form translation (free-variable splitting, rhs sign
+//! normalization, slack placement) lives in [`Standard`] and is shared with
+//! the warm-start path in [`super::warm`], which skips phase 1 entirely by
+//! re-factorizing a carried [`Basis`] and repairing primal feasibility with
+//! dual-style pivots.
 
-use super::{LpError, LpOutcome, LpSolution, Problem, Rel};
+use super::{Basis, BasisCol, LpError, LpOutcome, LpSolution, Problem, Rel};
 
-const FEAS_TOL: f64 = 1e-8;
-const PIVOT_TOL: f64 = 1e-10;
+pub(super) const FEAS_TOL: f64 = 1e-8;
+pub(super) const PIVOT_TOL: f64 = 1e-10;
 
-/// Solves a linear [`Problem`]. See the module docs for the method.
-pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
+/// A [`Problem`] lowered to standard form: split non-negative variables,
+/// normalized rhs signs, and a fixed slack-column layout. Artificial
+/// columns are *not* included — the cold path appends them, the warm path
+/// never needs them.
+pub(super) struct Standard {
+    /// Original variable count.
+    pub n: usize,
+    /// Negative-part column for each free original variable.
+    pub neg_col: Vec<Option<usize>>,
+    /// Split variable count (originals plus negative parts).
+    pub n_split: usize,
+    /// Slack/surplus column count (one per non-Eq row).
+    pub n_slack: usize,
+    /// Constraint rows, width `n_split + n_slack`, slack coefficients set.
+    pub rows: Vec<Vec<f64>>,
+    /// Right-hand sides after sign normalization (all ≥ 0).
+    pub rhs: Vec<f64>,
+    /// Row relations after sign normalization.
+    pub rels: Vec<Rel>,
+    /// Slack column of each row (None for Eq rows).
+    pub slack_of_row: Vec<Option<usize>>,
+    /// Owning row of each slack column (indexed by `col − n_split`).
+    pub row_of_slack: Vec<usize>,
+    /// Minimization-oriented cost over the split columns.
+    pub cost_split: Vec<f64>,
+}
+
+impl Standard {
+    /// Tableau width without artificials (split vars + slacks).
+    pub fn width(&self) -> usize {
+        self.n_split + self.n_slack
+    }
+
+    /// Number of constraint rows.
+    pub fn m(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Lowers `p` to standard form, validating shapes.
+pub(super) fn standardize(p: &Problem) -> Result<Standard, LpError> {
     if p.objective.len() != p.n_vars
         || p.free.len() != p.n_vars
         || p.constraints.iter().any(|c| c.coeffs.len() != p.n_vars)
@@ -21,9 +66,9 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
         return Err(LpError::ShapeMismatch);
     }
 
-    // --- 1. Split free variables: x_j = x_j⁺ − x_j⁻. ---------------------
-    // Column layout: for each original var j, one column (non-negative part);
-    // free vars get an extra negative-part column appended after all originals.
+    // Split free variables: x_j = x_j⁺ − x_j⁻. Column layout: for each
+    // original var j, one column (non-negative part); free vars get an
+    // extra negative-part column appended after all originals.
     let n = p.n_vars;
     let neg_col: Vec<Option<usize>> = {
         let mut next = n;
@@ -55,7 +100,7 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
 
     // Orient as minimization.
     let sign = if p.maximize { -1.0 } else { 1.0 };
-    let cost: Vec<f64> = {
+    let cost_split: Vec<f64> = {
         let mut c = expand(&p.objective);
         for v in &mut c {
             *v *= sign;
@@ -63,10 +108,9 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
         c
     };
 
-    // --- 2. Standard form: rows `a·x (+ slack) = b`, b ≥ 0. --------------
+    // Standard form: rows `a·x (+ slack) = b`, b ≥ 0.
     let m = p.constraints.len();
-    // Columns: [split vars | slacks | artificials], assembled below.
-    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut bare: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut rhs: Vec<f64> = Vec::with_capacity(m);
     let mut rels: Vec<Rel> = Vec::with_capacity(m);
     for c in &p.constraints {
@@ -84,40 +128,76 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
                 Rel::Eq => Rel::Eq,
             };
         }
-        rows.push(row);
+        bare.push(row);
         rhs.push(b);
         rels.push(rel);
     }
 
-    // Slack columns: Le rows get +1 slack (basic), Ge rows get −1 surplus.
+    // Slack columns: Le rows get +1 slack, Ge rows get −1 surplus.
     let n_slack = rels.iter().filter(|r| !matches!(r, Rel::Eq)).count();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut slack_of_row: Vec<Option<usize>> = Vec::with_capacity(m);
+    let mut row_of_slack: Vec<usize> = Vec::with_capacity(n_slack);
+    let mut slack_at = n_split;
+    for i in 0..m {
+        let mut row = vec![0.0; n_split + n_slack];
+        row[..n_split].copy_from_slice(&bare[i]);
+        match rels[i] {
+            Rel::Le => {
+                row[slack_at] = 1.0;
+                slack_of_row.push(Some(slack_at));
+                row_of_slack.push(i);
+                slack_at += 1;
+            }
+            Rel::Ge => {
+                row[slack_at] = -1.0;
+                slack_of_row.push(Some(slack_at));
+                row_of_slack.push(i);
+                slack_at += 1;
+            }
+            Rel::Eq => slack_of_row.push(None),
+        }
+        rows.push(row);
+    }
+
+    Ok(Standard {
+        n,
+        neg_col,
+        n_split,
+        n_slack,
+        rows,
+        rhs,
+        rels,
+        slack_of_row,
+        row_of_slack,
+        cost_split,
+    })
+}
+
+/// Solves a linear [`Problem`] from scratch (two-phase). Returns the
+/// outcome plus, whenever the final tableau represents a feasible basis
+/// (optimal or iteration-capped), the [`Basis`] for future warm starts.
+pub fn solve(p: &Problem) -> Result<(LpOutcome, Option<Basis>), LpError> {
+    let sf = standardize(p)?;
+    let m = sf.m();
+    let n_split = sf.n_split;
+    let real = sf.width();
+
     // Artificial columns: Ge and Eq rows need one each.
-    let n_art = rels.iter().filter(|r| !matches!(r, Rel::Le)).count();
-    let total = n_split + n_slack + n_art;
+    let n_art = sf.rels.iter().filter(|r| !matches!(r, Rel::Le)).count();
+    let total = real + n_art;
 
     let mut tab: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut basis: Vec<usize> = Vec::with_capacity(m);
     {
-        let mut slack_at = n_split;
-        let mut art_at = n_split + n_slack;
+        let mut art_at = real;
         for i in 0..m {
             let mut row = vec![0.0; total + 1];
-            row[..n_split].copy_from_slice(&rows[i]);
-            row[total] = rhs[i];
-            match rels[i] {
-                Rel::Le => {
-                    row[slack_at] = 1.0;
-                    basis.push(slack_at);
-                    slack_at += 1;
-                }
-                Rel::Ge => {
-                    row[slack_at] = -1.0;
-                    slack_at += 1;
-                    row[art_at] = 1.0;
-                    basis.push(art_at);
-                    art_at += 1;
-                }
-                Rel::Eq => {
+            row[..real].copy_from_slice(&sf.rows[i]);
+            row[total] = sf.rhs[i];
+            match sf.rels[i] {
+                Rel::Le => basis.push(sf.slack_of_row[i].expect("Le row has a slack")),
+                Rel::Ge | Rel::Eq => {
                     row[art_at] = 1.0;
                     basis.push(art_at);
                     art_at += 1;
@@ -127,11 +207,11 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
         }
     }
 
-    // --- 3. Phase 1: minimize the sum of artificials. ---------------------
+    // Phase 1: minimize the sum of artificials.
     isrl_obs::add("lp.solves", 1);
     if n_art > 0 {
         let mut phase1_cost = vec![0.0; total];
-        for c in &mut phase1_cost[n_split + n_slack..] {
+        for c in &mut phase1_cost[real..] {
             *c = 1.0;
         }
         let (end, iters) = run_simplex(&mut tab, &mut basis, &phase1_cost, total);
@@ -142,7 +222,7 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
             SimplexEnd::Unbounded => {
                 // Phase-1 objective is bounded below by 0; unbounded here
                 // would indicate a numerical breakdown — treat as infeasible.
-                return Ok(LpOutcome::Infeasible);
+                return Ok((LpOutcome::Infeasible, None));
             }
             SimplexEnd::Capped => {
                 // Feasibility itself is undetermined — surface the cap as
@@ -154,26 +234,25 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
         let art_sum: f64 = basis
             .iter()
             .enumerate()
-            .filter(|(_, &b)| b >= n_split + n_slack)
+            .filter(|(_, &b)| b >= real)
             .map(|(i, _)| tab[i][total])
             .sum();
         if art_sum > FEAS_TOL {
-            return Ok(LpOutcome::Infeasible);
+            return Ok((LpOutcome::Infeasible, None));
         }
         // Pivot any residual (degenerate, value-0) artificials out of the basis.
         for i in 0..m {
-            if basis[i] >= n_split + n_slack {
-                if let Some(j) = (0..n_split + n_slack).find(|&j| tab[i][j].abs() > PIVOT_TOL) {
+            if basis[i] >= real {
+                if let Some(j) = (0..real).find(|&j| tab[i][j].abs() > PIVOT_TOL) {
                     pivot(&mut tab, &mut basis, i, j);
                 } // else: the row is all-zero over real columns — redundant, leave it.
             }
         }
     }
 
-    // --- 4. Phase 2 on the real columns. ----------------------------------
-    let real = n_split + n_slack;
+    // Phase 2 on the real columns.
     let mut phase2_cost = vec![0.0; total];
-    phase2_cost[..n_split].copy_from_slice(&cost);
+    phase2_cost[..n_split].copy_from_slice(&sf.cost_split);
     // Forbid artificials from re-entering by giving them a prohibitive cost.
     for c in &mut phase2_cost[real..] {
         *c = 1e30;
@@ -183,7 +262,7 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
     isrl_obs::add("lp.pivots", iters);
     let capped = match end {
         SimplexEnd::Optimal => false,
-        SimplexEnd::Unbounded => return Ok(LpOutcome::Unbounded),
+        SimplexEnd::Unbounded => return Ok((LpOutcome::Unbounded, None)),
         SimplexEnd::Capped => {
             // Phase 2 preserves feasibility, so the incumbent basic point
             // is a genuine member of the region — return it, flagged, so
@@ -193,27 +272,61 @@ pub fn solve(p: &Problem) -> Result<LpOutcome, LpError> {
         }
     };
 
-    // --- 5. Read out the solution. ----------------------------------------
-    let mut x_split = vec![0.0; n_split];
-    for (i, &b) in basis.iter().enumerate() {
-        if b < n_split {
-            x_split[b] = tab[i][total];
-        }
-    }
-    let mut x = vec![0.0; n];
-    for j in 0..n {
-        x[j] = x_split[j] - neg_col[j].map_or(0.0, |c| x_split[c]);
-    }
-    let objective: f64 = p.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    let sol = LpSolution { x, objective };
+    let sol = read_solution(p, &sf, &tab, &basis);
+    let warm = extract_basis(p, &sf, &basis);
     Ok(if capped {
-        LpOutcome::IterationCapped(sol)
+        (LpOutcome::IterationCapped(sol), Some(warm))
     } else {
-        LpOutcome::Optimal(sol)
+        (LpOutcome::Optimal(sol), Some(warm))
     })
 }
 
-enum SimplexEnd {
+/// Reads the original-space solution out of a final tableau.
+pub(super) fn read_solution(
+    p: &Problem,
+    sf: &Standard,
+    tab: &[Vec<f64>],
+    basis: &[usize],
+) -> LpSolution {
+    let total = if tab.is_empty() { 0 } else { tab[0].len() - 1 };
+    let mut x_split = vec![0.0; sf.n_split];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < sf.n_split {
+            x_split[b] = tab[i][total];
+        }
+    }
+    let mut x = vec![0.0; sf.n];
+    for j in 0..sf.n {
+        x[j] = x_split[j] - sf.neg_col[j].map_or(0.0, |c| x_split[c]);
+    }
+    let objective: f64 = p.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    LpSolution { x, objective }
+}
+
+/// Converts a final tableau basis into logical [`Basis`] columns. Columns
+/// at or past `width()` (artificials in the cold path) are omitted — their
+/// rows simply get re-crashed on the next warm start.
+pub(super) fn extract_basis(p: &Problem, sf: &Standard, basis: &[usize]) -> Basis {
+    let cols = basis
+        .iter()
+        .filter_map(|&b| {
+            if b < sf.n_split {
+                Some(BasisCol::Var(b))
+            } else if b < sf.width() {
+                Some(BasisCol::Slack(sf.row_of_slack[b - sf.n_split]))
+            } else {
+                None
+            }
+        })
+        .collect();
+    Basis {
+        n_vars: p.n_vars,
+        free: p.free.clone(),
+        cols,
+    }
+}
+
+pub(super) enum SimplexEnd {
     Optimal,
     Unbounded,
     /// The iteration budget ran out; the tableau holds the incumbent basis.
@@ -224,7 +337,7 @@ enum SimplexEnd {
 /// `0..enter_limit` (columns at or past the limit never enter the basis —
 /// used to keep artificials out in phase 2). Returns the end state plus
 /// the number of pivots performed.
-fn run_simplex(
+pub(super) fn run_simplex(
     tab: &mut [Vec<f64>],
     basis: &mut [usize],
     cost: &[f64],
@@ -291,7 +404,7 @@ fn run_simplex(
 }
 
 /// Gauss–Jordan pivot on `tab[row][col]`.
-fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+pub(super) fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
     let piv = tab[row][col];
     let inv = 1.0 / piv;
     for v in &mut tab[row] {
@@ -453,5 +566,36 @@ mod tests {
             .constraint(&[1.0], Rel::Le, 1.0)
             .solve();
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn cold_solve_returns_a_reusable_basis() {
+        use super::super::{solve, solve_warm, Problem};
+        let p = Problem {
+            n_vars: 2,
+            maximize: true,
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                super::super::Constraint {
+                    coeffs: vec![1.0, 2.0],
+                    rel: Rel::Le,
+                    rhs: 4.0,
+                },
+                super::super::Constraint {
+                    coeffs: vec![3.0, 1.0],
+                    rel: Rel::Le,
+                    rhs: 6.0,
+                },
+            ],
+            free: vec![false, false],
+        };
+        let (out, basis) = solve(&p).unwrap();
+        assert!(out.is_optimal());
+        let basis = basis.expect("optimal cold solve must yield a basis");
+        assert!(!basis.is_empty());
+        // Re-solving the identical problem warm reproduces the optimum.
+        let (out2, _) = solve_warm(&p, &basis).unwrap();
+        let s = out2.optimal().unwrap();
+        assert!((s.objective - 2.8).abs() < 1e-9);
     }
 }

@@ -7,13 +7,59 @@
 //! vertex enumeration on top of this representation (see [`crate::polytope`]).
 
 use crate::hyperplane::Halfspace;
-use crate::lp::{LpBuilder, LpError, LpOutcome, Rel};
+use crate::lp::{Basis, LpBuilder, LpError, LpOutcome, Rel};
 use crate::rectangle::Rectangle;
 use crate::sphere::Sphere;
 use isrl_linalg::vector;
 
 /// Margin below which a strict-feasibility LP answer counts as "empty".
 const STRICT_TOL: f64 = 1e-9;
+
+/// Carried warm-start bases for a region's recurring LPs.
+///
+/// AA re-solves the same family of LPs round after round — the inner
+/// sphere, the 2d rectangle extents, and the strict-feasibility margin —
+/// over a region that only ever *gains* one half-space per round. Each LP
+/// keeps its own slot here, so its final simplex [`Basis`] seeds the next
+/// solve of the *same* LP via [`crate::lp::solve_warm`]. The cache is a
+/// pure accelerator: a stale or mismatched basis is repaired or discarded
+/// by the warm solver, never trusted, so results are identical with or
+/// without it (the differential test suites assert exactly this).
+#[derive(Debug, Clone, Default)]
+pub struct RegionLpCache {
+    sphere: Option<Basis>,
+    strict: Option<Basis>,
+    rect_lo: Vec<Option<Basis>>,
+    rect_hi: Vec<Option<Basis>>,
+}
+
+impl RegionLpCache {
+    /// An empty cache; the first solve of each LP runs cold and primes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every carried basis (the next solves run cold again).
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// `true` once at least one LP has deposited a reusable basis.
+    pub fn is_primed(&self) -> bool {
+        self.sphere.is_some()
+            || self.strict.is_some()
+            || self.rect_lo.iter().any(Option::is_some)
+            || self.rect_hi.iter().any(Option::is_some)
+    }
+}
+
+/// Solves through a warm slot when one is supplied, cold otherwise.
+fn solve_slot(b: LpBuilder, slot: Option<&mut Option<Basis>>) -> Result<LpOutcome, LpError> {
+    match slot {
+        Some(s) => b.solve_with(s),
+        None => b.solve(),
+    }
+}
 
 /// A utility range: the intersection of the standard simplex
 /// `U = { u : u ≥ 0, Σu = 1 }` with a growing set of half-spaces through the
@@ -109,6 +155,25 @@ impl Region {
     ///
     /// Returns `None` when even the closed region is empty.
     pub fn strict_margin(&self, extra: &[&Halfspace]) -> Option<f64> {
+        self.strict_margin_impl(extra, None)
+    }
+
+    /// [`Region::strict_margin`] through a warm-start cache: the margin
+    /// LP's final basis is carried in `cache` and reused on the next call,
+    /// which is typically one appended half-space away.
+    pub fn strict_margin_with(
+        &self,
+        extra: &[&Halfspace],
+        cache: &mut RegionLpCache,
+    ) -> Option<f64> {
+        self.strict_margin_impl(extra, Some(&mut cache.strict))
+    }
+
+    fn strict_margin_impl(
+        &self,
+        extra: &[&Halfspace],
+        slot: Option<&mut Option<Basis>>,
+    ) -> Option<f64> {
         let _lp = isrl_obs::span("lp");
         let d = self.dim;
         // Variables: u[0..d] ≥ 0, x free (last). Only the margin rows
@@ -116,6 +181,10 @@ impl Region {
         // `normal·u ≥ 0` rows (an empty region simply yields a negative
         // optimum), and halving the row count matters: this LP runs once or
         // twice per candidate question.
+        //
+        // Row order is [sum, cap, learned half-spaces…, extras]: the fixed
+        // rows lead and learned half-spaces only ever append, so a carried
+        // basis keeps its row identities from one round to the next.
         let mut obj = vec![0.0; d + 1];
         obj[d] = 1.0;
         let mut b = LpBuilder::maximize(&obj).free_var(d);
@@ -124,6 +193,10 @@ impl Region {
             *v = 1.0;
         }
         b = b.constraint(&sum_row, Rel::Eq, 1.0);
+        // Cap x so the LP is bounded even with no half-spaces at all.
+        let mut cap = vec![0.0; d + 1];
+        cap[d] = 1.0;
+        b = b.constraint(&cap, Rel::Le, 1.0);
         for h in self.halfspaces.iter().chain(extra.iter().copied()) {
             let mut row = vec![0.0; d + 1];
             // Normalize so the margin is comparable across half-spaces.
@@ -134,11 +207,7 @@ impl Region {
             row[d] = -1.0;
             b = b.constraint(&row, Rel::Ge, 0.0);
         }
-        // Cap x so the LP is bounded even with no half-spaces at all.
-        let mut cap = vec![0.0; d + 1];
-        cap[d] = 1.0;
-        b = b.constraint(&cap, Rel::Le, 1.0);
-        match b.solve() {
+        match solve_slot(b, slot) {
             // A phase-2 cap still certifies feasibility of the incumbent
             // margin (a lower bound on the optimum) — usable, and counted
             // by the solver under `lp.cap_hits`.
@@ -157,6 +226,12 @@ impl Region {
         self.strict_margin(&[]).is_some_and(|m| m > STRICT_TOL)
     }
 
+    /// [`Region::has_interior`] through a warm-start cache.
+    pub fn has_interior_with(&self, cache: &mut RegionLpCache) -> bool {
+        self.strict_margin_with(&[], cache)
+            .is_some_and(|m| m > STRICT_TOL)
+    }
+
     /// `true` iff the hyperplane bounding `h` genuinely cuts the region:
     /// both `R ∩ h⁺` and `R ∩ h⁻` retain interior points (the first action
     /// condition of algorithm AA, Lemma 8).
@@ -165,6 +240,19 @@ impl Region {
         self.strict_margin(&[h]).is_some_and(|m| m > STRICT_TOL)
             && self
                 .strict_margin(&[&flipped])
+                .is_some_and(|m| m > STRICT_TOL)
+    }
+
+    /// [`Region::is_cut_by`] through a warm-start cache: both orientation
+    /// LPs share the margin slot — they differ from each other (and from
+    /// the previous candidate's LPs) by one flipped tail row, which is
+    /// exactly the edit the basis-repair path absorbs in a pivot or two.
+    pub fn is_cut_by_with(&self, h: &Halfspace, cache: &mut RegionLpCache) -> bool {
+        let flipped = h.flipped();
+        self.strict_margin_with(&[h], cache)
+            .is_some_and(|m| m > STRICT_TOL)
+            && self
+                .strict_margin_with(&[&flipped], cache)
                 .is_some_and(|m| m > STRICT_TOL)
     }
 
@@ -178,12 +266,26 @@ impl Region {
     ///
     /// Returns `None` when the region is empty.
     pub fn inner_sphere(&self) -> Option<Sphere> {
+        self.inner_sphere_impl(None)
+    }
+
+    /// [`Region::inner_sphere`] through a warm-start cache: the sphere LP
+    /// keeps its own basis slot across rounds.
+    pub fn inner_sphere_with(&self, cache: &mut RegionLpCache) -> Option<Sphere> {
+        self.inner_sphere_impl(Some(&mut cache.sphere))
+    }
+
+    fn inner_sphere_impl(&self, slot: Option<&mut Option<Basis>>) -> Option<Sphere> {
         let _lp = isrl_obs::span("lp");
         let d = self.dim;
         // Variables: center c[0..d] ≥ 0, radius r (free; optimum is ≥ 0 iff
         // feasible). As in `strict_margin`, the distance rows with a free
         // radius subsume the plain half-space rows, so only the simplex
         // equality plus one row per half-space/facet is needed.
+        //
+        // Row order is [sum, simplex facets…, learned half-spaces…]: the
+        // fixed rows lead so each round's cut is a pure append and a
+        // carried basis keeps its row identities.
         let mut obj = vec![0.0; d + 1];
         obj[d] = 1.0;
         let mut b = LpBuilder::maximize(&obj).free_var(d);
@@ -192,6 +294,13 @@ impl Region {
             *v = 1.0;
         }
         b = b.constraint(&sum_row, Rel::Eq, 1.0);
+        // Distance to each simplex facet u_i = 0 is simply c_i.
+        for i in 0..d {
+            let mut row = vec![0.0; d + 1];
+            row[i] = 1.0;
+            row[d] = -1.0;
+            b = b.constraint(&row, Rel::Ge, 0.0);
+        }
         // Distance to each learned hyperplane: normal·c / ‖normal‖ ≥ r.
         for h in &self.halfspaces {
             let norm = vector::norm(h.normal());
@@ -202,18 +311,11 @@ impl Region {
             row[d] = -1.0;
             b = b.constraint(&row, Rel::Ge, 0.0);
         }
-        // Distance to each simplex facet u_i = 0 is simply c_i.
-        for i in 0..d {
-            let mut row = vec![0.0; d + 1];
-            row[i] = 1.0;
-            row[d] = -1.0;
-            b = b.constraint(&row, Rel::Ge, 0.0);
-        }
         // A capped solve carries a feasible center with an achieved (if
         // possibly sub-optimal) radius — still a valid inner sphere. A
         // phase-1 cap leaves feasibility unknown: report "empty" rather
         // than panic; both cases are counted by the solver.
-        let sol = match b.solve() {
+        let sol = match solve_slot(b, slot) {
             Ok(out) => out.solution()?,
             Err(LpError::IterationLimit) => return None,
             Err(LpError::ShapeMismatch) => unreachable!("inner sphere LP is well-formed"),
@@ -230,8 +332,24 @@ impl Region {
     ///
     /// Returns `None` when the region is empty.
     pub fn outer_rectangle(&self) -> Option<Rectangle> {
+        self.outer_rectangle_impl(None)
+    }
+
+    /// [`Region::outer_rectangle`] through a warm-start cache: each of the
+    /// 2d extent LPs keeps its own basis slot across rounds.
+    pub fn outer_rectangle_with(&self, cache: &mut RegionLpCache) -> Option<Rectangle> {
+        self.outer_rectangle_impl(Some(cache))
+    }
+
+    fn outer_rectangle_impl(&self, mut cache: Option<&mut RegionLpCache>) -> Option<Rectangle> {
         let _lp = isrl_obs::span("lp");
         let d = self.dim;
+        if let Some(c) = cache.as_deref_mut() {
+            if c.rect_lo.len() < d {
+                c.rect_lo.resize(d, None);
+                c.rect_hi.resize(d, None);
+            }
+        }
         let mut lo = vec![0.0; d];
         let mut hi = vec![0.0; d];
         // A truncated extent LP (phase-2 cap or phase-1 cap) used to flow
@@ -242,7 +360,8 @@ impl Region {
         for i in 0..d {
             let mut obj = vec![0.0; d];
             obj[i] = 1.0;
-            lo[i] = match self.base_lp(&obj, false).solve() {
+            let slot = cache.as_deref_mut().map(|c| &mut c.rect_lo[i]);
+            lo[i] = match solve_slot(self.base_lp(&obj, false), slot) {
                 Ok(LpOutcome::Optimal(s)) => s.objective.max(0.0),
                 // Capped minimization: the incumbent only bounds the true
                 // minimum from above, so it cannot shrink the box.
@@ -250,7 +369,8 @@ impl Region {
                 Ok(_) => return None,
                 Err(LpError::ShapeMismatch) => unreachable!("extent LP is well-formed"),
             };
-            hi[i] = match self.base_lp(&obj, true).solve() {
+            let slot = cache.as_deref_mut().map(|c| &mut c.rect_hi[i]);
+            hi[i] = match solve_slot(self.base_lp(&obj, true), slot) {
                 Ok(LpOutcome::Optimal(s)) => s.objective.min(1.0),
                 Ok(LpOutcome::IterationCapped(_)) | Err(LpError::IterationLimit) => 1.0,
                 Ok(_) => return None,
@@ -263,6 +383,11 @@ impl Region {
     /// A feasible point of the region (the inner-sphere center), if any.
     pub fn feasible_point(&self) -> Option<Vec<f64>> {
         self.inner_sphere().map(|s| s.center().to_vec())
+    }
+
+    /// [`Region::feasible_point`] through a warm-start cache.
+    pub fn feasible_point_with(&self, cache: &mut RegionLpCache) -> Option<Vec<f64>> {
+        self.inner_sphere_with(cache).map(|s| s.center().to_vec())
     }
 
     /// Monte-Carlo estimate of the region's volume as a fraction of the
@@ -407,6 +532,56 @@ mod tests {
             assert!(f <= prev + 0.02, "volume grew: {prev} -> {f}");
             prev = f;
         }
+    }
+
+    #[test]
+    fn warm_cached_summaries_match_cold_across_cuts() {
+        // The AA round-loop shape: summaries recomputed after each appended
+        // cut, with the warm cache carrying every LP's basis forward. The
+        // objectives (radius, extents, margins) must agree with the cold
+        // path to LP tolerance at every step.
+        let mut r = Region::full(3);
+        let mut cache = RegionLpCache::new();
+        let probe = Halfspace::new(vec![0.3, -1.0, 0.7]);
+        for h in [
+            Halfspace::new(vec![1.0, -1.0, 0.0]),
+            Halfspace::new(vec![0.0, 1.0, -1.0]),
+            Halfspace::new(vec![1.0, 0.2, -1.4]),
+        ] {
+            r.add(h);
+            let cold_s = r.inner_sphere().unwrap();
+            let warm_s = r.inner_sphere_with(&mut cache).unwrap();
+            assert!(
+                (cold_s.radius() - warm_s.radius()).abs() < 1e-9,
+                "radius diverged: {} vs {}",
+                cold_s.radius(),
+                warm_s.radius()
+            );
+            assert!(r.contains(warm_s.center(), 1e-7));
+
+            let cold_rect = r.outer_rectangle().unwrap();
+            let warm_rect = r.outer_rectangle_with(&mut cache).unwrap();
+            for i in 0..3 {
+                assert!((cold_rect.min()[i] - warm_rect.min()[i]).abs() < 1e-9);
+                assert!((cold_rect.max()[i] - warm_rect.max()[i]).abs() < 1e-9);
+            }
+
+            assert_eq!(r.is_cut_by(&probe), r.is_cut_by_with(&probe, &mut cache));
+            assert_eq!(r.has_interior(), r.has_interior_with(&mut cache));
+        }
+        assert!(cache.is_primed());
+    }
+
+    #[test]
+    fn warm_cache_detects_emptiness_like_cold() {
+        let mut r = Region::full(2);
+        let mut cache = RegionLpCache::new();
+        assert!(r.has_interior_with(&mut cache));
+        r.add(Halfspace::new(vec![0.5, -1.5]));
+        assert!(r.has_interior_with(&mut cache));
+        r.add(Halfspace::new(vec![-1.5, 0.5]));
+        assert!(!r.has_interior_with(&mut cache));
+        assert!(!r.has_interior());
     }
 
     #[test]

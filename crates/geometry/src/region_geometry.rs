@@ -17,7 +17,7 @@
 use crate::hyperplane::Halfspace;
 use crate::polytope::Polytope;
 use crate::rectangle::Rectangle;
-use crate::region::Region;
+use crate::region::{Region, RegionLpCache};
 use crate::sphere::Sphere;
 
 /// Lazily-computed per-round summaries, invalidated by every cut. The
@@ -40,6 +40,12 @@ pub struct RegionGeometry {
     polytope: Option<Polytope>,
     track_vertices: bool,
     cache: SummaryCache,
+    /// Warm-start bases for the recurring LPs. Deliberately *not* reset by
+    /// [`RegionGeometry::add`]: surviving the cut is the entire point — the
+    /// next round's LPs differ by one appended row, which the warm solver
+    /// absorbs with a basis repair instead of a cold phase 1.
+    lp: RegionLpCache,
+    warm_lp: bool,
 }
 
 impl RegionGeometry {
@@ -52,6 +58,8 @@ impl RegionGeometry {
             polytope,
             track_vertices: true,
             cache: SummaryCache::default(),
+            lp: RegionLpCache::new(),
+            warm_lp: true,
         }
     }
 
@@ -64,6 +72,8 @@ impl RegionGeometry {
             polytope: None,
             track_vertices: false,
             cache: SummaryCache::default(),
+            lp: RegionLpCache::new(),
+            warm_lp: true,
         }
     }
 
@@ -80,11 +90,42 @@ impl RegionGeometry {
             polytope,
             track_vertices,
             cache: SummaryCache::default(),
+            lp: RegionLpCache::new(),
+            warm_lp: true,
+        }
+    }
+
+    /// Turns LP warm-starting on or off (on by default). Turning it off
+    /// also drops any carried bases, so subsequent solves run the cold
+    /// two-phase path — the differential test harness uses this to shadow
+    /// warm episodes with cold ones.
+    pub fn set_warm_lp(&mut self, on: bool) {
+        self.warm_lp = on;
+        if !on {
+            self.lp.clear();
+        }
+    }
+
+    /// `true` while LP warm-starting is enabled.
+    #[inline]
+    pub fn warm_lp(&self) -> bool {
+        self.warm_lp
+    }
+
+    /// Split borrow for callers that need the region plus the warm-start
+    /// cache at once (AA's candidate validation): `None` when warm
+    /// starting is disabled.
+    pub fn region_and_lp_cache(&mut self) -> (&Region, Option<&mut RegionLpCache>) {
+        if self.warm_lp {
+            (&self.region, Some(&mut self.lp))
+        } else {
+            (&self.region, None)
         }
     }
 
     /// Narrows the region by one half-space, updating the vertex set
-    /// incrementally when tracking is on. Invalidates the summary cache.
+    /// incrementally when tracking is on. Invalidates the summary cache
+    /// (but keeps the LP bases — they are repaired, not recomputed).
     pub fn add(&mut self, h: Halfspace) {
         let _span = isrl_obs::span("geom_update");
         if self.track_vertices {
@@ -133,7 +174,12 @@ impl RegionGeometry {
     /// until the next [`RegionGeometry::add`]). `None` when empty.
     pub fn inner_sphere(&mut self) -> Option<Sphere> {
         if self.cache.sphere.is_none() {
-            self.cache.sphere = Some(self.region.inner_sphere());
+            let sphere = if self.warm_lp {
+                self.region.inner_sphere_with(&mut self.lp)
+            } else {
+                self.region.inner_sphere()
+            };
+            self.cache.sphere = Some(sphere);
         } else {
             isrl_obs::add("geom.sphere_cache_hits", 1);
         }
@@ -149,6 +195,7 @@ impl RegionGeometry {
         if self.cache.rect.is_none() {
             let rect = match &self.polytope {
                 Some(p) => vertex_bounding_rectangle(p),
+                None if self.warm_lp => self.region.outer_rectangle_with(&mut self.lp),
                 None => self.region.outer_rectangle(),
             };
             self.cache.rect = Some(rect);
@@ -278,6 +325,38 @@ mod tests {
         let mut g = RegionGeometry::summary_only(4);
         let v = g.volume_proxy().unwrap();
         assert!((v - 1.0).abs() < 1e-7, "full simplex proxy {v}");
+    }
+
+    #[test]
+    fn warm_and_cold_summary_geometries_agree() {
+        // AA's summary-only view, once with warm LP starting (default) and
+        // once forced cold: the per-round sphere radii and rectangle
+        // extents must match to LP tolerance.
+        let mut warm = RegionGeometry::summary_only(3);
+        let mut cold = RegionGeometry::summary_only(3);
+        cold.set_warm_lp(false);
+        assert!(warm.warm_lp() && !cold.warm_lp());
+        for h in [
+            Halfspace::new(vec![1.0, -1.0, 0.0]),
+            Halfspace::new(vec![0.0, 1.0, -0.7]),
+            Halfspace::new(vec![0.9, 0.3, -1.3]),
+        ] {
+            warm.add(h.clone());
+            cold.add(h);
+            let (ws, cs) = (warm.inner_sphere().unwrap(), cold.inner_sphere().unwrap());
+            assert!((ws.radius() - cs.radius()).abs() < 1e-9);
+            let (wr, cr) = (
+                warm.outer_rectangle().unwrap(),
+                cold.outer_rectangle().unwrap(),
+            );
+            for i in 0..3 {
+                assert!((wr.min()[i] - cr.min()[i]).abs() < 1e-9);
+                assert!((wr.max()[i] - cr.max()[i]).abs() < 1e-9);
+            }
+        }
+        let (region, cache) = warm.region_and_lp_cache();
+        assert_eq!(region.len(), 3);
+        assert!(cache.expect("warm mode exposes the cache").is_primed());
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Invariants of the carried [`Basis`] under the structural edits the
+//! interactive algorithms actually perform on their LPs: deleting the row
+//! the optimum leans on, appending a redundant row, and degenerate ties
+//! from duplicated rows (the shape produced when the sorted-window vertex
+//! dedup keeps two numerically identical vertices and both emit the same
+//! half-space).
+
+use isrl_geometry::lp::{solve, solve_warm, LpBuilder, LpOutcome, Rel};
+use isrl_geometry::{Halfspace, Region, RegionLpCache};
+
+fn objective(o: &LpOutcome) -> f64 {
+    match o {
+        LpOutcome::Optimal(s) => s.objective,
+        other => panic!("expected an optimum, got {other:?}"),
+    }
+}
+
+/// maximize x0 over the 2-simplex with a cap `x0 ≤ 0.3`.
+fn capped_problem() -> isrl_geometry::lp::Problem {
+    LpBuilder::maximize(&[1.0, 0.0])
+        .constraint(&[1.0, 1.0], Rel::Eq, 1.0)
+        .constraint(&[1.0, 0.0], Rel::Le, 0.3)
+        .build()
+}
+
+#[test]
+fn repair_after_deleting_the_binding_constraint() {
+    // Cold-solve with the cap binding (optimum 0.3), then delete the cap.
+    // The carried basis names a slack of a row that no longer exists; the
+    // warm solver must repair (or rebuild) and land on the new optimum 1.0.
+    let p = capped_problem();
+    let (out, basis) = solve(&p).unwrap();
+    assert!((objective(&out) - 0.3).abs() < 1e-9);
+    let basis = basis.expect("optimal solve yields a basis");
+
+    let mut shrunk = p.clone();
+    shrunk.constraints.remove(1);
+    let (cold, _) = solve(&shrunk).unwrap();
+    let (warm, warm_basis) = solve_warm(&shrunk, &basis).unwrap();
+    assert!((objective(&cold) - 1.0).abs() < 1e-9);
+    assert!((objective(&warm) - objective(&cold)).abs() < 1e-9);
+    assert!(warm_basis.is_some(), "warm optimum must yield a basis too");
+}
+
+#[test]
+fn repair_after_adding_a_redundant_constraint() {
+    // Appending a row the optimum already satisfies strictly must keep the
+    // carried basis usable — the repaired solve lands on the same vertex.
+    let p = capped_problem();
+    let (out, basis) = solve(&p).unwrap();
+    let basis = basis.unwrap();
+
+    let mut grown = p.clone();
+    grown.constraints.push(isrl_geometry::lp::Constraint {
+        coeffs: vec![1.0, 1.0],
+        rel: Rel::Le,
+        rhs: 5.0, // slack everywhere on the simplex
+    });
+    let (warm, warm_basis) = solve_warm(&grown, &basis).unwrap();
+    assert!((objective(&warm) - objective(&out)).abs() < 1e-9);
+    let warm_basis = warm_basis.unwrap();
+    assert_eq!(
+        warm_basis.len(),
+        grown.constraints.len(),
+        "one basic column per row after repair"
+    );
+    assert!(!warm_basis.is_empty());
+}
+
+#[test]
+fn repair_after_degenerate_duplicate_rows() {
+    // Duplicating the binding row creates a degenerate tie: two rows share
+    // one slack identity in the carried basis, so the crash step must
+    // complete the second row with a different column. Status and value
+    // must match the cold solve exactly.
+    let p = capped_problem();
+    let (_, basis) = solve(&p).unwrap();
+    let basis = basis.unwrap();
+
+    let mut doubled = p.clone();
+    let dup = doubled.constraints[1].clone();
+    doubled.constraints.push(dup);
+    let (cold, _) = solve(&doubled).unwrap();
+    let (warm, _) = solve_warm(&doubled, &basis).unwrap();
+    assert!((objective(&warm) - objective(&cold)).abs() < 1e-9);
+    assert!((objective(&warm) - 0.3).abs() < 1e-9);
+}
+
+type Edit = Box<dyn Fn(&mut isrl_geometry::lp::Problem)>;
+
+#[test]
+fn chained_edits_keep_the_basis_usable() {
+    // Delete, re-add, duplicate, then tighten — carrying whatever basis
+    // the previous solve produced. Every link must match its cold twin.
+    let mut p = capped_problem();
+    let (_, basis) = solve(&p).unwrap();
+    let mut carried = basis.unwrap();
+    let edits: Vec<Edit> = vec![
+        Box::new(|q| {
+            q.constraints.remove(1);
+        }),
+        Box::new(|q| {
+            q.constraints.push(isrl_geometry::lp::Constraint {
+                coeffs: vec![1.0, 0.0],
+                rel: Rel::Le,
+                rhs: 0.6,
+            })
+        }),
+        Box::new(|q| {
+            let dup = q.constraints[1].clone();
+            q.constraints.push(dup);
+        }),
+        Box::new(|q| q.constraints[1].rhs = 0.2),
+    ];
+    for edit in edits {
+        edit(&mut p);
+        let (cold, _) = solve(&p).unwrap();
+        let (warm, warm_basis) = solve_warm(&p, &carried).unwrap();
+        assert!((objective(&warm) - objective(&cold)).abs() < 1e-9);
+        carried = warm_basis.expect("optimal warm solve yields a basis");
+    }
+}
+
+#[test]
+fn duplicate_halfspaces_in_a_region_stay_consistent() {
+    // The region-level shape of the degenerate-tie case: the same cut
+    // added twice (as the sorted-window vertex dedup can produce). Warm
+    // summaries through the cache must match cold ones on the doubled
+    // region.
+    let mut region = Region::full(3);
+    let mut cache = RegionLpCache::new();
+    let h = Halfspace::new(vec![1.0, -1.0, 0.2]);
+    region.add(h.clone());
+    let warm1 = region.inner_sphere_with(&mut cache).unwrap();
+    region.add(h); // exact duplicate
+    let warm2 = region.inner_sphere_with(&mut cache).unwrap();
+    let cold2 = region.inner_sphere().unwrap();
+    assert!((warm2.radius() - cold2.radius()).abs() < 1e-9);
+    assert!((warm2.radius() - warm1.radius()).abs() < 1e-9);
+    let warm_rect = region.outer_rectangle_with(&mut cache).unwrap();
+    let cold_rect = region.outer_rectangle().unwrap();
+    for (a, b) in warm_rect.min().iter().zip(cold_rect.min()) {
+        assert!((a - b).abs() < 1e-9);
+    }
+    for (a, b) in warm_rect.max().iter().zip(cold_rect.max()) {
+        assert!((a - b).abs() < 1e-9);
+    }
+    assert!(cache.is_primed());
+}

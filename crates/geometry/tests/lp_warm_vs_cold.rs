@@ -1,0 +1,259 @@
+//! Differential harness for warm-started LP solving.
+//!
+//! Every property here pits [`solve_warm`] against the cold two-phase
+//! [`solve`] on the same problem and demands agreement: statuses match
+//! exactly, optimal objectives agree within `1e-9` (relative), and an
+//! [`LpOutcome::IterationCapped`] incumbent — exempt from objective
+//! equality by its contract — must still be feasible. Problems are drawn
+//! from families covering all solver verdicts (feasible/bounded,
+//! force-infeasible, likely-unbounded, mixed), and perturbation chains
+//! replay the interactive algorithms' actual access pattern: one
+//! constraint appended, deleted, re-weighted, or duplicated per step with
+//! the basis carried across the edit.
+
+use isrl_geometry::lp::{solve, solve_warm, Basis, Constraint, LpBuilder, LpOutcome, Problem, Rel};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn status(o: &LpOutcome) -> &'static str {
+    match o {
+        LpOutcome::Optimal(_) => "optimal",
+        LpOutcome::Infeasible => "infeasible",
+        LpOutcome::Unbounded => "unbounded",
+        LpOutcome::IterationCapped(_) => "capped",
+    }
+}
+
+/// `x` satisfies every constraint of `p` (and sign restrictions) to a
+/// scale-aware tolerance.
+fn is_feasible(p: &Problem, x: &[f64]) -> bool {
+    for (j, &v) in x.iter().enumerate() {
+        if !p.free[j] && v < -1e-6 {
+            return false;
+        }
+    }
+    p.constraints.iter().all(|c| {
+        let val: f64 = c.coeffs.iter().zip(x).map(|(a, b)| a * b).sum();
+        let scale = c
+            .coeffs
+            .iter()
+            .fold(c.rhs.abs().max(1.0), |m, a| m.max(a.abs()));
+        match c.rel {
+            Rel::Le => val <= c.rhs + 1e-6 * scale,
+            Rel::Ge => val >= c.rhs - 1e-6 * scale,
+            Rel::Eq => (val - c.rhs).abs() <= 1e-6 * scale,
+        }
+    })
+}
+
+/// Solves `p` cold and warm (from `basis`) and checks the differential
+/// contract. Returns the cold basis so chains can refresh their carry.
+fn check_agreement(p: &Problem, basis: &Basis) -> Result<Option<Basis>, TestCaseError> {
+    let (cold, cold_basis) = solve(p).map_err(|e| TestCaseError::fail(format!("cold: {e}")))?;
+    let (warm, _) = solve_warm(p, basis).map_err(|e| TestCaseError::fail(format!("warm: {e}")))?;
+    prop_assert_eq!(status(&cold), status(&warm), "status divergence on {:?}", p);
+    match (&cold, &warm) {
+        (LpOutcome::Optimal(c), LpOutcome::Optimal(w)) => {
+            let tol = 1e-9 * c.objective.abs().max(1.0);
+            prop_assert!(
+                (c.objective - w.objective).abs() <= tol,
+                "objective divergence: cold {} vs warm {} on {:?}",
+                c.objective,
+                w.objective,
+                p
+            );
+            prop_assert!(is_feasible(p, &w.x), "warm optimum infeasible: {:?}", w.x);
+        }
+        (LpOutcome::IterationCapped(c), LpOutcome::IterationCapped(w)) => {
+            // Capped incumbents are unproven; only feasibility is promised.
+            prop_assert!(is_feasible(p, &c.x), "cold incumbent infeasible");
+            prop_assert!(is_feasible(p, &w.x), "warm incumbent infeasible");
+        }
+        _ => {}
+    }
+    Ok(cold_basis)
+}
+
+/// Feasible and bounded: maximize over the simplex cut by half-spaces
+/// oriented to keep a known witness inside.
+fn feasible_simplex(rng: &mut StdRng, d: usize) -> Problem {
+    let mut witness: Vec<f64> = (0..d).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let s: f64 = witness.iter().sum();
+    witness.iter_mut().for_each(|w| *w /= s);
+    let c: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut b = LpBuilder::maximize(&c).constraint(&vec![1.0; d], Rel::Eq, 1.0);
+    for _ in 0..rng.gen_range(0..8) {
+        let mut row: Vec<f64> = (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let val: f64 = row.iter().zip(&witness).map(|(r, w)| r * w).sum();
+        if val < 0.0 {
+            row.iter_mut().for_each(|r| *r = -*r);
+        }
+        b = b.constraint(&row, Rel::Ge, 0.0);
+    }
+    b.build()
+}
+
+/// Simplex plus unoriented half-spaces with shifted right-hand sides —
+/// feasible or infeasible depending on the draw.
+fn mixed_halfspaces(rng: &mut StdRng, d: usize) -> Problem {
+    let c: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut b = LpBuilder::maximize(&c).constraint(&vec![1.0; d], Rel::Eq, 1.0);
+    for _ in 0..rng.gen_range(1..7) {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        b = b.constraint(&row, Rel::Ge, rng.gen_range(-0.3..0.3));
+    }
+    b.build()
+}
+
+/// Certifiably infeasible: the simplex equality contradicts a `sum ≥ 2`
+/// row, buried among random noise rows.
+fn forced_infeasible(rng: &mut StdRng, d: usize) -> Problem {
+    let c: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut b = LpBuilder::maximize(&c).constraint(&vec![1.0; d], Rel::Eq, 1.0);
+    for _ in 0..rng.gen_range(0..4) {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        b = b.constraint(&row, Rel::Ge, rng.gen_range(-0.5..0.0));
+    }
+    b.constraint(&vec![1.0; d], Rel::Ge, 2.0).build()
+}
+
+/// No simplex cap and a positive objective direction — frequently
+/// unbounded, occasionally bounded or infeasible by the extra rows.
+fn loose_cone(rng: &mut StdRng, d: usize) -> Problem {
+    let mut c: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    c[0] = c[0].abs().max(0.1); // at least one improving ray candidate
+    let mut b = LpBuilder::maximize(&c);
+    for _ in 0..rng.gen_range(0..4) {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let rel = if rng.gen_bool(0.5) { Rel::Ge } else { Rel::Le };
+        b = b.constraint(&row, rel, rng.gen_range(-1.0..1.0));
+    }
+    if rng.gen_bool(0.3) {
+        b = b.free_var(rng.gen_range(0..d));
+    }
+    b.build()
+}
+
+fn random_problem(rng: &mut StdRng) -> Problem {
+    let d = rng.gen_range(2..=5);
+    match rng.gen_range(0..4) {
+        0 => feasible_simplex(rng, d),
+        1 => mixed_halfspaces(rng, d),
+        2 => forced_infeasible(rng, d),
+        _ => loose_cone(rng, d),
+    }
+}
+
+/// One in-place edit of the kind the interactive loop performs.
+fn perturb(rng: &mut StdRng, p: &mut Problem) {
+    let m = p.constraints.len();
+    match rng.gen_range(0..4) {
+        0 if m > 1 => {
+            let i = rng.gen_range(0..m);
+            p.constraints.remove(i);
+        }
+        1 if m > 0 => {
+            let i = rng.gen_range(0..m);
+            p.constraints[i].rhs += rng.gen_range(-0.1..0.1);
+        }
+        2 if m > 0 => {
+            let i = rng.gen_range(0..m);
+            let dup = p.constraints[i].clone();
+            p.constraints.push(dup);
+        }
+        _ => p.constraints.push(Constraint {
+            coeffs: (0..p.n_vars).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            rel: Rel::Ge,
+            rhs: rng.gen_range(-0.2..0.2),
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Re-solving the very problem a basis came from must reproduce the
+    // cold verdict bit-for-status and objective-for-objective.
+    #[test]
+    fn warm_resolve_of_same_problem_matches_cold(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_problem(&mut rng);
+        let (_, basis) = solve(&p).expect("well-shaped");
+        if let Some(b) = basis {
+            check_agreement(&p, &b)?;
+        }
+    }
+
+    // A basis from an unrelated problem (possibly different dimension)
+    // must never change the verdict — at worst it costs a cold fallback.
+    #[test]
+    fn warm_from_foreign_basis_is_safe(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let donor = random_problem(&mut rng);
+        let target = random_problem(&mut rng);
+        let (_, basis) = solve(&donor).expect("well-shaped");
+        if let Some(b) = basis {
+            check_agreement(&target, &b)?;
+        }
+    }
+
+    // One-constraint perturbation chains: the basis is carried across
+    // appends, deletions, rhs shifts, and duplications, and the warm
+    // verdict must track the cold one at every link.
+    #[test]
+    fn perturbation_chains_stay_in_agreement(
+        seed in 0u64..1 << 32,
+        steps in 1usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let d = rng.gen_range(2..=5);
+        let mut p = feasible_simplex(&mut rng, d);
+        let (_, basis) = solve(&p).expect("well-shaped");
+        let mut carried = basis.expect("feasible family always yields a basis");
+        for _ in 0..steps {
+            perturb(&mut rng, &mut p);
+            if let Some(fresh) = check_agreement(&p, &carried)? {
+                carried = fresh; // infeasible/unbounded links keep the stale one
+            }
+        }
+    }
+
+    // Chains that only append rows (the AA round loop's exact pattern):
+    // the carried basis is the *warm* result's, not the cold refresh, so
+    // this also exercises basis extraction on the warm path.
+    #[test]
+    fn append_only_chains_reuse_warm_bases(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51ed_270b);
+        let d = rng.gen_range(2..=6);
+        let mut p = feasible_simplex(&mut rng, d);
+        let (_, basis) = solve(&p).expect("well-shaped");
+        let mut carried = basis.expect("feasible family always yields a basis");
+        for _ in 0..rng.gen_range(1..10) {
+            perturb_append(&mut rng, &mut p);
+            let (cold, _) = solve(&p).expect("well-shaped");
+            let (warm, warm_basis) = solve_warm(&p, &carried).expect("well-shaped");
+            prop_assert_eq!(status(&cold), status(&warm));
+            if let (LpOutcome::Optimal(c), LpOutcome::Optimal(w)) = (&cold, &warm) {
+                let tol = 1e-9 * c.objective.abs().max(1.0);
+                prop_assert!(
+                    (c.objective - w.objective).abs() <= tol,
+                    "cold {} vs warm {}", c.objective, w.objective
+                );
+            }
+            if let Some(b) = warm_basis {
+                carried = b;
+            }
+        }
+    }
+}
+
+/// Appends one random half-space row (append-only chain variant).
+fn perturb_append(rng: &mut StdRng, p: &mut Problem) {
+    p.constraints.push(Constraint {
+        coeffs: (0..p.n_vars).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        rel: Rel::Ge,
+        rhs: rng.gen_range(-0.1..0.1),
+    });
+}

@@ -330,6 +330,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // 1 * 5 documents the out x in shape
     fn shapes_are_consistent() {
         let net = tiny_net(1);
         assert_eq!(net.input_dim(), 3);

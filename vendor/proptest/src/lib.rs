@@ -145,6 +145,22 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             Self { cases }
         }
+
+        /// Applies the `PROPTEST_CASES` environment variable: when set to a
+        /// positive integer it overrides the configured case count, matching
+        /// upstream proptest's env-driven configuration. Invalid or unset
+        /// values leave the config unchanged. The `proptest!` macro calls
+        /// this on every config, so `PROPTEST_CASES=512 cargo test` deepens
+        /// all property suites without code changes.
+        pub fn from_env(self) -> Self {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => match v.trim().parse::<u32>() {
+                    Ok(n) if n > 0 => Self { cases: n },
+                    _ => self,
+                },
+                Err(_) => self,
+            }
+        }
     }
 
     impl Default for ProptestConfig {
@@ -461,6 +477,7 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
+                let config = config.from_env();
                 let mut rng =
                     $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
                 for case in 0..config.cases {
@@ -580,6 +597,18 @@ mod tests {
             assert!(text.len() <= 12);
             assert!(text.chars().all(|c| "abc01 ,\"'".contains(c)));
         }
+    }
+
+    #[test]
+    fn env_override_rewrites_the_case_count() {
+        // Other tests in this binary tolerate any case count, so briefly
+        // mutating the process env here is safe.
+        std::env::set_var("PROPTEST_CASES", "17");
+        assert_eq!(ProptestConfig::with_cases(64).from_env().cases, 17);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::with_cases(64).from_env().cases, 64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::with_cases(64).from_env().cases, 64);
     }
 
     #[test]
