@@ -29,6 +29,7 @@ struct Cli {
     users: usize,
     train: usize,
     trace_out: Option<PathBuf>,
+    metrics_interval: Option<f64>,
 }
 
 fn parse_cli() -> Cli {
@@ -39,6 +40,7 @@ fn parse_cli() -> Cli {
         users: 15,
         train: 100,
         trace_out: None,
+        metrics_interval: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -52,12 +54,20 @@ fn parse_cli() -> Cli {
                     args.next().expect("--trace-out needs a value"),
                 ));
             }
+            "--metrics-interval" => {
+                cli.metrics_interval = Some(
+                    args.next()
+                        .expect("--metrics-interval needs seconds")
+                        .parse()
+                        .expect("--metrics-interval must be a number of seconds"),
+                );
+            }
             other => cli.experiments.push(other.to_string()),
         }
     }
     if cli.experiments.is_empty() {
         eprintln!(
-            "usage: figures <exp>... [--scale X] [--out DIR] [--users N] [--train N] [--trace-out t.jsonl]"
+            "usage: figures <exp>... [--scale X] [--out DIR] [--users N] [--train N] [--trace-out t.jsonl] [--metrics-interval s]"
         );
         eprintln!(
             "exps: fig6a fig6b fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 ablation noise all"
@@ -525,9 +535,16 @@ fn noise(ctx: &Ctx) -> Vec<Table> {
 
 fn main() {
     let cli = parse_cli();
-    if cli.trace_out.is_some() {
+    let mut snapshotter = None;
+    if cli.trace_out.is_some() || cli.metrics_interval.is_some() {
         isrl_obs::reset();
         isrl_obs::set_enabled(true);
+        if let Some(secs) = cli.metrics_interval.filter(|&s| s > 0.0) {
+            snapshotter = Some(isrl_obs::Snapshotter::start(
+                std::time::Duration::from_secs_f64(secs),
+                true,
+            ));
+        }
     }
     let ctx = Ctx {
         scale: cli.scale,
@@ -579,6 +596,9 @@ fn main() {
     // Per-item sweep telemetry rides along with the tables: every
     // evaluated (cell, algo, user) item is a `sweep_item` event, and the
     // trailing summary line carries the LP/sampling/scan aggregates.
+    if let Some(s) = snapshotter.take() {
+        s.stop();
+    }
     if let Some(path) = &cli.trace_out {
         isrl_obs::set_enabled(false);
         let snap = isrl_obs::snapshot();

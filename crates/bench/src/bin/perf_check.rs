@@ -1,0 +1,290 @@
+//! `perf-check` — the noise-aware perf-regression gate.
+//!
+//! Runs a fixed set of quick seeded benches (min of [`REPS`] reps each):
+//!
+//! * `kernel.vertex_update` — incremental vertex enumeration on a 14-cut
+//!   region at d = 4 (the hot-path layer's headline kernel);
+//! * `kernel.top1_batch` — the batched top-1 utility scan at n = 50k,
+//!   d = 20, 32 utility vectors;
+//! * `lp.warm_replay` / `lp.cold_replay` — the warm-started vs cold LP
+//!   replay of a 15-cut sequence at d = 8 with candidate-cut probes;
+//! * `round.ea_untrained` — per-round milliseconds of an untrained EA
+//!   interaction at d = 4 over seeded simulated users.
+//!
+//! The run is compared against the median-of-window baseline with
+//! per-metric relative tolerances (`bench::history`; rationale in
+//! DESIGN.md §11) and, on a clean pass, appended to `BENCH_history.jsonl`
+//! (commit, timestamp, metric map) — a regressed run never becomes part
+//! of the baseline it failed against. Exits nonzero when any metric
+//! regressed. An empty or missing history seeds the baseline and passes.
+//!
+//! Usage:
+//!   cargo run -p isrl-bench --release --bin perf_check [-- flags]
+//!     --history <path>   history file (default BENCH_history.jsonl)
+//!     --dry-run          measure and compare, but do not append
+//!     --scale <x>        multiply every measured timing by <x>
+//!                        (CI self-test hook: --scale 2.0 simulates a
+//!                        uniform 2x slowdown and must fail the gate)
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::io::Write as _;
+
+use isrl_bench::history::{
+    baseline_of, check, parse_history, HistoryRecord, BASELINE_WINDOW, HISTORY_FILE,
+};
+use isrl_core::prelude::*;
+use isrl_data::{generate, skyline, Distribution};
+use isrl_geometry::{Halfspace, Polytope, Region, RegionLpCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reps per metric; the recorded value is their minimum — the achievable
+/// floor is far more stable under transient scheduler/frequency noise
+/// than the median, and a *code* regression raises the floor too.
+const REPS: usize = 5;
+
+/// Milliseconds of one `f()` call.
+fn ms_of<F: FnMut()>(mut f: F) -> f64 {
+    let t = std::time::Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Min-of-[`REPS`] milliseconds of `f`, after one warm-up call.
+fn bench<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    (0..REPS)
+        .map(|_| ms_of(&mut f))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// A seeded cut sequence keeping the barycenter feasible, plus probe
+/// hyperplanes (the same construction as the lp_warm artifact).
+fn cut_workload(
+    d: usize,
+    cuts: usize,
+    probes: usize,
+    seed: u64,
+) -> (Vec<Halfspace>, Vec<Halfspace>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bary = vec![1.0 / d as f64; d];
+    let mut seq = Vec::with_capacity(cuts);
+    while seq.len() < cuts {
+        let a: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let b: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..1.0)).collect();
+        if let Some(h) = Halfspace::preferring(&a, &b) {
+            seq.push(if h.contains(&bary, 0.0) {
+                h
+            } else {
+                h.flipped()
+            });
+        }
+    }
+    let probe_set = (0..probes)
+        .map(|_| {
+            let v: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            Halfspace::new(v)
+        })
+        .collect();
+    (seq, probe_set)
+}
+
+fn kernel_vertex_update() -> f64 {
+    let (d, cuts) = (4usize, 14usize);
+    let (seq, _) = cut_workload(d, cuts, 0, 6);
+    let mut prior = Region::full(d);
+    for h in &seq[..cuts - 1] {
+        prior.add(h.clone());
+    }
+    let last = seq[cuts - 1].clone();
+    let prior_polytope = Polytope::from_region(&prior).expect("barycenter kept feasible");
+    // 5000 updates per sample keeps one sample around a millisecond —
+    // a 50-iteration sample sits at ~10 us, where timer and scheduling
+    // jitter alone produce 1.7x run-to-run scatter.
+    bench(|| {
+        for _ in 0..5000 {
+            black_box(prior_polytope.update(&prior, &last));
+        }
+    })
+}
+
+fn kernel_top1_batch() -> f64 {
+    let data = generate(50_000, 20, Distribution::AntiCorrelated, 11);
+    let d = data.dim();
+    let utilities = sample_users(d, 32, 12);
+    let flat = data.as_flat();
+    bench(|| {
+        black_box(isrl_linalg::top1_batch(&utilities, flat, d));
+    })
+}
+
+fn lp_replays() -> (f64, f64) {
+    let (d, cuts, probes) = (8usize, 15usize, 6usize);
+    let (seq, probe_set) = cut_workload(d, cuts, probes, 1);
+    let replay_cold = || {
+        let mut region = Region::full(d);
+        for h in &seq {
+            region.add(h.clone());
+            black_box(region.inner_sphere());
+            black_box(region.outer_rectangle());
+            for p in &probe_set {
+                black_box(region.is_cut_by(p));
+            }
+        }
+    };
+    let replay_warm = || {
+        let mut region = Region::full(d);
+        let mut cache = RegionLpCache::new();
+        for h in &seq {
+            region.add(h.clone());
+            black_box(region.inner_sphere_with(&mut cache));
+            black_box(region.outer_rectangle_with(&mut cache));
+            for p in &probe_set {
+                black_box(region.is_cut_by_with(p, &mut cache));
+            }
+        }
+    };
+    (bench(replay_warm), bench(replay_cold))
+}
+
+fn round_ea_untrained() -> f64 {
+    let data = skyline(&generate(400, 4, Distribution::AntiCorrelated, 1));
+    let d = data.dim();
+    let eps = 0.15;
+    let users = sample_users(d, 3, 3);
+    let mut ea = EaAgent::new(d, EaConfig::paper_default().with_seed(4));
+    let run_all = |ea: &mut EaAgent| {
+        let mut rounds = 0usize;
+        let mut secs = 0.0f64;
+        for (i, u) in users.iter().enumerate() {
+            ea.reseed(0x5eed + i as u64);
+            let mut user = SimulatedUser::new(u.clone());
+            let out = ea.run(&data, &mut user, eps, TraceMode::Off);
+            rounds += out.rounds;
+            secs += out.elapsed.as_secs_f64();
+        }
+        (rounds, secs)
+    };
+    run_all(&mut ea); // warm-up
+    (0..REPS)
+        .map(|_| {
+            let (rounds, secs) = run_all(&mut ea);
+            secs * 1e3 / rounds.max(1) as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn current_commit() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut history_path = HISTORY_FILE.to_string();
+    let mut dry_run = false;
+    let mut scale = 1.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--history" => {
+                history_path = it.next().expect("--history needs a path").clone();
+            }
+            "--dry-run" => dry_run = true,
+            "--scale" => {
+                scale = it
+                    .next()
+                    .expect("--scale needs a factor")
+                    .parse()
+                    .expect("--scale factor must be a number");
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (see the module docs)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("perf-check: {REPS} reps per metric, min recorded");
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+    let t0 = std::time::Instant::now();
+    metrics.insert("kernel.vertex_update".into(), kernel_vertex_update());
+    metrics.insert("kernel.top1_batch".into(), kernel_top1_batch());
+    let (warm, cold) = lp_replays();
+    metrics.insert("lp.warm_replay".into(), warm);
+    metrics.insert("lp.cold_replay".into(), cold);
+    metrics.insert("round.ea_untrained".into(), round_ea_untrained());
+    for v in metrics.values_mut() {
+        *v *= scale;
+    }
+    for (name, v) in &metrics {
+        eprintln!("  {name:<24} {v:>10.4} ms");
+    }
+    eprintln!("measured in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let history_text = std::fs::read_to_string(&history_path).unwrap_or_default();
+    let history = match parse_history(&history_text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {history_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let record = HistoryRecord {
+        commit: current_commit(),
+        unix_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        metrics,
+    };
+
+    let regressions = if history.is_empty() {
+        eprintln!("{history_path}: no history — this run seeds the baseline");
+        Vec::new()
+    } else {
+        let baseline = baseline_of(&history, BASELINE_WINDOW);
+        check(&baseline, &record.metrics)
+    };
+
+    // Append only on a clean pass: a regressed run must not become part
+    // of the baseline it just failed against.
+    if dry_run {
+        eprintln!("--dry-run: not appending to {history_path}");
+    } else if !regressions.is_empty() {
+        eprintln!("regressions detected: not appending to {history_path}");
+    } else {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .expect("opening the history file");
+        writeln!(file, "{}", record.to_jsonl()).expect("appending the history record");
+        eprintln!(
+            "appended record for {} to {history_path} ({} total)",
+            record.commit,
+            history.len() + 1
+        );
+    }
+
+    if regressions.is_empty() {
+        println!("perf-check: OK ({} metric(s))", record.metrics.len());
+    } else {
+        for r in &regressions {
+            eprintln!("REGRESSION {r}");
+        }
+        println!("perf-check: FAILED ({} regression(s))", regressions.len());
+        std::process::exit(1);
+    }
+}

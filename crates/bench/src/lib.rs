@@ -2,9 +2,12 @@
 //!
 //! * [`sweep`] — dataset specs, algorithm factories, parallel evaluation;
 //! * [`report`] — result tables (terminal + CSV);
+//! * [`history`] — bench-history records and the noise-aware
+//!   perf-regression gate behind the `perf_check` binary;
 //! * the `figures` binary regenerates every figure of the paper's §V
 //!   (`cargo run -p isrl-bench --release --bin figures -- all`);
 //! * `benches/` holds the Criterion micro-benchmarks for per-round costs.
 
+pub mod history;
 pub mod report;
 pub mod sweep;

@@ -57,10 +57,11 @@ pub fn train(args: &Args) -> CmdResult {
         "out",
         "trace-out",
         "metrics",
+        "metrics-interval",
     ])?;
     let (data, source) = resolve_dataset(args)?;
     describe(&data, &source);
-    let tracing = crate::trace::begin(args);
+    let tracing = crate::trace::begin(args)?;
     let algo = args.get("algo").unwrap_or("ea");
     let eps = args.get_or("eps", 0.1f64, "number")?;
     let episodes = args.get_or("episodes", 200usize, "integer")?;
@@ -97,7 +98,7 @@ pub fn train(args: &Args) -> CmdResult {
         start.elapsed().as_secs_f64(),
         blob.len()
     );
-    crate::trace::finish(&tracing)
+    crate::trace::finish(tracing)
 }
 
 fn load_agent(path: &str) -> Result<Box<dyn InteractiveAlgorithm>, Box<dyn std::error::Error>> {
@@ -123,10 +124,11 @@ pub fn eval(args: &Args) -> CmdResult {
         "noise",
         "trace-out",
         "metrics",
+        "metrics-interval",
     ])?;
     let (data, source) = resolve_dataset(args)?;
     describe(&data, &source);
-    let tracing = crate::trace::begin(args);
+    let tracing = crate::trace::begin(args)?;
     let eps = args.get_or("eps", 0.1f64, "number")?;
     let n_users = args.get_or("users", 30usize, "integer")?;
     let seed = args.get_or("seed", 7u64, "integer")?;
@@ -181,7 +183,7 @@ pub fn eval(args: &Args) -> CmdResult {
         regret_max
     );
     println!("truncated:    {truncated}/{n_users}");
-    crate::trace::finish(&tracing)
+    crate::trace::finish(tracing)
 }
 
 /// `isrl serve` — interview a human on stdin with a trained agent.

@@ -41,11 +41,15 @@ COMMANDS:
              --model model.ckpt
   trace-validate  check a --trace-out file against the event schema
              (exits nonzero on malformed lines or warning counters)
+  trace-report    aggregate a trace into paper-style tables
+             <file.jsonl> [--json <dir>] [--only <id>]
 
 TELEMETRY:
-  --trace-out <file>  stream per-round / per-episode events as JSONL
-                      (one event per line, trailing summary line)
-  --metrics           print counter/span/histogram aggregates to stderr
+  --trace-out <file>      stream per-round / per-episode events as JSONL
+                          (one event per line, trailing summary line)
+  --metrics               print counter/span/histogram aggregates to stderr
+  --metrics-interval <s>  sample aggregate deltas every <s> seconds as
+                          timeseries events (live progress on stderr)
 ";
 
 /// Shared dataset-selection flags, accepted by every command that loads data.
@@ -62,6 +66,8 @@ const TELEMETRY_FLAGS: &str = "\
   --trace-out <file>     stream per-round / per-episode events as JSONL
                          (one event per line, trailing summary line)
   --metrics              print counter/span/histogram aggregates to stderr
+  --metrics-interval <s> sample aggregate deltas every <s> seconds as
+                         timeseries events (live progress on stderr)
 ";
 
 /// Per-subcommand usage text for `isrl <command> --help`.
@@ -112,6 +118,14 @@ fn command_help(command: &str) -> Option<String> {
                          nonzero on malformed lines or warning counters\n"
                 .to_string(),
         ),
+        "trace-report" => (
+            "aggregate a trace into paper-style tables",
+            "  <file.jsonl>           trace to report on (positional)
+  --json <dir>           also save each table as <dir>/trace_<id>.json
+  --only <id>            print a single table (questions | episodes |
+                         phases | rounds | lp | timeseries | census)\n"
+                .to_string(),
+        ),
         _ => return None,
     };
     Some(format!(
@@ -146,6 +160,7 @@ fn main() {
         "serve" => commands::serve(&args),
         "inspect" => commands::inspect(&args),
         "trace-validate" => trace::validate(&args),
+        "trace-report" => trace::report(&args),
         other => {
             eprintln!("unknown command {other:?}\n\n{USAGE}");
             std::process::exit(2);

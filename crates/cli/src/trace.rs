@@ -1,11 +1,18 @@
-//! `--trace-out` / `--metrics` plumbing and the `trace-validate` command.
+//! Telemetry plumbing (`--trace-out`, `--metrics`, `--metrics-interval`)
+//! and the `trace-validate` / `trace-report` commands.
 //!
 //! Telemetry is opt-in: the sink stays disabled (every instrumentation
-//! site is one relaxed atomic load) unless one of the two flags is given.
-//! At the end of the command the sink is drained exactly once — the JSONL
-//! file gets every buffered event plus the trailing `summary` line, and
-//! `--metrics` prints the aggregate table to stderr so it never mixes
-//! with a command's stdout output.
+//! site is one relaxed atomic load) unless one of the flags is given.
+//! `--metrics-interval <secs>` additionally starts the background
+//! snapshotter, which emits one `timeseries` event per interval (aggregate
+//! deltas: episodes/sec, LP warm-hit rate, replay occupancy, per-phase
+//! latency) and echoes a progress line to stderr. At the end of the
+//! command the snapshotter is stopped (one final sample) and the sink is
+//! drained exactly once — the JSONL file gets every buffered event plus
+//! the trailing `summary` line, and `--metrics` prints the aggregate table
+//! to stderr so it never mixes with a command's stdout output.
+
+use std::time::Duration;
 
 use crate::args::Args;
 use crate::commands::CmdResult;
@@ -14,38 +21,73 @@ use crate::commands::CmdResult;
 pub struct TraceOpts {
     out: Option<String>,
     metrics: bool,
+    snapshotter: Option<isrl_obs::Snapshotter>,
 }
 
-/// Reads `--trace-out` / `--metrics` and, if either is present, resets and
-/// enables the global telemetry sink.
-pub fn begin(args: &Args) -> TraceOpts {
+/// Reads `--trace-out` / `--metrics` / `--metrics-interval` and, if any is
+/// present, resets and enables the global telemetry sink. A positive
+/// `--metrics-interval` starts the periodic snapshotter (echoing one
+/// progress line per sample).
+pub fn begin(args: &Args) -> Result<TraceOpts, Box<dyn std::error::Error>> {
     let out = args
         .get("trace-out")
         .filter(|p| !p.is_empty())
         .map(String::from);
     let metrics = args.has("metrics");
-    if out.is_some() || metrics {
+    let interval = args.get_or("metrics-interval", 0.0f64, "number of seconds")?;
+    if interval < 0.0 || interval.is_nan() {
+        return Err(format!("--metrics-interval {interval} must be >= 0").into());
+    }
+    let snapshotter = if out.is_some() || metrics || interval > 0.0 {
         isrl_obs::reset();
         isrl_obs::set_enabled(true);
-    }
-    TraceOpts { out, metrics }
+        (interval > 0.0)
+            .then(|| isrl_obs::Snapshotter::start(Duration::from_secs_f64(interval), true))
+    } else {
+        None
+    };
+    Ok(TraceOpts {
+        out,
+        metrics,
+        snapshotter,
+    })
 }
 
-/// Drains the sink: writes the JSONL trace (events + one `summary` line)
-/// when `--trace-out` was given, prints the aggregate table to stderr when
-/// `--metrics` was given. No-op when neither flag was present.
-pub fn finish(opts: &TraceOpts) -> CmdResult {
-    if opts.out.is_none() && !opts.metrics {
+/// Stops the snapshotter (final sample) and drains the sink: writes the
+/// JSONL trace (events + one `summary` line) when `--trace-out` was given,
+/// prints the aggregate table to stderr when `--metrics` was given, and
+/// warns loudly when the bounded event buffer overflowed (the trace is
+/// incomplete and `trace-validate` would reject it). No-op when no
+/// telemetry flag was present.
+pub fn finish(opts: TraceOpts) -> CmdResult {
+    if let Some(s) = opts.snapshotter {
+        s.stop();
+    } else if opts.out.is_none() && !opts.metrics {
         return Ok(());
     }
     isrl_obs::set_enabled(false);
     let snap = isrl_obs::snapshot();
+    let dropped = isrl_obs::counter_value(isrl_obs::DROPPED_COUNTER);
     if let Some(path) = &opts.out {
         let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
         snap.write_jsonl(&mut file)?;
         use std::io::Write as _;
         file.flush()?;
-        eprintln!("trace: {} events written to {path}", snap.n_events());
+        eprintln!(
+            "trace: {} events written to {path}{}",
+            snap.n_events(),
+            if dropped > 0 {
+                format!(" ({dropped} DROPPED — raise the interval or split the run)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} event(s) dropped at the {} buffer cap; the trace is incomplete",
+            isrl_obs::EVENT_CAP
+        );
     }
     if opts.metrics {
         eprint!("{}", snap.render());
@@ -55,8 +97,9 @@ pub fn finish(opts: &TraceOpts) -> CmdResult {
 
 /// `isrl trace-validate <file>` — checks a `--trace-out` file against the
 /// documented schema (DESIGN.md §9). Exits with an error when any line is
-/// malformed, when the summary line is missing or duplicated, or when a
-/// warning counter (LP iteration caps, EA sampling fallbacks) is nonzero.
+/// malformed, when the summary line is missing or duplicated, when round
+/// or timeseries ordering is violated, or when a warning counter (LP
+/// iteration caps, EA sampling fallbacks, dropped events) is nonzero.
 pub fn validate(args: &Args) -> CmdResult {
     args.ensure_known(&[])?;
     let [path] = args.positional() else {
@@ -78,5 +121,61 @@ pub fn validate(args: &Args) -> CmdResult {
         .into());
     }
     println!("{path}: valid trace");
+    Ok(())
+}
+
+/// `isrl trace-report <file>` — aggregates any JSONL trace into the
+/// paper-style tables (question-count distributions, per-phase time
+/// breakdown, warm-vs-cold LP counters, snapshotter timeseries) and prints
+/// them. `--json <dir>` additionally saves every table as
+/// `<dir>/trace_<id>.json` in the `bench::report::Table` format, and
+/// `--only <id>` restricts output to one table. Output is deterministic:
+/// the same trace always renders byte-identically.
+pub fn report(args: &Args) -> CmdResult {
+    args.ensure_known(&["json", "only"])?;
+    let [path] = args.positional() else {
+        return Err("usage: isrl trace-report <trace.jsonl> [--json <dir>] [--only <id>]".into());
+    };
+    let text = std::fs::read_to_string(path)?;
+    let tables = isrl_obs::report::report(&text).map_err(|e| format!("{path}: {e}"))?;
+    if tables.is_empty() {
+        return Err(format!("{path}: no reportable events in trace").into());
+    }
+    let only = args.get("only").filter(|s| !s.is_empty());
+    let json_dir = args.get("json").filter(|s| !s.is_empty());
+    let mut printed = 0usize;
+    for rt in &tables {
+        if only.is_some_and(|id| id != rt.id) {
+            continue;
+        }
+        let headers: Vec<&str> = rt.headers.iter().map(String::as_str).collect();
+        let mut t = isrl_bench::report::Table::new(rt.id.clone(), rt.title.clone(), &headers);
+        for row in &rt.rows {
+            t.push_row(row.clone());
+        }
+        print!("{}", t.render());
+        println!();
+        if let Some(dir) = json_dir {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir)?;
+            t.save_json(&dir.join(format!("trace_{}.json", t.id)))?;
+        }
+        printed += 1;
+    }
+    if printed == 0 {
+        return Err(format!(
+            "no table with id {:?}; available: {}",
+            only.unwrap_or(""),
+            tables
+                .iter()
+                .map(|t| t.id.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+        .into());
+    }
+    if let Some(dir) = json_dir {
+        eprintln!("wrote {printed} table(s) as JSON under {dir}");
+    }
     Ok(())
 }

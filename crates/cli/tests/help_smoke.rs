@@ -12,6 +12,7 @@ const SUBCOMMANDS: &[&str] = &[
     "serve",
     "inspect",
     "trace-validate",
+    "trace-report",
 ];
 
 fn run(args: &[&str]) -> std::process::Output {
@@ -62,6 +63,10 @@ fn train_and_eval_help_document_trace_out() {
             "`isrl {cmd} --help` lost the --trace-out help text:\n{stdout}"
         );
         assert!(stdout.contains("--metrics"));
+        assert!(
+            stdout.contains("--metrics-interval"),
+            "`isrl {cmd} --help` lost the --metrics-interval help text:\n{stdout}"
+        );
     }
 }
 

@@ -27,6 +27,7 @@ pub(crate) fn emit_round_event(
     if !isrl_obs::enabled() {
         return;
     }
+    isrl_obs::add("rounds.total", 1);
     let mut ev = Event::new("round")
         .field("algo", algo)
         .field("round", round)
@@ -65,6 +66,10 @@ pub(crate) fn emit_episode_event(
     if !isrl_obs::enabled() {
         return;
     }
+    // The snapshotter rates episodes/sec off this counter and reports the
+    // replay level as a last-value gauge (levels don't delta-subtract).
+    isrl_obs::add("train.episodes", 1);
+    isrl_obs::gauge_set("dqn.replay_occupancy", replay_len as u64);
     let mut ev = Event::new("episode")
         .field("algo", algo)
         .field("episode", episode)

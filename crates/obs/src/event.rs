@@ -2,8 +2,9 @@
 //!
 //! An [`Event`] is a named bag of JSON fields stamped with milliseconds
 //! since the recorder epoch. [`emit`] appends to a global buffer (bounded:
-//! past [`EVENT_CAP`] events are counted in `obs.events_dropped` instead
-//! of stored); [`crate::snapshot`] drains the buffer for serialization.
+//! past [`EVENT_CAP`] events are counted in `obs.events.dropped` instead
+//! of stored — a warning counter, so `trace-validate` surfaces the loss);
+//! [`crate::snapshot`] drains the buffer for serialization.
 
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -80,10 +81,21 @@ pub fn emit(e: Event) {
     let mut buf = buffer().lock().unwrap();
     if buf.len() >= EVENT_CAP {
         drop(buf);
-        crate::add("obs.events_dropped", 1);
+        crate::add(DROPPED_COUNTER, 1);
         return;
     }
     buf.push(e);
+}
+
+/// Name of the counter tracking events lost to the bounded buffer. Listed
+/// in [`crate::schema::WARNING_COUNTERS`]: a nonzero value means the trace
+/// is incomplete and `trace-validate` must say so.
+pub const DROPPED_COUNTER: &str = "obs.events.dropped";
+
+/// Number of events currently buffered (the snapshotter reports this so a
+/// trace shows how close a run came to the cap).
+pub(crate) fn buffered_len() -> usize {
+    buffer().lock().unwrap().len()
 }
 
 /// Removes and returns every buffered event.

@@ -1,0 +1,54 @@
+//! Last-value gauges.
+//!
+//! A gauge is a named `AtomicU64` holding the most recent *level* of some
+//! quantity (replay-buffer occupancy, live session count) — unlike a
+//! [`crate::counter`], setting it overwrites instead of accumulating, so
+//! the periodic snapshotter can report the current level without delta
+//! arithmetic. Same hot-path contract as the other primitives: one relaxed
+//! atomic load when the sink is disabled.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Arc<AtomicU64>>> {
+    static REG: OnceLock<Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>> = OnceLock::new();
+    REG.get_or_init(Default::default)
+}
+
+/// Sets the gauge named `name` to `v`. Early-returns on the disabled sink
+/// before touching the registry lock.
+#[inline]
+pub fn gauge_set(name: &'static str, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    reg.entry(name).or_default().store(v, Ordering::Relaxed);
+}
+
+/// Current value of the gauge named `name` (0 if never set).
+pub fn gauge_value(name: &str) -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .get(name)
+        .map_or(0, |g| g.load(Ordering::Relaxed))
+}
+
+/// All gauges and their last-set values, sorted by name.
+pub(crate) fn snapshot_gauges() -> Vec<(String, u64)> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Zeroes every registered gauge.
+pub(crate) fn reset_gauges() {
+    for g in registry().lock().unwrap().values() {
+        g.store(0, Ordering::Relaxed);
+    }
+}

@@ -21,17 +21,22 @@
 //! here depends on crates outside `std` — the workspace builds offline.
 
 pub mod json;
+pub mod report;
 pub mod schema;
 
 mod counter;
 mod event;
+mod gauge;
 mod hist;
+mod snapshotter;
 mod span;
 
 pub use counter::{add, counter, counter_value, Counter};
-pub use event::{emit, Event, EVENT_CAP};
+pub use event::{emit, Event, DROPPED_COUNTER, EVENT_CAP};
+pub use gauge::{gauge_set, gauge_value};
 pub use hist::{bucket_bounds, bucket_index, histogram, record, HistSummary, N_BUCKETS};
 pub use json::Json;
+pub use snapshotter::Snapshotter;
 pub use span::{round_begin, round_end, span, SpanGuard, SpanStat};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,6 +62,7 @@ pub fn reset() {
     counter::reset_counters();
     span::reset_spans();
     hist::reset_hists();
+    gauge::reset_gauges();
     event::drain_events();
     event::reset_epoch();
 }
@@ -70,6 +76,8 @@ pub struct Snapshot {
     pub spans: Vec<(String, SpanStat)>,
     /// Histogram summaries (only those with data), sorted by name.
     pub hists: Vec<(String, HistSummary)>,
+    /// Gauge last-set values, sorted by name.
+    pub gauges: Vec<(String, u64)>,
     /// Buffered events in emission order (removed from the sink).
     pub events: Vec<Event>,
 }
@@ -80,6 +88,7 @@ pub fn snapshot() -> Snapshot {
         counters: counter::snapshot_counters(),
         spans: span::snapshot_spans(),
         hists: hist::snapshot_hists(),
+        gauges: gauge::snapshot_gauges(),
         events: event::drain_events(),
     }
 }
@@ -115,12 +124,19 @@ impl Snapshot {
                 .map(|(k, h)| (k.clone(), h.to_json()))
                 .collect(),
         );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect(),
+        );
         Json::Obj(vec![
             ("ev".into(), Json::from("summary")),
             ("t_ms".into(), Json::from(0.0)),
             ("counters".into(), counters),
             ("spans".into(), spans),
             ("hists".into(), hists),
+            ("gauges".into(), gauges),
         ])
     }
 
@@ -140,6 +156,12 @@ impl Snapshot {
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
                 let _ = writeln!(out, "  {k:<40} {v}");
             }
         }

@@ -1,0 +1,497 @@
+//! Trace-driven aggregate reports.
+//!
+//! [`report`] ingests any JSONL trace produced by `--trace-out` (round,
+//! episode, sweep_item, and timeseries events, with or without the trailing
+//! summary) and reduces it to the paper-style aggregate tables the
+//! `trace-report` CLI subcommand renders: question-count distributions per
+//! algorithm and sweep cell, the per-phase wall-clock breakdown, the
+//! warm-vs-cold LP counters, and the live-progress series sampled by the
+//! periodic snapshotter.
+//!
+//! Everything here is deterministic: events are reduced in file order into
+//! `BTreeMap`s and every number is formatted with fixed precision, so two
+//! reports over the same trace are byte-identical (an acceptance gate of
+//! the observability layer — reports feed EXPERIMENTS.md and CI artifacts,
+//! where spurious diffs would drown real changes).
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Json};
+
+/// A rendered-but-unstyled aggregate table: the CLI maps these 1:1 onto
+/// `bench::report::Table` for terminal/JSON/CSV output without this crate
+/// needing a dependency on the bench harness.
+#[derive(Debug, Clone)]
+pub struct ReportTable {
+    /// Stable identifier (`questions`, `phases`, `lp`, `timeseries`, …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Pre-formatted rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ReportTable {
+    fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// Distribution accumulator over a list of observations.
+#[derive(Debug, Clone, Default)]
+pub struct Dist {
+    values: Vec<f64>,
+}
+
+impl Dist {
+    /// Records one observation.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+    /// Lower median.
+    pub fn p50(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.values.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v[(v.len() - 1) / 2]
+    }
+}
+
+/// Everything [`report`] extracted from a trace, reduced and ready for
+/// table assembly. Exposed so programmatic consumers (tests, future
+/// dashboards) can skip the string formatting.
+#[derive(Debug, Default)]
+pub struct TraceAggregates {
+    /// Per (cell, algo): question counts of every `sweep_item`.
+    pub sweep_questions: BTreeMap<(String, String), Dist>,
+    /// Per algo: question counts of interactive sessions reconstructed
+    /// from `round` events (each maximal `1..n` run is one session).
+    pub session_questions: BTreeMap<String, Dist>,
+    /// Per algo: rounds per training episode from `episode` events.
+    pub episode_rounds: BTreeMap<String, Dist>,
+    /// Per algo: truncated-episode count.
+    pub episode_truncated: BTreeMap<String, u64>,
+    /// Per algo: (rounds seen, total elapsed ms) from `round` events.
+    pub round_time: BTreeMap<String, (u64, f64)>,
+    /// Per algo: per-phase total milliseconds from `phase_ms` objects.
+    pub phase_ms: BTreeMap<String, BTreeMap<String, f64>>,
+    /// `timeseries` samples in file order:
+    /// (seq, t_ms, counter deltas, gauges).
+    #[allow(clippy::type_complexity)]
+    pub series: Vec<(u64, f64, BTreeMap<String, f64>, BTreeMap<String, f64>)>,
+    /// Counters from the trailing summary (empty when absent).
+    pub summary_counters: BTreeMap<String, f64>,
+    /// Events per kind.
+    pub census: BTreeMap<String, usize>,
+}
+
+fn num(doc: &Json, field: &str) -> Option<f64> {
+    doc.get(field).and_then(Json::as_f64)
+}
+
+fn text(doc: &Json, field: &str) -> Option<String> {
+    doc.get(field).and_then(Json::as_str).map(String::from)
+}
+
+/// Reduces a JSONL trace into [`TraceAggregates`]. Unknown event kinds are
+/// skipped (forward compatibility); malformed JSON is an error with the
+/// offending line number. Session reconstruction mirrors the validator's
+/// interleaving rule: a `round == 1` opens a session, `round == r` advances
+/// one open session sitting at `r - 1`; the multiset of final positions is
+/// the question-count distribution regardless of which session advances.
+pub fn ingest(trace: &str) -> Result<TraceAggregates, String> {
+    let mut agg = TraceAggregates::default();
+    // Per algo: open-session count by current round (see the doc comment).
+    let mut open: BTreeMap<String, BTreeMap<u64, usize>> = BTreeMap::new();
+    for (lineno, line) in trace.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = match doc.get("ev").and_then(Json::as_str) {
+            Some(k) => k.to_string(),
+            None => return Err(format!("line {}: missing 'ev' field", lineno + 1)),
+        };
+        *agg.census.entry(kind.clone()).or_insert(0) += 1;
+        match kind.as_str() {
+            "round" => {
+                let algo = text(&doc, "algo").unwrap_or_default();
+                let round = num(&doc, "round").unwrap_or(0.0);
+                if round >= 1.0 && round.fract() == 0.0 {
+                    let r = round as u64;
+                    let sessions = open.entry(algo.clone()).or_default();
+                    if r > 1 {
+                        if let Some(n) = sessions.get_mut(&(r - 1)) {
+                            *n -= 1;
+                            if *n == 0 {
+                                sessions.remove(&(r - 1));
+                            }
+                        }
+                    }
+                    *sessions.entry(r).or_insert(0) += 1;
+                }
+                let (n, total) = agg.round_time.entry(algo.clone()).or_insert((0, 0.0));
+                *n += 1;
+                *total += num(&doc, "elapsed_ms").unwrap_or(0.0);
+                if let Some(Json::Obj(fields)) = doc.get("phase_ms") {
+                    let phases = agg.phase_ms.entry(algo).or_default();
+                    for (phase, v) in fields {
+                        if let Some(ms) = v.as_f64() {
+                            *phases.entry(phase.clone()).or_insert(0.0) += ms;
+                        }
+                    }
+                }
+            }
+            "episode" => {
+                let algo = text(&doc, "algo").unwrap_or_default();
+                if let Some(r) = num(&doc, "rounds") {
+                    agg.episode_rounds.entry(algo.clone()).or_default().push(r);
+                }
+                if doc.get("truncated").and_then(Json::as_bool) == Some(true) {
+                    *agg.episode_truncated.entry(algo).or_insert(0) += 1;
+                }
+            }
+            "sweep_item" => {
+                let cell = text(&doc, "cell").unwrap_or_default();
+                let algo = text(&doc, "algo").unwrap_or_default();
+                if let Some(r) = num(&doc, "rounds") {
+                    agg.sweep_questions.entry((cell, algo)).or_default().push(r);
+                }
+            }
+            "timeseries" => {
+                let seq = num(&doc, "seq").unwrap_or(0.0) as u64;
+                let t_ms = num(&doc, "t_ms").unwrap_or(0.0);
+                let counters = doc
+                    .get("counters")
+                    .map(Json::to_num_map)
+                    .unwrap_or_default();
+                let gauges = doc.get("gauges").map(Json::to_num_map).unwrap_or_default();
+                agg.series.push((seq, t_ms, counters, gauges));
+            }
+            "summary" => {
+                if let Some(c) = doc.get("counters") {
+                    agg.summary_counters = c.to_num_map();
+                }
+            }
+            _ => {}
+        }
+    }
+    // Finished sessions are the final cursor positions.
+    for (algo, sessions) in open {
+        let dist = agg.session_questions.entry(algo).or_default();
+        for (round, count) in sessions {
+            for _ in 0..count {
+                dist.push(round as f64);
+            }
+        }
+    }
+    Ok(agg)
+}
+
+fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+fn u(x: f64) -> String {
+    format!("{}", x as u64)
+}
+
+/// Assembles the aggregate tables. Tables with no underlying events are
+/// omitted, so a pure-training trace reports episodes and phases while an
+/// evaluation trace reports sessions and sweep cells.
+pub fn tables(agg: &TraceAggregates) -> Vec<ReportTable> {
+    let mut out = Vec::new();
+
+    // Question-count distributions: the paper's headline metric.
+    if !agg.session_questions.is_empty() || !agg.sweep_questions.is_empty() {
+        let mut t = ReportTable::new(
+            "questions",
+            "Question-count distribution per algorithm (and sweep cell)",
+            &["cell", "algo", "sessions", "mean", "min", "p50", "max"],
+        );
+        for (algo, d) in &agg.session_questions {
+            t.rows.push(vec![
+                "-".into(),
+                algo.clone(),
+                d.count().to_string(),
+                f2(d.mean()),
+                u(d.min()),
+                u(d.p50()),
+                u(d.max()),
+            ]);
+        }
+        for ((cell, algo), d) in &agg.sweep_questions {
+            t.rows.push(vec![
+                cell.clone(),
+                algo.clone(),
+                d.count().to_string(),
+                f2(d.mean()),
+                u(d.min()),
+                u(d.p50()),
+                u(d.max()),
+            ]);
+        }
+        out.push(t);
+    }
+
+    if !agg.episode_rounds.is_empty() {
+        let mut t = ReportTable::new(
+            "episodes",
+            "Training-episode round counts per algorithm",
+            &["algo", "episodes", "mean_rounds", "min", "max", "truncated"],
+        );
+        for (algo, d) in &agg.episode_rounds {
+            t.rows.push(vec![
+                algo.clone(),
+                d.count().to_string(),
+                f2(d.mean()),
+                u(d.min()),
+                u(d.max()),
+                agg.episode_truncated
+                    .get(algo)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            ]);
+        }
+        out.push(t);
+    }
+
+    // Per-phase wall-clock breakdown of every round event.
+    if !agg.phase_ms.is_empty() {
+        let mut t = ReportTable::new(
+            "phases",
+            "Per-phase time breakdown across round events",
+            &["algo", "phase", "total_ms", "share_pct", "ms_per_round"],
+        );
+        for (algo, phases) in &agg.phase_ms {
+            let algo_total: f64 = phases.values().sum();
+            let rounds = agg.round_time.get(algo).map_or(0, |&(n, _)| n).max(1);
+            for (phase, &ms) in phases {
+                t.rows.push(vec![
+                    algo.clone(),
+                    phase.clone(),
+                    f2(ms),
+                    f2(if algo_total > 0.0 {
+                        100.0 * ms / algo_total
+                    } else {
+                        0.0
+                    }),
+                    format!("{:.4}", ms / rounds as f64),
+                ]);
+            }
+        }
+        out.push(t);
+    }
+
+    if !agg.round_time.is_empty() {
+        let mut t = ReportTable::new(
+            "rounds",
+            "Round events and mean latency per algorithm",
+            &["algo", "rounds", "total_ms", "mean_ms"],
+        );
+        for (algo, &(n, total)) in &agg.round_time {
+            t.rows.push(vec![
+                algo.clone(),
+                n.to_string(),
+                f2(total),
+                format!("{:.4}", total / n.max(1) as f64),
+            ]);
+        }
+        out.push(t);
+    }
+
+    // Warm-vs-cold LP counters from the summary.
+    let lp: Vec<(&String, &f64)> = agg
+        .summary_counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("lp."))
+        .collect();
+    if !lp.is_empty() {
+        let mut t = ReportTable::new(
+            "lp",
+            "LP solver counters (warm vs cold)",
+            &["counter", "value"],
+        );
+        for (k, v) in lp {
+            t.rows.push(vec![k.clone(), u(*v)]);
+        }
+        let attempts = agg.summary_counters.get("lp.warm.attempts").copied();
+        let hits = agg.summary_counters.get("lp.warm.hits").copied();
+        if let (Some(a), Some(h)) = (attempts, hits) {
+            if a > 0.0 {
+                t.rows
+                    .push(vec!["warm_hit_rate_pct".into(), f2(100.0 * h / a)]);
+            }
+        }
+        out.push(t);
+    }
+
+    // Snapshotter samples: live-progress rates per interval.
+    if !agg.series.is_empty() {
+        let mut t = ReportTable::new(
+            "timeseries",
+            "Periodic snapshotter samples (deltas per interval)",
+            &[
+                "seq",
+                "t_s",
+                "episodes",
+                "episodes_per_s",
+                "rounds",
+                "lp_solves",
+                "warm_hit_pct",
+                "replay_occupancy",
+            ],
+        );
+        let mut last_t = 0.0f64;
+        for (seq, t_ms, counters, gauges) in &agg.series {
+            let dt = ((t_ms - last_t) / 1e3).max(1e-9);
+            last_t = *t_ms;
+            let c = |k: &str| counters.get(k).copied().unwrap_or(0.0);
+            let episodes = c("train.episodes");
+            let warm_attempts = c("lp.warm.attempts");
+            let warm_pct = if warm_attempts > 0.0 {
+                f2(100.0 * c("lp.warm.hits") / warm_attempts)
+            } else {
+                "-".into()
+            };
+            t.rows.push(vec![
+                seq.to_string(),
+                f2(t_ms / 1e3),
+                u(episodes),
+                f2(episodes / dt),
+                u(c("rounds.total")),
+                u(c("lp.solves")),
+                warm_pct,
+                u(gauges.get("dqn.replay_occupancy").copied().unwrap_or(0.0)),
+            ]);
+        }
+        out.push(t);
+    }
+
+    if !agg.census.is_empty() {
+        let mut t = ReportTable::new("census", "Events per kind", &["kind", "events"]);
+        for (kind, n) in &agg.census {
+            t.rows.push(vec![kind.clone(), n.to_string()]);
+        }
+        out.push(t);
+    }
+
+    out
+}
+
+/// One-call convenience: ingest a trace and assemble its tables.
+pub fn report(trace: &str) -> Result<Vec<ReportTable>, String> {
+    Ok(tables(&ingest(trace)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        r#"{"ev":"round","t_ms":1,"algo":"EA","round":1,"elapsed_ms":2.0,"phase_ms":{"lp":1.0,"top1":0.5}}"#,
+        "\n",
+        r#"{"ev":"round","t_ms":2,"algo":"EA","round":2,"elapsed_ms":3.0,"phase_ms":{"lp":2.0}}"#,
+        "\n",
+        r#"{"ev":"round","t_ms":3,"algo":"AA","round":1,"elapsed_ms":1.0}"#,
+        "\n",
+        r#"{"ev":"round","t_ms":4,"algo":"EA","round":1,"elapsed_ms":1.0}"#,
+        "\n",
+        r#"{"ev":"episode","t_ms":5,"algo":"EA","episode":0,"rounds":2,"epsilon":0.9,"replay_len":4,"truncated":true}"#,
+        "\n",
+        r#"{"ev":"sweep_item","t_ms":6,"cell":"c0_d4","algo":"EA","user":0,"rounds":5,"secs":0.01}"#,
+        "\n",
+        r#"{"ev":"timeseries","t_ms":1000,"seq":1,"interval_ms":1000,"counters":{"train.episodes":4,"lp.warm.attempts":10,"lp.warm.hits":9},"gauges":{"dqn.replay_occupancy":64}}"#,
+        "\n",
+        r#"{"ev":"summary","t_ms":7,"counters":{"lp.solves":12,"lp.warm.attempts":10,"lp.warm.hits":9},"spans":{},"hists":{}}"#,
+        "\n",
+    );
+
+    #[test]
+    fn sessions_reconstruct_from_interleaved_rounds() {
+        let agg = ingest(TRACE).unwrap();
+        // EA: one 2-round session plus one 1-round session; AA: one 1-round.
+        let ea = &agg.session_questions["EA"];
+        assert_eq!(ea.count(), 2);
+        assert_eq!(ea.max(), 2.0);
+        assert_eq!(ea.min(), 1.0);
+        assert_eq!(agg.session_questions["AA"].count(), 1);
+        assert_eq!(
+            agg.sweep_questions[&("c0_d4".into(), "EA".into())].count(),
+            1
+        );
+        assert_eq!(agg.phase_ms["EA"]["lp"], 3.0);
+        assert_eq!(agg.episode_truncated["EA"], 1);
+        assert_eq!(agg.series.len(), 1);
+    }
+
+    #[test]
+    fn tables_are_deterministic() {
+        let a = report(TRACE).unwrap();
+        let b = report(TRACE).unwrap();
+        let render = |ts: &[ReportTable]| {
+            ts.iter()
+                .map(|t| format!("{}|{:?}|{:?}", t.id, t.headers, t.rows))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&a), render(&b));
+        let ids: Vec<&str> = a.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "questions",
+                "episodes",
+                "phases",
+                "rounds",
+                "lp",
+                "timeseries",
+                "census"
+            ]
+        );
+        let lp = a.iter().find(|t| t.id == "lp").unwrap();
+        assert!(lp
+            .rows
+            .iter()
+            .any(|r| r[0] == "warm_hit_rate_pct" && r[1] == "90.00"));
+    }
+
+    #[test]
+    fn ingest_rejects_malformed_json_with_line_number() {
+        let err = ingest("{\"ev\":\"round\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

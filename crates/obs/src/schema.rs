@@ -10,8 +10,14 @@ use std::collections::BTreeMap;
 use crate::json::{parse, Json};
 
 /// Counters that indicate silent degradation when nonzero: LP iteration
-/// caps (phase 1 or 2) and EA's vertex-mixture sampling fallback.
-pub const WARNING_COUNTERS: &[&str] = &["lp.cap_hits", "lp.phase1_cap_hits", "ea.sample_fallbacks"];
+/// caps (phase 1 or 2), EA's vertex-mixture sampling fallback, and events
+/// lost to the bounded buffer (an incomplete trace must not pass quietly).
+pub const WARNING_COUNTERS: &[&str] = &[
+    "lp.cap_hits",
+    "lp.phase1_cap_hits",
+    "ea.sample_fallbacks",
+    crate::event::DROPPED_COUNTER,
+];
 
 /// Field requirement: name plus expected shape.
 enum Shape {
@@ -68,6 +74,10 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             check(&doc, "rounds", Shape::Num)?;
             check(&doc, "secs", Shape::Num)?;
         }
+        "timeseries" => {
+            check(&doc, "seq", Shape::Num)?;
+            check(&doc, "counters", Shape::Obj)?;
+        }
         "summary" => {
             check(&doc, "counters", Shape::Obj)?;
             check(&doc, "spans", Shape::Obj)?;
@@ -87,28 +97,95 @@ pub struct TraceReport {
     pub warnings: Vec<(String, u64)>,
 }
 
-/// Validates a whole JSONL trace: every line must pass [`validate_line`]
-/// and exactly one `summary` line must be present. Returns the per-kind
-/// event census and any nonzero warning counters from the summary.
+/// Tracks round-index order across interleaved interactions. A trace may
+/// mix sessions freely (the parallel sweep emits `round` events from many
+/// workers), so strict per-algorithm monotonicity would false-positive;
+/// instead we require that each algorithm's round stream *decomposes into
+/// interleaved `1..n` prefixes*: a round `r` is in order iff `r == 1`
+/// (a session opens) or some open session for that algorithm is currently
+/// at `r - 1` (it advances). Streams like `1, 3` or `2` have no such
+/// decomposition and are rejected.
+#[derive(Default)]
+struct RoundOrder {
+    /// Per algorithm: open-session count by current round index.
+    cursors: BTreeMap<String, BTreeMap<u64, usize>>,
+}
+
+impl RoundOrder {
+    fn observe(&mut self, algo: &str, round: f64) -> Result<(), String> {
+        if round < 1.0 || round.fract() != 0.0 {
+            return Err(format!("round index {round} is not a positive integer"));
+        }
+        let round = round as u64;
+        let sessions = self.cursors.entry(algo.to_string()).or_default();
+        if round > 1 {
+            match sessions.get_mut(&(round - 1)) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    if *n == 0 {
+                        sessions.remove(&(round - 1));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "out-of-order round {round} for algo '{algo}' \
+                         (no open session at round {})",
+                        round - 1
+                    ))
+                }
+            }
+        }
+        *sessions.entry(round).or_insert(0) += 1;
+        Ok(())
+    }
+}
+
+/// Validates a whole JSONL trace: every line must pass [`validate_line`],
+/// exactly one `summary` line must be present, round indices must be in
+/// order (see [`RoundOrder`]), and `timeseries` sequence numbers must be
+/// strictly increasing. Returns the per-kind event census and any nonzero
+/// warning counters from the summary.
 pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
     let mut report = TraceReport::default();
     let mut summaries = 0usize;
+    let mut order = RoundOrder::default();
+    let mut last_seq = 0.0f64;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let kind = validate_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        if kind == "summary" {
-            summaries += 1;
-            let doc = parse(line).expect("validated above");
-            let counters = doc.get("counters").expect("validated above").to_num_map();
-            for &w in WARNING_COUNTERS {
-                if let Some(&v) = counters.get(w) {
-                    if v > 0.0 {
-                        report.warnings.push((w.to_string(), v as u64));
+        let fail = |e: String| format!("line {}: {e}", lineno + 1);
+        let kind = validate_line(line).map_err(&fail)?;
+        match kind.as_str() {
+            "round" => {
+                let doc = parse(line).expect("validated above");
+                let algo = doc.get("algo").and_then(Json::as_str).expect("validated");
+                let round = doc.get("round").and_then(Json::as_f64).expect("validated");
+                order.observe(algo, round).map_err(&fail)?;
+            }
+            "timeseries" => {
+                let doc = parse(line).expect("validated above");
+                let seq = doc.get("seq").and_then(Json::as_f64).expect("validated");
+                if seq <= last_seq {
+                    return Err(fail(format!(
+                        "timeseries seq {seq} out of order (previous was {last_seq})"
+                    )));
+                }
+                last_seq = seq;
+            }
+            "summary" => {
+                summaries += 1;
+                let doc = parse(line).expect("validated above");
+                let counters = doc.get("counters").expect("validated above").to_num_map();
+                for &w in WARNING_COUNTERS {
+                    if let Some(&v) = counters.get(w) {
+                        if v > 0.0 {
+                            report.warnings.push((w.to_string(), v as u64));
+                        }
                     }
                 }
             }
+            _ => {}
         }
         *report.events.entry(kind).or_insert(0) += 1;
     }

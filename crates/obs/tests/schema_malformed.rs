@@ -1,0 +1,114 @@
+//! Adversarial inputs for `schema::validate_trace`: truncated lines,
+//! unknown event kinds, missing summaries, and out-of-order round indices
+//! must all fail loudly with the offending line number — the validator is
+//! the CI gate that keeps silent trace corruption out of reports.
+
+use isrl_obs::schema::validate_trace;
+
+const SUMMARY: &str = r#"{"ev":"summary","t_ms":9,"counters":{},"spans":{},"hists":{}}"#;
+
+fn trace(lines: &[&str]) -> String {
+    let mut out = String::new();
+    for l in lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn truncated_jsonl_line_fails_with_line_number() {
+    // A writer killed mid-line leaves a prefix of a valid event.
+    let full = r#"{"ev":"round","t_ms":1,"algo":"EA","round":1,"elapsed_ms":0.5}"#;
+    let t = trace(&[full, &full[..30], SUMMARY]);
+    let err = validate_trace(&t).unwrap_err();
+    assert!(err.starts_with("line 2:"), "{err}");
+}
+
+#[test]
+fn unknown_event_kind_fails() {
+    let t = trace(&[r#"{"ev":"heartbeat","t_ms":1}"#, SUMMARY]);
+    let err = validate_trace(&t).unwrap_err();
+    assert!(err.contains("unknown event kind 'heartbeat'"), "{err}");
+}
+
+#[test]
+fn missing_summary_line_fails() {
+    let t = trace(&[r#"{"ev":"round","t_ms":1,"algo":"EA","round":1,"elapsed_ms":0.5}"#]);
+    let err = validate_trace(&t).unwrap_err();
+    assert!(err.contains("exactly one summary"), "{err}");
+
+    // …and so does a duplicated summary.
+    let t = trace(&[SUMMARY, SUMMARY]);
+    let err = validate_trace(&t).unwrap_err();
+    assert!(err.contains("found 2"), "{err}");
+}
+
+#[test]
+fn out_of_order_round_indices_fail() {
+    let r = |round: u64| {
+        format!(r#"{{"ev":"round","t_ms":1,"algo":"EA","round":{round},"elapsed_ms":0.1}}"#)
+    };
+    // Skipping an index: 1 then 3.
+    let t = trace(&[&r(1), &r(3), SUMMARY]);
+    let err = validate_trace(&t).unwrap_err();
+    assert!(err.contains("out-of-order round 3"), "{err}");
+
+    // Starting mid-session: first event already at round 2.
+    let t = trace(&[&r(2), SUMMARY]);
+    let err = validate_trace(&t).unwrap_err();
+    assert!(err.contains("out-of-order round 2"), "{err}");
+
+    // Non-integer and non-positive indices are rejected outright.
+    let bad = r#"{"ev":"round","t_ms":1,"algo":"EA","round":1.5,"elapsed_ms":0.1}"#;
+    assert!(validate_trace(&trace(&[bad, SUMMARY])).is_err());
+    let zero = r#"{"ev":"round","t_ms":1,"algo":"EA","round":0,"elapsed_ms":0.1}"#;
+    assert!(validate_trace(&trace(&[zero, SUMMARY])).is_err());
+}
+
+#[test]
+fn interleaved_sessions_are_accepted() {
+    // Two EA sessions progressing concurrently (parallel sweep workers)
+    // plus an AA session: every round is 1 or advances an open session.
+    let ev = |algo: &str, round: u64| {
+        format!(r#"{{"ev":"round","t_ms":1,"algo":"{algo}","round":{round},"elapsed_ms":0.1}}"#)
+    };
+    let t = trace(&[
+        &ev("EA", 1),
+        &ev("EA", 1),
+        &ev("AA", 1),
+        &ev("EA", 2),
+        &ev("EA", 2),
+        &ev("EA", 3),
+        &ev("AA", 2),
+        &ev("EA", 1),
+        SUMMARY,
+    ]);
+    let report = validate_trace(&t).unwrap();
+    assert_eq!(report.events["round"], 8);
+}
+
+#[test]
+fn timeseries_seq_must_strictly_increase() {
+    let ts = |seq: u64| format!(r#"{{"ev":"timeseries","t_ms":1,"seq":{seq},"counters":{{}}}}"#);
+    let ok = trace(&[&ts(1), &ts(2), &ts(5), SUMMARY]);
+    assert_eq!(validate_trace(&ok).unwrap().events["timeseries"], 3);
+
+    let dup = trace(&[&ts(1), &ts(1), SUMMARY]);
+    let err = validate_trace(&dup).unwrap_err();
+    assert!(err.contains("seq 1 out of order"), "{err}");
+
+    let back = trace(&[&ts(2), &ts(1), SUMMARY]);
+    assert!(validate_trace(&back).is_err());
+}
+
+#[test]
+fn dropped_event_counter_is_a_warning() {
+    let s =
+        r#"{"ev":"summary","t_ms":9,"counters":{"obs.events.dropped":17},"spans":{},"hists":{}}"#;
+    let report = validate_trace(s).unwrap();
+    assert_eq!(
+        report.warnings,
+        vec![("obs.events.dropped".to_string(), 17)]
+    );
+}
