@@ -4,11 +4,12 @@
 //! region state and the batched utility-scan kernel under both agents'
 //! per-round scoring.
 //!
-//! EA at d = 20 is measured over a bounded round prefix via the step-wise
-//! session API: its vertex set grows combinatorially with the cut count
-//! (the very reason the paper caps EA at low dimensionality), so a full
-//! interaction does not terminate in reasonable time there. AA, whose
-//! LP-only summary is the paper's scalable path, runs to completion.
+//! EA at d = 20 runs full interactions on the sampled geometry backend
+//! (the default auto-by-dimension resolution): its exact vertex set grows
+//! combinatorially with the cut count, but the hit-and-run sample cloud
+//! keeps per-round cost flat. `BENCH_geom_scale.json` (the `geom_scale`
+//! bin) holds the exact-vs-sampled comparison across dimensionalities;
+//! this artifact records the end-to-end agent rows.
 //!
 //! Usage: `cargo run -p isrl-bench --release --bin hotpath [-- out.json]`
 //! (run from the repository root so the artifact lands next to ROADMAP.md).
@@ -35,37 +36,6 @@ fn per_round_full(
         let out = algo.run(data, &mut user, eps, TraceMode::Off);
         rounds += out.rounds;
         secs += out.elapsed.as_secs_f64();
-    }
-    let mean_rounds = rounds as f64 / users.len() as f64;
-    let ms = if rounds == 0 {
-        0.0
-    } else {
-        secs * 1e3 / rounds as f64
-    };
-    (mean_rounds, ms, secs)
-}
-
-/// Steps an EA session for at most `cap` rounds per user and reports the
-/// same triple over the bounded prefix.
-fn per_round_capped(
-    ea: &mut EaAgent,
-    data: &Dataset,
-    users: &[Vec<f64>],
-    eps: f64,
-    cap: usize,
-) -> (f64, f64, f64) {
-    let mut rounds = 0usize;
-    let mut secs = 0.0f64;
-    for (i, u) in users.iter().enumerate() {
-        ea.reseed(0x5eed + i as u64);
-        let mut session = ea.start_session(data, eps);
-        while !session.is_finished() && session.rounds() < cap {
-            let (p_i, p_j) = session.current_points().expect("unfinished session");
-            let prefers_first = vector::dot(u, p_i) >= vector::dot(u, p_j);
-            session.answer(prefers_first);
-        }
-        rounds += session.rounds();
-        secs += session.elapsed().as_secs_f64();
     }
     let mean_rounds = rounds as f64 / users.len() as f64;
     let ms = if rounds == 0 {
@@ -139,9 +109,11 @@ fn main() {
     }
 
     // d = 20: the high-dimensional regime (Figures 13-16). AA runs to
-    // completion; EA is stepped over the first rounds only (see module
-    // docs) with an untrained policy — training episodes would themselves
-    // need full interactions.
+    // completion as always; EA now does too — the auto backend resolves
+    // to the sampled utility-region geometry above d = 7, so full
+    // episodes terminate instead of drowning in vertex enumeration. The
+    // EA policy stays untrained here (the row measures the hot path, not
+    // the learned question order).
     {
         let data = generate(2_000, 20, Distribution::AntiCorrelated, 1);
         let d = data.dim();
@@ -153,8 +125,8 @@ fn main() {
         let m = per_round_full(&mut aa, &data, &eval, eps);
         record(&mut table, "AA", d, data.len(), eval.len(), "full", m);
         let mut ea = EaAgent::new(d, EaConfig::paper_default().with_seed(7));
-        let m = per_round_capped(&mut ea, &data, &eval, eps, 6);
-        record(&mut table, "EA", d, data.len(), eval.len(), "first6", m);
+        let m = per_round_full(&mut ea, &data, &eval, eps);
+        record(&mut table, "EA", d, data.len(), eval.len(), "full", m);
     }
 
     let kernels = kernel_before_after();

@@ -6,10 +6,19 @@
 //!   region at d = 4 (the hot-path layer's headline kernel);
 //! * `kernel.top1_batch` — the batched top-1 utility scan at n = 50k,
 //!   d = 20, 32 utility vectors;
+//! * `kernel.dot` — the scalar dot product over a 20k × 24 flat buffer
+//!   (the innermost loop of every utility scan);
 //! * `lp.warm_replay` / `lp.cold_replay` — the warm-started vs cold LP
 //!   replay of a 15-cut sequence at d = 8 with candidate-cut probes;
+//! * `geom.cloud_cut` — building a d = 20 sample cloud and pushing a
+//!   12-cut sequence through its incremental resample-on-cut path;
 //! * `round.ea_untrained` — per-round milliseconds of an untrained EA
-//!   interaction at d = 4 over seeded simulated users.
+//!   interaction at d = 4 over seeded simulated users;
+//! * `round.ea_sampled_d20` — per-round milliseconds of full untrained EA
+//!   episodes on the sampled geometry backend at d = 20, n = 2000. This
+//!   metric also carries an *absolute* ceiling ([`CEILINGS`]): 142.79 ms,
+//!   one tenth of the exact backend's measured per-round cost at the same
+//!   shape, checked even on a fresh history.
 //!
 //! The run is compared against the median-of-window baseline with
 //! per-metric relative tolerances (`bench::history`; rationale in
@@ -31,11 +40,14 @@ use std::hint::black_box;
 use std::io::Write as _;
 
 use isrl_bench::history::{
-    baseline_of, check, parse_history, HistoryRecord, BASELINE_WINDOW, HISTORY_FILE,
+    baseline_of, check, check_ceilings, parse_history, HistoryRecord, BASELINE_WINDOW, CEILINGS,
+    HISTORY_FILE,
 };
 use isrl_core::prelude::*;
 use isrl_data::{generate, skyline, Distribution};
-use isrl_geometry::{Halfspace, Polytope, Region, RegionLpCache};
+use isrl_geometry::{
+    GeometryBackend, Halfspace, Polytope, Region, RegionGeometry, RegionLpCache, WalkConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -119,6 +131,32 @@ fn kernel_top1_batch() -> f64 {
     })
 }
 
+fn kernel_dot() -> f64 {
+    let data = generate(20_000, 24, Distribution::Independent, 13);
+    let d = data.dim();
+    let u = sample_users(d, 1, 14).pop().expect("one user");
+    let flat = data.as_flat();
+    bench(|| {
+        let mut acc = 0.0f64;
+        for p in flat.chunks_exact(d) {
+            acc += isrl_linalg::vector::dot(p, &u);
+        }
+        black_box(acc);
+    })
+}
+
+fn geom_cloud_cut() -> f64 {
+    let d = 20usize;
+    let (seq, _) = cut_workload(d, 12, 0, 21);
+    bench(|| {
+        let mut geom = RegionGeometry::sampled(d, WalkConfig::default(), 77);
+        for h in &seq {
+            geom.add(h.clone());
+        }
+        black_box(geom.support_size());
+    })
+}
+
 fn lp_replays() -> (f64, f64) {
     let (d, cuts, probes) = (8usize, 15usize, 6usize);
     let (seq, probe_set) = cut_workload(d, cuts, probes, 1);
@@ -154,6 +192,35 @@ fn round_ea_untrained() -> f64 {
     let eps = 0.15;
     let users = sample_users(d, 3, 3);
     let mut ea = EaAgent::new(d, EaConfig::paper_default().with_seed(4));
+    let run_all = |ea: &mut EaAgent| {
+        let mut rounds = 0usize;
+        let mut secs = 0.0f64;
+        for (i, u) in users.iter().enumerate() {
+            ea.reseed(0x5eed + i as u64);
+            let mut user = SimulatedUser::new(u.clone());
+            let out = ea.run(&data, &mut user, eps, TraceMode::Off);
+            rounds += out.rounds;
+            secs += out.elapsed.as_secs_f64();
+        }
+        (rounds, secs)
+    };
+    run_all(&mut ea); // warm-up
+    (0..REPS)
+        .map(|_| {
+            let (rounds, secs) = run_all(&mut ea);
+            secs * 1e3 / rounds.max(1) as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn round_ea_sampled_d20() -> f64 {
+    let data = generate(2_000, 20, Distribution::AntiCorrelated, 1);
+    let d = data.dim();
+    let eps = 0.15;
+    let users = sample_users(d, 2, 6);
+    let mut cfg = EaConfig::paper_default().with_seed(7);
+    cfg.geometry = GeometryBackend::Sampled;
+    let mut ea = EaAgent::new(d, cfg);
     let run_all = |ea: &mut EaAgent| {
         let mut rounds = 0usize;
         let mut secs = 0.0f64;
@@ -222,10 +289,13 @@ fn main() {
     let t0 = std::time::Instant::now();
     metrics.insert("kernel.vertex_update".into(), kernel_vertex_update());
     metrics.insert("kernel.top1_batch".into(), kernel_top1_batch());
+    metrics.insert("kernel.dot".into(), kernel_dot());
     let (warm, cold) = lp_replays();
     metrics.insert("lp.warm_replay".into(), warm);
     metrics.insert("lp.cold_replay".into(), cold);
+    metrics.insert("geom.cloud_cut".into(), geom_cloud_cut());
     metrics.insert("round.ea_untrained".into(), round_ea_untrained());
+    metrics.insert("round.ea_sampled_d20".into(), round_ea_sampled_d20());
     for v in metrics.values_mut() {
         *v *= scale;
     }
@@ -257,12 +327,18 @@ fn main() {
         let baseline = baseline_of(&history, BASELINE_WINDOW);
         check(&baseline, &record.metrics)
     };
+    // Absolute ceilings hold even on a fresh history: a first run that
+    // breaches one must not seed the baseline.
+    let ceilings = check_ceilings(&record.metrics);
+    if !ceilings.is_empty() {
+        eprintln!("({} absolute ceiling(s) configured)", CEILINGS.len());
+    }
 
     // Append only on a clean pass: a regressed run must not become part
     // of the baseline it just failed against.
     if dry_run {
         eprintln!("--dry-run: not appending to {history_path}");
-    } else if !regressions.is_empty() {
+    } else if !regressions.is_empty() || !ceilings.is_empty() {
         eprintln!("regressions detected: not appending to {history_path}");
     } else {
         let mut file = std::fs::OpenOptions::new()
@@ -278,13 +354,20 @@ fn main() {
         );
     }
 
-    if regressions.is_empty() {
+    if regressions.is_empty() && ceilings.is_empty() {
         println!("perf-check: OK ({} metric(s))", record.metrics.len());
     } else {
         for r in &regressions {
             eprintln!("REGRESSION {r}");
         }
-        println!("perf-check: FAILED ({} regression(s))", regressions.len());
+        for v in &ceilings {
+            eprintln!("CEILING {v}");
+        }
+        println!(
+            "perf-check: FAILED ({} regression(s), {} ceiling breach(es))",
+            regressions.len(),
+            ceilings.len()
+        );
         std::process::exit(1);
     }
 }

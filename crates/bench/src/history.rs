@@ -32,10 +32,60 @@ pub const BASELINE_WINDOW: usize = 5;
 /// still see allocator/cache jitter in shared CI runners; the LP replays
 /// and agent rounds (`lp.*`, `round.*`) integrate more work per sample and
 /// sit closer to their medians.
-pub const TOLERANCES: &[(&str, f64)] = &[("kernel.", 0.50), ("lp.", 0.35), ("round.", 0.35)];
+pub const TOLERANCES: &[(&str, f64)] = &[
+    ("kernel.", 0.50),
+    ("lp.", 0.35),
+    ("geom.", 0.40),
+    ("round.", 0.35),
+];
 
 /// Fallback relative tolerance for unprefixed metrics.
 pub const DEFAULT_TOLERANCE: f64 = 0.40;
+
+/// Absolute per-metric ceilings in milliseconds, checked regardless of
+/// history (a drifting baseline can never re-legitimize breaking these).
+/// `round.ea_sampled_d20` pins the sampled-geometry acceptance criterion:
+/// one tenth of the 1427.9 ms/round the exact backend measured at
+/// d = 20, n = 2000 before the sampled backend existed.
+pub const CEILINGS: &[(&str, f64)] = &[("round.ea_sampled_d20", 142.79)];
+
+/// One breached absolute ceiling from [`check_ceilings`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CeilingViolation {
+    /// Metric name.
+    pub metric: String,
+    /// The absolute ceiling in milliseconds.
+    pub ceiling_ms: f64,
+    /// Current milliseconds.
+    pub current_ms: f64,
+}
+
+impl std::fmt::Display for CeilingViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.4} ms exceeds the absolute ceiling of {:.4} ms",
+            self.metric, self.current_ms, self.ceiling_ms
+        )
+    }
+}
+
+/// Flags every metric in `current` above its [`CEILINGS`] entry. Unlike
+/// [`check`], this needs no baseline: it also guards the very first run.
+pub fn check_ceilings(current: &BTreeMap<String, f64>) -> Vec<CeilingViolation> {
+    CEILINGS
+        .iter()
+        .filter_map(|&(metric, ceiling_ms)| {
+            current.get(metric).and_then(|&current_ms| {
+                (current_ms > ceiling_ms).then(|| CeilingViolation {
+                    metric: metric.to_string(),
+                    ceiling_ms,
+                    current_ms,
+                })
+            })
+        })
+        .collect()
+}
 
 /// The tolerance applied to `metric`.
 pub fn tolerance_of(metric: &str) -> f64 {
@@ -271,7 +321,26 @@ mod tests {
     fn tolerances_are_prefix_matched() {
         assert_eq!(tolerance_of("kernel.top1_batch"), 0.50);
         assert_eq!(tolerance_of("lp.warm_replay"), 0.35);
+        assert_eq!(tolerance_of("geom.cloud_cut"), 0.40);
         assert_eq!(tolerance_of("round.ea_untrained"), 0.35);
         assert_eq!(tolerance_of("something.else"), DEFAULT_TOLERANCE);
+    }
+
+    #[test]
+    fn ceilings_flag_without_any_history() {
+        // Under the ceiling (and metrics with no ceiling): clean.
+        let ok = rec("a", &[("round.ea_sampled_d20", 90.0), ("kernel.dot", 1e6)]);
+        assert!(check_ceilings(&ok.metrics).is_empty());
+
+        // Over the ceiling: flagged even though there is no baseline.
+        let bad = rec("b", &[("round.ea_sampled_d20", 150.0)]);
+        let v = check_ceilings(&bad.metrics);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].metric, "round.ea_sampled_d20");
+        assert_eq!(v[0].ceiling_ms, 142.79);
+        assert!(v[0].to_string().contains("absolute ceiling"));
+
+        // A missing metric is not a violation (the bench may be filtered).
+        assert!(check_ceilings(&rec("c", &[("kernel.dot", 1.0)]).metrics).is_empty());
     }
 }

@@ -6,10 +6,22 @@ use isrl_core::checkpoint;
 use isrl_core::prelude::*;
 use isrl_core::regret::regret_ratio_of_index;
 use isrl_data::Dataset;
+use isrl_geometry::GeometryBackend;
 use std::io::Write as _;
 
 /// Boxed error for command results.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Parses `--geometry exact|sampled|auto`. `None` when the flag is absent
+/// (callers keep the agent's default, auto-by-dimension).
+fn geometry_arg(args: &Args) -> Result<Option<GeometryBackend>, Box<dyn std::error::Error>> {
+    match args.get("geometry") {
+        None => Ok(None),
+        Some(v) => GeometryBackend::parse(v)
+            .map(Some)
+            .ok_or_else(|| format!("--geometry must be exact|sampled|auto, got {v:?}").into()),
+    }
+}
 
 fn describe(data: &Dataset, source: &DataSource) {
     let attrs = if data.attributes().is_empty() {
@@ -54,6 +66,7 @@ pub fn train(args: &Args) -> CmdResult {
         "algo",
         "eps",
         "episodes",
+        "geometry",
         "out",
         "trace-out",
         "metrics",
@@ -66,6 +79,7 @@ pub fn train(args: &Args) -> CmdResult {
     let eps = args.get_or("eps", 0.1f64, "number")?;
     let episodes = args.get_or("episodes", 200usize, "integer")?;
     let seed = args.get_or("seed", 7u64, "integer")?;
+    let geometry = geometry_arg(args)?;
     let out = args.required("out")?;
     let users = sample_users(data.dim(), episodes, seed.wrapping_add(1));
 
@@ -73,7 +87,11 @@ pub fn train(args: &Args) -> CmdResult {
     let start = std::time::Instant::now();
     let blob = match algo {
         "ea" => {
-            let mut agent = EaAgent::new(data.dim(), EaConfig::paper_default().with_seed(seed));
+            let mut cfg = EaConfig::paper_default().with_seed(seed);
+            if let Some(backend) = geometry {
+                cfg.geometry = backend;
+            }
+            let mut agent = EaAgent::new(data.dim(), cfg);
             let report = agent.train(&data, &users, eps);
             println!(
                 "final-quarter mean rounds: {:.2}",
@@ -82,6 +100,9 @@ pub fn train(args: &Args) -> CmdResult {
             checkpoint::save_ea(&agent)
         }
         "aa" => {
+            if geometry.is_some() {
+                return Err("--geometry applies to --algo ea only (AA never enumerates)".into());
+            }
             let mut agent = AaAgent::new(data.dim(), AaConfig::paper_default().with_seed(seed));
             let report = agent.train(&data, &users, eps);
             println!(
@@ -101,10 +122,22 @@ pub fn train(args: &Args) -> CmdResult {
     crate::trace::finish(tracing)
 }
 
-fn load_agent(path: &str) -> Result<Box<dyn InteractiveAlgorithm>, Box<dyn std::error::Error>> {
+fn load_agent(
+    path: &str,
+    geometry: Option<GeometryBackend>,
+) -> Result<Box<dyn InteractiveAlgorithm>, Box<dyn std::error::Error>> {
     let bytes = std::fs::read(path)?;
-    if let Ok(agent) = checkpoint::load_ea(&bytes) {
+    if let Ok(mut agent) = checkpoint::load_ea(&bytes) {
+        // The backend is a serving-time choice, not persisted state: a
+        // checkpoint restores to the auto-by-dimension default unless the
+        // flag overrides it here.
+        if let Some(backend) = geometry {
+            agent.set_geometry(backend);
+        }
         return Ok(Box::new(agent));
+    }
+    if geometry.is_some() {
+        return Err("--geometry applies to EA checkpoints only (AA never enumerates)".into());
     }
     Ok(Box::new(checkpoint::load_aa(&bytes)?))
 }
@@ -120,6 +153,7 @@ pub fn eval(args: &Args) -> CmdResult {
         "model",
         "baseline",
         "eps",
+        "geometry",
         "users",
         "noise",
         "trace-out",
@@ -133,21 +167,27 @@ pub fn eval(args: &Args) -> CmdResult {
     let n_users = args.get_or("users", 30usize, "integer")?;
     let seed = args.get_or("seed", 7u64, "integer")?;
     let noise = args.get_or("noise", 0.0f64, "number")?;
+    let geometry = geometry_arg(args)?;
 
     let mut algo: Box<dyn InteractiveAlgorithm> = match (args.get("model"), args.get("baseline")) {
-        (Some(path), _) if !path.is_empty() => load_agent(path)?,
-        (_, Some(name)) if !name.is_empty() => match name {
-            "uh-random" => Box::new(UhBaseline::random(seed)),
-            "uh-simplex" => Box::new(UhBaseline::simplex(seed)),
-            "single-pass" => Box::new(SinglePass::seeded(seed)),
-            "utility-approx" => Box::new(UtilityApprox::default()),
-            other => {
-                return Err(format!(
+        (Some(path), _) if !path.is_empty() => load_agent(path, geometry)?,
+        (_, Some(name)) if !name.is_empty() => {
+            if geometry.is_some() {
+                return Err("--geometry applies to EA checkpoints, not baselines".into());
+            }
+            match name {
+                "uh-random" => Box::new(UhBaseline::random(seed)),
+                "uh-simplex" => Box::new(UhBaseline::simplex(seed)),
+                "single-pass" => Box::new(SinglePass::seeded(seed)),
+                "utility-approx" => Box::new(UtilityApprox::default()),
+                other => {
+                    return Err(format!(
                 "--baseline must be uh-random|uh-simplex|single-pass|utility-approx, got {other:?}"
             )
-                .into())
+                    .into())
+                }
             }
-        },
+        }
         _ => return Err("provide --model <ckpt> or --baseline <name>".into()),
     };
 
@@ -196,11 +236,12 @@ pub fn serve(args: &Args) -> CmdResult {
         "no-skyline",
         "model",
         "eps",
+        "geometry",
     ])?;
     let (data, source) = resolve_dataset(args)?;
     describe(&data, &source);
     let eps = args.get_or("eps", 0.1f64, "number")?;
-    let mut algo = load_agent(args.required("model")?)?;
+    let mut algo = load_agent(args.required("model")?, geometry_arg(args)?)?;
     println!("answer each question with 1 or 2.\n");
 
     struct Stdin<'a> {

@@ -29,11 +29,13 @@ COMMANDS:
              [--seed N] --out file.csv
   train      train an RL agent and save a checkpoint
              <dataset flags> --algo ea|aa [--eps 0.1] [--episodes 200]
-             [--seed N] [--trace-out t.jsonl] [--metrics] --out model.ckpt
+             [--seed N] [--geometry exact|sampled|auto]
+             [--trace-out t.jsonl] [--metrics] --out model.ckpt
   eval       evaluate a checkpoint or baseline over simulated users
              <dataset flags> (--model model.ckpt | --baseline
              uh-random|uh-simplex|single-pass|utility-approx)
              [--eps 0.1] [--users 30] [--noise 0.0]
+             [--geometry exact|sampled|auto]
              [--trace-out t.jsonl] [--metrics]
   serve      interview a human on stdin with a trained agent
              <dataset flags> --model model.ckpt [--eps 0.1]
@@ -84,6 +86,8 @@ fn command_help(command: &str) -> Option<String> {
   --algo ea|aa           algorithm to train (default ea)
   --eps <x>              stop-condition threshold (default 0.1)
   --episodes <N>         training episodes (default 200)
+  --geometry <mode>      EA utility-region backend: exact | sampled | auto
+                         (default auto: exact up to d=7, sampled above)
   --out <model.ckpt>     checkpoint output path (required)
 {TELEMETRY_FLAGS}"
             ),
@@ -97,6 +101,8 @@ fn command_help(command: &str) -> Option<String> {
   --eps <x>              stop-condition threshold (default 0.1)
   --users <N>            simulated users (default 30)
   --noise <x>            answer-flip probability (default 0.0)
+  --geometry <mode>      EA utility-region backend: exact | sampled | auto
+                         (default auto: exact up to d=7, sampled above)
 {TELEMETRY_FLAGS}"
             ),
         ),
@@ -105,7 +111,9 @@ fn command_help(command: &str) -> Option<String> {
             format!(
                 "{DATASET_FLAGS}\
   --model <model.ckpt>   trained agent to serve (required)
-  --eps <x>              stop-condition threshold (default 0.1)\n"
+  --eps <x>              stop-condition threshold (default 0.1)
+  --geometry <mode>      EA utility-region backend: exact | sampled | auto
+                         (default auto: exact up to d=7, sampled above)\n"
             ),
         ),
         "inspect" => (

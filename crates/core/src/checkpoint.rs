@@ -219,6 +219,13 @@ pub fn load_ea(mut bytes: &[u8]) -> Result<EaAgent, CheckpointError> {
             }
             buf.get_u64_le()
         },
+        // Not persisted: the geometry backend is a serving-time
+        // speed/fidelity choice, not learned state (the state encoder's
+        // shape is identical either way), so restored agents get the
+        // default auto-by-dimension resolution. Override with
+        // `EaAgent::set_geometry` (the CLI's `--geometry` flag does).
+        geometry: isrl_geometry::GeometryBackend::default(),
+        walk: isrl_geometry::WalkConfig::default(),
     };
     let episodes = buf.get_u64_le();
     let params = get_params(buf)?;

@@ -24,11 +24,11 @@ use crate::interaction::{
 use crate::telemetry::{emit_episode_event, emit_round_event};
 use crate::user::User;
 use isrl_data::Dataset;
-use isrl_geometry::{sampling, Halfspace, RegionGeometry};
+use isrl_geometry::{sampling, GeometryBackend, Halfspace, RegionGeometry, WalkConfig};
 use isrl_linalg::vector;
 use isrl_rl::{Dqn, DqnConfig, EpsilonSchedule, NextState, Transition};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// Hyper-parameters of [`EaAgent`]. `paper_default` reproduces §V.
 #[derive(Debug, Clone)]
@@ -68,6 +68,16 @@ pub struct EaConfig {
     pub epsilon: EpsilonSchedule,
     /// RNG seed (weights, sampling, exploration).
     pub seed: u64,
+    /// Region representation: exact vertex enumeration, a hit-and-run
+    /// sample cloud, or auto-by-dimension (the default — exact at the
+    /// paper's low-`d` regime, sampled where enumeration is intractable).
+    /// A speed/fidelity knob, not learned state: it is not serialized into
+    /// checkpoints, and the differential suite pins the two backends'
+    /// question counts against each other at low `d`.
+    pub geometry: GeometryBackend,
+    /// Chain parameters for the sampled backend (ignored when the resolved
+    /// backend is exact).
+    pub walk: WalkConfig,
 }
 
 impl EaConfig {
@@ -90,6 +100,8 @@ impl EaConfig {
             use_adam: false,
             epsilon: EpsilonSchedule::paper_default(),
             seed: 0,
+            geometry: GeometryBackend::Auto,
+            walk: WalkConfig::default(),
         }
     }
 
@@ -205,10 +217,32 @@ impl EaAgent {
         self.episodes_trained = episodes_trained;
     }
 
+    /// Overrides the region-geometry backend (e.g. from the CLI after a
+    /// checkpoint load — the backend is a serving-time choice and is not
+    /// persisted).
+    pub fn set_geometry(&mut self, backend: GeometryBackend) {
+        self.cfg.geometry = backend;
+    }
+
+    /// Fresh per-episode geometry for the configured backend. The sampled
+    /// backend draws its cloud seed from the agent RNG, so episodes remain
+    /// deterministic under [`InteractiveAlgorithm::reseed`]; the exact path
+    /// consumes no randomness (identical behavior to before the backend
+    /// existed).
+    fn new_geometry(&mut self) -> RegionGeometry {
+        if self.cfg.geometry.resolves_to_sampled(self.dim) {
+            RegionGeometry::sampled(self.dim, self.cfg.walk, self.rng.next_u64())
+        } else {
+            RegionGeometry::exact(self.dim)
+        }
+    }
+
     /// Derives state, terminal status, and the candidate action space from
-    /// the current region geometry. The vertex set is read straight off the
-    /// incrementally-maintained polytope — no re-enumeration per round.
-    /// Returns `None` when the region has collapsed to no vertices.
+    /// the current region geometry. On the exact backend the point set
+    /// standing for the region is the vertex set, read straight off the
+    /// incrementally-maintained polytope — no re-enumeration per round; on
+    /// the sampled backend it is the hit-and-run cloud, so no vertex is
+    /// ever enumerated. Returns `None` when the region has collapsed.
     fn observe(
         &mut self,
         data: &Dataset,
@@ -216,19 +250,27 @@ impl EaAgent {
         eps: f64,
         asked: &[(usize, usize)],
     ) -> Option<Observation> {
-        let polytope = geom.polytope()?;
-        let vertices = polytope.vertices().to_vec();
+        let sampled = geom.is_sampled();
+        let points: Vec<Vec<f64>> = if sampled {
+            // Anchors first: the axis-extent LP optimizers are true region
+            // vertices, so the terminal check and state encoding see the
+            // extremes a uniform interior sample systematically misses
+            // (without them the Monte-Carlo terminal check fires early).
+            geom.sample_cloud()?.all_points()
+        } else {
+            geom.polytope()?.vertices().to_vec()
+        };
         let terminal = {
             let _t = isrl_obs::span("terminal_check");
-            check_terminal(data, &vertices, eps)
+            check_terminal(data, &points, eps)
         };
 
-        let centroid = polytope.centroid();
+        let centroid = vector::mean(&points);
         let fallback_best = {
             let _t = isrl_obs::span("top1");
             data.argmax_utility(&centroid)
         };
-        let state = self.encoder.encode(polytope);
+        let state = self.encoder.encode_points(&points);
 
         if terminal.is_some() {
             return Some(Observation {
@@ -240,29 +282,39 @@ impl EaAgent {
             });
         }
 
-        // Build V: sampled utility vectors (rejection, then vertex-mixture
-        // fallback) plus the extreme utility vectors of R (Lemma 5/6).
-        let mut samples = {
-            let _s = isrl_obs::span("sampling");
-            sampling::sample_region_rejection(
-                self.dim,
-                geom.region().halfspaces(),
-                self.cfg.n_samples,
-                self.cfg.n_samples * 10,
-                &mut self.rng,
-            )
+        // Build V (Lemma 5/6). Exact backend: sampled utility vectors
+        // (rejection, then vertex-mixture fallback) plus the extreme
+        // utility vectors of R. Sampled backend: the cloud *is* already a
+        // uniform sample of R — reuse it directly, skipping rejection (and
+        // with it any chance of tripping the `ea.sample_fallbacks`
+        // warning counter on small high-d regions).
+        let samples = if sampled {
+            points
+        } else {
+            let vertices = points;
+            let mut samples = {
+                let _s = isrl_obs::span("sampling");
+                sampling::sample_region_rejection(
+                    self.dim,
+                    geom.region().halfspaces(),
+                    self.cfg.n_samples,
+                    self.cfg.n_samples * 10,
+                    &mut self.rng,
+                )
+            };
+            if samples.len() < self.cfg.n_samples {
+                isrl_obs::add("ea.sample_fallbacks", 1);
+                let _s = isrl_obs::span("sampling");
+                let need = self.cfg.n_samples - samples.len();
+                samples.extend(sampling::sample_vertex_mixture(
+                    &vertices,
+                    need,
+                    &mut self.rng,
+                ));
+            }
+            samples.extend(vertices);
+            samples
         };
-        if samples.len() < self.cfg.n_samples {
-            isrl_obs::add("ea.sample_fallbacks", 1);
-            let _s = isrl_obs::span("sampling");
-            let need = self.cfg.n_samples - samples.len();
-            samples.extend(sampling::sample_vertex_mixture(
-                &vertices,
-                need,
-                &mut self.rng,
-            ));
-        }
-        samples.extend(vertices);
         let p_r = {
             let _t = isrl_obs::span("top1");
             terminal_points(data, samples.iter())
@@ -302,7 +354,7 @@ impl EaAgent {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
         let sw = Stopwatch::start();
-        let mut geom = RegionGeometry::exact(self.dim);
+        let mut geom = self.new_geometry();
         let mut asked: Vec<(usize, usize)> = Vec::new();
         let mut trace: Vec<RoundTrace> = Vec::new();
         let mut rounds = 0usize;
@@ -312,7 +364,7 @@ impl EaAgent {
 
         let mut obs = self
             .observe(data, &geom, eps, &asked)
-            .expect("the full utility simplex always has vertices");
+            .expect("the full utility simplex always has a point set");
 
         loop {
             if let Some(p) = obs.terminal {
@@ -355,7 +407,7 @@ impl EaAgent {
             let (win, lose) = if prefers_i { (q.i, q.j) } else { (q.j, q.i) };
             asked.push((q.i.min(q.j), q.i.max(q.j)));
             rounds += 1;
-            let vertices_before = geom.vertex_count();
+            let support_before = geom.support_size();
             if let Some(h) = Halfspace::preferring(data.point(win), data.point(lose)) {
                 geom.add(h);
             }
@@ -412,7 +464,7 @@ impl EaAgent {
 
             if record {
                 let phases = isrl_obs::round_end();
-                let vertices_after = geom.vertex_count();
+                let support_after = geom.support_size();
                 let volume = geom.volume_proxy();
                 if isrl_obs::enabled() {
                     emit_round_event(
@@ -420,8 +472,8 @@ impl EaAgent {
                         rounds,
                         Some(q),
                         sw.elapsed(),
-                        vertices_before,
-                        vertices_after,
+                        support_before,
+                        support_after,
                         volume,
                         &phases,
                     );
@@ -434,7 +486,7 @@ impl EaAgent {
                         geom.region().clone(),
                     );
                     t.phases = phases;
-                    t.vertex_count = vertices_after;
+                    t.vertex_count = support_after;
                     t.volume_proxy = volume;
                     trace.push(t);
                 }
@@ -600,6 +652,56 @@ mod tests {
             assert_eq!(t.round, k + 1);
             assert_eq!(t.region.len(), k + 1, "one halfspace per round");
         }
+    }
+
+    #[test]
+    fn sampled_backend_terminates_at_higher_dim() {
+        use rand::Rng;
+        // d = 8 resolves Auto to the sampled backend; no vertex set may
+        // ever be materialized, yet the episode must still terminate with
+        // a sane recommendation.
+        let d = 8;
+        let mut rng = StdRng::seed_from_u64(99);
+        let points: Vec<Vec<f64>> = (0..30)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.05..1.0)).collect())
+            .collect();
+        let data = Dataset::from_points(points, d);
+        let mut agent = EaAgent::new(d, EaConfig::paper_default().with_seed(5));
+        assert!(agent.config().geometry.resolves_to_sampled(d));
+        let truth: Vec<f64> = {
+            let raw: Vec<f64> = (0..d).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let s: f64 = raw.iter().sum();
+            raw.into_iter().map(|x| x / s).collect()
+        };
+        let mut user = SimulatedUser::new(truth.clone());
+        let eps = 0.2;
+        let out = agent.run(&data, &mut user, eps, TraceMode::Off);
+        assert!(out.point_index < data.len());
+        assert!(out.rounds <= agent.config().max_rounds);
+        assert!(!out.truncated, "sampled EA should certify termination here");
+        let regret = regret_ratio_of_index(&data, out.point_index, &truth);
+        assert!(regret < eps, "regret {regret} at eps {eps}");
+    }
+
+    #[test]
+    fn sampled_backend_is_deterministic_under_reseed() {
+        use rand::Rng;
+        let d = 9;
+        let mut rng = StdRng::seed_from_u64(123);
+        let points: Vec<Vec<f64>> = (0..25)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.05..1.0)).collect())
+            .collect();
+        let data = Dataset::from_points(points, d);
+        let mut cfg = EaConfig::paper_default().with_seed(11);
+        cfg.geometry = GeometryBackend::Sampled;
+        let mut agent = EaAgent::new(d, cfg);
+        let run_once = |agent: &mut EaAgent| {
+            agent.reseed(0xfeed);
+            let mut user = SimulatedUser::new(vec![1.0 / d as f64; d]);
+            let out = agent.run(&data, &mut user, 0.2, TraceMode::Off);
+            (out.point_index, out.rounds, out.truncated)
+        };
+        assert_eq!(run_once(&mut agent), run_once(&mut agent));
     }
 
     #[test]

@@ -22,18 +22,20 @@ pub struct EaSession<'a> {
 }
 
 impl EaAgent {
-    /// Starts a step-wise interaction on `data` with threshold `eps`.
+    /// Starts a step-wise interaction on `data` with threshold `eps`,
+    /// using the configured geometry backend (exact, sampled, or
+    /// auto-by-dimension).
     ///
     /// # Panics
     /// Panics on dimension mismatch or an empty dataset.
     pub fn start_session<'a>(&'a mut self, data: &'a Dataset, eps: f64) -> EaSession<'a> {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
-        let geom = RegionGeometry::exact(self.dim);
+        let geom = self.new_geometry();
         let asked = Vec::new();
         let obs = self
             .observe(data, &geom, eps, &asked)
-            .expect("the full utility simplex always has vertices");
+            .expect("the full utility simplex always has a point set");
         let mut session = EaSession {
             agent: self,
             data,
@@ -99,7 +101,7 @@ impl EaSession<'_> {
         };
         self.asked.push((q.i.min(q.j), q.i.max(q.j)));
         self.rounds += 1;
-        let vertices_before = self.geom.vertex_count();
+        let support_before = self.geom.support_size();
         if let Some(h) = Halfspace::preferring(self.data.point(win), self.data.point(lose)) {
             self.geom.add(h);
         }
@@ -122,8 +124,8 @@ impl EaSession<'_> {
                 self.rounds,
                 Some(q),
                 self.sw.elapsed(),
-                vertices_before,
-                self.geom.vertex_count(),
+                support_before,
+                self.geom.support_size(),
                 self.geom.volume_proxy(),
                 &phases,
             );

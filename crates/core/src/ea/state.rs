@@ -10,7 +10,9 @@
 //!
 //! for a `d·m_e + d + 1`-dimensional vector.
 
-use isrl_geometry::Polytope;
+use isrl_geometry::polytope::encode_representative_points;
+use isrl_geometry::{min_enclosing_sphere, EnclosingSphereParams, Polytope};
+use isrl_linalg::vector;
 
 /// Which parts of EA's two-part state to encode — the ablation axis the
 /// paper's state design motivates (representatives for detail, sphere for
@@ -76,34 +78,47 @@ impl EaStateEncoder {
         }
     }
 
-    /// Fixed-length block of `m_e` evenly-strided vertices, centroid-padded.
-    fn encode_strided(&self, polytope: &Polytope) -> Vec<f64> {
-        let vertices = polytope.vertices();
-        let pad = polytope.centroid();
-        let stride = (vertices.len() / self.m_e).max(1);
+    /// Fixed-length block of `m_e` evenly-strided points, mean-padded.
+    fn encode_strided(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        let pad = vector::mean(points);
+        let stride = (points.len() / self.m_e).max(1);
         let mut out = Vec::with_capacity(self.m_e * self.dim);
         for slot in 0..self.m_e {
-            let v = vertices.get(slot * stride).unwrap_or(&pad);
+            let v = points.get(slot * stride).unwrap_or(&pad);
             out.extend_from_slice(v);
         }
         out
     }
 
-    /// Encodes a polytope (the current utility range).
+    /// Encodes a polytope (the current utility range) off its vertex set.
     ///
     /// # Panics
     /// Panics if the polytope's dimension disagrees with the encoder's.
     pub fn encode(&self, polytope: &Polytope) -> Vec<f64> {
         assert_eq!(polytope.dim(), self.dim, "polytope dimension mismatch");
+        self.encode_points(polytope.vertices())
+    }
+
+    /// Encodes an explicit point set standing in for the extreme utility
+    /// vectors — the polytope's vertices on the exact backend, the sample
+    /// cloud on the sampled one. Representative selection, the strided
+    /// ablation, and the enclosing sphere are all point-set operations, so
+    /// the two backends share this encoding verbatim.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or of the wrong dimensionality.
+    pub fn encode_points(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!points.is_empty(), "cannot encode an empty point set");
+        assert_eq!(points[0].len(), self.dim, "point dimension mismatch");
         let mut state = match self.variant {
             StateVariant::Full | StateVariant::RepsOnly => {
-                polytope.encode_representatives(self.m_e, self.d_eps)
+                encode_representative_points(points, self.m_e, self.d_eps)
             }
-            StateVariant::StridedReps => self.encode_strided(polytope),
+            StateVariant::StridedReps => self.encode_strided(points),
             StateVariant::SphereOnly => Vec::new(),
         };
         if !matches!(self.variant, StateVariant::RepsOnly) {
-            state.extend(polytope.outer_sphere().encode());
+            state.extend(min_enclosing_sphere(points, EnclosingSphereParams::default()).encode());
         }
         debug_assert_eq!(state.len(), self.state_dim());
         state
@@ -169,6 +184,49 @@ mod tests {
             assert_eq!(enc.state_dim(), width, "{variant:?}");
             assert_eq!(enc.encode(&p).len(), width, "{variant:?}");
         }
+    }
+
+    #[test]
+    fn encode_points_on_vertices_matches_encode() {
+        // The sampled backend's entry point must be bit-identical to the
+        // polytope path when fed the same point set, for every variant.
+        let mut r = Region::full(3);
+        r.add(Halfspace::new(vec![1.0, -1.0, 0.0]));
+        let p = Polytope::from_region(&r).unwrap();
+        for variant in [
+            StateVariant::Full,
+            StateVariant::RepsOnly,
+            StateVariant::SphereOnly,
+            StateVariant::StridedReps,
+        ] {
+            let enc = EaStateEncoder::with_variant(3, 4, 0.2, variant);
+            assert_eq!(
+                enc.encode(&p),
+                enc.encode_points(p.vertices()),
+                "{variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_points_accepts_arbitrary_clouds() {
+        // A cloud-like point set (not vertices of anything in particular).
+        let cloud = vec![
+            vec![0.5, 0.3, 0.2],
+            vec![0.4, 0.4, 0.2],
+            vec![0.3, 0.3, 0.4],
+            vec![0.6, 0.2, 0.2],
+        ];
+        let enc = EaStateEncoder::new(3, 5, 0.15);
+        let state = enc.encode_points(&cloud);
+        assert_eq!(state.len(), enc.state_dim());
+        assert!(state.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn encode_points_rejects_empty() {
+        EaStateEncoder::new(3, 2, 0.2).encode_points(&[]);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`lp`] — a dense two-phase simplex solver sized for `d + 1` variables;
 //! * [`sphere`] / [`rectangle`] — the state-encoding shapes;
 //! * [`sampling`] — simplex and region sampling (Lemma 5);
+//! * [`walk`] — the incrementally-maintained hit-and-run sample cloud
+//!   behind the sampled geometry backend (EA at `d ≥ 20`);
 //! * [`hull`] — dominance and a planar convex hull for the baselines.
 //!
 //! ```
@@ -47,11 +49,13 @@ pub mod region;
 pub mod region_geometry;
 pub mod sampling;
 pub mod sphere;
+pub mod walk;
 
 pub use hyperplane::{Halfspace, Side};
 pub use lp::Basis;
 pub use polytope::Polytope;
 pub use rectangle::Rectangle;
 pub use region::{Region, RegionLpCache};
-pub use region_geometry::RegionGeometry;
+pub use region_geometry::{GeometryBackend, RegionGeometry};
 pub use sphere::{min_enclosing_sphere, EnclosingSphereParams, Sphere};
+pub use walk::{SampleCloud, WalkConfig};

@@ -313,69 +313,88 @@ impl Polytope {
     }
 
     /// Greedy max-coverage selection of `m_e` representative extreme utility
-    /// vectors (the paper's DBSCAN-inspired scheme, Lemma 2): each vertex
-    /// `e` covers the vertices within distance `d_eps` of it; repeatedly
-    /// pick the vertex covering the most still-uncovered vertices.
-    ///
-    /// Returns at most `m_e` vertices; fewer when every vertex is covered
-    /// earlier. The greedy choice gives the classic `(1 − 1/e)`
-    /// approximation to the NP-hard optimum.
+    /// vectors (the paper's DBSCAN-inspired scheme, Lemma 2); see
+    /// [`select_representative_points`], which this delegates to with the
+    /// vertex set.
     pub fn select_representatives(&self, m_e: usize, d_eps: f64) -> Vec<Vec<f64>> {
-        let n = self.vertices.len();
-        if n == 0 || m_e == 0 {
-            return Vec::new();
-        }
-        // Neighborhood sets S_e.
-        let d_eps_sq = d_eps * d_eps;
-        let neighborhoods: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .filter(|&j| vector::dist_sq(&self.vertices[i], &self.vertices[j]) <= d_eps_sq)
-                    .collect()
-            })
-            .collect();
-
-        let mut covered = vec![false; n];
-        let mut chosen: Vec<usize> = Vec::with_capacity(m_e.min(n));
-        while chosen.len() < m_e && covered.iter().any(|c| !c) {
-            let (best, gain) = (0..n)
-                .filter(|i| !chosen.contains(i))
-                .map(|i| {
-                    let gain = neighborhoods[i].iter().filter(|&&j| !covered[j]).count();
-                    (i, gain)
-                })
-                .max_by_key(|&(_, gain)| gain)
-                .expect("uncovered vertices remain, so a candidate exists");
-            if gain == 0 {
-                break;
-            }
-            for &j in &neighborhoods[best] {
-                covered[j] = true;
-            }
-            chosen.push(best);
-        }
-        chosen
-            .into_iter()
-            .map(|i| self.vertices[i].clone())
-            .collect()
+        select_representative_points(&self.vertices, m_e, d_eps)
     }
 
-    /// Fixed-length EA state block for the selected representatives: exactly
-    /// `m_e` slots of `d` numbers, padded by repeating the centroid when the
-    /// polytope has fewer than `m_e` representatives (a constant-shape
-    /// encoding is required by the Q-network).
+    /// Fixed-length EA state block for the selected representatives; see
+    /// [`encode_representative_points`], which this delegates to with the
+    /// vertex set.
     pub fn encode_representatives(&self, m_e: usize, d_eps: f64) -> Vec<f64> {
-        let mut reps = self.select_representatives(m_e, d_eps);
-        let pad = self.centroid();
-        while reps.len() < m_e {
-            reps.push(pad.clone());
-        }
-        let mut out = Vec::with_capacity(m_e * self.dim);
-        for r in reps {
-            out.extend_from_slice(&r);
-        }
-        out
+        encode_representative_points(&self.vertices, m_e, d_eps)
     }
+}
+
+/// Greedy max-coverage selection of `m_e` representatives from an arbitrary
+/// point set (the paper's DBSCAN-inspired scheme, Lemma 2): each point `e`
+/// covers the points within distance `d_eps` of it; repeatedly pick the
+/// point covering the most still-uncovered points. Operates on any point
+/// set so both the exact backend (vertices) and the sampled backend (cloud
+/// points) share one implementation.
+///
+/// Returns at most `m_e` points; fewer when every point is covered earlier.
+/// The greedy choice gives the classic `(1 − 1/e)` approximation to the
+/// NP-hard optimum.
+pub fn select_representative_points(points: &[Vec<f64>], m_e: usize, d_eps: f64) -> Vec<Vec<f64>> {
+    let n = points.len();
+    if n == 0 || m_e == 0 {
+        return Vec::new();
+    }
+    // Neighborhood sets S_e.
+    let d_eps_sq = d_eps * d_eps;
+    let neighborhoods: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| vector::dist_sq(&points[i], &points[j]) <= d_eps_sq)
+                .collect()
+        })
+        .collect();
+
+    let mut covered = vec![false; n];
+    let mut chosen: Vec<usize> = Vec::with_capacity(m_e.min(n));
+    while chosen.len() < m_e && covered.iter().any(|c| !c) {
+        let (best, gain) = (0..n)
+            .filter(|i| !chosen.contains(i))
+            .map(|i| {
+                let gain = neighborhoods[i].iter().filter(|&&j| !covered[j]).count();
+                (i, gain)
+            })
+            .max_by_key(|&(_, gain)| gain)
+            .expect("uncovered points remain, so a candidate exists");
+        if gain == 0 {
+            break;
+        }
+        for &j in &neighborhoods[best] {
+            covered[j] = true;
+        }
+        chosen.push(best);
+    }
+    chosen.into_iter().map(|i| points[i].clone()).collect()
+}
+
+/// Fixed-length EA state block for the selected representatives: exactly
+/// `m_e` slots of `d` numbers, padded by repeating the point-set mean when
+/// fewer than `m_e` representatives exist (a constant-shape encoding is
+/// required by the Q-network).
+///
+/// # Panics
+/// Panics if `points` is empty (there is no mean to pad with).
+pub fn encode_representative_points(points: &[Vec<f64>], m_e: usize, d_eps: f64) -> Vec<f64> {
+    assert!(!points.is_empty(), "cannot encode an empty point set");
+    let dim = points[0].len();
+    let mut reps = select_representative_points(points, m_e, d_eps);
+    let pad = vector::mean(points);
+    while reps.len() < m_e {
+        reps.push(pad.clone());
+    }
+    let mut out = Vec::with_capacity(m_e * dim);
+    for r in reps {
+        out.extend_from_slice(&r);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -380,6 +380,53 @@ impl Region {
         Some(Rectangle::new(lo, hi))
     }
 
+    /// True extreme points of the region, one per coordinate: the argmax
+    /// vertex of each `max x_i` extent LP. A linear optimum over a polytope
+    /// is attained at a vertex, so these are genuine members of the vertex
+    /// set the sampled backend never enumerates — on the full simplex they
+    /// are exactly the corners `e_i`. The sample cloud carries them as
+    /// anchors so cloud-based terminal checks see the extremes a uniform
+    /// interior sample misses. `None` when the region is empty; an
+    /// iteration-capped coordinate is skipped (its incumbent is feasible
+    /// but not extreme), so the result may have fewer than `d` points.
+    pub fn axis_extreme_points(&self) -> Option<Vec<Vec<f64>>> {
+        self.axis_extreme_points_impl(None)
+    }
+
+    /// [`Region::axis_extreme_points`] through a warm-start cache, sharing
+    /// the `rect_hi` basis slots with the outer-rectangle extent LPs (they
+    /// are the same programs).
+    pub fn axis_extreme_points_with(&self, cache: &mut RegionLpCache) -> Option<Vec<Vec<f64>>> {
+        self.axis_extreme_points_impl(Some(cache))
+    }
+
+    fn axis_extreme_points_impl(
+        &self,
+        mut cache: Option<&mut RegionLpCache>,
+    ) -> Option<Vec<Vec<f64>>> {
+        let _lp = isrl_obs::span("lp");
+        let d = self.dim;
+        if let Some(c) = cache.as_deref_mut() {
+            if c.rect_hi.len() < d {
+                c.rect_lo.resize(d, None);
+                c.rect_hi.resize(d, None);
+            }
+        }
+        let mut out = Vec::with_capacity(d);
+        for i in 0..d {
+            let mut obj = vec![0.0; d];
+            obj[i] = 1.0;
+            let slot = cache.as_deref_mut().map(|c| &mut c.rect_hi[i]);
+            match solve_slot(self.base_lp(&obj, true), slot) {
+                Ok(LpOutcome::Optimal(s)) => out.push(s.x),
+                Ok(LpOutcome::IterationCapped(_)) | Err(LpError::IterationLimit) => continue,
+                Ok(_) => return None,
+                Err(LpError::ShapeMismatch) => unreachable!("extent LP is well-formed"),
+            }
+        }
+        Some(out)
+    }
+
     /// A feasible point of the region (the inner-sphere center), if any.
     pub fn feasible_point(&self) -> Option<Vec<f64>> {
         self.inner_sphere().map(|s| s.center().to_vec())

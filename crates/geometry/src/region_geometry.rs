@@ -19,6 +19,53 @@ use crate::polytope::Polytope;
 use crate::rectangle::Rectangle;
 use crate::region::{Region, RegionLpCache};
 use crate::sphere::Sphere;
+use crate::walk::{SampleCloud, WalkConfig};
+
+/// Which region representation a [`RegionGeometry`] maintains for EA.
+///
+/// `Exact` is the paper's vertex enumeration — exact but exponential in
+/// `d`. `Sampled` replaces the vertex set with a [`SampleCloud`] whose
+/// per-cut cost is polynomial, making EA usable at `d ≥ 20`. `Auto`
+/// resolves by dimension at construction time: exact up to
+/// [`GeometryBackend::AUTO_EXACT_MAX_DIM`], sampled above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GeometryBackend {
+    /// Incrementally-maintained explicit vertex set ([`Polytope`]).
+    Exact,
+    /// Hit-and-run sample cloud ([`SampleCloud`]).
+    Sampled,
+    /// Exact at low dimension, sampled above the threshold.
+    #[default]
+    Auto,
+}
+
+impl GeometryBackend {
+    /// Largest dimension at which `Auto` still picks the exact backend.
+    /// At `d = 7` the full episode's subset enumeration is still cheap
+    /// (tens of ms); one dimension later it no longer is.
+    pub const AUTO_EXACT_MAX_DIM: usize = 7;
+
+    /// Whether this backend, applied at dimensionality `dim`, maintains a
+    /// sample cloud instead of a vertex set.
+    #[inline]
+    pub fn resolves_to_sampled(self, dim: usize) -> bool {
+        match self {
+            Self::Exact => false,
+            Self::Sampled => true,
+            Self::Auto => dim > Self::AUTO_EXACT_MAX_DIM,
+        }
+    }
+
+    /// Parses a CLI-style backend name (`exact` | `sampled` | `auto`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(Self::Exact),
+            "sampled" => Some(Self::Sampled),
+            "auto" => Some(Self::Auto),
+            _ => None,
+        }
+    }
+}
 
 /// Lazily-computed per-round summaries, invalidated by every cut. The
 /// outer `Option` is "computed yet?"; the inner one is the answer (`None`
@@ -46,6 +93,13 @@ pub struct RegionGeometry {
     /// absorbs with a basis repair instead of a cold phase 1.
     lp: RegionLpCache,
     warm_lp: bool,
+    /// `Some` while the sampled backend is active and the region retains
+    /// an interior; a collapsed region drops the cloud for good (mirroring
+    /// the polytope's no-resurrection rule).
+    cloud: Option<SampleCloud>,
+    /// `true` iff this geometry was built with the sampled backend — kept
+    /// separate from `cloud` so collapse is distinguishable from "exact".
+    sampled: bool,
 }
 
 impl RegionGeometry {
@@ -60,6 +114,46 @@ impl RegionGeometry {
             cache: SummaryCache::default(),
             lp: RegionLpCache::new(),
             warm_lp: true,
+            cloud: None,
+            sampled: false,
+        }
+    }
+
+    /// The full utility simplex with the sampled backend: no vertex set is
+    /// ever enumerated; a [`SampleCloud`] seeded with `seed` stands in for
+    /// it. The chain's warm start is the warm-LP inner-sphere center, and
+    /// every cut refreshes it through the same LP cache.
+    pub fn sampled(dim: usize, walk: WalkConfig, seed: u64) -> Self {
+        let region = Region::full(dim);
+        let mut lp = RegionLpCache::new();
+        let sphere = region
+            .inner_sphere_with(&mut lp)
+            .expect("the full simplex has an interior");
+        let mut cloud = SampleCloud::new(&region, sphere.center().to_vec(), walk, seed);
+        cloud.set_anchors(region.axis_extreme_points_with(&mut lp).unwrap_or_default());
+        Self {
+            region,
+            polytope: None,
+            track_vertices: false,
+            cache: SummaryCache {
+                sphere: Some(Some(sphere)),
+                rect: None,
+            },
+            lp,
+            warm_lp: true,
+            cloud: Some(cloud),
+            sampled: true,
+        }
+    }
+
+    /// Constructs with an explicit [`GeometryBackend`], resolving `Auto`
+    /// by dimension. `walk` and `seed` only matter when the resolution is
+    /// sampled.
+    pub fn with_backend(dim: usize, backend: GeometryBackend, walk: WalkConfig, seed: u64) -> Self {
+        if backend.resolves_to_sampled(dim) {
+            Self::sampled(dim, walk, seed)
+        } else {
+            Self::exact(dim)
         }
     }
 
@@ -74,6 +168,8 @@ impl RegionGeometry {
             cache: SummaryCache::default(),
             lp: RegionLpCache::new(),
             warm_lp: true,
+            cloud: None,
+            sampled: false,
         }
     }
 
@@ -92,6 +188,8 @@ impl RegionGeometry {
             cache: SummaryCache::default(),
             lp: RegionLpCache::new(),
             warm_lp: true,
+            cloud: None,
+            sampled: false,
         }
     }
 
@@ -124,8 +222,11 @@ impl RegionGeometry {
     }
 
     /// Narrows the region by one half-space, updating the vertex set
-    /// incrementally when tracking is on. Invalidates the summary cache
-    /// (but keeps the LP bases — they are repaired, not recomputed).
+    /// (exact backend) or the sample cloud (sampled backend) incrementally.
+    /// Invalidates the summary cache (but keeps the LP bases — they are
+    /// repaired, not recomputed). On the sampled path the refreshed
+    /// inner-sphere center is computed here — one warm LP per cut — and
+    /// doubles as the cached sphere for downstream consumers.
     pub fn add(&mut self, h: Halfspace) {
         let _span = isrl_obs::span("geom_update");
         if self.track_vertices {
@@ -134,8 +235,34 @@ impl RegionGeometry {
                 .as_ref()
                 .and_then(|p| p.update(&self.region, &h));
         }
+        let cut_for_cloud = if self.cloud.is_some() {
+            Some(h.clone())
+        } else {
+            None
+        };
         self.region.add(h);
         self.cache = SummaryCache::default();
+        if let Some(cut) = cut_for_cloud {
+            match self.inner_sphere() {
+                Some(sphere) => {
+                    let interior = sphere.center().to_vec();
+                    // Anchors must track the shrinking region: re-solve the
+                    // axis-extent LPs (warm, sharing the rectangle's hi-side
+                    // basis slots) so the cloud always carries d true
+                    // vertices of the *current* region.
+                    let anchors = self
+                        .region
+                        .axis_extreme_points_with(&mut self.lp)
+                        .unwrap_or_default();
+                    let cloud = self.cloud.as_mut().expect("cloud checked above");
+                    cloud.apply_cut(&self.region, &cut, interior);
+                    cloud.set_anchors(anchors);
+                }
+                // Region numerically empty: drop the cloud for good, the
+                // same terminal state as a collapsed polytope.
+                None => self.cloud = None,
+            }
+        }
         isrl_obs::add("geom.cuts", 1);
     }
 
@@ -170,6 +297,29 @@ impl RegionGeometry {
         self.polytope.as_ref().map(Polytope::n_vertices)
     }
 
+    /// `true` iff this geometry was built with the sampled backend (even
+    /// after its cloud collapsed with the region).
+    #[inline]
+    pub fn is_sampled(&self) -> bool {
+        self.sampled
+    }
+
+    /// The sample cloud: `Some` iff the sampled backend is active and the
+    /// region still has an interior.
+    #[inline]
+    pub fn sample_cloud(&self) -> Option<&SampleCloud> {
+        self.cloud.as_ref()
+    }
+
+    /// Size of whichever point set currently represents the region —
+    /// vertices (exact) or cloud points (sampled); `None` once collapsed
+    /// or when neither is maintained (summary-only).
+    #[inline]
+    pub fn support_size(&self) -> Option<usize> {
+        self.vertex_count()
+            .or_else(|| self.cloud.as_ref().map(SampleCloud::len))
+    }
+
     /// The region's inner sphere, computed at most once per cut (cached
     /// until the next [`RegionGeometry::add`]). `None` when empty.
     pub fn inner_sphere(&mut self) -> Option<Sphere> {
@@ -189,14 +339,17 @@ impl RegionGeometry {
     /// The region's outer rectangle, cached like the inner sphere. When the
     /// vertex set is tracked the box comes for free from the vertices (a
     /// linear extreme over a polytope is attained at a vertex, so the
-    /// bounding box *is* the outer rectangle); otherwise the `2d` extent
-    /// LPs run once per cut.
+    /// bounding box *is* the outer rectangle); on the sampled backend it is
+    /// the cloud's bounding box (an inner approximation — good enough for
+    /// the volume proxy, and free); otherwise the `2d` extent LPs run once
+    /// per cut.
     pub fn outer_rectangle(&mut self) -> Option<Rectangle> {
         if self.cache.rect.is_none() {
-            let rect = match &self.polytope {
-                Some(p) => vertex_bounding_rectangle(p),
-                None if self.warm_lp => self.region.outer_rectangle_with(&mut self.lp),
-                None => self.region.outer_rectangle(),
+            let rect = match (&self.polytope, &self.cloud) {
+                (Some(p), _) => vertex_bounding_rectangle(p),
+                (None, Some(c)) => c.bounding_rectangle(),
+                (None, None) if self.warm_lp => self.region.outer_rectangle_with(&mut self.lp),
+                (None, None) => self.region.outer_rectangle(),
             };
             self.cache.rect = Some(rect);
         } else {
@@ -205,9 +358,12 @@ impl RegionGeometry {
         self.cache.rect.clone().unwrap()
     }
 
-    /// A cheap volume proxy: the outer rectangle's volume. Starts at 1.0
-    /// on the full simplex (the unit box) and shrinks monotonically with
-    /// each informative cut — not the true simplex-relative volume the
+    /// A cheap volume proxy: the outer rectangle's volume. On the exact
+    /// and summary backends it starts at 1.0 on the full simplex (the unit
+    /// box) and shrinks monotonically with each informative cut; on the
+    /// sampled backend it is the cloud's bounding-box volume, which tracks
+    /// the same decay up to sampling noise (resampling can wiggle the box
+    /// either way between rounds). Not the true simplex-relative volume the
     /// Monte-Carlo estimator computes, but an always-available, exactly
     /// reproducible progress measure for traces and diagnostics.
     pub fn volume_proxy(&mut self) -> Option<f64> {
@@ -357,6 +513,87 @@ mod tests {
         let (region, cache) = warm.region_and_lp_cache();
         assert_eq!(region.len(), 3);
         assert!(cache.expect("warm mode exposes the cache").is_primed());
+    }
+
+    #[test]
+    fn auto_backend_resolves_by_dimension() {
+        assert!(!GeometryBackend::Auto.resolves_to_sampled(4));
+        assert!(!GeometryBackend::Auto.resolves_to_sampled(GeometryBackend::AUTO_EXACT_MAX_DIM));
+        assert!(GeometryBackend::Auto.resolves_to_sampled(GeometryBackend::AUTO_EXACT_MAX_DIM + 1));
+        assert!(GeometryBackend::Sampled.resolves_to_sampled(2));
+        assert!(!GeometryBackend::Exact.resolves_to_sampled(25));
+        assert_eq!(
+            GeometryBackend::parse("sampled"),
+            Some(GeometryBackend::Sampled)
+        );
+        assert_eq!(GeometryBackend::parse("bogus"), None);
+        let g = RegionGeometry::with_backend(3, GeometryBackend::Auto, WalkConfig::default(), 1);
+        assert!(!g.is_sampled() && g.polytope().is_some());
+        let g = RegionGeometry::with_backend(9, GeometryBackend::Auto, WalkConfig::default(), 1);
+        assert!(g.is_sampled() && g.polytope().is_none());
+    }
+
+    #[test]
+    fn sampled_backend_never_enumerates_and_tracks_cuts() {
+        let mut g = RegionGeometry::sampled(10, WalkConfig::default(), 5);
+        assert!(g.is_sampled());
+        assert!(g.polytope().is_none());
+        assert_eq!(g.support_size(), Some(WalkConfig::default().n_points));
+        let mut n = vec![0.05; 10];
+        n[0] = 1.0;
+        n[1] = -1.0;
+        g.add(Halfspace::new(n));
+        assert!(g.polytope().is_none(), "no vertex set may appear");
+        let cloud = g.sample_cloud().expect("region still has interior");
+        assert_eq!(cloud.len(), WalkConfig::default().n_points);
+        for p in cloud.points() {
+            assert!(g.region().contains(p, 1e-9), "cloud point left the region");
+        }
+        // The cached sphere from the cut is reused by the first consumer call.
+        let sphere = g.inner_sphere().expect("interior survives one cut");
+        assert_eq!(sphere.center(), g.sample_cloud().unwrap().interior());
+    }
+
+    #[test]
+    fn sampled_volume_proxy_shrinks_with_cuts() {
+        let mut g = RegionGeometry::sampled(8, WalkConfig::default(), 9);
+        let before = g.volume_proxy().expect("cloud bounding box exists");
+        assert!(before > 0.0);
+        for i in 0..4 {
+            let mut n = vec![0.02; 8];
+            n[i] = 1.0;
+            n[i + 1] = -0.9;
+            g.add(Halfspace::new(n));
+        }
+        let after = g.volume_proxy().expect("region still nonempty");
+        assert!(
+            after < before,
+            "cuts should shrink the sampled proxy: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn sampled_collapse_drops_the_cloud() {
+        let mut g = RegionGeometry::sampled(2, WalkConfig::default(), 2);
+        g.add(Halfspace::new(vec![1.0, -3.0]));
+        g.add(Halfspace::new(vec![-3.0, 1.0])); // contradicts the first cut
+        assert!(g.sample_cloud().is_none(), "empty region keeps no cloud");
+        assert!(g.is_sampled(), "backend identity survives collapse");
+        assert_eq!(g.support_size(), None);
+        g.add(Halfspace::new(vec![1.0, 1.0]));
+        assert!(g.sample_cloud().is_none(), "no resurrection after collapse");
+    }
+
+    #[test]
+    fn sampled_geometry_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut g = RegionGeometry::sampled(6, WalkConfig::default(), seed);
+            g.add(Halfspace::new(vec![1.0, -1.0, 0.0, 0.1, 0.0, 0.0]));
+            g.add(Halfspace::new(vec![0.0, 1.0, -0.8, 0.0, 0.1, 0.0]));
+            g.sample_cloud().unwrap().points().to_vec()
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
     }
 
     #[test]

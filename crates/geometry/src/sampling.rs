@@ -105,6 +105,17 @@ pub fn sample_vertex_mixture<R: Rng + ?Sized>(
         .collect()
 }
 
+/// Chain statistics of one [`hit_and_run_with_stats`] invocation, used by
+/// the sampled geometry backend to report acceptance counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Total chain steps taken (`count · thin`).
+    pub steps: u64,
+    /// Steps that failed to move (degenerate direction or a numerically
+    /// empty chord). Acceptance is `(steps − stuck) / steps`.
+    pub stuck: u64,
+}
+
 /// Hit-and-run sampling inside `U ∩ ⋂ h⁺` starting from a strictly interior
 /// point (e.g. the region's inner-sphere center).
 ///
@@ -127,6 +138,24 @@ pub fn hit_and_run<R: Rng + ?Sized>(
     thin: usize,
     rng: &mut R,
 ) -> Vec<Vec<f64>> {
+    hit_and_run_with_stats(d, halfspaces, start, count, thin, rng).0
+}
+
+/// [`hit_and_run`] plus the chain's [`WalkStats`] — same draws, same
+/// samples, same counters; the stats are for callers (the sampled
+/// [`crate::walk::SampleCloud`]) that aggregate their own acceptance
+/// telemetry on top of the `sampling.hitrun_*` counters emitted here.
+///
+/// # Panics
+/// Panics if `d < 2`, `thin == 0`, or `start` has the wrong length.
+pub fn hit_and_run_with_stats<R: Rng + ?Sized>(
+    d: usize,
+    halfspaces: &[Halfspace],
+    start: &[f64],
+    count: usize,
+    thin: usize,
+    rng: &mut R,
+) -> (Vec<Vec<f64>>, WalkStats) {
     assert!(d >= 2, "hit-and-run needs d >= 2");
     assert!(thin > 0, "thinning interval must be positive");
     assert_eq!(start.len(), d, "start point dimension mismatch");
@@ -193,8 +222,10 @@ pub fn hit_and_run<R: Rng + ?Sized>(
         }
     };
 
+    let mut steps = 0u64;
     while out.len() < count {
         step(&mut x, rng);
+        steps += 1;
         steps_until_emit -= 1;
         if steps_until_emit == 0 {
             out.push(x.clone());
@@ -203,7 +234,7 @@ pub fn hit_and_run<R: Rng + ?Sized>(
     }
     isrl_obs::add("sampling.hitrun_samples", out.len() as u64);
     isrl_obs::add("sampling.hitrun_stuck", stuck);
-    out
+    (out, WalkStats { steps, stuck })
 }
 
 /// How many sampled vectors Lemma 5 prescribes for volume resolution `tau`

@@ -7,6 +7,11 @@
 
 /// Dot product `a · b`.
 ///
+/// Accumulates in four independent lanes over 4-element chunks so the
+/// multiply-adds pipeline instead of serializing on one accumulator, then
+/// sums the remainder sequentially. For slices shorter than 4 this reduces
+/// to the plain left-to-right sum, so low-d results are unchanged.
+///
 /// # Panics
 /// Panics if the slices have different lengths.
 ///
@@ -16,11 +21,20 @@
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
-    let mut acc = 0.0;
-    for i in 0..a.len() {
-        acc += a[i] * b[i];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
     }
-    acc
+    let mut tail = 0.0f64;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// Element-wise difference `a - b` as a new vector.
@@ -208,6 +222,22 @@ mod tests {
     #[test]
     fn dot_of_orthogonal_vectors_is_zero() {
         assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_unrolled_matches_naive_at_every_tail_length() {
+        // Lengths 0..=11 exercise zero chunks, full chunks, and every
+        // remainder size of the 4-wide unrolling.
+        for n in 0..12usize {
+            let a: Vec<f64> = (0..n).map(|i| 0.3 + 0.17 * i as f64).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.1 - 0.29 * i as f64).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!(
+                (dot(&a, &b) - naive).abs() < 1e-12 * naive.abs().max(1.0),
+                "n={n}: {} vs {naive}",
+                dot(&a, &b)
+            );
+        }
     }
 
     #[test]

@@ -65,6 +65,28 @@ proptest! {
     }
 
     #[test]
+    fn dot_unrolled_stays_close_to_sequential(
+        dim in 1usize..=64,
+        raw_a in prop::collection::vec(-1.0f64..1.0, 64),
+        raw_b in prop::collection::vec(-1.0f64..1.0, 64),
+    ) {
+        // The 4-lane unrolled accumulator reassociates the sum; it must
+        // stay within f64 rounding of the sequential reference, and be
+        // bit-identical to it below one chunk (the low-d exact paths).
+        let a = &raw_a[..dim];
+        let b = &raw_b[..dim];
+        let naive: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let got = vector::dot(a, b);
+        prop_assert!(
+            (got - naive).abs() <= 1e-12 * naive.abs().max(1.0),
+            "dim={}: {} vs {}", dim, got, naive
+        );
+        if dim < 4 {
+            prop_assert_eq!(got, naive, "tail path must match sequential order");
+        }
+    }
+
+    #[test]
     fn duplicated_rows_tie_break_to_the_first_index(
         dim in 1usize..=8,
         row in prop::collection::vec(0.1f64..1.0, 8),
