@@ -130,16 +130,109 @@ fn main() {
     }
 
     let kernels = kernel_before_after();
+    let overhead = profiling_overhead();
 
     let combined = format!(
-        "{{\n\"per_round\": {},\n\"kernels\": {}\n}}\n",
+        "{{\n\"per_round\": {},\n\"kernels\": {},\n\"profiling_overhead\": {}\n}}\n",
         table.to_json().trim_end(),
-        kernels.to_json().trim_end()
+        kernels.to_json().trim_end(),
+        overhead.to_json().trim_end()
     );
     std::fs::write(&out, combined).expect("writing the hot-path artifact");
     println!("{}", table.render());
     println!("{}", kernels.render());
+    println!("{}", overhead.render());
     println!("wrote {}", out.display());
+}
+
+/// Cost of the span-profiler instrumentation with the sink *disabled* —
+/// the state every benchmark and production run above pays. Measures the
+/// per-call cost of a disabled `isrl_obs::span` (one relaxed atomic load),
+/// counts how many spans one real EA round actually opens (by running a
+/// round with the profiler on and summing span counts), and expresses
+/// their product as a percentage of the measured per-round wall time. The
+/// budget is < 1%: instrumentation must be free when nobody is looking.
+fn profiling_overhead() -> Table {
+    // Per-call cost, amortized over a tight loop. The sink is disabled
+    // (default state), so span() takes the early-out path.
+    assert!(
+        !isrl_obs::enabled(),
+        "sink must be off for the overhead row"
+    );
+    let calls = 2_000_000usize;
+    let ns_per_span = time_ms(1, || {
+        for _ in 0..calls {
+            let _guard = std::hint::black_box(isrl_obs::span("overhead_probe"));
+        }
+    }) * 1e6
+        / calls as f64;
+
+    // Spans per round, counted on the same d = 4 EA workload as the
+    // per-round rows: one profiled run, total span count / total rounds.
+    let data = skyline(&generate(2_000, 4, Distribution::AntiCorrelated, 1));
+    let d = data.dim();
+    let eps = 0.1;
+    let users = sample_users(d, 4, 3);
+    let mut ea = EaAgent::new(d, EaConfig::paper_default().with_seed(4));
+    let mut rounds = 0usize;
+    let mut secs = 0.0f64;
+    isrl_obs::reset();
+    isrl_obs::set_enabled(true);
+    for (i, u) in users.iter().enumerate() {
+        ea.reseed(0x5eed + i as u64);
+        let mut user = SimulatedUser::new(u.clone());
+        let out = ea.run(&data, &mut user, eps, TraceMode::Off);
+        rounds += out.rounds;
+        secs += out.elapsed.as_secs_f64();
+    }
+    isrl_obs::set_enabled(false);
+    // Each interaction emitted one `profile` event; its per-path counts
+    // are exactly the spans the round hot path opens.
+    let mut jsonl = Vec::new();
+    isrl_obs::snapshot()
+        .write_jsonl(&mut jsonl)
+        .expect("serializing the profile events");
+    let spans: u64 = isrl_obs::profile::ProfileAccum::from_trace(
+        &String::from_utf8(jsonl).expect("trace is utf-8"),
+    )
+    .expect("profile events parse")
+    .spans
+    .values()
+    .map(|s| s.count)
+    .sum();
+    isrl_obs::reset();
+
+    let spans_per_round = spans as f64 / rounds.max(1) as f64;
+    let round_ms = secs * 1e3 / rounds.max(1) as f64;
+    let overhead_pct = spans_per_round * ns_per_span / 1e6 / round_ms * 100.0;
+    eprintln!(
+        "profiling overhead (sink off): {ns_per_span:.2} ns/span x {spans_per_round:.1} \
+         spans/round = {overhead_pct:.4}% of a {round_ms:.3} ms round"
+    );
+    assert!(
+        overhead_pct < 1.0,
+        "disabled-sink profiling overhead {overhead_pct:.4}% breaches the 1% budget"
+    );
+
+    let mut table = Table::new(
+        "profiling_overhead",
+        "Disabled-sink span instrumentation cost on the EA round hot path",
+        &[
+            "ns_per_span",
+            "spans_per_round",
+            "round_ms",
+            "overhead_pct",
+            "budget_pct",
+        ],
+    );
+    table.push_row(vec![
+        format!("{ns_per_span:.2}"),
+        f2(spans_per_round),
+        format!("{round_ms:.3}"),
+        format!("{overhead_pct:.4}"),
+        "1.0".into(),
+    ]);
+    table
 }
 
 /// Mean milliseconds per call of `f` over `iters` calls.

@@ -18,7 +18,15 @@
 //!   episodes on the sampled geometry backend at d = 20, n = 2000. This
 //!   metric also carries an *absolute* ceiling ([`CEILINGS`]): 142.79 ms,
 //!   one tenth of the exact backend's measured per-round cost at the same
-//!   shape, checked even on a fresh history.
+//!   shape, checked even on a fresh history;
+//! * `p99.round_ea_untrained` / `p99.round_ea_sampled_d20` — the p99
+//!   *tail* of the same two round workloads, estimated by the
+//!   `isrl_obs::QuantileSketch` over per-round `elapsed` deltas of
+//!   `TraceMode::PerRound` runs (sink disabled, so the mean metrics above
+//!   are undisturbed). The mean metrics miss a regression that only
+//!   inflates occasional rounds (a degenerate cut, an LP repair storm);
+//!   the tail metrics exist to catch exactly those, under the wider
+//!   `p99.` tolerance band.
 //!
 //! The run is compared against the median-of-window baseline with
 //! per-metric relative tolerances (`bench::history`; rationale in
@@ -242,6 +250,62 @@ fn round_ea_sampled_d20() -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Per-round latencies (ms) of one replay of `users`, taken as deltas of
+/// the cumulative per-round `elapsed` stamps of a `TraceMode::PerRound`
+/// run. The telemetry sink stays disabled — the round trace is part of the
+/// interaction API, not the global sink.
+fn round_latencies(ea: &mut EaAgent, data: &isrl_data::Dataset, users: &[Vec<f64>]) -> Vec<f64> {
+    let eps = 0.15;
+    let mut out = Vec::new();
+    for (i, u) in users.iter().enumerate() {
+        ea.reseed(0x5eed + i as u64);
+        let mut user = SimulatedUser::new(u.clone());
+        let outcome = ea.run(data, &mut user, eps, TraceMode::PerRound);
+        let mut prev = 0.0f64;
+        for rt in &outcome.trace {
+            let e = rt.elapsed.as_secs_f64() * 1e3;
+            out.push(e - prev);
+            prev = e;
+        }
+    }
+    out
+}
+
+/// Min-of-[`REPS`] sketched p99 of per-round latency: each rep feeds one
+/// replay's rounds into a fresh `QuantileSketch` (1% relative error) and
+/// reads its p99; the minimum is the achievable tail floor, stable under
+/// transient noise for the same reason the mean metrics use min.
+fn p99_of<F: FnMut() -> Vec<f64>>(mut latencies: F) -> f64 {
+    latencies(); // warm-up
+    (0..REPS)
+        .map(|_| {
+            let mut sk = isrl_obs::QuantileSketch::default_config();
+            for ms in latencies() {
+                sk.record(ms);
+            }
+            sk.quantile(0.99)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn p99_round_ea_untrained() -> f64 {
+    let data = skyline(&generate(400, 4, Distribution::AntiCorrelated, 1));
+    let d = data.dim();
+    let users = sample_users(d, 3, 3);
+    let mut ea = EaAgent::new(d, EaConfig::paper_default().with_seed(4));
+    p99_of(|| round_latencies(&mut ea, &data, &users))
+}
+
+fn p99_round_ea_sampled_d20() -> f64 {
+    let data = generate(2_000, 20, Distribution::AntiCorrelated, 1);
+    let d = data.dim();
+    let users = sample_users(d, 2, 6);
+    let mut cfg = EaConfig::paper_default().with_seed(7);
+    cfg.geometry = GeometryBackend::Sampled;
+    let mut ea = EaAgent::new(d, cfg);
+    p99_of(|| round_latencies(&mut ea, &data, &users))
+}
+
 fn current_commit() -> String {
     if let Ok(sha) = std::env::var("GITHUB_SHA") {
         if !sha.is_empty() {
@@ -296,6 +360,11 @@ fn main() {
     metrics.insert("geom.cloud_cut".into(), geom_cloud_cut());
     metrics.insert("round.ea_untrained".into(), round_ea_untrained());
     metrics.insert("round.ea_sampled_d20".into(), round_ea_sampled_d20());
+    metrics.insert("p99.round_ea_untrained".into(), p99_round_ea_untrained());
+    metrics.insert(
+        "p99.round_ea_sampled_d20".into(),
+        p99_round_ea_sampled_d20(),
+    );
     for v in metrics.values_mut() {
         *v *= scale;
     }

@@ -37,6 +37,10 @@ pub const TOLERANCES: &[(&str, f64)] = &[
     ("lp.", 0.35),
     ("geom.", 0.40),
     ("round.", 0.35),
+    // Tail quantiles are inherently noisier than means/minima: one
+    // scheduler hiccup lands straight in the p99, so the band is the
+    // widest of the table.
+    ("p99.", 0.60),
 ];
 
 /// Fallback relative tolerance for unprefixed metrics.
@@ -323,6 +327,7 @@ mod tests {
         assert_eq!(tolerance_of("lp.warm_replay"), 0.35);
         assert_eq!(tolerance_of("geom.cloud_cut"), 0.40);
         assert_eq!(tolerance_of("round.ea_untrained"), 0.35);
+        assert_eq!(tolerance_of("p99.round_ea_untrained"), 0.60);
         assert_eq!(tolerance_of("something.else"), DEFAULT_TOLERANCE);
     }
 

@@ -23,6 +23,19 @@ fn geometry_arg(args: &Args) -> Result<Option<GeometryBackend>, Box<dyn std::err
     }
 }
 
+/// Echoes every watchdog anomaly from a training run to stderr so broken
+/// runs are loud even without a trace file.
+fn warn_anomalies(anomalies: &[Anomaly]) {
+    for a in anomalies {
+        eprintln!(
+            "warning: training anomaly {} at episode {}: {}",
+            a.kind.as_str(),
+            a.episode,
+            a.detail
+        );
+    }
+}
+
 fn describe(data: &Dataset, source: &DataSource) {
     let attrs = if data.attributes().is_empty() {
         String::from("unnamed")
@@ -66,6 +79,7 @@ pub fn train(args: &Args) -> CmdResult {
         "algo",
         "eps",
         "episodes",
+        "lr",
         "geometry",
         "out",
         "trace-out",
@@ -79,6 +93,16 @@ pub fn train(args: &Args) -> CmdResult {
     let eps = args.get_or("eps", 0.1f64, "number")?;
     let episodes = args.get_or("episodes", 200usize, "integer")?;
     let seed = args.get_or("seed", 7u64, "integer")?;
+    // Deliberately accepts any f64 (including "nan"): a poisoned learning
+    // rate is the standard training-health drill — the watchdog must catch
+    // it, not the argument parser.
+    let lr = match args.get("lr").filter(|v| !v.is_empty()) {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("--lr {v:?} is not a valid number"))?,
+        ),
+    };
     let geometry = geometry_arg(args)?;
     let out = args.required("out")?;
     let users = sample_users(data.dim(), episodes, seed.wrapping_add(1));
@@ -91,24 +115,33 @@ pub fn train(args: &Args) -> CmdResult {
             if let Some(backend) = geometry {
                 cfg.geometry = backend;
             }
+            if let Some(lr) = lr {
+                cfg.lr = lr;
+            }
             let mut agent = EaAgent::new(data.dim(), cfg);
             let report = agent.train(&data, &users, eps);
             println!(
                 "final-quarter mean rounds: {:.2}",
                 report.mean_rounds_final_quarter
             );
+            warn_anomalies(&report.anomalies);
             checkpoint::save_ea(&agent)
         }
         "aa" => {
             if geometry.is_some() {
                 return Err("--geometry applies to --algo ea only (AA never enumerates)".into());
             }
-            let mut agent = AaAgent::new(data.dim(), AaConfig::paper_default().with_seed(seed));
+            let mut cfg = AaConfig::paper_default().with_seed(seed);
+            if let Some(lr) = lr {
+                cfg.lr = lr;
+            }
+            let mut agent = AaAgent::new(data.dim(), cfg);
             let report = agent.train(&data, &users, eps);
             println!(
                 "final-quarter mean rounds: {:.2}",
                 report.mean_rounds_final_quarter
             );
+            warn_anomalies(&report.anomalies);
             checkpoint::save_aa(&agent)
         }
         other => return Err(format!("--algo must be ea or aa, got {other:?}").into()),

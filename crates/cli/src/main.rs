@@ -44,7 +44,9 @@ COMMANDS:
   trace-validate  check a --trace-out file against the event schema
              (exits nonzero on malformed lines or warning counters)
   trace-report    aggregate a trace into paper-style tables
-             <file.jsonl> [--json <dir>] [--only <id>]
+             <file.jsonl> [--json <dir>] [--only <id>[,<id>…]]
+  trace-diff      attribute the latency delta between two traces to
+             span subtrees   <a.jsonl> <b.jsonl> [--top <k>] [--json <dir>]
 
 TELEMETRY:
   --trace-out <file>      stream per-round / per-episode events as JSONL
@@ -86,6 +88,8 @@ fn command_help(command: &str) -> Option<String> {
   --algo ea|aa           algorithm to train (default ea)
   --eps <x>              stop-condition threshold (default 0.1)
   --episodes <N>         training episodes (default 200)
+  --lr <x>               DQN learning-rate override (any float; \"nan\"
+                         is the training-health watchdog drill)
   --geometry <mode>      EA utility-region backend: exact | sampled | auto
                          (default auto: exact up to d=7, sampled above)
   --out <model.ckpt>     checkpoint output path (required)
@@ -130,8 +134,17 @@ fn command_help(command: &str) -> Option<String> {
             "aggregate a trace into paper-style tables",
             "  <file.jsonl>           trace to report on (positional)
   --json <dir>           also save each table as <dir>/trace_<id>.json
-  --only <id>            print a single table (questions | episodes |
-                         phases | rounds | lp | timeseries | census)\n"
+  --only <id>[,<id>…]    print only the listed tables (questions |
+                         episodes | phases | rounds | lp | latency |
+                         timeseries | census); unknown ids fail upfront\n"
+                .to_string(),
+        ),
+        "trace-diff" => (
+            "attribute the latency delta between two traces to span subtrees",
+            "  <a.jsonl> <b.jsonl>    baseline and candidate traces (positional);
+                         both must contain profile events (--trace-out)
+  --top <k>              rows to keep, ranked by |Δself| (default 10)
+  --json <dir>           also save the table as <dir>/trace_diff.json\n"
                 .to_string(),
         ),
         _ => return None,
@@ -169,6 +182,7 @@ fn main() {
         "inspect" => commands::inspect(&args),
         "trace-validate" => trace::validate(&args),
         "trace-report" => trace::report(&args),
+        "trace-diff" => trace::diff(&args),
         other => {
             eprintln!("unknown command {other:?}\n\n{USAGE}");
             std::process::exit(2);

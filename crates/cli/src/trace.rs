@@ -126,26 +126,52 @@ pub fn validate(args: &Args) -> CmdResult {
 
 /// `isrl trace-report <file>` — aggregates any JSONL trace into the
 /// paper-style tables (question-count distributions, per-phase time
-/// breakdown, warm-vs-cold LP counters, snapshotter timeseries) and prints
-/// them. `--json <dir>` additionally saves every table as
-/// `<dir>/trace_<id>.json` in the `bench::report::Table` format, and
-/// `--only <id>` restricts output to one table. Output is deterministic:
-/// the same trace always renders byte-identically.
+/// breakdown, warm-vs-cold LP counters, quantile-sketch latencies,
+/// snapshotter timeseries) and prints them. `--json <dir>` additionally
+/// saves every table as `<dir>/trace_<id>.json` in the
+/// `bench::report::Table` format, and `--only <id>[,<id>…]` restricts
+/// output to the named tables — an unknown id fails upfront, listing the
+/// ids this trace actually produced. Output is deterministic: the same
+/// trace always renders byte-identically.
 pub fn report(args: &Args) -> CmdResult {
     args.ensure_known(&["json", "only"])?;
     let [path] = args.positional() else {
-        return Err("usage: isrl trace-report <trace.jsonl> [--json <dir>] [--only <id>]".into());
+        return Err(
+            "usage: isrl trace-report <trace.jsonl> [--json <dir>] [--only <id>[,<id>…]]".into(),
+        );
     };
     let text = std::fs::read_to_string(path)?;
     let tables = isrl_obs::report::report(&text).map_err(|e| format!("{path}: {e}"))?;
     if tables.is_empty() {
         return Err(format!("{path}: no reportable events in trace").into());
     }
-    let only = args.get("only").filter(|s| !s.is_empty());
+    let only: Vec<&str> = args
+        .get("only")
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    for id in &only {
+        if !tables.iter().any(|t| t.id == *id) {
+            return Err(format!(
+                "no table with id {id:?}; available: {}",
+                tables
+                    .iter()
+                    .map(|t| t.id.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+            .into());
+        }
+    }
     let json_dir = args.get("json").filter(|s| !s.is_empty());
     let mut printed = 0usize;
     for rt in &tables {
-        if only.is_some_and(|id| id != rt.id) {
+        if !only.is_empty() && !only.contains(&rt.id.as_str()) {
             continue;
         }
         let headers: Vec<&str> = rt.headers.iter().map(String::as_str).collect();
@@ -162,20 +188,79 @@ pub fn report(args: &Args) -> CmdResult {
         }
         printed += 1;
     }
-    if printed == 0 {
-        return Err(format!(
-            "no table with id {:?}; available: {}",
-            only.unwrap_or(""),
-            tables
-                .iter()
-                .map(|t| t.id.as_str())
-                .collect::<Vec<_>>()
-                .join(", ")
-        )
-        .into());
-    }
     if let Some(dir) = json_dir {
         eprintln!("wrote {printed} table(s) as JSON under {dir}");
+    }
+    Ok(())
+}
+
+/// `isrl trace-diff <a> <b>` — aligns the span-tree profiles of two traces
+/// and attributes the total latency delta (B − A) to per-subtree self-time
+/// deltas (see `isrl_obs::profile`). Rows are ranked by absolute delta;
+/// because self times partition each trace's attributed wall time, the
+/// `share %` column says exactly which subtree owns the regression.
+/// `--top <k>` bounds the table (default 10); `--json <dir>` also saves it
+/// as `<dir>/trace_diff.json`.
+pub fn diff(args: &Args) -> CmdResult {
+    args.ensure_known(&["top", "json"])?;
+    let [path_a, path_b] = args.positional() else {
+        return Err("usage: isrl trace-diff <a.jsonl> <b.jsonl> [--top <k>] [--json <dir>]".into());
+    };
+    let top = args.get_or("top", 10usize, "integer")?;
+    let load = |path: &str| -> Result<isrl_obs::profile::ProfileAccum, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path)?;
+        let acc = isrl_obs::profile::ProfileAccum::from_trace(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if acc.events == 0 {
+            return Err(format!(
+                "{path}: no profile events — record the trace with --trace-out on a \
+                 telemetry-enabled run"
+            )
+            .into());
+        }
+        Ok(acc)
+    };
+    let a = load(path_a)?;
+    let b = load(path_b)?;
+    let d = isrl_obs::profile::diff(&a, &b, top);
+    println!(
+        "trace A ({path_a}): {} profile event(s), {:.3} ms attributed",
+        a.events, d.total_a_ms
+    );
+    println!(
+        "trace B ({path_b}): {} profile event(s), {:.3} ms attributed",
+        b.events, d.total_b_ms
+    );
+    println!("delta (B − A): {:+.3} ms\n", d.delta_ms);
+    let mut t = isrl_bench::report::Table::new(
+        "trace_diff",
+        "Latency delta attribution by span subtree (self time, B − A)",
+        &[
+            "span",
+            "count A",
+            "count B",
+            "total A (ms)",
+            "total B (ms)",
+            "Δself (ms)",
+            "share %",
+        ],
+    );
+    for r in &d.rows {
+        t.push_row(vec![
+            r.path.clone(),
+            r.count_a.to_string(),
+            r.count_b.to_string(),
+            format!("{:.3}", r.total_a_ms),
+            format!("{:.3}", r.total_b_ms),
+            format!("{:+.3}", r.delta_self_ms),
+            format!("{:+.1}", r.share_pct),
+        ]);
+    }
+    print!("{}", t.render());
+    if let Some(dir) = args.get("json").filter(|s| !s.is_empty()) {
+        std::fs::create_dir_all(dir)?;
+        t.save_json(&std::path::Path::new(dir).join("trace_diff.json"))?;
+        eprintln!("wrote diff table as JSON under {dir}");
     }
     Ok(())
 }

@@ -1,0 +1,127 @@
+//! Golden test for the `trace-diff` regression explainer: two identically
+//! seeded EA training runs, the second with an `ISRL_SLOW_SPAN` busy-wait
+//! injected into every `sampling` span. The diff must (a) rank the slowed
+//! subtree first and (b) attribute at least half of the total latency
+//! delta to it — the acceptance bar for latency attribution being usable
+//! as a "what regressed?" tool rather than a pretty table.
+//!
+//! The slowdown is injected via the environment of a *spawned* CLI binary,
+//! so the in-process test harness never races on the global sink or the
+//! once-parsed injection target.
+
+use std::process::Command;
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("isrl_trace_diff_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+/// Runs one seeded EA training with `--trace-out`, optionally slowing a
+/// span by `ISRL_SLOW_SPAN=<leaf>:<ms>`.
+fn train_trace(trace: &str, ckpt: &str, slow: Option<&str>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_isrl"));
+    cmd.args([
+        "train",
+        "--builtin",
+        "anti:80x2",
+        "--algo",
+        "ea",
+        "--episodes",
+        "8",
+        "--seed",
+        "7",
+        "--eps",
+        "0.15",
+        "--out",
+        ckpt,
+        "--trace-out",
+        trace,
+    ]);
+    cmd.env_remove("ISRL_SLOW_SPAN");
+    if let Some(spec) = slow {
+        cmd.env("ISRL_SLOW_SPAN", spec);
+    }
+    let out = cmd.output().expect("failed to spawn isrl");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn diff_attributes_injected_slowdown_to_the_right_subtree() {
+    let (a, b) = (tmp("base.jsonl"), tmp("slow.jsonl"));
+    train_trace(&a, &tmp("base.ckpt"), None);
+    // 5 ms per sampling span: far above scheduler noise, far below test
+    // timeout territory.
+    train_trace(&b, &tmp("slow.ckpt"), Some("sampling:5"));
+
+    let json_dir = tmp("diff_json");
+    let out = Command::new(env!("CARGO_BIN_EXE_isrl"))
+        .args(["trace-diff", &a, &b, "--top", "5", "--json", &json_dir])
+        .output()
+        .expect("failed to spawn isrl");
+    assert!(
+        out.status.success(),
+        "trace-diff failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // Deterministic header: totals and a signed delta.
+    assert!(stdout.contains("profile event(s)"), "{stdout}");
+    assert!(stdout.contains("delta (B − A):"), "{stdout}");
+
+    // The first data row (after the `----` separator) must be the slowed
+    // span, and its share of the delta must be at least 50%.
+    let mut lines = stdout.lines().skip_while(|l| !l.starts_with("---"));
+    lines.next().expect("separator");
+    let first_row = lines.next().expect("at least one diff row");
+    let cells: Vec<&str> = first_row.split_whitespace().collect();
+    assert_eq!(
+        cells.first().copied(),
+        Some("sampling"),
+        "slowed subtree not ranked first: {stdout}"
+    );
+    let share: f64 = cells
+        .last()
+        .unwrap()
+        .trim_start_matches('+')
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable share column in {first_row:?}"));
+    assert!(
+        share >= 50.0,
+        "only {share}% of the delta attributed to the slowed span: {stdout}"
+    );
+
+    // The JSON artifact mirrors the table.
+    let json = std::fs::read_to_string(std::path::Path::new(&json_dir).join("trace_diff.json"))
+        .expect("trace_diff.json written");
+    assert!(json.contains("sampling"), "{json}");
+}
+
+#[test]
+fn diff_rejects_traces_without_profile_events() {
+    let plain = tmp("no_profile.jsonl");
+    std::fs::write(
+        &plain,
+        concat!(
+            r#"{"ev":"round","t_ms":1,"algo":"EA","round":1,"elapsed_ms":0.5}"#,
+            "\n",
+            r#"{"ev":"summary","t_ms":2,"counters":{},"spans":{},"hists":{}}"#,
+            "\n"
+        ),
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_isrl"))
+        .args(["trace-diff", &plain, &plain])
+        .output()
+        .expect("failed to spawn isrl");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no profile events"),
+        "error must name the missing event kind"
+    );
+}

@@ -144,3 +144,35 @@ fn report_rejects_garbage_and_unknown_table_ids() {
     let stdout = String::from_utf8_lossy(&ok.stdout);
     assert!(stdout.contains("lp.solves"), "{stdout}");
 }
+
+#[test]
+fn only_accepts_comma_separated_lists_and_fails_fast_on_unknown_ids() {
+    let t = tmp("list.jsonl");
+    train_with_trace(&t, &tmp("list.ckpt"));
+
+    // A two-table selection renders both, in the report's canonical order.
+    let r = isrl(&["trace-report", &t, "--only", "questions,episodes"]);
+    assert!(
+        r.status.success(),
+        "list --only failed: {}",
+        String::from_utf8_lossy(&r.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    assert!(stdout.contains("== questions"), "{stdout}");
+    assert!(stdout.contains("== episodes"), "{stdout}");
+    assert!(!stdout.contains("== phases"), "unselected table printed");
+
+    // Spaces around commas are tolerated.
+    let r = isrl(&["trace-report", &t, "--only", "questions, episodes"]);
+    assert!(r.status.success());
+
+    // One unknown id anywhere in the list fails upfront — nothing prints —
+    // and the error enumerates what this trace can offer.
+    let r = isrl(&["trace-report", &t, "--only", "questions,bogus"]);
+    assert!(!r.status.success());
+    assert!(r.stdout.is_empty(), "failed --only must not half-print");
+    let err = String::from_utf8_lossy(&r.stderr);
+    assert!(err.contains("bogus"), "{err}");
+    assert!(err.contains("available:"), "{err}");
+    assert!(err.contains("questions"), "{err}");
+}

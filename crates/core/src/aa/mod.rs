@@ -20,8 +20,9 @@ pub use state::AaSummary;
 use crate::interaction::{
     InteractionOutcome, InteractiveAlgorithm, Question, RoundTrace, Stopwatch, TraceMode,
 };
-use crate::telemetry::{emit_episode_event, emit_round_event};
+use crate::telemetry::{emit_episode_event, emit_round_event, EpisodeProfile};
 use crate::user::User;
+use crate::watchdog::TrainingWatchdog;
 use isrl_data::Dataset;
 use isrl_geometry::{Halfspace, RegionGeometry};
 use isrl_linalg::vector;
@@ -250,6 +251,7 @@ impl AaAgent {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
         let sw = Stopwatch::start();
+        let mut profile = EpisodeProfile::begin("AA");
         // AA never materializes vertices; `summary_only` keeps cuts O(1).
         let mut geom = RegionGeometry::summary_only(self.dim);
         geom.set_warm_lp(self.cfg.warm_lp);
@@ -292,6 +294,7 @@ impl AaAgent {
             if record {
                 isrl_obs::round_begin();
             }
+            let round_started = sw.elapsed();
 
             let idx = {
                 let _nn = isrl_obs::span("nn");
@@ -307,6 +310,7 @@ impl AaAgent {
             let (win, lose) = if prefers_i { (q.i, q.j) } else { (q.j, q.i) };
             asked.push((q.i.min(q.j), q.i.max(q.j)));
             rounds += 1;
+            profile.set_rounds(rounds);
             if let Some(h) = Halfspace::preferring(data.point(win), data.point(lose)) {
                 geom.add(h);
             }
@@ -367,6 +371,7 @@ impl AaAgent {
                         rounds,
                         Some(q),
                         sw.elapsed(),
+                        (sw.elapsed() - round_started).as_secs_f64() * 1e3,
                         None,
                         None,
                         volume,
@@ -388,6 +393,7 @@ impl AaAgent {
     /// Trains the agent on simulated users (Algorithm 3).
     pub fn train(&mut self, data: &Dataset, utilities: &[Vec<f64>], eps: f64) -> TrainReport {
         let mut rounds = Vec::with_capacity(utilities.len());
+        let mut watchdog = TrainingWatchdog::new("AA", self.cfg.batch_size);
         for u in utilities {
             let explore = self.cfg.epsilon.value(self.episodes_trained);
             let u = u.clone();
@@ -408,11 +414,19 @@ impl AaAgent {
                 outcome.truncated,
                 self.last_episode_loss,
             );
+            watchdog.observe(
+                self.episodes_trained,
+                explore,
+                self.dqn.replay_len(),
+                self.last_episode_loss,
+            );
             rounds.push(outcome.rounds);
             self.episodes_trained += 1;
         }
         self.dqn.sync_target();
-        TrainReport::from_rounds(rounds)
+        let mut report = TrainReport::from_rounds(rounds);
+        report.anomalies = watchdog.anomalies().to_vec();
+        report
     }
 }
 

@@ -103,6 +103,7 @@ impl AaSession<'_> {
         if record {
             isrl_obs::round_begin();
         }
+        let round_started = self.sw.elapsed();
         let (win, lose) = if prefers_first {
             (q.i, q.j)
         } else {
@@ -132,6 +133,7 @@ impl AaSession<'_> {
                 self.rounds,
                 Some(q),
                 self.sw.elapsed(),
+                (self.sw.elapsed() - round_started).as_secs_f64() * 1e3,
                 None,
                 None,
                 self.geom.volume_proxy(),

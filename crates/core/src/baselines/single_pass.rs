@@ -203,6 +203,7 @@ impl InteractiveAlgorithm for SinglePass {
 
         let mut stopped_by_diag = false;
         'stream: for &challenger in &order[1..] {
+            let round_started = sw.elapsed();
             if challenger == champion {
                 continue;
             }
@@ -251,6 +252,7 @@ impl InteractiveAlgorithm for SinglePass {
                 rounds,
                 Some(q),
                 sw.elapsed(),
+                (sw.elapsed() - round_started).as_secs_f64() * 1e3,
                 None,
                 None,
                 None,

@@ -277,6 +277,7 @@ impl InteractiveAlgorithm for UhBaseline {
             if record {
                 isrl_obs::round_begin();
             }
+            let round_started = sw.elapsed();
 
             let candidates = self.candidates(data, &region, &vertices);
             let Some(q) =
@@ -308,6 +309,7 @@ impl InteractiveAlgorithm for UhBaseline {
                     rounds,
                     Some(q),
                     sw.elapsed(),
+                    (sw.elapsed() - round_started).as_secs_f64() * 1e3,
                     Some(vertices.len()),
                     None,
                     None,

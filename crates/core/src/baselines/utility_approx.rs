@@ -74,6 +74,7 @@ impl InteractiveAlgorithm for UtilityApprox {
         let mut truncated = false;
 
         loop {
+            let round_started = sw.elapsed();
             // Bisect the widest coordinate interval.
             let widths: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| h - l).collect();
             let axis = vector::argmax(&widths);
@@ -109,6 +110,7 @@ impl InteractiveAlgorithm for UtilityApprox {
                 rounds,
                 None,
                 sw.elapsed(),
+                (sw.elapsed() - round_started).as_secs_f64() * 1e3,
                 None,
                 None,
                 None,

@@ -21,8 +21,9 @@ pub use terminal::{check_terminal, in_terminal_polyhedron, terminal_points};
 use crate::interaction::{
     InteractionOutcome, InteractiveAlgorithm, Question, RoundTrace, Stopwatch, TraceMode,
 };
-use crate::telemetry::{emit_episode_event, emit_round_event};
+use crate::telemetry::{emit_episode_event, emit_round_event, EpisodeProfile};
 use crate::user::User;
+use crate::watchdog::TrainingWatchdog;
 use isrl_data::Dataset;
 use isrl_geometry::{sampling, GeometryBackend, Halfspace, RegionGeometry, WalkConfig};
 use isrl_linalg::vector;
@@ -121,6 +122,8 @@ pub struct TrainReport {
     pub rounds_per_episode: Vec<usize>,
     /// Mean rounds over the final quarter of episodes (convergence proxy).
     pub mean_rounds_final_quarter: f64,
+    /// Anomalies the training-health watchdog flagged (empty = healthy).
+    pub anomalies: Vec<crate::watchdog::Anomaly>,
 }
 
 impl TrainReport {
@@ -137,6 +140,7 @@ impl TrainReport {
             episodes: n,
             rounds_per_episode: rounds,
             mean_rounds_final_quarter: mean,
+            anomalies: Vec::new(),
         }
     }
 }
@@ -354,6 +358,7 @@ impl EaAgent {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         assert!(!data.is_empty(), "cannot interact over an empty dataset");
         let sw = Stopwatch::start();
+        let mut profile = EpisodeProfile::begin("EA");
         let mut geom = self.new_geometry();
         let mut asked: Vec<(usize, usize)> = Vec::new();
         let mut trace: Vec<RoundTrace> = Vec::new();
@@ -392,6 +397,7 @@ impl EaAgent {
             if record {
                 isrl_obs::round_begin();
             }
+            let round_started = sw.elapsed();
 
             let idx = {
                 let _nn = isrl_obs::span("nn");
@@ -407,6 +413,7 @@ impl EaAgent {
             let (win, lose) = if prefers_i { (q.i, q.j) } else { (q.j, q.i) };
             asked.push((q.i.min(q.j), q.i.max(q.j)));
             rounds += 1;
+            profile.set_rounds(rounds);
             let support_before = geom.support_size();
             if let Some(h) = Halfspace::preferring(data.point(win), data.point(lose)) {
                 geom.add(h);
@@ -472,6 +479,7 @@ impl EaAgent {
                         rounds,
                         Some(q),
                         sw.elapsed(),
+                        (sw.elapsed() - round_started).as_secs_f64() * 1e3,
                         support_before,
                         support_after,
                         volume,
@@ -499,6 +507,7 @@ impl EaAgent {
     /// training utility vector, ε-greedy per the configured schedule.
     pub fn train(&mut self, data: &Dataset, utilities: &[Vec<f64>], eps: f64) -> TrainReport {
         let mut rounds = Vec::with_capacity(utilities.len());
+        let mut watchdog = TrainingWatchdog::new("EA", self.cfg.batch_size);
         for u in utilities {
             let explore = self.cfg.epsilon.value(self.episodes_trained);
             let u = u.clone();
@@ -519,11 +528,19 @@ impl EaAgent {
                 outcome.truncated,
                 self.last_episode_loss,
             );
+            watchdog.observe(
+                self.episodes_trained,
+                explore,
+                self.dqn.replay_len(),
+                self.last_episode_loss,
+            );
             rounds.push(outcome.rounds);
             self.episodes_trained += 1;
         }
         self.dqn.sync_target();
-        TrainReport::from_rounds(rounds)
+        let mut report = TrainReport::from_rounds(rounds);
+        report.anomalies = watchdog.anomalies().to_vec();
+        report
     }
 }
 

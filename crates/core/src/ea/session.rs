@@ -94,6 +94,7 @@ impl EaSession<'_> {
         if record {
             isrl_obs::round_begin();
         }
+        let round_started = self.sw.elapsed();
         let (win, lose) = if prefers_first {
             (q.i, q.j)
         } else {
@@ -124,6 +125,7 @@ impl EaSession<'_> {
                 self.rounds,
                 Some(q),
                 self.sw.elapsed(),
+                (self.sw.elapsed() - round_started).as_secs_f64() * 1e3,
                 support_before,
                 self.geom.support_size(),
                 self.geom.volume_proxy(),

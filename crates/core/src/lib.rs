@@ -67,6 +67,7 @@ pub mod regret;
 pub mod runner;
 pub(crate) mod telemetry;
 pub mod user;
+pub mod watchdog;
 
 /// One-stop imports for applications and benches.
 pub mod prelude {
@@ -85,4 +86,5 @@ pub mod prelude {
     pub use crate::regret::{regret_ratio, regret_ratio_of_index};
     pub use crate::runner::{evaluate, sample_users, Evaluation};
     pub use crate::user::{NoisyUser, SimulatedUser, User};
+    pub use crate::watchdog::{Anomaly, AnomalyKind, TrainingWatchdog, WatchdogConfig};
 }

@@ -11,14 +11,18 @@ use std::time::Duration;
 
 /// Emits one `round` event. `q` is `None` for algorithms whose questions
 /// are synthetic comparisons rather than dataset pairs (UtilityApprox);
-/// `vertices_before`/`after` and `volume_proxy` are omitted from the event
-/// when the algorithm does not track them. No-op when the sink is disabled.
+/// `round_ms` is this round's own wall time (elapsed is cumulative) and
+/// also feeds the `round.latency_ms` quantile sketch so traces carry
+/// p50/p90/p99 round latency; `vertices_before`/`after` and `volume_proxy`
+/// are omitted from the event when the algorithm does not track them.
+/// No-op when the sink is disabled.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn emit_round_event(
     algo: &'static str,
     round: usize,
     q: Option<Question>,
     elapsed: Duration,
+    round_ms: f64,
     vertices_before: Option<usize>,
     vertices_after: Option<usize>,
     volume_proxy: Option<f64>,
@@ -28,10 +32,12 @@ pub(crate) fn emit_round_event(
         return;
     }
     isrl_obs::add("rounds.total", 1);
+    isrl_obs::sketch_record("round.latency_ms", round_ms);
     let mut ev = Event::new("round")
         .field("algo", algo)
         .field("round", round)
-        .field("elapsed_ms", elapsed.as_secs_f64() * 1e3);
+        .field("elapsed_ms", elapsed.as_secs_f64() * 1e3)
+        .field("round_ms", round_ms);
     if let Some(q) = q {
         ev = ev.field("i", q.i).field("j", q.j);
     }
@@ -92,4 +98,52 @@ fn phases_json(phases: &[(&'static str, Duration)]) -> Json {
             .map(|(name, d)| (name.to_string(), Json::from(d.as_secs_f64() * 1e3)))
             .collect(),
     )
+}
+
+/// RAII scope emitting one `profile` event per episode: while alive (and
+/// the sink was enabled at entry) every finishing span accumulates into a
+/// per-path call tree, and drop freezes it with self-vs-child accounting
+/// (see `isrl_obs::profile`). Covering every return path of `episode()`
+/// by construction is the point of doing this in a guard.
+pub(crate) struct EpisodeProfile {
+    algo: &'static str,
+    rounds: usize,
+    active: bool,
+}
+
+impl EpisodeProfile {
+    /// Opens the scope (no-op when the sink is disabled).
+    pub(crate) fn begin(algo: &'static str) -> Self {
+        let active = isrl_obs::enabled();
+        if active {
+            isrl_obs::profile_begin();
+        }
+        Self {
+            algo,
+            rounds: 0,
+            active,
+        }
+    }
+
+    /// Updates the round count stamped on the event at drop.
+    pub(crate) fn set_rounds(&mut self, rounds: usize) {
+        self.rounds = rounds;
+    }
+}
+
+impl Drop for EpisodeProfile {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let pairs = isrl_obs::profile_end();
+        if pairs.is_empty() {
+            return;
+        }
+        isrl_obs::emit(isrl_obs::profile::profile_event(
+            self.algo,
+            self.rounds as u64,
+            &pairs,
+        ));
+    }
 }

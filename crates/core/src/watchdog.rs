@@ -1,0 +1,337 @@
+//! Training-health watchdog.
+//!
+//! [`TrainingWatchdog`] rides along `train()` in EA and AA, observing each
+//! episode's mean TD loss, exploration rate, and replay occupancy, and
+//! flags the failure modes that silently ruin long DRL runs:
+//!
+//! * **non-finite loss** — NaN/∞ episode loss (poisoned learning rate,
+//!   numerical blow-up in the network);
+//! * **loss explosion** — a finite loss that dwarfs the recent median
+//!   (divergence that has not yet overflowed);
+//! * **epsilon stall** — a schedule that was decaying and then froze above
+//!   its floor (a broken step counter; the paper's constant-ε schedule
+//!   never trips this because it never decays);
+//! * **replay starvation** — the buffer still cannot fill one minibatch
+//!   well after warm-up, so no gradient step ever runs.
+//!
+//! Each kind latches on first detection: it emits one `anomaly` event
+//! (DESIGN.md §13) and bumps the `train.anomalies` counter, which is in
+//! `isrl_obs::schema::WARNING_COUNTERS` — so `trace-validate` turns any
+//! tripped watchdog into a hard warning on the whole trace. Detection
+//! logic always runs (a few comparisons per episode); emission is gated on
+//! the sink like all telemetry.
+
+use std::collections::VecDeque;
+
+use isrl_obs::Event;
+
+/// Warning counter bumped once per detected anomaly kind.
+pub const ANOMALY_COUNTER: &str = "train.anomalies";
+
+/// Thresholds of [`TrainingWatchdog`]; `default()` is tuned to the paper's
+/// training regime (episode losses near `reward_c²` early on, constant-ε
+/// exploration) so healthy runs stay silent.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Finite-loss window the explosion test compares against.
+    pub loss_window: usize,
+    /// A loss this many times the window median is an explosion.
+    pub explode_factor: f64,
+    /// Losses at or below this are never explosions (quiet near zero).
+    pub explode_floor: f64,
+    /// Consecutive frozen-ε episodes (after any decay) that mean a stall.
+    pub stall_window: usize,
+    /// ε at or below this is a legitimate resting point, not a stall.
+    pub epsilon_floor: f64,
+    /// Episodes of warm-up before replay starvation can fire.
+    pub starvation_after: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            loss_window: 16,
+            explode_factor: 100.0,
+            explode_floor: 1.0,
+            stall_window: 24,
+            epsilon_floor: 0.05,
+            starvation_after: 12,
+        }
+    }
+}
+
+/// The failure mode an [`Anomaly`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Episode mean TD loss is NaN or infinite.
+    NonfiniteLoss,
+    /// Finite loss far above the recent median.
+    LossExplosion,
+    /// A decaying ε schedule froze above its floor.
+    EpsilonStall,
+    /// Replay buffer below one minibatch after warm-up.
+    ReplayStarvation,
+}
+
+impl AnomalyKind {
+    /// The `kind` string used in `anomaly` events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::NonfiniteLoss => "nonfinite_loss",
+            Self::LossExplosion => "loss_explosion",
+            Self::EpsilonStall => "epsilon_stall",
+            Self::ReplayStarvation => "replay_starvation",
+        }
+    }
+}
+
+/// One detected training anomaly.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// What failed.
+    pub kind: AnomalyKind,
+    /// Episode index at detection.
+    pub episode: u64,
+    /// The offending value (loss, ε, or replay length).
+    pub value: f64,
+    /// Human-readable one-liner.
+    pub detail: String,
+}
+
+/// Per-training-run anomaly detector; see the module docs.
+#[derive(Debug)]
+pub struct TrainingWatchdog {
+    algo: &'static str,
+    cfg: WatchdogConfig,
+    batch_size: usize,
+    losses: VecDeque<f64>,
+    prev_epsilon: Option<f64>,
+    epsilon_decayed: bool,
+    frozen_run: usize,
+    episodes_seen: usize,
+    anomalies: Vec<Anomaly>,
+}
+
+impl TrainingWatchdog {
+    /// A watchdog for one `train()` call. `batch_size` is the minibatch
+    /// the replay buffer must be able to fill.
+    pub fn new(algo: &'static str, batch_size: usize) -> Self {
+        Self::with_config(algo, batch_size, WatchdogConfig::default())
+    }
+
+    /// A watchdog with explicit thresholds.
+    pub fn with_config(algo: &'static str, batch_size: usize, cfg: WatchdogConfig) -> Self {
+        Self {
+            algo,
+            cfg,
+            batch_size,
+            losses: VecDeque::new(),
+            prev_epsilon: None,
+            epsilon_decayed: false,
+            frozen_run: 0,
+            episodes_seen: 0,
+            anomalies: Vec::new(),
+        }
+    }
+
+    /// Anomalies detected so far, in detection order.
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+
+    fn tripped(&self, kind: AnomalyKind) -> bool {
+        self.anomalies.iter().any(|a| a.kind == kind)
+    }
+
+    fn flag(&mut self, kind: AnomalyKind, episode: u64, value: f64, detail: String) {
+        if self.tripped(kind) {
+            return;
+        }
+        isrl_obs::add(ANOMALY_COUNTER, 1);
+        isrl_obs::emit(
+            Event::new("anomaly")
+                .field("algo", self.algo)
+                .field("kind", kind.as_str())
+                .field("episode", episode)
+                .field("value", value)
+                .field("detail", detail.clone()),
+        );
+        self.anomalies.push(Anomaly {
+            kind,
+            episode,
+            value,
+            detail,
+        });
+    }
+
+    fn median_loss(&self) -> f64 {
+        let mut v: Vec<f64> = self.losses.iter().copied().collect();
+        v.sort_by(f64::total_cmp);
+        v[(v.len() - 1) / 2]
+    }
+
+    /// Feeds one finished episode. `loss` is the episode's mean TD loss
+    /// (`None` until the replay buffer can fill a minibatch).
+    pub fn observe(&mut self, episode: u64, epsilon: f64, replay_len: usize, loss: Option<f64>) {
+        self.episodes_seen += 1;
+
+        if let Some(l) = loss {
+            if !l.is_finite() {
+                self.flag(
+                    AnomalyKind::NonfiniteLoss,
+                    episode,
+                    l,
+                    format!("episode mean TD loss is {l} — training is poisoned"),
+                );
+            } else {
+                if self.losses.len() >= self.cfg.loss_window && l > self.cfg.explode_floor {
+                    let med = self.median_loss();
+                    if l > self.cfg.explode_factor * med.max(f64::MIN_POSITIVE) {
+                        self.flag(
+                            AnomalyKind::LossExplosion,
+                            episode,
+                            l,
+                            format!(
+                                "loss {l:.3e} is over {}x the recent median {med:.3e}",
+                                self.cfg.explode_factor
+                            ),
+                        );
+                    }
+                }
+                self.losses.push_back(l);
+                while self.losses.len() > self.cfg.loss_window {
+                    self.losses.pop_front();
+                }
+            }
+        }
+
+        if let Some(prev) = self.prev_epsilon {
+            if epsilon < prev - 1e-12 {
+                self.epsilon_decayed = true;
+                self.frozen_run = 0;
+            } else if (epsilon - prev).abs() <= 1e-12 {
+                self.frozen_run += 1;
+            } else {
+                self.frozen_run = 0;
+            }
+        }
+        self.prev_epsilon = Some(epsilon);
+        if self.epsilon_decayed
+            && epsilon > self.cfg.epsilon_floor
+            && self.frozen_run >= self.cfg.stall_window
+        {
+            self.flag(
+                AnomalyKind::EpsilonStall,
+                episode,
+                epsilon,
+                format!(
+                    "epsilon froze at {epsilon:.4} for {} episodes mid-decay",
+                    self.frozen_run
+                ),
+            );
+        }
+
+        if self.episodes_seen > self.cfg.starvation_after && replay_len < self.batch_size {
+            self.flag(
+                AnomalyKind::ReplayStarvation,
+                episode,
+                replay_len as f64,
+                format!(
+                    "replay holds {replay_len} transitions after {} episodes (batch {})",
+                    self.episodes_seen, self.batch_size
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dog() -> TrainingWatchdog {
+        TrainingWatchdog::new("EA", 8)
+    }
+
+    #[test]
+    fn healthy_run_stays_silent() {
+        let mut w = dog();
+        for ep in 0..200u64 {
+            // Constant paper-style epsilon, decaying loss, filling replay.
+            let loss = 100.0 / (1.0 + ep as f64);
+            w.observe(ep, 0.9, (ep as usize + 1) * 4, Some(loss));
+        }
+        assert!(w.anomalies().is_empty(), "{:?}", w.anomalies());
+    }
+
+    #[test]
+    fn nan_loss_trips_immediately_and_latches() {
+        let mut w = dog();
+        w.observe(0, 0.9, 64, Some(f64::NAN));
+        w.observe(1, 0.9, 64, Some(f64::INFINITY));
+        let a = w.anomalies();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].kind, AnomalyKind::NonfiniteLoss);
+        assert_eq!(a[0].episode, 0);
+    }
+
+    #[test]
+    fn loss_explosion_needs_a_full_window() {
+        let mut w = dog();
+        // A huge early loss is normal (no window yet): no flag.
+        w.observe(0, 0.9, 64, Some(1e6));
+        assert!(w.anomalies().is_empty());
+        for ep in 1..=20u64 {
+            w.observe(ep, 0.9, 64, Some(2.0));
+        }
+        assert!(w.anomalies().is_empty());
+        w.observe(21, 0.9, 64, Some(2.0 * 150.0));
+        assert_eq!(w.anomalies().len(), 1);
+        assert_eq!(w.anomalies()[0].kind, AnomalyKind::LossExplosion);
+    }
+
+    #[test]
+    fn constant_epsilon_never_stalls_but_frozen_decay_does() {
+        let mut w = dog();
+        for ep in 0..100u64 {
+            w.observe(ep, 0.9, 64, Some(1.0));
+        }
+        assert!(w.anomalies().is_empty(), "constant schedule is legitimate");
+
+        let mut w = dog();
+        // Decay for a while, then freeze well above the floor.
+        for ep in 0..10u64 {
+            w.observe(ep, 0.9 - 0.05 * ep as f64, 64, Some(1.0));
+        }
+        for ep in 10..60u64 {
+            w.observe(ep, 0.45, 64, Some(1.0));
+        }
+        assert_eq!(w.anomalies().len(), 1);
+        assert_eq!(w.anomalies()[0].kind, AnomalyKind::EpsilonStall);
+    }
+
+    #[test]
+    fn frozen_at_the_floor_is_fine() {
+        let mut w = dog();
+        for ep in 0..30u64 {
+            let eps = (0.9 - 0.05 * ep as f64).max(0.05);
+            w.observe(ep, eps, 64, Some(1.0));
+        }
+        for ep in 30..120u64 {
+            w.observe(ep, 0.05, 64, Some(1.0));
+        }
+        assert!(w.anomalies().is_empty(), "{:?}", w.anomalies());
+    }
+
+    #[test]
+    fn replay_starvation_fires_after_warmup_only() {
+        let mut w = dog();
+        for ep in 0..12u64 {
+            w.observe(ep, 0.9, 3, None);
+        }
+        assert!(w.anomalies().is_empty(), "warm-up grace period");
+        w.observe(12, 0.9, 3, None);
+        assert_eq!(w.anomalies().len(), 1);
+        assert_eq!(w.anomalies()[0].kind, AnomalyKind::ReplayStarvation);
+    }
+}

@@ -217,6 +217,7 @@ pub fn solve(p: &Problem) -> Result<(LpOutcome, Option<Basis>), LpError> {
         let (end, iters) = run_simplex(&mut tab, &mut basis, &phase1_cost, total);
         isrl_obs::add("lp.phase1_iters", iters);
         isrl_obs::add("lp.pivots", iters);
+        isrl_obs::sketch_record("lp.pivots", iters as f64);
         match end {
             SimplexEnd::Optimal => {}
             SimplexEnd::Unbounded => {
@@ -260,6 +261,7 @@ pub fn solve(p: &Problem) -> Result<(LpOutcome, Option<Basis>), LpError> {
     let (end, iters) = run_simplex(&mut tab, &mut basis, &phase2_cost, real);
     isrl_obs::add("lp.phase2_iters", iters);
     isrl_obs::add("lp.pivots", iters);
+    isrl_obs::sketch_record("lp.pivots", iters as f64);
     let capped = match end {
         SimplexEnd::Optimal => false,
         SimplexEnd::Unbounded => return Ok((LpOutcome::Unbounded, None)),

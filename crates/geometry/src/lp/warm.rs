@@ -218,6 +218,7 @@ fn try_warm(p: &Problem, sf: &Standard, warm: &Basis) -> Option<(LpOutcome, Opti
     let (end, iters) = run_simplex(&mut tab, &mut basis, &cost, width);
     isrl_obs::add("lp.phase2_iters", iters);
     isrl_obs::add("lp.pivots", iters);
+    isrl_obs::sketch_record("lp.pivots", iters as f64);
     let capped = match end {
         SimplexEnd::Optimal => false,
         SimplexEnd::Unbounded => return Some((LpOutcome::Unbounded, None)),

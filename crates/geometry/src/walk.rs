@@ -132,9 +132,12 @@ impl SampleCloud {
         self.points.retain(|p| cut.contains(p, 0.0));
         let need = self.cfg.n_points - self.points.len();
         if need > 0 {
+            let _span = isrl_obs::span("cloud_resample");
+            let started = std::time::Instant::now();
             let fresh = self.walk(region.halfspaces(), need);
             self.points.extend(fresh);
             isrl_obs::add("geom.sampled.resampled", need as u64);
+            isrl_obs::sketch_record("geom.resample_ms", started.elapsed().as_secs_f64() * 1e3);
         }
         need
     }

@@ -21,6 +21,8 @@
 //! here depends on crates outside `std` — the workspace builds offline.
 
 pub mod json;
+pub mod profile;
+pub mod quantile;
 pub mod report;
 pub mod schema;
 
@@ -36,8 +38,12 @@ pub use event::{emit, Event, DROPPED_COUNTER, EVENT_CAP};
 pub use gauge::{gauge_set, gauge_value};
 pub use hist::{bucket_bounds, bucket_index, histogram, record, HistSummary, N_BUCKETS};
 pub use json::Json;
+pub use quantile::{sketch_record, QuantileSketch, SketchSummary};
 pub use snapshotter::Snapshotter;
-pub use span::{round_begin, round_end, span, SpanGuard, SpanStat};
+pub use span::{
+    profile_begin, profile_end, round_begin, round_end, span, SpanGuard, SpanStat, MAX_DEPTH,
+    MAX_PATH_LEN, TRUNCATED_COUNTER,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -63,6 +69,7 @@ pub fn reset() {
     span::reset_spans();
     hist::reset_hists();
     gauge::reset_gauges();
+    quantile::reset_sketches();
     event::drain_events();
     event::reset_epoch();
 }
@@ -78,6 +85,8 @@ pub struct Snapshot {
     pub hists: Vec<(String, HistSummary)>,
     /// Gauge last-set values, sorted by name.
     pub gauges: Vec<(String, u64)>,
+    /// Quantile-sketch summaries (only those with data), sorted by name.
+    pub sketches: Vec<(String, SketchSummary)>,
     /// Buffered events in emission order (removed from the sink).
     pub events: Vec<Event>,
 }
@@ -89,6 +98,7 @@ pub fn snapshot() -> Snapshot {
         spans: span::snapshot_spans(),
         hists: hist::snapshot_hists(),
         gauges: gauge::snapshot_gauges(),
+        sketches: quantile::snapshot_sketches(),
         events: event::drain_events(),
     }
 }
@@ -130,6 +140,12 @@ impl Snapshot {
                 .map(|(k, v)| (k.clone(), Json::from(*v)))
                 .collect(),
         );
+        let sketches = Json::Obj(
+            self.sketches
+                .iter()
+                .map(|(k, s)| (k.clone(), s.to_json()))
+                .collect(),
+        );
         Json::Obj(vec![
             ("ev".into(), Json::from("summary")),
             ("t_ms".into(), Json::from(0.0)),
@@ -137,6 +153,7 @@ impl Snapshot {
             ("spans".into(), spans),
             ("hists".into(), hists),
             ("gauges".into(), gauges),
+            ("sketches".into(), sketches),
         ])
     }
 
@@ -191,6 +208,16 @@ impl Snapshot {
                     out,
                     "  {k:<40} {:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
                     h.count, h.mean, h.p50, h.p90, h.max
+                );
+            }
+        }
+        if !self.sketches.is_empty() {
+            out.push_str("sketches:                                   count        p50        p90        p99        max\n");
+            for (k, s) in &self.sketches {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} {:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                    s.count, s.p50, s.p90, s.p99, s.max
                 );
             }
         }

@@ -1,0 +1,290 @@
+//! Span-tree profiles: per-episode call-tree latency attribution and the
+//! `trace-diff` alignment algorithm.
+//!
+//! A profile is the flat `(path, count, total)` table a profile scope
+//! collects ([`crate::profile_begin`]/[`crate::profile_end`]). This module
+//! upgrades it to a tree: a path's *parent* is everything before its last
+//! `/`, and a node's **self time** is its total minus the totals of its
+//! direct children (clamped at zero against clock jitter) — so `lp` time
+//! inside `geom_update` is charged to `geom_update/lp`, and `geom_update`'s
+//! self time is what the cut bookkeeping itself cost.
+//!
+//! [`profile_event`] freezes one scope into a schema-validated `profile`
+//! event (DESIGN.md §13). [`ProfileAccum`] re-aggregates those events out
+//! of a trace file, and [`diff`] aligns two accumulations by path: because
+//! self times partition each tree's total wall time, the per-path self-time
+//! deltas partition the total latency delta exactly, which is what lets the
+//! diff table say "this subtree owns N% of the regression".
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::event::Event;
+use crate::json::{parse, Json};
+
+/// Per-path statistics inside one profile (or an accumulation of many).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PathStat {
+    /// Completed spans on this path.
+    pub count: u64,
+    /// Total wall time, milliseconds.
+    pub total_ms: f64,
+    /// Total minus direct children's totals, clamped at zero.
+    pub self_ms: f64,
+}
+
+/// Computes self-vs-child accounting over a flat `(path, count, total)`
+/// table: every node starts with `self = total`, then each node subtracts
+/// its total from its parent's self time.
+pub fn tree_stats(pairs: &[(String, u64, Duration)]) -> BTreeMap<String, PathStat> {
+    let mut out: BTreeMap<String, PathStat> = BTreeMap::new();
+    for (path, count, total) in pairs {
+        let ms = total.as_secs_f64() * 1e3;
+        let stat = out.entry(path.clone()).or_default();
+        stat.count += count;
+        stat.total_ms += ms;
+        stat.self_ms += ms;
+    }
+    let totals: Vec<(String, f64)> = out.iter().map(|(p, s)| (p.clone(), s.total_ms)).collect();
+    for (path, total_ms) in totals {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            if let Some(p) = out.get_mut(parent) {
+                p.self_ms = (p.self_ms - total_ms).max(0.0);
+            }
+        }
+    }
+    out
+}
+
+/// Builds the `profile` event for one finished scope: `algo`, `rounds`,
+/// and a `spans` object mapping each path to count/total/self.
+pub fn profile_event(algo: &str, rounds: u64, pairs: &[(String, u64, Duration)]) -> Event {
+    let stats = tree_stats(pairs);
+    let spans = Json::Obj(
+        stats
+            .iter()
+            .map(|(path, s)| {
+                (
+                    path.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::from(s.count)),
+                        ("total_ms".into(), Json::from(s.total_ms)),
+                        ("self_ms".into(), Json::from(s.self_ms)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Event::new("profile")
+        .field("algo", algo.to_string())
+        .field("rounds", rounds)
+        .field("spans", spans)
+}
+
+/// Sum of every `profile` event in one trace, path-aligned.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileAccum {
+    /// Path → accumulated stats across all profile events.
+    pub spans: BTreeMap<String, PathStat>,
+    /// Number of `profile` events ingested.
+    pub events: u64,
+}
+
+impl ProfileAccum {
+    /// Ingests every `profile` event out of a JSONL trace. Non-profile
+    /// lines are skipped; malformed JSON is an error.
+    pub fn from_trace(text: &str) -> Result<Self, String> {
+        let mut acc = Self::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let doc = parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if doc.get("ev").and_then(Json::as_str) != Some("profile") {
+                continue;
+            }
+            acc.events += 1;
+            let Some(spans) = doc.get("spans").and_then(Json::as_obj) else {
+                return Err(format!("line {}: profile event without spans", lineno + 1));
+            };
+            for (path, stat) in spans {
+                let num = |k: &str| stat.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                let slot = acc.spans.entry(path.clone()).or_default();
+                slot.count += num("count") as u64;
+                slot.total_ms += num("total_ms");
+                slot.self_ms += num("self_ms");
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Total attributed wall time: the sum of self times, which equals the
+    /// sum of root-span totals.
+    pub fn total_ms(&self) -> f64 {
+        self.spans.values().map(|s| s.self_ms).sum()
+    }
+}
+
+/// One row of the trace-diff table: a path present in either trace, with
+/// both sides' stats and its share of the total delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Span path.
+    pub path: String,
+    /// Span count in trace A.
+    pub count_a: u64,
+    /// Span count in trace B.
+    pub count_b: u64,
+    /// Total milliseconds in trace A.
+    pub total_a_ms: f64,
+    /// Total milliseconds in trace B.
+    pub total_b_ms: f64,
+    /// Self-time delta (B − A), milliseconds. These sum to the total delta
+    /// across all rows.
+    pub delta_self_ms: f64,
+    /// `delta_self_ms` as a percentage of the total delta (0 when the
+    /// total delta is negligible).
+    pub share_pct: f64,
+}
+
+/// A full trace-diff: totals plus rows ranked by attribution.
+#[derive(Debug, Clone)]
+pub struct ProfileDiff {
+    /// Total attributed milliseconds in trace A.
+    pub total_a_ms: f64,
+    /// Total attributed milliseconds in trace B.
+    pub total_b_ms: f64,
+    /// `total_b_ms - total_a_ms`.
+    pub delta_ms: f64,
+    /// Rows ranked by `|delta_self_ms|` descending (ties by path), cut to
+    /// the requested top-k.
+    pub rows: Vec<DiffRow>,
+}
+
+/// Aligns two profile accumulations by span path and attributes the total
+/// latency delta to per-path self-time deltas, keeping the `top_k` largest
+/// movers. Deterministic: ranked by `|delta_self_ms|` descending, ties
+/// broken by path.
+pub fn diff(a: &ProfileAccum, b: &ProfileAccum, top_k: usize) -> ProfileDiff {
+    let total_a_ms = a.total_ms();
+    let total_b_ms = b.total_ms();
+    let delta_ms = total_b_ms - total_a_ms;
+    let mut paths: Vec<&String> = a.spans.keys().chain(b.spans.keys()).collect();
+    paths.sort_unstable();
+    paths.dedup();
+    let mut rows: Vec<DiffRow> = paths
+        .into_iter()
+        .map(|path| {
+            let sa = a.spans.get(path).copied().unwrap_or_default();
+            let sb = b.spans.get(path).copied().unwrap_or_default();
+            let delta_self_ms = sb.self_ms - sa.self_ms;
+            DiffRow {
+                path: path.clone(),
+                count_a: sa.count,
+                count_b: sb.count,
+                total_a_ms: sa.total_ms,
+                total_b_ms: sb.total_ms,
+                delta_self_ms,
+                share_pct: if delta_ms.abs() > 1e-9 {
+                    delta_self_ms / delta_ms * 100.0
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.delta_self_ms
+            .abs()
+            .total_cmp(&x.delta_self_ms.abs())
+            .then_with(|| x.path.cmp(&y.path))
+    });
+    rows.truncate(top_k);
+    ProfileDiff {
+        total_a_ms,
+        total_b_ms,
+        delta_ms,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> Duration {
+        Duration::from_secs_f64(v / 1e3)
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let pairs = vec![
+            ("round".to_string(), 1, ms(10.0)),
+            ("round/geom".to_string(), 2, ms(6.0)),
+            ("round/geom/lp".to_string(), 4, ms(4.0)),
+            ("round/nn".to_string(), 1, ms(1.0)),
+        ];
+        let t = tree_stats(&pairs);
+        assert!((t["round"].self_ms - 3.0).abs() < 1e-9); // 10 - 6 - 1
+        assert!((t["round/geom"].self_ms - 2.0).abs() < 1e-9); // 6 - 4
+        assert!((t["round/geom/lp"].self_ms - 4.0).abs() < 1e-9); // leaf
+        assert!((t["round/nn"].self_ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_time_clamps_clock_jitter() {
+        let pairs = vec![
+            ("a".to_string(), 1, ms(1.0)),
+            ("a/b".to_string(), 1, ms(1.5)), // child "longer" than parent
+        ];
+        let t = tree_stats(&pairs);
+        assert_eq!(t["a"].self_ms, 0.0);
+    }
+
+    #[test]
+    fn accum_and_diff_attribute_the_delta() {
+        let mk = |lp_ms: f64| {
+            let pairs = vec![
+                ("geom".to_string(), 1, ms(2.0 + lp_ms)),
+                ("geom/lp".to_string(), 3, ms(lp_ms)),
+                ("nn".to_string(), 1, ms(1.0)),
+            ];
+            let text = format!("{}", profile_event("EA", 4, &pairs).to_json());
+            ProfileAccum::from_trace(&text).unwrap()
+        };
+        let a = mk(3.0);
+        let b = mk(9.0);
+        assert_eq!(a.events, 1);
+        let d = diff(&a, &b, 10);
+        assert!((d.delta_ms - 6.0).abs() < 1e-9);
+        assert_eq!(d.rows[0].path, "geom/lp");
+        assert!((d.rows[0].delta_self_ms - 6.0).abs() < 1e-9);
+        assert!((d.rows[0].share_pct - 100.0).abs() < 1e-6);
+        // Self-time deltas partition the total delta.
+        let sum: f64 = diff(&a, &b, usize::MAX)
+            .rows
+            .iter()
+            .map(|r| r.delta_self_ms)
+            .sum();
+        assert!((sum - d.delta_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_handles_paths_missing_on_one_side() {
+        let pairs = vec![("new_phase".to_string(), 2, ms(5.0))];
+        let text = format!("{}", profile_event("AA", 1, &pairs).to_json());
+        let b = ProfileAccum::from_trace(&text).unwrap();
+        let d = diff(&ProfileAccum::default(), &b, 5);
+        assert_eq!(d.rows[0].path, "new_phase");
+        assert_eq!(d.rows[0].count_a, 0);
+        assert!((d.rows[0].delta_self_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_trace_skips_other_events_and_rejects_bad_json() {
+        let text = "{\"ev\":\"round\",\"t_ms\":0,\"algo\":\"EA\",\"round\":1,\"elapsed_ms\":1}\n";
+        let acc = ProfileAccum::from_trace(text).unwrap();
+        assert_eq!(acc.events, 0);
+        assert!(ProfileAccum::from_trace("not json").is_err());
+    }
+}

@@ -113,6 +113,9 @@ pub struct TraceAggregates {
     pub series: Vec<(u64, f64, BTreeMap<String, f64>, BTreeMap<String, f64>)>,
     /// Counters from the trailing summary (empty when absent).
     pub summary_counters: BTreeMap<String, f64>,
+    /// Quantile-sketch summaries from the trailing summary:
+    /// name → (count, p50, p90, p99, max).
+    pub summary_sketches: BTreeMap<String, (f64, f64, f64, f64, f64)>,
     /// Events per kind.
     pub census: BTreeMap<String, usize>,
 }
@@ -203,6 +206,15 @@ pub fn ingest(trace: &str) -> Result<TraceAggregates, String> {
             "summary" => {
                 if let Some(c) = doc.get("counters") {
                     agg.summary_counters = c.to_num_map();
+                }
+                if let Some(Json::Obj(sketches)) = doc.get("sketches") {
+                    for (name, s) in sketches {
+                        let g = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                        agg.summary_sketches.insert(
+                            name.clone(),
+                            (g("count"), g("p50"), g("p90"), g("p99"), g("max")),
+                        );
+                    }
                 }
             }
             _ => {}
@@ -355,6 +367,26 @@ pub fn tables(agg: &TraceAggregates) -> Vec<ReportTable> {
                 t.rows
                     .push(vec!["warm_hit_rate_pct".into(), f2(100.0 * h / a)]);
             }
+        }
+        out.push(t);
+    }
+
+    // Tail-latency percentiles from the summary's quantile sketches.
+    if !agg.summary_sketches.is_empty() {
+        let mut t = ReportTable::new(
+            "latency",
+            "Quantile sketches (p50/p90/p99 with bounded relative error)",
+            &["sketch", "count", "p50", "p90", "p99", "max"],
+        );
+        for (name, &(count, p50, p90, p99, max)) in &agg.summary_sketches {
+            t.rows.push(vec![
+                name.clone(),
+                u(count),
+                format!("{p50:.4}"),
+                format!("{p90:.4}"),
+                format!("{p99:.4}"),
+                format!("{max:.4}"),
+            ]);
         }
         out.push(t);
     }

@@ -10,13 +10,18 @@ use std::collections::BTreeMap;
 use crate::json::{parse, Json};
 
 /// Counters that indicate silent degradation when nonzero: LP iteration
-/// caps (phase 1 or 2), EA's vertex-mixture sampling fallback, and events
-/// lost to the bounded buffer (an incomplete trace must not pass quietly).
+/// caps (phase 1 or 2), EA's vertex-mixture sampling fallback, events lost
+/// to the bounded buffer (an incomplete trace must not pass quietly),
+/// training anomalies flagged by the watchdog (NaN/exploding loss, epsilon
+/// stall, replay starvation), and span paths truncated by the depth/length
+/// bounds.
 pub const WARNING_COUNTERS: &[&str] = &[
     "lp.cap_hits",
     "lp.phase1_cap_hits",
     "ea.sample_fallbacks",
+    "train.anomalies",
     crate::event::DROPPED_COUNTER,
+    crate::span::TRUNCATED_COUNTER,
 ];
 
 /// Field requirement: name plus expected shape.
@@ -77,6 +82,17 @@ pub fn validate_line(line: &str) -> Result<String, String> {
         "timeseries" => {
             check(&doc, "seq", Shape::Num)?;
             check(&doc, "counters", Shape::Obj)?;
+        }
+        "profile" => {
+            check(&doc, "algo", Shape::Str)?;
+            check(&doc, "rounds", Shape::Num)?;
+            check(&doc, "spans", Shape::Obj)?;
+        }
+        "anomaly" => {
+            check(&doc, "algo", Shape::Str)?;
+            check(&doc, "kind", Shape::Str)?;
+            check(&doc, "episode", Shape::Num)?;
+            check(&doc, "detail", Shape::Str)?;
         }
         "summary" => {
             check(&doc, "counters", Shape::Obj)?;
@@ -224,6 +240,20 @@ mod tests {
             .unwrap(),
             "sweep_item"
         );
+        assert_eq!(
+            validate_line(
+                r#"{"ev":"profile","t_ms":3,"algo":"EA","rounds":5,"spans":{"lp":{"count":2,"total_ms":1.5,"self_ms":1.5}}}"#
+            )
+            .unwrap(),
+            "profile"
+        );
+        assert_eq!(
+            validate_line(
+                r#"{"ev":"anomaly","t_ms":4,"algo":"EA","kind":"nonfinite_loss","episode":12,"value":null,"detail":"loss is NaN"}"#
+            )
+            .unwrap(),
+            "anomaly"
+        );
     }
 
     #[test]
@@ -250,6 +280,11 @@ mod tests {
             r#"{"ev":"summary","t_ms":2,"counters":{"lp.cap_hits":3},"spans":{},"hists":{}}"#;
         let r = validate_trace(warn).unwrap();
         assert_eq!(r.warnings, vec![("lp.cap_hits".to_string(), 3)]);
+
+        let anomalous =
+            r#"{"ev":"summary","t_ms":2,"counters":{"train.anomalies":2},"spans":{},"hists":{}}"#;
+        let r = validate_trace(anomalous).unwrap();
+        assert_eq!(r.warnings, vec![("train.anomalies".to_string(), 2)]);
 
         assert!(validate_trace("").is_err(), "no summary event");
     }

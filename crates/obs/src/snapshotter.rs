@@ -31,6 +31,9 @@ struct Baseline {
     spans: BTreeMap<String, (u64, f64)>,
     /// Histogram name → (count, sum).
     hists: BTreeMap<String, (u64, f64)>,
+    /// Sketch name → count (quantiles report cumulative levels; the count
+    /// baseline only decides whether a sketch moved since the last wake).
+    sketches: BTreeMap<String, u64>,
 }
 
 /// One delta sample, ready to serialize as a `timeseries` event.
@@ -40,6 +43,9 @@ struct Sample {
     spans: Vec<(String, u64, f64)>,
     /// Histogram name → (count delta, mean of the new values).
     hists: Vec<(String, u64, f64)>,
+    /// Sketch name → cumulative summary, for sketches that moved since the
+    /// previous wake. Quantiles do not delta; these are current levels.
+    sketches: Vec<(String, crate::SketchSummary)>,
     gauges: Vec<(String, u64)>,
     buffered_events: usize,
 }
@@ -75,10 +81,19 @@ fn take_sample(base: &mut Baseline) -> Sample {
         }
         base.hists.insert(name, cur);
     }
+    let mut sketches = Vec::new();
+    for (name, s) in crate::quantile::snapshot_sketches() {
+        let prev = base.sketches.get(&name).copied().unwrap_or(0);
+        if s.count > prev {
+            sketches.push((name.clone(), s));
+        }
+        base.sketches.insert(name, s.count);
+    }
     Sample {
         counters,
         spans,
         hists,
+        sketches,
         gauges: crate::gauge::snapshot_gauges()
             .into_iter()
             .filter(|&(_, v)| v > 0)
@@ -128,12 +143,19 @@ fn sample_event(seq: u64, interval: Duration, s: &Sample) -> Event {
             .map(|(k, v)| (k.clone(), Json::from(*v)))
             .collect(),
     );
+    let sketches = Json::Obj(
+        s.sketches
+            .iter()
+            .map(|(k, summary)| (k.clone(), summary.to_json()))
+            .collect(),
+    );
     Event::new("timeseries")
         .field("seq", seq)
         .field("interval_ms", interval.as_secs_f64() * 1e3)
         .field("counters", counters)
         .field("spans", spans)
         .field("hists", hists)
+        .field("sketches", sketches)
         .field("gauges", gauges)
         .field("buffered_events", s.buffered_events)
 }

@@ -6,10 +6,15 @@
 //! inside `"episode"` aggregates as `"episode/round"`). Aggregation is
 //! per-path into a global registry.
 //!
-//! Cost model: when the global sink is disabled *and* no round scope is
-//! active on the thread, [`span`] is one atomic load plus one thread-local
-//! flag read — no clock call, no allocation. That is the fast path the
-//! `hotpath` bench guards.
+//! Path joining is bounded: nesting past [`MAX_DEPTH`] levels and paths
+//! past [`MAX_PATH_LEN`] bytes truncate (with a `…` marker) and count in
+//! [`TRUNCATED_COUNTER`], so pathological recursion cannot bloat the JSONL
+//! buffer or the registry.
+//!
+//! Cost model: when the global sink is disabled *and* no round or profile
+//! scope is active on the thread, [`span`] is one atomic load plus one
+//! thread-local flag read — no clock call, no allocation. That is the fast
+//! path the `hotpath` bench guards.
 //!
 //! **Round scopes** exist so interactive sessions can fill
 //! `RoundTrace::phases` without going through the global sink: between
@@ -17,15 +22,43 @@
 //! also adds its duration to a per-leaf-name accumulator, which
 //! [`round_end`] returns. This works even when the sink is disabled, so
 //! `--trace-out`-less traced runs still get per-phase wall time.
+//!
+//! **Profile scopes** ([`profile_begin`]/[`profile_end`]) accumulate
+//! per-*path* `(count, total)` pairs the same way; `obs::profile` turns
+//! the result into a span tree with self-vs-child wall-time accounting.
+//!
+//! For regression drills, `ISRL_SLOW_SPAN=<leaf>:<ms>` injects a busy-wait
+//! into every span with that leaf name — the artificial slowdown the
+//! `trace-diff` golden test and CI smoke job attribute back to the span.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+/// Deepest span nesting that still joins into a full path; deeper frames
+/// collapse into a trailing `…` segment.
+pub const MAX_DEPTH: usize = 12;
+
+/// Longest joined path kept verbatim; longer paths truncate with a `…`.
+pub const MAX_PATH_LEN: usize = 160;
+
+/// Counter incremented whenever a span path is truncated by either bound.
+pub const TRUNCATED_COUNTER: &str = "obs.span.truncated";
+
+/// Per-thread scope state: the live span stack plus the optional round and
+/// profile accumulators. One `RefCell` so the [`span`] fast path checks
+/// both scopes with a single thread-local access.
+#[derive(Default)]
+struct Scopes {
+    stack: Vec<&'static str>,
+    round: Option<Vec<(&'static str, Duration)>>,
+    /// Path → (count, total) while a profile scope is open.
+    profile: Option<BTreeMap<String, (u64, Duration)>>,
+}
+
 thread_local! {
-    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
-    static ROUND: RefCell<Option<Vec<(&'static str, Duration)>>> = const { RefCell::new(None) };
+    static SCOPES: RefCell<Scopes> = RefCell::new(Scopes::default());
 }
 
 /// Aggregated statistics of one span path.
@@ -52,6 +85,43 @@ fn registry() -> &'static Mutex<BTreeMap<String, SpanStat>> {
     REG.get_or_init(Default::default)
 }
 
+/// The `ISRL_SLOW_SPAN=<leaf>:<ms>` injection target, parsed once.
+fn slow_span() -> Option<&'static (String, Duration)> {
+    static SLOW: OnceLock<Option<(String, Duration)>> = OnceLock::new();
+    SLOW.get_or_init(|| {
+        let spec = std::env::var("ISRL_SLOW_SPAN").ok()?;
+        let (name, ms) = spec.split_once(':')?;
+        let ms: f64 = ms.parse().ok()?;
+        (!name.is_empty() && ms.is_finite() && ms > 0.0)
+            .then(|| (name.to_string(), Duration::from_secs_f64(ms / 1e3)))
+    })
+    .as_ref()
+}
+
+/// Joins the current stack into a registry path, applying the depth and
+/// length bounds. Returns the path and whether truncation happened.
+fn join_path(stack: &[&'static str]) -> (String, bool) {
+    let mut truncated = false;
+    let mut path = if stack.len() > MAX_DEPTH {
+        truncated = true;
+        let mut p = stack[..MAX_DEPTH].join("/");
+        p.push_str("/…");
+        p
+    } else {
+        stack.join("/")
+    };
+    if path.len() > MAX_PATH_LEN {
+        truncated = true;
+        let mut cut = MAX_PATH_LEN;
+        while !path.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        path.truncate(cut);
+        path.push('…');
+    }
+    (path, truncated)
+}
+
 /// RAII guard created by [`span`]; records on drop.
 #[must_use = "a span guard times the scope it lives in"]
 #[derive(Debug)]
@@ -60,18 +130,21 @@ pub struct SpanGuard {
     start: Option<Instant>,
 }
 
-fn round_active() -> bool {
-    ROUND.with(|r| r.borrow().is_some())
+fn scope_active() -> bool {
+    SCOPES.with(|s| {
+        let s = s.borrow();
+        s.round.is_some() || s.profile.is_some()
+    })
 }
 
 /// Opens a span named `name`. Inert (no clock read) when the sink is
-/// disabled and no round scope is active on this thread.
+/// disabled and no round or profile scope is active on this thread.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !crate::enabled() && !round_active() {
+    if !crate::enabled() && !scope_active() {
         return SpanGuard { name, start: None };
     }
-    STACK.with(|s| s.borrow_mut().push(name));
+    SCOPES.with(|s| s.borrow_mut().stack.push(name));
     SpanGuard {
         name,
         start: Some(Instant::now()),
@@ -81,24 +154,40 @@ pub fn span(name: &'static str) -> SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        let dur = start.elapsed();
-        let path = STACK.with(|s| {
-            let mut stack = s.borrow_mut();
-            let path = stack.join("/");
-            stack.pop();
-            path
-        });
-        if crate::enabled() {
-            registry().lock().unwrap().entry(path).or_default().add(dur);
+        if let Some((slow_name, extra)) = slow_span() {
+            if self.name == slow_name {
+                // Busy-wait so the injected latency is real wall time —
+                // enclosing spans must see it too, or parents' self time
+                // would go negative in the profile tree.
+                while start.elapsed() < *extra {
+                    std::hint::spin_loop();
+                }
+            }
         }
-        ROUND.with(|r| {
-            if let Some(acc) = r.borrow_mut().as_mut() {
+        let dur = start.elapsed();
+        let (path, truncated) = SCOPES.with(|s| {
+            let mut scopes = s.borrow_mut();
+            let joined = join_path(&scopes.stack);
+            scopes.stack.pop();
+            if let Some(acc) = scopes.round.as_mut() {
                 match acc.iter_mut().find(|(n, _)| *n == self.name) {
                     Some(slot) => slot.1 += dur,
                     None => acc.push((self.name, dur)),
                 }
             }
+            if let Some(prof) = scopes.profile.as_mut() {
+                let slot = prof.entry(joined.0.clone()).or_insert((0, Duration::ZERO));
+                slot.0 += 1;
+                slot.1 += dur;
+            }
+            joined
         });
+        if truncated {
+            crate::add(TRUNCATED_COUNTER, 1);
+        }
+        if crate::enabled() {
+            registry().lock().unwrap().entry(path).or_default().add(dur);
+        }
     }
 }
 
@@ -106,13 +195,32 @@ impl Drop for SpanGuard {
 /// also accumulate into a per-leaf-name table. Nested round scopes are not
 /// supported; a second `round_begin` restarts the accumulator.
 pub fn round_begin() {
-    ROUND.with(|r| *r.borrow_mut() = Some(Vec::new()));
+    SCOPES.with(|s| s.borrow_mut().round = Some(Vec::new()));
 }
 
 /// Closes the thread's round scope and returns `(leaf name, total)` pairs
 /// in first-seen order. Empty if no scope was open.
 pub fn round_end() -> Vec<(&'static str, Duration)> {
-    ROUND.with(|r| r.borrow_mut().take()).unwrap_or_default()
+    SCOPES
+        .with(|s| s.borrow_mut().round.take())
+        .unwrap_or_default()
+}
+
+/// Opens a profile scope on this thread: until [`profile_end`], finishing
+/// spans accumulate `(count, total)` per full `/`-joined path. Nested
+/// profile scopes are not supported; a second `profile_begin` restarts the
+/// accumulator.
+pub fn profile_begin() {
+    SCOPES.with(|s| s.borrow_mut().profile = Some(BTreeMap::new()));
+}
+
+/// Closes the thread's profile scope and returns `(path, count, total)`
+/// triples sorted by path. Empty if no scope was open.
+pub fn profile_end() -> Vec<(String, u64, Duration)> {
+    SCOPES
+        .with(|s| s.borrow_mut().profile.take())
+        .map(|m| m.into_iter().map(|(p, (c, d))| (p, c, d)).collect())
+        .unwrap_or_default()
 }
 
 /// All span paths and their aggregated stats, sorted by path.

@@ -288,3 +288,50 @@ fn events_serialize_as_schema_valid_jsonl() {
         .iter()
         .any(|(k, v)| k == "lp.pivots" && *v == 12));
 }
+
+#[test]
+fn span_paths_are_depth_and_length_bounded() {
+    let _g = sink_lock();
+    isrl_obs::set_enabled(true);
+
+    // Recurse far past MAX_DEPTH with fat segment names so both the depth
+    // and the byte-length bound trip; guards drop innermost-first.
+    fn deep(n: usize) {
+        if n == 0 {
+            std::hint::black_box(());
+            return;
+        }
+        let _g = isrl_obs::span("a_rather_long_span_segment_name");
+        deep(n - 1);
+    }
+    deep(isrl_obs::MAX_DEPTH + 4);
+
+    let snap = isrl_obs::snapshot();
+    assert!(!snap.spans.is_empty());
+    for (path, _) in &snap.spans {
+        assert!(
+            path.len() <= isrl_obs::MAX_PATH_LEN + '…'.len_utf8(),
+            "unbounded span path ({} bytes): {path}",
+            path.len()
+        );
+    }
+    assert!(
+        snap.spans.iter().any(|(p, _)| p.ends_with('…')),
+        "no truncation marker in {:?}",
+        snap.spans
+    );
+    assert!(
+        isrl_obs::counter_value(isrl_obs::TRUNCATED_COUNTER) > 0,
+        "truncations must be counted"
+    );
+    // The truncation counter is a warning counter: a trace written from
+    // this state must fail validation loudly instead of silently losing
+    // attribution fidelity.
+    let mut buf = Vec::new();
+    snap.write_jsonl(&mut buf).unwrap();
+    let report = isrl_obs::schema::validate_trace(&String::from_utf8(buf).unwrap()).unwrap();
+    assert!(report
+        .warnings
+        .iter()
+        .any(|(name, _)| name == isrl_obs::TRUNCATED_COUNTER));
+}

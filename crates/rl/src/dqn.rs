@@ -211,12 +211,15 @@ impl Dqn {
             let y = match &t.next {
                 None => t.reward,
                 Some(n) => {
+                    debug_assert!(!n.actions.is_empty(), "successor had no actions");
+                    // Plain max(): a NaN-poisoned network leaves `best` at
+                    // -inf, the loss goes non-finite, and the training
+                    // watchdog — not an assert — reports the blow-up.
                     let mut best = f64::NEG_INFINITY;
                     for a in &n.actions {
                         Self::encode_into(&mut self.scratch, &n.state, a);
                         best = best.max(self.target.forward(&self.scratch)[0]);
                     }
-                    debug_assert!(best.is_finite(), "successor had no actions");
                     t.reward + gamma * best
                 }
             };
@@ -241,6 +244,9 @@ impl Dqn {
             isrl_obs::add("dqn.target_syncs", 1);
         }
         let loss = loss_acc / batch.len() as f64;
+        if !loss.is_finite() {
+            isrl_obs::add("dqn.nonfinite_loss", 1);
+        }
         isrl_obs::record("dqn.loss", loss);
         Some(loss)
     }
