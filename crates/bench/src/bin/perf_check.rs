@@ -26,7 +26,13 @@
 //!   are undisturbed). The mean metrics miss a regression that only
 //!   inflates occasional rounds (a degenerate cut, an LP repair storm);
 //!   the tail metrics exist to catch exactly those, under the wider
-//!   `p99.` tolerance band.
+//!   `p99.` tolerance band;
+//! * `serve.session_ms` / `serve.round_p99` — the multi-session serving
+//!   core: 64 untrained-EA sessions driven lockstep through one
+//!   `SessionRegistry` with cross-user batching on (n = 1000, d = 4).
+//!   `session_ms` is mean wall milliseconds per completed session;
+//!   `round_p99` is the sketched p99 of one coalesced `pump_all` cycle
+//!   (the serving analogue of a round's server-side latency).
 //!
 //! The run is compared against the median-of-window baseline with
 //! per-metric relative tolerances (`bench::history`; rationale in
@@ -306,6 +312,62 @@ fn p99_round_ea_sampled_d20() -> f64 {
     p99_of(|| round_latencies(&mut ea, &data, &users))
 }
 
+/// The serving-core bench: 64 untrained-EA sessions through one registry,
+/// answered lockstep by seeded simulated utilities, batching enabled.
+/// Returns `(serve.session_ms, serve.round_p99)`: mean wall ms per
+/// session, and the sketched p99 of one coalesced `pump_all` cycle.
+fn serve_registry() -> (f64, f64) {
+    use std::sync::Arc;
+    let data = Arc::new(generate(1_000, 4, Distribution::AntiCorrelated, 9));
+    let d = data.dim();
+    let n_sessions = 64usize;
+    let eps = 0.15;
+    let users = sample_users(d, n_sessions, 17);
+    let policy = Arc::new(ServePolicy::Ea(EaAgent::new(
+        d,
+        EaConfig::paper_default().with_seed(4),
+    )));
+    let run_once = || -> (f64, f64) {
+        let mut registry = SessionRegistry::new(Arc::clone(&data));
+        registry.register(Arc::clone(&policy));
+        let ids: Vec<u64> = (0..n_sessions)
+            .map(|i| registry.open(AlgoKind::Ea, eps, 0x5eed + i as u64).unwrap())
+            .collect();
+        let t0 = std::time::Instant::now();
+        let mut sk = isrl_obs::QuantileSketch::default_config();
+        loop {
+            let t = std::time::Instant::now();
+            registry.pump_all();
+            sk.record(t.elapsed().as_secs_f64() * 1e3);
+            let mut any_open = false;
+            for (k, id) in ids.iter().enumerate() {
+                let Some(session) = registry.session(*id) else {
+                    continue;
+                };
+                if session.is_finished() {
+                    continue;
+                }
+                any_open = true;
+                let (p1, p2) = session.current_points().expect("pumped sessions ask");
+                let prefers = isrl_linalg::vector::dot(&users[k], p1)
+                    >= isrl_linalg::vector::dot(&users[k], p2);
+                registry.answer(*id, prefers).unwrap();
+            }
+            if !any_open {
+                break;
+            }
+        }
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (total_ms / n_sessions as f64, sk.quantile(0.99))
+    };
+    run_once(); // warm-up
+    (0..REPS)
+        .map(|_| run_once())
+        .fold((f64::INFINITY, f64::INFINITY), |acc, (s, p)| {
+            (acc.0.min(s), acc.1.min(p))
+        })
+}
+
 fn current_commit() -> String {
     if let Ok(sha) = std::env::var("GITHUB_SHA") {
         if !sha.is_empty() {
@@ -365,6 +427,9 @@ fn main() {
         "p99.round_ea_sampled_d20".into(),
         p99_round_ea_sampled_d20(),
     );
+    let (serve_session, serve_p99) = serve_registry();
+    metrics.insert("serve.session_ms".into(), serve_session);
+    metrics.insert("serve.round_p99".into(), serve_p99);
     for v in metrics.values_mut() {
         *v *= scale;
     }

@@ -41,6 +41,10 @@ pub const TOLERANCES: &[(&str, f64)] = &[
     // scheduler hiccup lands straight in the p99, so the band is the
     // widest of the table.
     ("p99.", 0.60),
+    // Serving metrics drive whole multi-session registries (pump loops,
+    // coalesced scans) and include a p99 pump tail, so they get the same
+    // wide band as the other tail quantiles.
+    ("serve.", 0.60),
 ];
 
 /// Fallback relative tolerance for unprefixed metrics.

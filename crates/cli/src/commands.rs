@@ -259,7 +259,56 @@ pub fn eval(args: &Args) -> CmdResult {
     crate::trace::finish(tracing)
 }
 
-/// `isrl serve` — interview a human on stdin with a trained agent.
+/// Loads a checkpoint as a shared serving policy, applying the EA
+/// geometry override with `load_agent`'s semantics.
+fn load_policy(
+    path: &str,
+    geometry: Option<GeometryBackend>,
+) -> Result<ServePolicy, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    let mut policy = ServePolicy::from_checkpoint(&bytes)?;
+    if let Some(backend) = geometry {
+        if !policy.set_geometry(backend) {
+            return Err("--geometry applies to EA checkpoints only (AA never enumerates)".into());
+        }
+    }
+    Ok(policy)
+}
+
+/// `isrl serve --listen` — the multi-session TCP server (DESIGN.md §14).
+fn serve_listen(args: &Args, data: Dataset, listen: &str) -> CmdResult {
+    let tracing = crate::trace::begin(args)?;
+    let policy = load_policy(args.required("model")?, geometry_arg(args)?)?;
+    let cfg = ServerConfig {
+        addr: listen.to_string(),
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server(
+        std::sync::Arc::new(data),
+        vec![std::sync::Arc::new(policy)],
+        cfg,
+    )?;
+    println!("serving on {}", handle.addr());
+    if let Some(path) = args.get("port-file").filter(|p| !p.is_empty()) {
+        // Written after the listener is live, so anything polling this
+        // file can connect as soon as it appears.
+        std::fs::write(path, format!("{}\n", handle.addr().port()))?;
+    }
+    std::io::stdout().flush().ok();
+    let stats = handle.join();
+    println!(
+        "sessions: {} opened, {} completed, {} error frame(s)",
+        stats.sessions_opened, stats.sessions_completed, stats.errors
+    );
+    println!("serve.batch.calls {}", stats.batch.calls);
+    println!("serve.batch.coalesced {}", stats.batch.coalesced);
+    println!("serve.batch.sessions {}", stats.batch.sessions_scanned);
+    println!("serve.batch.utilities {}", stats.batch.utilities);
+    crate::trace::finish(tracing)
+}
+
+/// `isrl serve` — interview a human on stdin with a trained agent, or run
+/// the multi-session TCP server with `--listen`.
 pub fn serve(args: &Args) -> CmdResult {
     args.ensure_known(&[
         "builtin",
@@ -270,9 +319,21 @@ pub fn serve(args: &Args) -> CmdResult {
         "model",
         "eps",
         "geometry",
+        "listen",
+        "port-file",
+        "trace-out",
+        "metrics",
+        "metrics-interval",
     ])?;
     let (data, source) = resolve_dataset(args)?;
     describe(&data, &source);
+    if let Some(listen) = args.get("listen").filter(|a| !a.is_empty()) {
+        let listen = listen.to_string();
+        return serve_listen(args, data, &listen);
+    }
+    if args.has("port-file") {
+        return Err("--port-file requires --listen".into());
+    }
     let eps = args.get_or("eps", 0.1f64, "number")?;
     let mut algo = load_agent(args.required("model")?, geometry_arg(args)?)?;
     println!("answer each question with 1 or 2.\n");
@@ -304,10 +365,11 @@ pub fn serve(args: &Args) -> CmdResult {
                 if std::io::stdin().read_line(&mut line).is_err() || line.is_empty() {
                     return true; // EOF: pick option 1 and let the run finish
                 }
-                match line.trim() {
-                    "1" => return true,
-                    "2" => return false,
-                    _ => println!("please answer 1 or 2"),
+                // The wire protocol's answer parser, so stdin and TCP
+                // agree on what counts as a valid choice.
+                match isrl_core::serving::parse_choice(&line) {
+                    Some(choice) => return choice,
+                    None => println!("please answer 1 or 2"),
                 }
             }
         }
@@ -329,6 +391,59 @@ pub fn serve(args: &Args) -> CmdResult {
         println!("  {name}: {:.0}%", v * 100.0);
     }
     Ok(())
+}
+
+/// `isrl loadgen` — replay N simulated users against a live server.
+pub fn loadgen(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "connect",
+        "users",
+        "concurrency",
+        "seed",
+        "eps",
+        "algo",
+        "noise",
+        "shutdown",
+        "out",
+        "trace-out",
+        "metrics",
+        "metrics-interval",
+    ])?;
+    let tracing = crate::trace::begin(args)?;
+    let algo = args.get("algo").unwrap_or("ea");
+    let algo = isrl_core::serving::AlgoKind::parse(algo)
+        .ok_or_else(|| format!("--algo must be ea or aa, got {algo:?}"))?;
+    let cfg = LoadgenConfig {
+        addr: args.required("connect")?.to_string(),
+        users: args.get_or("users", 32usize, "integer")?,
+        concurrency: args.get_or("concurrency", 8usize, "integer")?,
+        seed: args.get_or("seed", 7u64, "integer")?,
+        eps: args.get_or("eps", 0.1f64, "number")?,
+        algo,
+        noise: args.get_or("noise", 0.0f64, "number")?,
+        send_shutdown: args.has("shutdown"),
+    };
+    let report = run_loadgen(&cfg).map_err(|e| format!("loadgen: {e}"))?;
+    println!("users:          {} (algo {})", report.users, algo.as_str());
+    println!(
+        "rounds:         {} total, {} session(s) truncated",
+        report.rounds_total, report.truncated
+    );
+    println!("elapsed:        {:.2}s", report.elapsed_secs);
+    println!("sessions/sec:   {:.1}", report.sessions_per_sec);
+    println!("round p50:      {:.3}ms", report.round_p50_ms);
+    println!("round p99:      {:.3}ms", report.round_p99_ms);
+    let per_user: Vec<String> = report
+        .rounds_per_user
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    println!("per-user rounds: {}", per_user.join(","));
+    if let Some(out) = args.get("out").filter(|p| !p.is_empty()) {
+        std::fs::write(out, format!("{}\n", report.to_json()))?;
+        println!("report saved to {out}");
+    }
+    crate::trace::finish(tracing)
 }
 
 /// `isrl inspect` — summarize a checkpoint.

@@ -37,8 +37,13 @@ COMMANDS:
              [--eps 0.1] [--users 30] [--noise 0.0]
              [--geometry exact|sampled|auto]
              [--trace-out t.jsonl] [--metrics]
-  serve      interview a human on stdin with a trained agent
+  serve      interview a human on stdin, or serve many sessions over TCP
              <dataset flags> --model model.ckpt [--eps 0.1]
+             [--listen host:port [--port-file f] [--trace-out t.jsonl]]
+  loadgen    replay simulated users against a live `serve --listen` server
+             --connect host:port [--users 32] [--concurrency 8] [--seed 7]
+             [--eps 0.1] [--algo ea|aa] [--noise 0.0] [--shutdown]
+             [--out report.json] [--trace-out t.jsonl]
   inspect    summarize a checkpoint
              --model model.ckpt
   trace-validate  check a --trace-out file against the event schema
@@ -111,13 +116,35 @@ fn command_help(command: &str) -> Option<String> {
             ),
         ),
         "serve" => (
-            "interview a human on stdin with a trained agent",
+            "interview a human on stdin, or serve many sessions over TCP",
             format!(
                 "{DATASET_FLAGS}\
   --model <model.ckpt>   trained agent to serve (required)
-  --eps <x>              stop-condition threshold (default 0.1)
+  --eps <x>              stop-condition threshold (default 0.1; stdin mode —
+                         TCP clients pick ε per session in their hello frame)
   --geometry <mode>      EA utility-region backend: exact | sampled | auto
-                         (default auto: exact up to d=7, sampled above)\n"
+                         (default auto: exact up to d=7, sampled above)
+  --listen <host:port>   serve the line-JSON protocol over TCP instead of
+                         interviewing on stdin (port 0 picks a free port);
+                         runs until a client sends a shutdown frame
+  --port-file <file>     write the bound port once listening (with --listen)
+{TELEMETRY_FLAGS}"
+            ),
+        ),
+        "loadgen" => (
+            "replay simulated users against a live `serve --listen` server",
+            format!(
+                "\
+  --connect <host:port>  server address (required)
+  --users <N>            simulated users to replay (default 32)
+  --concurrency <N>      client connections; users dealt round-robin (default 8)
+  --seed <N>             base seed; user u plays utility mix(seed, u) (default 7)
+  --eps <x>              per-session regret threshold (default 0.1)
+  --algo ea|aa           which registered policy to request (default ea)
+  --noise <x>            answer-flip probability (default 0.0)
+  --shutdown             send a shutdown frame after all users finish
+  --out <report.json>    save the aggregate report as JSON
+{TELEMETRY_FLAGS}"
             ),
         ),
         "inspect" => (
@@ -179,6 +206,7 @@ fn main() {
         "train" => commands::train(&args),
         "eval" => commands::eval(&args),
         "serve" => commands::serve(&args),
+        "loadgen" => commands::loadgen(&args),
         "inspect" => commands::inspect(&args),
         "trace-validate" => trace::validate(&args),
         "trace-report" => trace::report(&args),

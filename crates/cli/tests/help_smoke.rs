@@ -10,6 +10,7 @@ const SUBCOMMANDS: &[&str] = &[
     "train",
     "eval",
     "serve",
+    "loadgen",
     "inspect",
     "trace-validate",
     "trace-report",

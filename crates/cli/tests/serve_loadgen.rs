@@ -1,0 +1,151 @@
+//! Loadgen determinism + telemetry: two runs with the same seed must
+//! replay identical per-user question counts (session isolation makes
+//! them a pure function of the config, independent of concurrency and
+//! batching), and the emitted trace must pass `trace-validate` with one
+//! `serve_session` event per user.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn isrl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_isrl"))
+        .args(args)
+        .output()
+        .expect("failed to spawn isrl")
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("isrl_serve_loadgen_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+struct KillOnDrop(Child);
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+    }
+}
+
+fn per_user_rounds(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("per-user rounds:"))
+        .unwrap_or_else(|| panic!("no per-user rounds line:\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn loadgen_is_deterministic_and_traces_validate() {
+    let ckpt = tmp("loadgen.ckpt");
+    let out = isrl(&[
+        "train",
+        "--builtin",
+        "anti:40x2",
+        "--algo",
+        "ea",
+        "--episodes",
+        "1",
+        "--seed",
+        "3",
+        "--eps",
+        "0.2",
+        "--out",
+        &ckpt,
+    ]);
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let port_file = tmp("loadgen.port");
+    let _server = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_isrl"))
+            .args([
+                "serve",
+                "--builtin",
+                "anti:40x2",
+                "--model",
+                &ckpt,
+                "--listen",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file,
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("failed to spawn isrl serve"),
+    );
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let port = loop {
+        if let Some(p) = std::fs::read_to_string(&port_file)
+            .ok()
+            .and_then(|t| t.trim().parse::<u16>().ok())
+        {
+            break p;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never wrote the port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let addr = format!("127.0.0.1:{port}");
+
+    // Two identical runs — but with different concurrency, which session
+    // isolation says must not matter.
+    let trace = tmp("loadgen.jsonl");
+    let run = |concurrency: &str, trace_out: Option<&str>| -> String {
+        let mut args = vec![
+            "loadgen",
+            "--connect",
+            &addr,
+            "--users",
+            "64",
+            "--seed",
+            "7",
+            "--eps",
+            "0.2",
+            "--concurrency",
+            concurrency,
+        ];
+        if let Some(t) = trace_out {
+            args.extend(["--trace-out", t]);
+        }
+        let out = isrl(&args);
+        assert!(
+            out.status.success(),
+            "loadgen failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let first = run("8", Some(&trace));
+    let second = run("3", None);
+    assert_eq!(
+        per_user_rounds(&first),
+        per_user_rounds(&second),
+        "per-user question counts must be a pure function of the seed"
+    );
+
+    // The trace passes schema validation and carries one serve_session
+    // event per user.
+    let v = isrl(&["trace-validate", &trace]);
+    assert!(
+        v.status.success(),
+        "trace-validate failed: {}",
+        String::from_utf8_lossy(&v.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&v.stdout);
+    let census = stdout
+        .lines()
+        .find(|l| l.starts_with("serve_session"))
+        .unwrap_or_else(|| panic!("no serve_session census:\n{stdout}"));
+    assert_eq!(
+        census.split_whitespace().nth(1),
+        Some("64"),
+        "expected 64 serve_session events: {census}"
+    );
+}

@@ -1,0 +1,323 @@
+//! Serve-path protocol conformance battery (DESIGN.md §14).
+//!
+//! Runs the real binary (`serve --listen`) and speaks the line-JSON
+//! protocol over TCP, pinning:
+//!
+//! * golden transcripts — the same `hello` + answer stream yields
+//!   byte-identical server frames (modulo the session id), across both
+//!   repeat sessions on one connection and separate connections;
+//! * malformed frames — truncated JSON, unknown kinds, answers for
+//!   unknown/foreign sessions, and stale-round answers each get an
+//!   `error` frame back without killing the connection, the server, or
+//!   any other live session;
+//! * clean shutdown — a `shutdown` frame stops the server with exit 0
+//!   and the batch counters on stdout.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("isrl_serve_protocol_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+/// Trains the tiny checkpoint every server in this file serves.
+fn train_ckpt(tag: &str) -> String {
+    let ckpt = tmp(&format!("{tag}.ckpt"));
+    let out = Command::new(env!("CARGO_BIN_EXE_isrl"))
+        .args([
+            "train",
+            "--builtin",
+            "anti:40x2",
+            "--algo",
+            "ea",
+            "--episodes",
+            "1",
+            "--seed",
+            "3",
+            "--eps",
+            "0.2",
+            "--out",
+            &ckpt,
+        ])
+        .output()
+        .expect("failed to spawn isrl train");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    ckpt
+}
+
+struct Server {
+    child: Child,
+}
+
+impl Server {
+    /// Starts `serve --listen 127.0.0.1:0` and polls the port file.
+    fn start(ckpt: &str, tag: &str) -> (Server, u16) {
+        let port_file = tmp(&format!("{tag}.port"));
+        let _ = std::fs::remove_file(&port_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_isrl"))
+            .args([
+                "serve",
+                "--builtin",
+                "anti:40x2",
+                "--model",
+                ckpt,
+                "--listen",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file,
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("failed to spawn isrl serve");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let port = loop {
+            if let Some(p) = std::fs::read_to_string(&port_file)
+                .ok()
+                .and_then(|t| t.trim().parse::<u16>().ok())
+            {
+                break p;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server never wrote the port file"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        (Server { child }, port)
+    }
+
+    /// Waits for exit (the shutdown frame must already be sent) and
+    /// returns the server's stdout; asserts exit 0.
+    fn wait(mut self) -> String {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let status = loop {
+            if let Some(s) = self.child.try_wait().expect("try_wait failed") {
+                break s;
+            }
+            assert!(Instant::now() < deadline, "server did not exit");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let mut stdout = String::new();
+        self.child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut stdout)
+            .unwrap();
+        let mut stderr = String::new();
+        self.child
+            .stderr
+            .take()
+            .unwrap()
+            .read_to_string(&mut stderr)
+            .unwrap();
+        assert!(
+            status.success(),
+            "server exited {:?}; stderr:\n{stderr}",
+            status.code()
+        );
+        stdout
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+    }
+}
+
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(port: u16) -> Conn {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect failed");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let writer = stream.try_clone().unwrap();
+        Conn {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read failed");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end().to_string()
+    }
+}
+
+/// Pulls the integer value of `"key":N` out of a frame.
+fn field_u64(line: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = line
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in {line}"))
+        + needle.len();
+    line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+fn kind_of(line: &str) -> &'static str {
+    for k in ["question", "done", "error"] {
+        if line.contains(&format!("\"kind\":\"{k}\"")) {
+            return k;
+        }
+    }
+    panic!("unrecognized frame: {line}");
+}
+
+fn hello(seed: u64) -> String {
+    format!(r#"{{"kind":"hello","algo":"ea","eps":0.2,"seed":{seed}}}"#)
+}
+
+fn answer(session: u64, round: u64, choice: u64) -> String {
+    format!(r#"{{"kind":"answer","session":{session},"round":{round},"choice":{choice}}}"#)
+}
+
+/// Runs one full session (always answering option 1) and returns every
+/// server frame with the session id normalized out.
+fn run_session(conn: &mut Conn, seed: u64) -> Vec<String> {
+    conn.send(&hello(seed));
+    let mut transcript = Vec::new();
+    loop {
+        let line = conn.recv();
+        let sid = field_u64(&line, "session");
+        transcript.push(line.replace(&format!("\"session\":{sid}"), "\"session\":S"));
+        match kind_of(&line) {
+            "question" => conn.send(&answer(sid, field_u64(&line, "round"), 1)),
+            "done" => return transcript,
+            other => panic!("unexpected {other} frame: {line}"),
+        }
+    }
+}
+
+#[test]
+fn golden_transcripts_are_reproducible() {
+    let ckpt = train_ckpt("golden");
+    let (server, port) = Server::start(&ckpt, "golden");
+
+    let mut conn = Conn::open(port);
+    let first = run_session(&mut conn, 5);
+    assert!(first.len() >= 2, "expected questions then done: {first:?}");
+    assert_eq!(kind_of(first.last().unwrap()), "done");
+
+    // Same connection, fresh session, same seed: byte-identical frames.
+    let repeat = run_session(&mut conn, 5);
+    assert_eq!(first, repeat, "same seed must replay identically");
+
+    // A different connection is just as deterministic.
+    let mut other = Conn::open(port);
+    assert_eq!(first, run_session(&mut other, 5));
+
+    // A different seed should (for this dataset) diverge somewhere.
+    assert_ne!(first, run_session(&mut conn, 6));
+
+    conn.send(r#"{"kind":"shutdown"}"#);
+    let stdout = server.wait();
+    assert!(
+        stdout.contains("serve.batch.calls"),
+        "missing batch counters:\n{stdout}"
+    );
+}
+
+#[test]
+fn malformed_frames_get_error_frames_without_collateral() {
+    let ckpt = train_ckpt("malformed");
+    let (server, port) = Server::start(&ckpt, "malformed");
+
+    // A live session on connection 1, paused at its first question.
+    let mut conn1 = Conn::open(port);
+    conn1.send(&hello(9));
+    let q1 = conn1.recv();
+    assert_eq!(kind_of(&q1), "question");
+    let sid1 = field_u64(&q1, "session");
+
+    // Connection 2 sends garbage; each line gets an error frame and the
+    // connection stays usable.
+    let mut conn2 = Conn::open(port);
+    for bad in [
+        r#"{"kind":"hello","algo":"#, // truncated JSON
+        r#"{"kind":"mystery"}"#,      // unknown kind
+        "[1,2,3]",                    // not an object
+        r#"{"kind":"answer","session":999,"round":1,"choice":1}"#, // never opened
+    ] {
+        conn2.send(bad);
+        let resp = conn2.recv();
+        assert_eq!(kind_of(&resp), "error", "for {bad}: {resp}");
+    }
+
+    // Sessions are only addressable from their owning connection.
+    conn2.send(&answer(sid1, 1, 1));
+    let resp = conn2.recv();
+    assert_eq!(kind_of(&resp), "error");
+    assert!(
+        resp.contains("unknown session"),
+        "foreign-session answer should be rejected: {resp}"
+    );
+
+    // The abused connection still serves a full session…
+    let transcript = run_session(&mut conn2, 5);
+    assert_eq!(kind_of(transcript.last().unwrap()), "done");
+
+    // …and the paused session on connection 1 was never perturbed. An
+    // answer for a round that is not pending is rejected without
+    // advancing anything…
+    conn1.send(&answer(sid1, 5, 1));
+    let resp = conn1.recv();
+    assert_eq!(kind_of(&resp), "error", "wrong-round answer: {resp}");
+    assert!(resp.contains("round"), "should name the round: {resp}");
+
+    // …then the still-pending round 1 answers normally through to done.
+    conn1.send(&answer(sid1, 1, 1));
+    let mut line = conn1.recv();
+    loop {
+        match kind_of(&line) {
+            "done" => break,
+            "question" => {
+                conn1.send(&answer(sid1, field_u64(&line, "round"), 1));
+                line = conn1.recv();
+            }
+            other => panic!("unexpected {other} frame: {line}"),
+        }
+    }
+
+    // A double answer after completion hits a closed session.
+    conn1.send(&answer(sid1, 1, 1));
+    let resp = conn1.recv();
+    assert_eq!(kind_of(&resp), "error", "answer after done: {resp}");
+
+    conn1.send(r#"{"kind":"shutdown"}"#);
+    let stdout = server.wait();
+    // Every malformed line above was counted on the server side too.
+    let errors: u64 = stdout
+        .lines()
+        .find(|l| l.starts_with("sessions:"))
+        .and_then(|l| l.split_whitespace().nth(5))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no sessions line in stdout:\n{stdout}"));
+    assert!(errors >= 7, "expected >= 7 error frames, saw {errors}");
+}

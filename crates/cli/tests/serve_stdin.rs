@@ -1,0 +1,82 @@
+//! The stdin interview must reject malformed answers with a re-prompt
+//! (sharing the wire protocol's answer parser) instead of treating
+//! garbage as a choice, and still finish the session.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("isrl_serve_stdin_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+#[test]
+fn interview_reprompts_on_malformed_answers() {
+    let ckpt = tmp("stdin.ckpt");
+    let out = Command::new(env!("CARGO_BIN_EXE_isrl"))
+        .args([
+            "train",
+            "--builtin",
+            "anti:40x2",
+            "--algo",
+            "ea",
+            "--episodes",
+            "1",
+            "--seed",
+            "3",
+            "--eps",
+            "0.2",
+            "--out",
+            &ckpt,
+        ])
+        .output()
+        .expect("failed to spawn isrl train");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_isrl"))
+        .args([
+            "serve",
+            "--builtin",
+            "anti:40x2",
+            "--model",
+            &ckpt,
+            "--eps",
+            "0.2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn isrl serve");
+
+    // Three invalid answers, one valid one, then EOF (which defaults the
+    // remaining questions to option 1 so the run completes).
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"yes\n3\n0\n 1 \n")
+        .unwrap();
+    let out = child.wait_with_output().expect("wait failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "serve failed ({:?}): {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        stdout.matches("please answer 1 or 2").count(),
+        3,
+        "each malformed answer must re-prompt exactly once:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("your tuple"),
+        "interview must still finish:\n{stdout}"
+    );
+}

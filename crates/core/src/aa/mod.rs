@@ -109,6 +109,71 @@ struct Observation {
     best: usize,
 }
 
+/// The scan-free opening of an AA round, split out of [`AaAgent::observe`]
+/// for the serving path (`crate::serving`): the LP summary's state
+/// encoding, stop verdict, and sphere center, plus the single utility
+/// vector (the rectangle midpoint) whose dataset top-1 is needed. No
+/// dataset access and no RNG draw happens here, so a cross-user batcher
+/// can coalesce many sessions' scans into one `top1_batch` call. Returns
+/// `None` when the region has collapsed.
+pub(crate) struct AaPhase1 {
+    /// Encoded DQN state (sphere + rectangle summary).
+    pub(crate) state: Vec<f64>,
+    /// Lemma 9 stop verdict — known before any scan runs.
+    pub(crate) terminal: bool,
+    /// Inner-sphere center (hit-and-run start and question anchor).
+    pub(crate) center: Vec<f64>,
+}
+
+/// Phase A of an AA round; see [`AaPhase1`].
+pub(crate) fn aa_phase1(geom: &mut RegionGeometry, eps: f64) -> Option<(AaPhase1, Vec<Vec<f64>>)> {
+    let summary = AaSummary::from_geometry(geom)?;
+    let mid = summary.midpoint();
+    Some((
+        AaPhase1 {
+            state: summary.encode(),
+            terminal: summary.meets_stop_condition(eps),
+            center: summary.sphere.center().to_vec(),
+        },
+        vec![mid],
+    ))
+}
+
+/// Phase B of a non-terminal AA round: the hit-and-run pre-filter pool and
+/// the candidate question pairs, consuming the session RNG in the inline
+/// path's exact order.
+pub(crate) fn aa_actions(
+    cfg: &AaConfig,
+    dim: usize,
+    data: &Dataset,
+    geom: &mut RegionGeometry,
+    center: &[f64],
+    asked: &[(usize, usize)],
+    rng: &mut StdRng,
+) -> (Vec<Question>, Vec<Vec<f64>>) {
+    let pool = {
+        let _s = isrl_obs::span("sampling");
+        isrl_geometry::sampling::hit_and_run(dim, geom.region().halfspaces(), center, 48, 2, rng)
+    };
+    let (region, lp_cache) = geom.region_and_lp_cache();
+    let questions = candidate_pairs(
+        data,
+        region,
+        center,
+        cfg.m_h,
+        asked,
+        &pool,
+        cfg.pair_gen,
+        rng,
+        lp_cache,
+    );
+    let action_feats = questions
+        .iter()
+        .map(|&q| encode_question(data, q))
+        .collect();
+    (questions, action_feats)
+}
+
 /// The approximate RL interactive agent.
 #[derive(Debug)]
 pub struct AaAgent {

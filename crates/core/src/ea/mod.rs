@@ -154,6 +154,129 @@ struct Observation {
     fallback_best: usize,
 }
 
+/// The scan-free opening of an EA round, split out of [`EaAgent::observe`]
+/// for the serving path (`crate::serving`): the region's point set (vertex
+/// set or sample cloud), its DQN state encoding, and the utility vectors
+/// whose dataset top-1 scans are needed first — laid out `[points..,
+/// centroid]`. No dataset access and no RNG draw happens here, so a
+/// cross-user batcher can coalesce many sessions' scans into one
+/// `top1_batch` call. Returns `None` when the region has collapsed.
+pub(crate) fn ea_phase1(
+    encoder: &EaStateEncoder,
+    geom: &RegionGeometry,
+) -> Option<(Vec<f64>, Vec<Vec<f64>>)> {
+    let points: Vec<Vec<f64>> = if geom.is_sampled() {
+        geom.sample_cloud()?.all_points()
+    } else {
+        geom.polytope()?.vertices().to_vec()
+    };
+    let state = encoder.encode_points(&points);
+    let centroid = vector::mean(&points);
+    let mut utilities = points;
+    utilities.push(centroid);
+    Some((state, utilities))
+}
+
+/// What the phase-1 scan results decide: terminal status, the fallback
+/// recommendation, and the distinct region-point argmaxes (anchor set).
+pub(crate) struct EaVerdict {
+    /// Lemma 6 verdict: the certified anchor, when the region is terminal.
+    pub(crate) terminal: Option<usize>,
+    /// The centroid's top-1 index (recommendation when not terminal).
+    pub(crate) fallback_best: usize,
+    /// Distinct top-1 indices over the region points, first-appearance
+    /// order — `terminal_points` of the point set.
+    pub(crate) anchors: Vec<usize>,
+}
+
+/// Consumes the scan results for [`ea_phase1`]'s utility list (`top1[k]`
+/// answers `utilities[k]`; the centroid is last) and runs the terminal
+/// check. Mirrors [`check_terminal`] exactly — single-anchor fast path,
+/// then the per-anchor ε-hyperplane membership sweep (the only remaining
+/// dataset work, which stays session-local).
+pub(crate) fn ea_verdict(
+    data: &Dataset,
+    points: &[Vec<f64>],
+    top1: &[isrl_linalg::Top1],
+    eps: f64,
+) -> EaVerdict {
+    debug_assert_eq!(points.len() + 1, top1.len());
+    let mut anchors: Vec<usize> = Vec::new();
+    for t in &top1[..points.len()] {
+        if !anchors.contains(&t.index) {
+            anchors.push(t.index);
+        }
+    }
+    let terminal = {
+        let _t = isrl_obs::span("terminal_check");
+        if anchors.len() == 1 {
+            Some(anchors[0])
+        } else {
+            anchors.iter().copied().find(|&a| {
+                points
+                    .iter()
+                    .all(|e| in_terminal_polyhedron(data, a, e, eps))
+            })
+        }
+    };
+    EaVerdict {
+        terminal,
+        fallback_best: top1[points.len()].index,
+        anchors,
+    }
+}
+
+/// The exact backend's extra sample draw for V (Lemma 5/6), in the inline
+/// path's exact order: rejection sampling, then the vertex-mixture
+/// fallback on underfill (flagging the `ea.sample_fallbacks` warning
+/// counter). The caller appends the vertices themselves by chaining the
+/// phase-1 scan results — matching `samples.extend(vertices)` inline.
+pub(crate) fn ea_sample_extras(
+    cfg: &EaConfig,
+    dim: usize,
+    geom: &RegionGeometry,
+    points: &[Vec<f64>],
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    let mut samples = {
+        let _s = isrl_obs::span("sampling");
+        sampling::sample_region_rejection(
+            dim,
+            geom.region().halfspaces(),
+            cfg.n_samples,
+            cfg.n_samples * 10,
+            rng,
+        )
+    };
+    if samples.len() < cfg.n_samples {
+        isrl_obs::add("ea.sample_fallbacks", 1);
+        let _s = isrl_obs::span("sampling");
+        let need = cfg.n_samples - samples.len();
+        samples.extend(sampling::sample_vertex_mixture(points, need, rng));
+    }
+    samples
+}
+
+/// Builds the candidate action space from `P_R` with the inline path's
+/// exhaustion retry, plus the per-question features.
+pub(crate) fn ea_actions(
+    cfg: &EaConfig,
+    data: &Dataset,
+    p_r: &[usize],
+    asked: &[(usize, usize)],
+    rng: &mut StdRng,
+) -> (Vec<Question>, Vec<Vec<f64>>) {
+    let mut questions = build_action_space(p_r, cfg.m_h, asked, rng);
+    if questions.is_empty() && p_r.len() >= 2 {
+        questions = build_action_space(p_r, cfg.m_h, &[], rng);
+    }
+    let action_feats = questions
+        .iter()
+        .map(|&q| encode_question(data, q))
+        .collect();
+    (questions, action_feats)
+}
+
 /// The exact RL interactive agent.
 #[derive(Debug)]
 pub struct EaAgent {
@@ -212,6 +335,11 @@ impl EaAgent {
     /// Dimensionality the agent was built for.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The state encoder (shared read-only by serving sessions).
+    pub(crate) fn encoder(&self) -> &EaStateEncoder {
+        &self.encoder
     }
 
     /// Restores trained Q-network parameters and the episode counter

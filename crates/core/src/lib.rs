@@ -33,7 +33,10 @@
 //! * [`interaction`] — the round/trace/outcome framework;
 //! * [`metrics`] / [`regret`] — the paper's §V measurements, including the
 //!   per-round maximum regret ratio of Figures 7–8;
-//! * [`runner`] — multi-user evaluation sweeps.
+//! * [`runner`] — multi-user evaluation sweeps;
+//! * [`serving`] — the multi-session serving core: shared-checkpoint
+//!   sessions, cross-user scan batching, the line-JSON wire protocol, a
+//!   blocking TCP server, and a protocol-level load generator.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +68,7 @@ pub mod interaction;
 pub mod metrics;
 pub mod regret;
 pub mod runner;
+pub mod serving;
 pub(crate) mod telemetry;
 pub mod user;
 pub mod watchdog;
@@ -85,6 +89,10 @@ pub mod prelude {
     pub use crate::metrics::{max_regret_estimate, RunStats};
     pub use crate::regret::{regret_ratio, regret_ratio_of_index};
     pub use crate::runner::{evaluate, sample_users, Evaluation};
+    pub use crate::serving::{
+        run_loadgen, spawn_server, AlgoKind, LoadgenConfig, LoadgenReport, ServeError, ServePolicy,
+        ServeSession, ServerConfig, ServerHandle, ServerStats, SessionRegistry,
+    };
     pub use crate::user::{NoisyUser, SimulatedUser, User};
     pub use crate::watchdog::{Anomaly, AnomalyKind, TrainingWatchdog, WatchdogConfig};
 }

@@ -1,0 +1,47 @@
+//! The one place that maps a user's pairwise answer onto "prefers the
+//! first option". The stdin interview, the JSON protocol, and the tests
+//! all share these two functions so their accepted inputs cannot drift.
+
+/// Parses a textual answer: `"1"` = the first option is preferred,
+/// `"2"` = the second. Surrounding whitespace is ignored; anything else
+/// (empty, `"3"`, `"yes"`, …) is `None` and callers must re-prompt or
+/// reply with an `error` frame.
+pub fn parse_choice(text: &str) -> Option<bool> {
+    match text.trim() {
+        "1" => Some(true),
+        "2" => Some(false),
+        _ => None,
+    }
+}
+
+/// Same mapping for a JSON number: exactly `1` or `2` (no fractions, no
+/// other values).
+pub fn choice_from_number(x: f64) -> Option<bool> {
+    if x == 1.0 {
+        Some(true)
+    } else if x == 2.0 {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_only_one_and_two() {
+        assert_eq!(parse_choice("1"), Some(true));
+        assert_eq!(parse_choice("2"), Some(false));
+        assert_eq!(parse_choice(" 1\n"), Some(true));
+        for bad in ["", "0", "3", "12", "yes", "one", "1.0", "-1"] {
+            assert_eq!(parse_choice(bad), None, "{bad:?} must be rejected");
+        }
+        assert_eq!(choice_from_number(1.0), Some(true));
+        assert_eq!(choice_from_number(2.0), Some(false));
+        for bad in [0.0, 3.0, 1.5, -1.0, f64::NAN] {
+            assert_eq!(choice_from_number(bad), None, "{bad} must be rejected");
+        }
+    }
+}

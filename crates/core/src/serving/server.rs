@@ -1,0 +1,393 @@
+//! A hand-rolled blocking TCP reactor for the serving protocol.
+//!
+//! No async runtime (the workspace builds with its vendored dependency
+//! set): one accept thread, one reader thread per connection feeding a
+//! channel, and a single core thread that owns the [`SessionRegistry`]
+//! and all writers. The core drains the channel in micro-batches — after
+//! the first message it keeps reading until [`ServerConfig::batch_window`]
+//! elapses with nothing new (or [`ServerConfig::max_drain`] messages) —
+//! so concurrent users' round scans land in the same
+//! [`SessionRegistry::pump_all`] and coalesce into shared `top1_batch`
+//! calls.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::serving::protocol::{ClientFrame, ServerFrame};
+use crate::serving::{BatchStats, ServePolicy, SessionRegistry};
+use isrl_data::Dataset;
+
+/// Reactor knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// How long the core waits for further traffic after a message before
+    /// processing the batch. Larger windows coalesce more cross-user
+    /// scans at the cost of per-round latency.
+    pub batch_window: Duration,
+    /// Cap on messages drained per batch.
+    pub max_drain: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            batch_window: Duration::from_micros(500),
+            max_drain: 256,
+        }
+    }
+}
+
+/// What the server did over its lifetime, returned by
+/// [`ServerHandle::join`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Sessions opened by `hello` frames.
+    pub sessions_opened: u64,
+    /// Sessions served to their `done` frame.
+    pub sessions_completed: u64,
+    /// `error` frames sent.
+    pub errors: u64,
+    /// The registry's cross-user batcher counters.
+    pub batch: BatchStats,
+}
+
+enum Msg {
+    /// A connection arrived; the stream is the writer half.
+    NewConn(u64, TcpStream),
+    /// One line from a connection.
+    Line(u64, String),
+    /// A connection's reader hit EOF or an error.
+    Closed(u64),
+    /// Stop serving ([`ServerHandle::shutdown`]).
+    Stop,
+}
+
+/// A running server. Dropping the handle does not stop it — call
+/// [`join`](Self::join) (waits for a client `shutdown` frame) or
+/// [`shutdown`](Self::shutdown).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    tx: Sender<Msg>,
+    core: JoinHandle<ServerStats>,
+    accept: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits until the server stops (a client sends `shutdown`) and
+    /// returns its lifetime stats.
+    pub fn join(self) -> ServerStats {
+        let stats = self.core.join().expect("server core thread panicked");
+        let _ = self.accept.join();
+        stats
+    }
+
+    /// Asks the server to stop now and waits for it.
+    pub fn shutdown(self) -> ServerStats {
+        let _ = self.tx.send(Msg::Stop);
+        self.join()
+    }
+}
+
+/// Binds `cfg.addr` and spawns the reactor over the given dataset and
+/// policies. Returns once the listener is live.
+pub fn spawn_server(
+    data: Arc<Dataset>,
+    policies: Vec<Arc<ServePolicy>>,
+    cfg: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let (tx, rx) = channel::<Msg>();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let accept = {
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || accept_loop(listener, tx, stop))
+    };
+    let core = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || core_loop(data, policies, cfg, rx, stop, addr))
+    };
+    Ok(ServerHandle {
+        addr,
+        tx,
+        core,
+        accept,
+    })
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<Msg>, stop: Arc<AtomicBool>) {
+    let mut next_conn = 1u64;
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn = next_conn;
+        next_conn += 1;
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        // NewConn is enqueued before the reader thread exists, so the core
+        // always learns of the writer before the connection's first line.
+        if tx.send(Msg::NewConn(conn, writer)).is_err() {
+            return;
+        }
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if tx.send(Msg::Line(conn, line)).is_err() {
+                    return;
+                }
+            }
+            let _ = tx.send(Msg::Closed(conn));
+        });
+    }
+}
+
+/// The single thread that owns all serving state.
+struct Core {
+    registry: SessionRegistry,
+    /// Writer half of each live connection.
+    writers: BTreeMap<u64, TcpStream>,
+    /// Which connection owns each live session.
+    owner: BTreeMap<u64, u64>,
+    stats: ServerStats,
+    /// Sessions that advanced this batch and owe their owner a frame.
+    touched: Vec<(u64, u64)>,
+    stopping: bool,
+}
+
+fn core_loop(
+    data: Arc<Dataset>,
+    policies: Vec<Arc<ServePolicy>>,
+    cfg: ServerConfig,
+    rx: Receiver<Msg>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+) -> ServerStats {
+    let mut registry = SessionRegistry::new(data);
+    for policy in policies {
+        registry.register(policy);
+    }
+    let mut core = Core {
+        registry,
+        writers: BTreeMap::new(),
+        owner: BTreeMap::new(),
+        stats: ServerStats::default(),
+        touched: Vec::new(),
+        stopping: false,
+    };
+
+    while !core.stopping {
+        let first = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        core.handle(first);
+        // Micro-batch: keep draining while traffic is arriving back to
+        // back, so concurrent sessions advance in one pump.
+        while !core.stopping && core.touched.len() < cfg.max_drain {
+            match rx.recv_timeout(cfg.batch_window) {
+                Ok(m) => core.handle(m),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    core.stopping = true;
+                    break;
+                }
+            }
+        }
+        core.advance();
+    }
+
+    // Unblock the accept loop (it is parked in `accept`) with a dummy
+    // connection, then drop every client connection.
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(addr);
+    for stream in core.writers.values() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    core.stats.batch = core.registry.stats();
+    core.stats
+}
+
+impl Core {
+    fn handle(&mut self, msg: Msg) {
+        match msg {
+            Msg::NewConn(conn, stream) => {
+                self.writers.insert(conn, stream);
+            }
+            Msg::Closed(conn) => {
+                self.writers.remove(&conn);
+                let orphaned: Vec<u64> = self
+                    .owner
+                    .iter()
+                    .filter(|&(_, &c)| c == conn)
+                    .map(|(&sid, _)| sid)
+                    .collect();
+                for sid in orphaned {
+                    self.owner.remove(&sid);
+                    self.registry.close(sid);
+                }
+            }
+            Msg::Line(conn, line) => self.handle_line(conn, &line),
+            Msg::Stop => self.stopping = true,
+        }
+    }
+
+    fn handle_line(&mut self, conn: u64, line: &str) {
+        let frame = match ClientFrame::parse(line) {
+            Ok(f) => f,
+            Err(message) => {
+                self.error(conn, None, message);
+                return;
+            }
+        };
+        match frame {
+            ClientFrame::Hello { algo, eps, seed } => match self.registry.open(algo, eps, seed) {
+                Ok(sid) => {
+                    self.owner.insert(sid, conn);
+                    self.stats.sessions_opened += 1;
+                    self.touched.push((conn, sid));
+                }
+                Err(e) => self.error(conn, None, e.to_string()),
+            },
+            ClientFrame::Answer {
+                session,
+                round,
+                choice,
+            } => {
+                // A session is only addressable from the connection that
+                // opened it.
+                if self.owner.get(&session) != Some(&conn) {
+                    self.error(conn, Some(session), format!("unknown session {session}"));
+                    return;
+                }
+                let live = self
+                    .registry
+                    .session(session)
+                    .expect("owned session must be live");
+                if live.current_question().is_none() {
+                    self.error(conn, Some(session), "no question is pending".to_string());
+                    return;
+                }
+                let expected = live.rounds() as u64 + 1;
+                if round != expected {
+                    self.error(
+                        conn,
+                        Some(session),
+                        format!("unexpected round {round} (the pending round is {expected})"),
+                    );
+                    return;
+                }
+                match self.registry.answer(session, choice) {
+                    Ok(()) => self.touched.push((conn, session)),
+                    Err(e) => self.error(conn, Some(session), e.to_string()),
+                }
+            }
+            ClientFrame::Shutdown => self.stopping = true,
+        }
+    }
+
+    /// Runs the coalesced scans for everything that moved this batch, then
+    /// sends each touched session's next frame.
+    fn advance(&mut self) {
+        if self.touched.is_empty() {
+            return;
+        }
+        let pump_started = Instant::now();
+        self.registry.pump_all();
+        isrl_obs::sketch_record("serve.pump_ms", pump_started.elapsed().as_secs_f64() * 1e3);
+
+        let touched = std::mem::take(&mut self.touched);
+        for (conn, sid) in touched {
+            let Some(session) = self.registry.session(sid) else {
+                continue; // connection closed in the same batch
+            };
+            if session.is_finished() {
+                let index = session
+                    .recommendation()
+                    .expect("a finished serving session always has a recommendation");
+                let frame = ServerFrame::Done {
+                    session: sid,
+                    rounds: session.rounds() as u64,
+                    index: index as u64,
+                    tuple: self.registry.data().point(index).to_vec(),
+                    truncated: session.truncated(),
+                };
+                if isrl_obs::enabled() {
+                    isrl_obs::emit(
+                        isrl_obs::Event::new("serve_session")
+                            .field("algo", session.algo().label())
+                            .field("user", sid)
+                            .field("rounds", session.rounds() as u64)
+                            .field("ms", session.elapsed().as_secs_f64() * 1e3),
+                    );
+                }
+                self.owner.remove(&sid);
+                self.registry.close(sid);
+                self.stats.sessions_completed += 1;
+                self.send(conn, &frame);
+            } else {
+                let (option1, option2) = {
+                    let (a, b) = session
+                        .current_points()
+                        .expect("an unfinished pumped session has a question");
+                    (a.to_vec(), b.to_vec())
+                };
+                let frame = ServerFrame::Question {
+                    session: sid,
+                    round: session.rounds() as u64 + 1,
+                    option1,
+                    option2,
+                };
+                self.send(conn, &frame);
+            }
+        }
+    }
+
+    fn error(&mut self, conn: u64, session: Option<u64>, message: String) {
+        self.stats.errors += 1;
+        let frame = ServerFrame::Error { session, message };
+        self.send(conn, &frame);
+    }
+
+    fn send(&mut self, conn: u64, frame: &ServerFrame) {
+        let Some(stream) = self.writers.get_mut(&conn) else {
+            return;
+        };
+        let ok = writeln!(stream, "{}", frame.to_line())
+            .and_then(|_| stream.flush())
+            .is_ok();
+        if !ok {
+            self.writers.remove(&conn);
+        }
+    }
+}

@@ -79,6 +79,12 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             check(&doc, "rounds", Shape::Num)?;
             check(&doc, "secs", Shape::Num)?;
         }
+        "serve_session" => {
+            check(&doc, "algo", Shape::Str)?;
+            check(&doc, "user", Shape::Num)?;
+            check(&doc, "rounds", Shape::Num)?;
+            check(&doc, "ms", Shape::Num)?;
+        }
         "timeseries" => {
             check(&doc, "seq", Shape::Num)?;
             check(&doc, "counters", Shape::Obj)?;
@@ -253,6 +259,17 @@ mod tests {
             )
             .unwrap(),
             "anomaly"
+        );
+        assert_eq!(
+            validate_line(
+                r#"{"ev":"serve_session","t_ms":7,"algo":"EA","user":12,"rounds":5,"ms":43.1}"#
+            )
+            .unwrap(),
+            "serve_session"
+        );
+        assert!(
+            validate_line(r#"{"ev":"serve_session","t_ms":7,"algo":"EA","user":12}"#).is_err(),
+            "serve_session requires rounds and ms"
         );
     }
 

@@ -158,10 +158,34 @@ impl Dqn {
     /// # Panics
     /// Panics on an empty action set.
     pub fn best_action(&mut self, state: &[f64], actions: &[Vec<f64>]) -> (usize, f64) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let best = self.best_action_ref(&mut scratch, state, actions);
+        self.scratch = scratch;
+        best
+    }
+
+    /// [`Dqn::best_action`] without mutable access to the network: the
+    /// caller supplies the encoding scratch buffer (resized as needed).
+    /// This is what lets many concurrent serving sessions evaluate one
+    /// shared checkpoint — each session owns a scratch buffer while the
+    /// `Dqn` itself stays behind an immutable reference.
+    ///
+    /// # Panics
+    /// Panics on an empty action set or feature-width mismatch.
+    pub fn best_action_ref(
+        &self,
+        scratch: &mut Vec<f64>,
+        state: &[f64],
+        actions: &[Vec<f64>],
+    ) -> (usize, f64) {
         assert!(!actions.is_empty(), "cannot pick from an empty action set");
+        assert_eq!(state.len(), self.cfg.state_dim, "state width mismatch");
+        scratch.resize(self.cfg.state_dim + self.cfg.action_dim, 0.0);
         let mut best = (0usize, f64::NEG_INFINITY);
         for (i, a) in actions.iter().enumerate() {
-            let v = self.q_value(state, a);
+            assert_eq!(a.len(), self.cfg.action_dim, "action width mismatch");
+            Self::encode_into(scratch, state, a);
+            let v = self.q.forward(scratch)[0];
             if v > best.1 {
                 best = (i, v);
             }
