@@ -244,6 +244,19 @@ fn time_ms<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     t.elapsed().as_secs_f64() * 1e3 / iters as f64
 }
 
+/// Minimum single-run wall-clock over `runs` repeats — the scan-kernel
+/// rows compare mins so a scheduler hiccup in one run cannot flip a
+/// before/after ratio.
+fn min_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// Direct before/after timings of the two kernels this layer replaced:
 /// from-scratch vs incremental vertex enumeration on a deep region, and
 /// the scalar vs batched top-1 utility scan at the regret estimator's
@@ -301,7 +314,7 @@ fn kernel_before_after() -> Table {
     let sd = data.dim();
     let utilities = sample_users(sd, 32, 12);
     let flat = data.as_flat();
-    let before = time_ms(3, || {
+    let before = min_ms(4, || {
         for u in &utilities {
             let mut best = (0usize, f64::NEG_INFINITY);
             for (i, p) in flat.chunks_exact(sd).enumerate() {
@@ -313,7 +326,7 @@ fn kernel_before_after() -> Table {
             std::hint::black_box(best);
         }
     });
-    let after = time_ms(3, || {
+    let after = min_ms(4, || {
         std::hint::black_box(isrl_linalg::top1_batch(&utilities, flat, sd));
     });
     table.push_row(vec![
@@ -323,5 +336,120 @@ fn kernel_before_after() -> Table {
         format!("{after:.2}"),
         f2(before / after),
     ]);
+
+    // Dot kernel: portable 4-lane unrolled loop vs the runtime-detected
+    // AVX2 path (bit-identical results).
+    let dot_before = min_ms(20, || {
+        let mut acc = 0.0f64;
+        for p in flat.chunks_exact(sd) {
+            acc += vector::dot(p, &utilities[0]);
+        }
+        std::hint::black_box(acc);
+    });
+    let dot_after = min_ms(20, || {
+        let mut acc = 0.0f64;
+        for p in flat.chunks_exact(sd) {
+            acc += isrl_linalg::simd::dot(p, &utilities[0]);
+        }
+        std::hint::black_box(acc);
+    });
+    table.push_row(vec![
+        "dot_simd".into(),
+        format!("n={} d={sd}", data.len()),
+        format!("{dot_before:.2}"),
+        format!("{dot_after:.2}"),
+        f2(dot_before / dot_after),
+    ]);
+
+    // Data layout: the blocked row-major scan above vs the
+    // structure-of-arrays scan streaming one dimension at a time
+    // (`ScanBackend::Auto`'s choice), and the f32-with-f64-rescan
+    // variant. `before_ms` is the row-major blocked scalar kernel —
+    // the acceptance target is soa >= 1.5x over it at this shape.
+    let soa = data.soa();
+    let soa_ms = min_ms(4, || {
+        std::hint::black_box(isrl_linalg::top1_soa(&utilities, soa));
+    });
+    table.push_row(vec![
+        "top1_soa".into(),
+        format!("n={} d={sd} k={}", data.len(), utilities.len()),
+        format!("{after:.2}"),
+        format!("{soa_ms:.2}"),
+        f2(after / soa_ms),
+    ]);
+    let f32_ms = min_ms(4, || {
+        std::hint::black_box(isrl_linalg::top1_soa_f32(&utilities, soa, flat));
+    });
+    table.push_row(vec![
+        "top1_soa_f32".into(),
+        format!("n={} d={sd} k={}", data.len(), utilities.len()),
+        format!("{after:.2}"),
+        format!("{f32_ms:.2}"),
+        f2(after / f32_ms),
+    ]);
+
+    // Serve path: the same multi-session registry pump as perf_check's
+    // serve bench (scan-heavy at this n), before = forced scalar
+    // row-major backend, after = the Auto (SoA + SIMD) backend every
+    // serving deployment gets by default.
+    let serve_before = serve_pump_ms(isrl_linalg::ScanBackend::Scalar);
+    let serve_after = serve_pump_ms(isrl_linalg::ScanBackend::Auto);
+    isrl_linalg::set_scan_backend(isrl_linalg::ScanBackend::Auto);
+    table.push_row(vec![
+        "serve_registry_scan".into(),
+        "sessions=16 n=20000 d=4".into(),
+        format!("{serve_before:.2}"),
+        format!("{serve_after:.2}"),
+        f2(serve_before / serve_after),
+    ]);
     table
+}
+
+/// Wall milliseconds to drive 16 untrained-EA sessions to completion
+/// through one `SessionRegistry` (coalesced cross-user scan batches)
+/// under the given scan backend. The backends are bit-exact, so every
+/// session asks the identical question sequence — the delta is pure
+/// kernel/layout speed. Best of 2 runs after a warm-up.
+fn serve_pump_ms(backend: isrl_linalg::ScanBackend) -> f64 {
+    use std::sync::Arc;
+    isrl_linalg::set_scan_backend(backend);
+    let data = Arc::new(generate(20_000, 4, Distribution::AntiCorrelated, 9));
+    let d = data.dim();
+    let n_sessions = 16usize;
+    let eps = 0.15;
+    let users = sample_users(d, n_sessions, 17);
+    let policy = Arc::new(ServePolicy::Ea(EaAgent::new(
+        d,
+        EaConfig::paper_default().with_seed(4),
+    )));
+    let run_once = || -> f64 {
+        let mut registry = SessionRegistry::new(Arc::clone(&data));
+        registry.register(Arc::clone(&policy));
+        let ids: Vec<u64> = (0..n_sessions)
+            .map(|i| registry.open(AlgoKind::Ea, eps, 0x5eed + i as u64).unwrap())
+            .collect();
+        let t0 = std::time::Instant::now();
+        loop {
+            registry.pump_all();
+            let mut any_open = false;
+            for (k, id) in ids.iter().enumerate() {
+                let Some(session) = registry.session(*id) else {
+                    continue;
+                };
+                if session.is_finished() {
+                    continue;
+                }
+                any_open = true;
+                let (p1, p2) = session.current_points().expect("pumped sessions ask");
+                let prefers = vector::dot(&users[k], p1) >= vector::dot(&users[k], p2);
+                registry.answer(*id, prefers).unwrap();
+            }
+            if !any_open {
+                break;
+            }
+        }
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    run_once(); // warm-up (also builds the SoA mirror outside timing)
+    run_once().min(run_once())
 }

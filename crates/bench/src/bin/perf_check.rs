@@ -8,6 +8,11 @@
 //!   d = 20, 32 utility vectors;
 //! * `kernel.dot` — the scalar dot product over a 20k × 24 flat buffer
 //!   (the innermost loop of every utility scan);
+//! * `kernel.dot_simd` — the same sweep through the runtime-detected
+//!   AVX2 `simd::dot` (bit-identical results, fewer instructions);
+//! * `scan.top1_soa` — the structure-of-arrays top-1 scan at the same
+//!   shape as `kernel.top1_batch` (n = 50k, d = 20, 32 utilities), the
+//!   default (`ScanBackend::Auto`) serving/estimator scan path;
 //! * `lp.warm_replay` / `lp.cold_replay` — the warm-started vs cold LP
 //!   replay of a 15-cut sequence at d = 8 with candidate-cut probes;
 //! * `geom.cloud_cut` — building a d = 20 sample cloud and pushing a
@@ -156,6 +161,29 @@ fn kernel_dot() -> f64 {
             acc += isrl_linalg::vector::dot(p, &u);
         }
         black_box(acc);
+    })
+}
+
+fn kernel_dot_simd() -> f64 {
+    let data = generate(20_000, 24, Distribution::Independent, 13);
+    let d = data.dim();
+    let u = sample_users(d, 1, 14).pop().expect("one user");
+    let flat = data.as_flat();
+    bench(|| {
+        let mut acc = 0.0f64;
+        for p in flat.chunks_exact(d) {
+            acc += isrl_linalg::simd::dot(p, &u);
+        }
+        black_box(acc);
+    })
+}
+
+fn scan_top1_soa() -> f64 {
+    let data = generate(50_000, 20, Distribution::AntiCorrelated, 11);
+    let utilities = sample_users(data.dim(), 32, 12);
+    let soa = data.soa(); // mirror built outside the timed region
+    bench(|| {
+        black_box(isrl_linalg::top1_soa(&utilities, soa));
     })
 }
 
@@ -416,6 +444,8 @@ fn main() {
     metrics.insert("kernel.vertex_update".into(), kernel_vertex_update());
     metrics.insert("kernel.top1_batch".into(), kernel_top1_batch());
     metrics.insert("kernel.dot".into(), kernel_dot());
+    metrics.insert("kernel.dot_simd".into(), kernel_dot_simd());
+    metrics.insert("scan.top1_soa".into(), scan_top1_soa());
     let (warm, cold) = lp_replays();
     metrics.insert("lp.warm_replay".into(), warm);
     metrics.insert("lp.cold_replay".into(), cold);

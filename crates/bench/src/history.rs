@@ -45,6 +45,9 @@ pub const TOLERANCES: &[(&str, f64)] = &[
     // coalesced scans) and include a p99 pump tail, so they get the same
     // wide band as the other tail quantiles.
     ("serve.", 0.60),
+    // Single-digit-millisecond SIMD/SoA scan kernels: same jitter class
+    // as `kernel.*`.
+    ("scan.", 0.50),
 ];
 
 /// Fallback relative tolerance for unprefixed metrics.
@@ -164,17 +167,17 @@ pub fn parse_history(text: &str) -> Result<Vec<HistoryRecord>, String> {
     Ok(out)
 }
 
-/// Median of `values` (mean of the two middle elements for even counts).
+/// Median of `values` (mean of the two middle elements for even counts) —
+/// `norms::percentile` at p = 50, which computes exactly that.
+///
+/// # Panics
+/// Panics on an empty slice or a NaN timing: a NaN in the bench history
+/// means a measurement bug, and silently tolerating it (the old
+/// `partial_cmp ... unwrap_or(Equal)` sort) could corrupt the baseline a
+/// regression is judged against.
 pub fn median(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "median of an empty slice");
-    let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let mid = v.len() / 2;
-    if v.len() % 2 == 1 {
-        v[mid]
-    } else {
-        (v[mid - 1] + v[mid]) / 2.0
-    }
+    isrl_linalg::norms::percentile(values, 50.0).expect("NaN timing in bench history")
 }
 
 /// Per-metric baseline: the median over each metric's last `window`
@@ -332,7 +335,14 @@ mod tests {
         assert_eq!(tolerance_of("geom.cloud_cut"), 0.40);
         assert_eq!(tolerance_of("round.ea_untrained"), 0.35);
         assert_eq!(tolerance_of("p99.round_ea_untrained"), 0.60);
+        assert_eq!(tolerance_of("scan.top1_soa"), 0.50);
         assert_eq!(tolerance_of("something.else"), DEFAULT_TOLERANCE);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN timing")]
+    fn median_rejects_nan_timings_loudly() {
+        median(&[1.0, f64::NAN, 2.0]);
     }
 
     #[test]

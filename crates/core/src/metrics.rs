@@ -61,7 +61,7 @@ pub fn max_regret_estimate(
     // numerator's `max_p f_u(p)`), instead of a full dataset scan per
     // sample. Same dot products and tie-breaking as `regret_ratio_of_index`.
     let q = data.point(point_index);
-    let tops = isrl_linalg::top1_batch(&samples, data.as_flat(), d);
+    let tops = data.top1_batch(&samples);
     let worst = samples
         .iter()
         .zip(&tops)

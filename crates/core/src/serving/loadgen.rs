@@ -121,6 +121,11 @@ struct UserOutcome {
     wall_ms: f64,
 }
 
+/// Nearest-rank percentile over already-sorted latencies. Deliberately
+/// *not* `norms::percentile`: the loadgen reports the nearest observed
+/// sample (p99 of [1,2,3,4,100] is 100, not an interpolated blend), and
+/// its inputs are `Instant`-derived so the NaN-propagation policy of the
+/// stats module does not apply.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;

@@ -4,10 +4,14 @@
 //! normalized to `(0, 1]` with larger-is-better semantics (§III). Points are
 //! stored row-major in one flat buffer so utility scans (`argmax_utility`)
 //! stream linearly through memory — those scans dominate per-round cost for
-//! the EA terminal machinery and every baseline.
+//! the EA terminal machinery and every baseline. A column-major
+//! (structure-of-arrays) mirror is built lazily on first use so the batched
+//! scan backends can stream each dimension contiguously (see
+//! [`Dataset::top1_batch`] and DESIGN.md §15).
 
-use isrl_linalg::vector;
+use isrl_linalg::{vector, ScanBackend, SoaBuffer};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A dataset of `d`-dimensional points in `(0, 1]^d`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -17,6 +21,8 @@ pub struct Dataset {
     data: Vec<f64>,
     /// Optional human-readable attribute names (len == dim when present).
     attributes: Vec<String>,
+    /// Lazily-built column-major mirror backing the SoA scan backends.
+    soa: OnceLock<SoaBuffer>,
 }
 
 impl Dataset {
@@ -35,6 +41,7 @@ impl Dataset {
             dim,
             data,
             attributes: Vec::new(),
+            soa: OnceLock::new(),
         }
     }
 
@@ -49,6 +56,7 @@ impl Dataset {
             dim,
             data,
             attributes: Vec::new(),
+            soa: OnceLock::new(),
         }
     }
 
@@ -136,25 +144,53 @@ impl Dataset {
         &self.data
     }
 
+    /// The column-major (structure-of-arrays) mirror of the point buffer,
+    /// built on first use and retained for the dataset's lifetime. Backs
+    /// the SoA scan backends; see [`isrl_linalg::soa`].
+    pub fn soa(&self) -> &SoaBuffer {
+        self.soa
+            .get_or_init(|| SoaBuffer::from_flat(&self.data, self.dim))
+    }
+
     /// Top-1 point per utility vector in one cache-blocked pass over the
-    /// point buffer (see [`isrl_linalg::scan::top1_batch`]). Identical
-    /// results to calling [`Dataset::argmax_utility`] /
-    /// [`Dataset::max_utility`] per vector, but the buffer is streamed once
-    /// instead of once per vector.
+    /// point buffer. Identical results to calling
+    /// [`Dataset::argmax_utility`] / [`Dataset::max_utility`] per vector,
+    /// but the buffer is streamed once instead of once per vector.
+    ///
+    /// Dispatches on the process-wide [`ScanBackend`]
+    /// (`ISRL_SCAN_BACKEND` / [`isrl_linalg::set_scan_backend`]); every
+    /// backend returns bit-identical results, so the knob only changes
+    /// speed. This is the scan entry point for the max-regret estimator,
+    /// EA terminal/candidate scans, and `SessionRegistry`'s coalesced
+    /// serve batches.
     ///
     /// # Panics
     /// Panics on an empty dataset or a utility-vector dimension mismatch.
     pub fn top1_batch<U: AsRef<[f64]>>(&self, utilities: &[U]) -> Vec<isrl_linalg::Top1> {
-        isrl_linalg::top1_batch(utilities, &self.data, self.dim)
+        match isrl_linalg::scan_backend().resolve() {
+            ScanBackend::Scalar => isrl_linalg::top1_batch(utilities, &self.data, self.dim),
+            ScanBackend::Simd => isrl_linalg::top1_batch_simd(utilities, &self.data, self.dim),
+            ScanBackend::Soa => isrl_linalg::top1_soa(utilities, self.soa()),
+            ScanBackend::SoaF32 => isrl_linalg::top1_soa_f32(utilities, self.soa(), &self.data),
+            ScanBackend::Auto => unreachable!("resolve() never returns Auto"),
+        }
     }
 
     /// Every point's utility w.r.t. `u`, written into `out` (cleared
-    /// first) — the single pass backing top-k selection.
+    /// first) — the single pass backing top-k selection (AA's candidate
+    /// actions). Dispatches on the process-wide [`ScanBackend`] like
+    /// [`Dataset::top1_batch`]; the f32 backend uses the exact f64 SoA
+    /// path since full score lists cannot be candidate-filtered.
     ///
     /// # Panics
     /// Panics on a utility-vector dimension mismatch.
     pub fn utilities_into(&self, u: &[f64], out: &mut Vec<f64>) {
-        isrl_linalg::row_dots(&self.data, self.dim, u, out);
+        match isrl_linalg::scan_backend().resolve() {
+            ScanBackend::Scalar => isrl_linalg::row_dots(&self.data, self.dim, u, out),
+            ScanBackend::Simd => isrl_linalg::row_dots_simd(&self.data, self.dim, u, out),
+            ScanBackend::Soa | ScanBackend::SoaF32 => isrl_linalg::row_dots_soa(self.soa(), u, out),
+            ScanBackend::Auto => unreachable!("resolve() never returns Auto"),
+        }
     }
 
     /// A new dataset keeping only the given indices (preserving order).
@@ -170,6 +206,7 @@ impl Dataset {
             dim: self.dim,
             data,
             attributes: self.attributes.clone(),
+            soa: OnceLock::new(),
         }
     }
 

@@ -45,13 +45,15 @@ pub fn min(xs: &[f64]) -> Option<f64> {
 }
 
 /// `p`-th percentile (0 ≤ p ≤ 100) by linear interpolation on the sorted data.
-/// Returns `None` when empty.
+/// Returns `None` when empty or when any element is NaN (matching
+/// [`min`]/[`max`] — a NaN sample means the statistic is undefined, not
+/// a panic).
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
-    if xs.is_empty() {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = (p / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -96,5 +98,16 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), Some(4.0));
         assert_eq!(percentile(&xs, 50.0), Some(2.5));
         assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_returns_none_on_nan_instead_of_panicking() {
+        assert_eq!(percentile(&[1.0, f64::NAN, 3.0], 50.0), None);
+        assert_eq!(percentile(&[f64::NAN], 0.0), None);
+        // Infinities are ordered fine and stay supported.
+        assert_eq!(
+            percentile(&[f64::NEG_INFINITY, 0.0, f64::INFINITY], 50.0),
+            Some(0.0)
+        );
     }
 }

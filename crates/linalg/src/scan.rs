@@ -9,11 +9,29 @@
 //! scored against *every* utility vector while it is hot in cache, cutting
 //! point-buffer traffic from `k·n·d` to `n·d` reads.
 //!
-//! The kernel is exact — same dot product, same scan order, same strict
-//! `>` tie-breaking as [`argmax` over a single utility] — so callers can
-//! switch between the scalar and batched paths without behavioral change.
+//! Every kernel is exact — same dot product, same scan order, same strict
+//! `>` tie-breaking as [`top1_scalar`] — so callers can switch backends
+//! without behavioral change. Faster layouts live in [`crate::soa`]; the
+//! process-wide backend choice is a [`ScanBackend`] (env knob
+//! `ISRL_SCAN_BACKEND`, programmatic [`set_scan_backend`]) that
+//! `Dataset`-level callers dispatch on.
+//!
+//! # Non-finite semantics
+//!
+//! NaN scores never win: `v > best` is false for NaN, so a NaN-scored row
+//! is skipped and the best finite (or `±inf`) row is returned. When *no*
+//! score compares greater than `-inf` — every score is NaN or `-inf` —
+//! the kernels return the sentinel `Top1 { index: 0, value: -inf }`, and
+//! when at least one score is NaN they additionally bump the
+//! [`TOP1_NAN_COUNTER`] warning counter (`scan.top1_nan`), which
+//! `trace-validate` treats as a hard failure. NaN in a *utility vector*
+//! is a caller bug and trips a `debug_assert`; NaN in the point buffer is
+//! tolerated under the semantics above. All backends (scalar, batched,
+//! SIMD, SoA, SoA-f32) agree bit-for-bit on these cases — pinned by
+//! `tests/scan_backends.rs`.
 
-use crate::vector;
+use crate::{simd, vector};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Result of a top-1 scan for one utility vector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +42,128 @@ pub struct Top1 {
     pub value: f64,
 }
 
+/// Warning counter bumped when a utility vector's scan produced only
+/// NaN/`-inf` scores with at least one NaN (`trace-validate` fails on it).
+pub const TOP1_NAN_COUNTER: &str = "scan.top1_nan";
+
+/// Which kernel implementation `Dataset`-level scans dispatch to.
+///
+/// The process-wide default comes from the `ISRL_SCAN_BACKEND` environment
+/// variable (`auto` | `scalar` | `simd` | `soa` | `soa-f32`), read once on
+/// first use; [`set_scan_backend`] overrides it programmatically. All
+/// backends return bit-identical results, so the knob is purely a
+/// performance choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanBackend {
+    /// Pick the fastest exact backend: [`ScanBackend::Soa`] (its inner
+    /// axpy uses AVX2 when the CPU has it, portable unrolled loops
+    /// otherwise).
+    Auto,
+    /// Row-major blocked scan with the portable [`vector::dot`].
+    Scalar,
+    /// Row-major blocked scan with the runtime-detected [`simd::dot`].
+    Simd,
+    /// Column-major (structure-of-arrays) f64 scan ([`crate::soa::top1_soa`]).
+    Soa,
+    /// Column-major f32 scan with exact f64 candidate rescan
+    /// ([`crate::soa::top1_soa_f32`]). Opt-in: fastest on wide scans, but
+    /// the candidate pass degrades toward a full rescan on adversarially
+    /// close scores.
+    SoaF32,
+}
+
+impl ScanBackend {
+    /// Resolves [`ScanBackend::Auto`] to the concrete backend it selects.
+    #[inline]
+    pub fn resolve(self) -> ScanBackend {
+        match self {
+            ScanBackend::Auto => ScanBackend::Soa,
+            other => other,
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            ScanBackend::Auto => 0,
+            ScanBackend::Scalar => 1,
+            ScanBackend::Simd => 2,
+            ScanBackend::Soa => 3,
+            ScanBackend::SoaF32 => 4,
+        }
+    }
+
+    fn decode(v: u8) -> ScanBackend {
+        match v {
+            1 => ScanBackend::Scalar,
+            2 => ScanBackend::Simd,
+            3 => ScanBackend::Soa,
+            4 => ScanBackend::SoaF32,
+            _ => ScanBackend::Auto,
+        }
+    }
+}
+
+/// 255 = "not yet initialized from the environment".
+const BACKEND_UNSET: u8 = 255;
+static BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
+
+/// The process-wide scan backend (initializing from `ISRL_SCAN_BACKEND`
+/// on first call; unknown values warn on stderr and fall back to `Auto`).
+pub fn scan_backend() -> ScanBackend {
+    let raw = BACKEND.load(Ordering::Relaxed);
+    if raw != BACKEND_UNSET {
+        return ScanBackend::decode(raw);
+    }
+    let initial = match std::env::var("ISRL_SCAN_BACKEND") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "auto" | "" => ScanBackend::Auto,
+            "scalar" => ScanBackend::Scalar,
+            "simd" => ScanBackend::Simd,
+            "soa" => ScanBackend::Soa,
+            "soa-f32" | "soa_f32" | "f32" => ScanBackend::SoaF32,
+            other => {
+                eprintln!("warning: unknown ISRL_SCAN_BACKEND '{other}', using auto");
+                ScanBackend::Auto
+            }
+        },
+        Err(_) => ScanBackend::Auto,
+    };
+    BACKEND.store(initial.encode(), Ordering::Relaxed);
+    initial
+}
+
+/// Overrides the process-wide scan backend (e.g. from a CLI flag or a
+/// before/after benchmark). Takes effect for all subsequent scans.
+pub fn set_scan_backend(backend: ScanBackend) {
+    BACKEND.store(backend.encode(), Ordering::Relaxed);
+}
+
+/// Debug-build check that a utility vector is NaN-free (NaN utilities are
+/// caller bugs; NaN *points* take the documented sentinel path instead).
+#[inline]
+pub(crate) fn debug_assert_utilities_finite(u: &[f64]) {
+    debug_assert!(
+        u.iter().all(|x| !x.is_nan()),
+        "top1 scan: NaN in utility vector"
+    );
+}
+
+/// Bumps [`TOP1_NAN_COUNTER`] for every utility whose result is the
+/// `{index: 0, value: -inf}` sentinel *and* whose scores contain a NaN
+/// (`any_nan_score` is only consulted for sentinel results, keeping the
+/// happy path free).
+pub(crate) fn apply_nan_sentinel<U: AsRef<[f64]>>(
+    utilities: &[U],
+    best: &[Top1],
+    any_nan_score: impl Fn(&[f64]) -> bool,
+) {
+    for (u, b) in utilities.iter().zip(best) {
+        if b.value == f64::NEG_INFINITY && any_nan_score(u.as_ref()) {
+            isrl_obs::add(TOP1_NAN_COUNTER, 1);
+        }
+    }
+}
+
 /// Picks the point-block height so a block stays L1-resident: `rows·dim`
 /// f64s ≈ 24 KB, leaving room for the utility vectors and accumulators.
 #[inline]
@@ -31,22 +171,49 @@ fn block_rows(dim: usize) -> usize {
     (3072 / dim.max(1)).max(8)
 }
 
-/// Top-1 point per utility vector over a row-major point buffer.
-///
-/// `points` holds `n = points.len() / dim` rows; every utility slice must
-/// have length `dim`. Returns one [`Top1`] per utility vector, in order.
-/// Equivalent to running a scalar argmax scan per utility vector (first
-/// index wins ties), but with cache-blocked traversal.
+/// The reference scalar scan: one pass over the buffer for one utility
+/// vector, first index wins ties. Every other backend is differential-
+/// tested against this.
 ///
 /// # Panics
-/// Panics when the buffer is not a multiple of `dim`, when the buffer is
-/// empty, or when a utility vector's length differs from `dim`.
-pub fn top1_batch<U: AsRef<[f64]>>(utilities: &[U], points: &[f64], dim: usize) -> Vec<Top1> {
+/// Panics when the buffer is not a multiple of `dim` or is empty.
+pub fn top1_scalar(u: &[f64], points: &[f64], dim: usize) -> Top1 {
+    assert!(dim > 0, "top1_scalar needs a positive dimension");
+    assert_eq!(points.len() % dim, 0, "point buffer length must be n * dim");
+    assert!(!points.is_empty(), "top1_scalar over an empty point buffer");
+    assert_eq!(u.len(), dim, "utility vector dimension mismatch");
+    debug_assert_utilities_finite(u);
+    let mut best = Top1 {
+        index: 0,
+        value: f64::NEG_INFINITY,
+    };
+    for (i, p) in points.chunks_exact(dim).enumerate() {
+        let v = vector::dot(p, u);
+        if v > best.value {
+            best = Top1 { index: i, value: v };
+        }
+    }
+    apply_nan_sentinel(&[u], std::slice::from_ref(&best), |u| {
+        points.chunks_exact(dim).any(|p| vector::dot(p, u).is_nan())
+    });
+    best
+}
+
+/// Shared blocked row-major kernel, parameterized by the dot product so
+/// the portable and SIMD entry points stay one implementation.
+fn top1_batch_with<U: AsRef<[f64]>>(
+    utilities: &[U],
+    points: &[f64],
+    dim: usize,
+    dot: impl Fn(&[f64], &[f64]) -> f64,
+) -> Vec<Top1> {
     assert!(dim > 0, "top1_batch needs a positive dimension");
     assert_eq!(points.len() % dim, 0, "point buffer length must be n * dim");
     assert!(!points.is_empty(), "top1_batch over an empty point buffer");
     for u in utilities {
-        assert_eq!(u.as_ref().len(), dim, "utility vector dimension mismatch");
+        let u = u.as_ref();
+        assert_eq!(u.len(), dim, "utility vector dimension mismatch");
+        debug_assert_utilities_finite(u);
     }
 
     let mut best = vec![
@@ -68,7 +235,7 @@ pub fn top1_batch<U: AsRef<[f64]>>(utilities: &[U], points: &[f64], dim: usize) 
         for (u, b) in utilities.iter().zip(best.iter_mut()) {
             let u = u.as_ref();
             for (row, p) in block.chunks_exact(dim).enumerate() {
-                let v = vector::dot(p, u);
+                let v = dot(p, u);
                 if v > b.value {
                     b.value = v;
                     b.index = base + row;
@@ -76,42 +243,80 @@ pub fn top1_batch<U: AsRef<[f64]>>(utilities: &[U], points: &[f64], dim: usize) 
             }
         }
     }
+    apply_nan_sentinel(utilities, &best, |u| {
+        points.chunks_exact(dim).any(|p| vector::dot(p, u).is_nan())
+    });
     best
 }
 
-/// All dot products `points[i] · u`, appended to `out` (cleared first).
-/// The single-utility companion of [`top1_batch`] for callers that need
-/// every score (top-k selection, sorting) rather than just the winner.
+/// Top-1 point per utility vector over a row-major point buffer.
+///
+/// `points` holds `n = points.len() / dim` rows; every utility slice must
+/// have length `dim`. Returns one [`Top1`] per utility vector, in order.
+/// Equivalent to running [`top1_scalar`] per utility vector (first index
+/// wins ties), but with cache-blocked traversal. See the module docs for
+/// the NaN sentinel semantics.
 ///
 /// # Panics
-/// Panics when the buffer is not a multiple of `dim` or `u.len() != dim`.
-pub fn row_dots(points: &[f64], dim: usize, u: &[f64], out: &mut Vec<f64>) {
+/// Panics when the buffer is not a multiple of `dim`, when the buffer is
+/// empty, or when a utility vector's length differs from `dim`.
+pub fn top1_batch<U: AsRef<[f64]>>(utilities: &[U], points: &[f64], dim: usize) -> Vec<Top1> {
+    top1_batch_with(utilities, points, dim, vector::dot)
+}
+
+/// [`top1_batch`] with the runtime-feature-detected [`simd::dot`]
+/// (bit-identical results; faster per-row dot on AVX2 hardware).
+///
+/// # Panics
+/// As [`top1_batch`].
+pub fn top1_batch_simd<U: AsRef<[f64]>>(utilities: &[U], points: &[f64], dim: usize) -> Vec<Top1> {
+    top1_batch_with(utilities, points, dim, simd::dot)
+}
+
+fn row_dots_with(
+    points: &[f64],
+    dim: usize,
+    u: &[f64],
+    out: &mut Vec<f64>,
+    dot: impl Fn(&[f64], &[f64]) -> f64,
+) {
     assert!(dim > 0, "row_dots needs a positive dimension");
     assert_eq!(points.len() % dim, 0, "point buffer length must be n * dim");
     assert_eq!(u.len(), dim, "utility vector dimension mismatch");
     out.clear();
-    out.reserve(points.len() / dim);
-    out.extend(points.chunks_exact(dim).map(|p| vector::dot(p, u)));
+    let n = points.len() / dim;
+    // Only grow when the existing allocation is too small — repeat calls
+    // with a retained buffer must not re-reserve (capacity stability).
+    if out.capacity() < n {
+        out.reserve_exact(n);
+    }
+    out.extend(points.chunks_exact(dim).map(|p| dot(p, u)));
+}
+
+/// All dot products `points[i] · u`, appended to `out` (cleared first;
+/// reservation accounts for existing capacity, so a retained buffer is
+/// never re-grown). The single-utility companion of [`top1_batch`] for
+/// callers that need every score (top-k selection, sorting) rather than
+/// just the winner.
+///
+/// # Panics
+/// Panics when the buffer is not a multiple of `dim` or `u.len() != dim`.
+pub fn row_dots(points: &[f64], dim: usize, u: &[f64], out: &mut Vec<f64>) {
+    row_dots_with(points, dim, u, out, vector::dot);
+}
+
+/// [`row_dots`] with the runtime-feature-detected [`simd::dot`]
+/// (bit-identical results).
+///
+/// # Panics
+/// As [`row_dots`].
+pub fn row_dots_simd(points: &[f64], dim: usize, u: &[f64], out: &mut Vec<f64>) {
+    row_dots_with(points, dim, u, out, simd::dot);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The reference scalar scan: one pass per utility vector.
-    fn scalar_top1(u: &[f64], points: &[f64], dim: usize) -> Top1 {
-        let mut best = Top1 {
-            index: 0,
-            value: f64::NEG_INFINITY,
-        };
-        for (i, p) in points.chunks_exact(dim).enumerate() {
-            let v = vector::dot(p, u);
-            if v > best.value {
-                best = Top1 { index: i, value: v };
-            }
-        }
-        best
-    }
 
     fn pseudo_points(n: usize, dim: usize, seed: u64) -> Vec<f64> {
         // Deterministic pseudo-random fill (SplitMix64) — no RNG dep here.
@@ -139,10 +344,12 @@ mod tests {
                 .map(|i| pseudo_points(1, dim, 1000 + i as u64))
                 .collect();
             let batched = top1_batch(&utilities, &points, dim);
-            for (u, b) in utilities.iter().zip(&batched) {
-                let s = scalar_top1(u, &points, dim);
+            let simd = top1_batch_simd(&utilities, &points, dim);
+            for ((u, b), s_) in utilities.iter().zip(&batched).zip(&simd) {
+                let s = top1_scalar(u, &points, dim);
                 assert_eq!(b.index, s.index, "n={n} dim={dim}");
                 assert_eq!(b.value, s.value, "bit-exact value expected");
+                assert_eq!(*s_, s, "simd path n={n} dim={dim}");
             }
         }
     }
@@ -185,11 +392,74 @@ mod tests {
         for (i, p) in points.chunks_exact(dim).enumerate() {
             assert_eq!(out[i], vector::dot(p, &u));
         }
+        let mut out2 = Vec::new();
+        row_dots_simd(&points, dim, &u, &mut out2);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn row_dots_capacity_is_stable_across_repeat_calls() {
+        let dim = 4;
+        let points = pseudo_points(100, dim, 5);
+        let u = pseudo_points(1, dim, 6);
+        let mut out = Vec::new();
+        row_dots(&points, dim, &u, &mut out);
+        let cap = out.capacity();
+        assert!(cap >= 100);
+        for _ in 0..5 {
+            row_dots(&points, dim, &u, &mut out);
+            assert_eq!(out.capacity(), cap, "retained buffer must not regrow");
+        }
+        // A pre-sized buffer is honored, not doubled past.
+        let mut pre = Vec::with_capacity(128);
+        row_dots(&points, dim, &u, &mut pre);
+        assert_eq!(pre.capacity(), 128);
     }
 
     #[test]
     #[should_panic(expected = "n * dim")]
     fn ragged_buffer_rejected() {
         top1_batch(&[vec![1.0, 0.0]], &[0.1, 0.2, 0.3], 2);
+    }
+
+    #[test]
+    fn nan_points_are_skipped_not_winners() {
+        // Row 1 has the largest finite score; row 0's score is NaN.
+        let points = vec![f64::NAN, 0.5, 0.9, 0.9, 0.1, 0.1];
+        let out = top1_batch(&[vec![1.0, 1.0]], &points, 2);
+        assert_eq!(out[0].index, 1);
+        assert_eq!(out[0].value, 1.8);
+    }
+
+    #[test]
+    fn all_nan_scores_return_sentinel() {
+        let points = vec![f64::NAN, f64::NAN, f64::NAN, f64::NAN];
+        let out = top1_batch(&[vec![1.0, 1.0]], &points, 2);
+        assert_eq!(out[0].index, 0);
+        assert_eq!(out[0].value, f64::NEG_INFINITY);
+        let s = top1_scalar(&[1.0, 1.0], &points, 2);
+        assert_eq!(s, out[0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN in utility vector")]
+    fn nan_utility_vector_is_a_caller_bug() {
+        top1_batch(&[vec![f64::NAN, 1.0]], &[0.1, 0.2], 2);
+    }
+
+    #[test]
+    fn backend_knob_round_trips() {
+        assert_eq!(ScanBackend::Auto.resolve(), ScanBackend::Soa);
+        assert_eq!(ScanBackend::SoaF32.resolve(), ScanBackend::SoaF32);
+        for b in [
+            ScanBackend::Auto,
+            ScanBackend::Scalar,
+            ScanBackend::Simd,
+            ScanBackend::Soa,
+            ScanBackend::SoaF32,
+        ] {
+            assert_eq!(ScanBackend::decode(b.encode()), b);
+        }
     }
 }

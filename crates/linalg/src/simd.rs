@@ -1,0 +1,220 @@
+//! Runtime-feature-detected SIMD kernels for the scan hot path.
+//!
+//! [`dot`] and [`axpy`] dispatch to hand-written AVX2 implementations when
+//! the running CPU supports them (checked once, cached) and otherwise fall
+//! back to the portable 4-lane-unrolled loops in [`crate::vector`]. The
+//! detection is per-process and costs one atomic load after the first call.
+//!
+//! # Bit-compatibility contract
+//!
+//! Every SIMD kernel here is **bit-compatible** with its portable
+//! counterpart. For [`dot`] that means the AVX2 path keeps exactly the
+//! same floating-point evaluation order as [`crate::vector::dot`]: four
+//! independent f64 accumulator lanes over 4-element chunks (one 256-bit
+//! register = the four scalar lanes `s0..s3`), a sequentially-summed
+//! remainder, and the final `(s0 + s1) + (s2 + s3) + tail` reduction. The
+//! multiplies and adds stay *separate* instructions — fused multiply-add
+//! would skip the intermediate rounding of each product and change results
+//! in the last ulp, which would break the differential guarantees the
+//! scan backends are tested against (`tests/scan_backends.rs`). [`axpy`]
+//! and the f32 variants are element-wise, so lane width cannot affect
+//! per-element rounding at all.
+
+use crate::vector;
+
+/// `true` when the running CPU supports the AVX2 kernels. Detected once
+/// per process and cached; always `false` off x86_64.
+#[inline]
+pub fn have_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Dot product `a · b`, bit-identical to [`vector::dot`] on every input.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { x86::dot_avx2(a, b) };
+    }
+    vector::dot(a, b)
+}
+
+/// In-place `a += s * b` (axpy), bit-identical to [`vector::axpy`].
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "axpy: dimension mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { x86::axpy_avx2(a, s, b) };
+        return;
+    }
+    for i in 0..a.len() {
+        a[i] += s * b[i];
+    }
+}
+
+/// In-place single-precision axpy `a += s * b` for the f32 scan path.
+/// Element-wise, so the SIMD and scalar paths round identically.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy_f32(a: &mut [f32], s: f32, b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "axpy_f32: dimension mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { x86::axpy_f32_avx2(a, s, b) };
+        return;
+    }
+    for i in 0..a.len() {
+        a[i] += s * b[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Same accumulator structure as `vector::dot`: one 256-bit register
+    /// holds the four scalar lanes, products are rounded before adding
+    /// (`vmulpd` + `vaddpd`, never `vfmadd`), the remainder is summed
+    /// sequentially, and the horizontal reduction is `(s0+s1)+(s2+s3)+tail`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_avx2(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let chunks = n / 4;
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let mut acc = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let x = _mm256_loadu_pd(pa.add(4 * c));
+            let y = _mm256_loadu_pd(pb.add(4 * c));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(x, y));
+        }
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        let mut tail = 0.0f64;
+        for i in 4 * chunks..n {
+            tail += *pa.add(i) * *pb.add(i);
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_avx2(a: &mut [f64], s: f64, b: &[f64]) {
+        let n = a.len();
+        let pa = a.as_mut_ptr();
+        let pb = b.as_ptr();
+        let sv = _mm256_set1_pd(s);
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = _mm256_loadu_pd(pa.add(i));
+            let y = _mm256_loadu_pd(pb.add(i));
+            _mm256_storeu_pd(pa.add(i), _mm256_add_pd(x, _mm256_mul_pd(sv, y)));
+            i += 4;
+        }
+        while i < n {
+            *pa.add(i) += s * *pb.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_f32_avx2(a: &mut [f32], s: f32, b: &[f32]) {
+        let n = a.len();
+        let pa = a.as_mut_ptr();
+        let pb = b.as_ptr();
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(pa.add(i));
+            let y = _mm256_loadu_ps(pb.add(i));
+            _mm256_storeu_ps(pa.add(i), _mm256_add_ps(x, _mm256_mul_ps(sv, y)));
+            i += 8;
+        }
+        while i < n {
+            *pa.add(i) += s * *pb.add(i);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_bitwise_matches_portable_at_every_tail_length() {
+        for n in 0..20usize {
+            let a: Vec<f64> = (0..n).map(|i| 0.37 + 1.13 * i as f64).collect();
+            let b: Vec<f64> = (0..n).map(|i| -2.9 + 0.71 * i as f64).collect();
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                vector::dot(&a, &b).to_bits(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_bitwise_matches_on_nonfinite_inputs() {
+        let a = vec![1.0, f64::INFINITY, f64::NAN, -3.0, 1e308, 1e308, 0.5];
+        let b = vec![2.0, 0.5, 1.0, f64::NEG_INFINITY, 1e308, 1e308, -0.25];
+        for n in 0..=a.len() {
+            let lhs = dot(&a[..n], &b[..n]);
+            let rhs = vector::dot(&a[..n], &b[..n]);
+            assert_eq!(lhs.to_bits(), rhs.to_bits(), "n={n}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn axpy_bitwise_matches_portable() {
+        for n in 0..20usize {
+            let base: Vec<f64> = (0..n).map(|i| 0.1 * i as f64 - 0.7).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.9 - 0.23 * i as f64).collect();
+            let mut x = base.clone();
+            let mut y = base.clone();
+            axpy(&mut x, 1.75, &b);
+            vector::axpy(&mut y, 1.75, &b);
+            for i in 0..n {
+                assert_eq!(x[i].to_bits(), y[i].to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_f32_matches_scalar_loop() {
+        for n in 0..20usize {
+            let base: Vec<f32> = (0..n).map(|i| 0.5 - 0.11 * i as f32).collect();
+            let b: Vec<f32> = (0..n).map(|i| 0.03 * i as f32 + 0.2).collect();
+            let mut x = base.clone();
+            let mut y = base.clone();
+            axpy_f32(&mut x, -0.6, &b);
+            for i in 0..n {
+                y[i] += -0.6 * b[i];
+            }
+            for i in 0..n {
+                assert_eq!(x[i].to_bits(), y[i].to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+}

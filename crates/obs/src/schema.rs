@@ -20,6 +20,7 @@ pub const WARNING_COUNTERS: &[&str] = &[
     "lp.phase1_cap_hits",
     "ea.sample_fallbacks",
     "train.anomalies",
+    "scan.top1_nan",
     crate::event::DROPPED_COUNTER,
     crate::span::TRUNCATED_COUNTER,
 ];
