@@ -275,13 +275,32 @@ fn load_policy(
     Ok(policy)
 }
 
-/// `isrl serve --listen` — the multi-session TCP server (DESIGN.md §14).
+/// `isrl serve --listen` — the multi-session TCP server (DESIGN.md §14),
+/// with the operational-observability knobs of DESIGN.md §16.
 fn serve_listen(args: &Args, data: Dataset, listen: &str) -> CmdResult {
     let tracing = crate::trace::begin(args)?;
     let policy = load_policy(args.required("model")?, geometry_arg(args)?)?;
+    let defaults = ServerConfig::default();
+    let rolling_window = args.get_or(
+        "rolling-window",
+        defaults.rolling_window.as_secs_f64(),
+        "number of seconds",
+    )?;
+    if rolling_window.is_nan() || rolling_window <= 0.0 {
+        return Err(format!("--rolling-window {rolling_window} must be > 0").into());
+    }
+    let slow_factor = args.get_or("slow-factor", defaults.slow_factor, "number")?;
+    if slow_factor.is_nan() || slow_factor <= 1.0 {
+        return Err(format!("--slow-factor {slow_factor} must be > 1").into());
+    }
     let cfg = ServerConfig {
         addr: listen.to_string(),
-        ..ServerConfig::default()
+        rolling_window: std::time::Duration::from_secs_f64(rolling_window),
+        flight_depth: args.get_or("flight-depth", defaults.flight_depth, "integer")?,
+        slow_factor,
+        slow_warmup: args.get_or("slow-warmup", defaults.slow_warmup, "integer")?,
+        slow_cooldown: args.get_or("slow-cooldown", defaults.slow_cooldown, "integer")?,
+        ..defaults
     };
     let handle = spawn_server(
         std::sync::Arc::new(data),
@@ -300,10 +319,17 @@ fn serve_listen(args: &Args, data: Dataset, listen: &str) -> CmdResult {
         "sessions: {} opened, {} completed, {} error frame(s)",
         stats.sessions_opened, stats.sessions_completed, stats.errors
     );
+    println!(
+        "requests: {} served, {} slow_round dump(s)",
+        stats.requests, stats.slow_rounds
+    );
     println!("serve.batch.calls {}", stats.batch.calls);
     println!("serve.batch.coalesced {}", stats.batch.coalesced);
     println!("serve.batch.sessions {}", stats.batch.sessions_scanned);
     println!("serve.batch.utilities {}", stats.batch.utilities);
+    // The final snapshot and sink drain happen here, after the reactor
+    // has fully stopped — a clean shutdown flushes every buffered serve
+    // event instead of losing the tail of the trace.
     crate::trace::finish(tracing)
 }
 
@@ -321,6 +347,11 @@ pub fn serve(args: &Args) -> CmdResult {
         "geometry",
         "listen",
         "port-file",
+        "rolling-window",
+        "flight-depth",
+        "slow-factor",
+        "slow-warmup",
+        "slow-cooldown",
         "trace-out",
         "metrics",
         "metrics-interval",
@@ -331,9 +362,21 @@ pub fn serve(args: &Args) -> CmdResult {
         let listen = listen.to_string();
         return serve_listen(args, data, &listen);
     }
-    if args.has("port-file") {
-        return Err("--port-file requires --listen".into());
+    for flag in [
+        "port-file",
+        "rolling-window",
+        "flight-depth",
+        "slow-factor",
+        "slow-warmup",
+        "slow-cooldown",
+    ] {
+        if args.has(flag) {
+            return Err(format!("--{flag} requires --listen").into());
+        }
     }
+    // Stdin interviews honor the telemetry flags too (they used to be
+    // silently ignored on this path).
+    let tracing = crate::trace::begin(args)?;
     let eps = args.get_or("eps", 0.1f64, "number")?;
     let mut algo = load_agent(args.required("model")?, geometry_arg(args)?)?;
     println!("answer each question with 1 or 2.\n");
@@ -390,7 +433,146 @@ pub fn serve(args: &Args) -> CmdResult {
         let name = attrs.get(k).map(String::as_str).unwrap_or("attr");
         println!("  {name}: {:.0}%", v * 100.0);
     }
+    crate::trace::finish(tracing)
+}
+
+/// `isrl stats` — query a live `serve --listen` server's read-only
+/// RED-metrics snapshot over the wire (DESIGN.md §16).
+pub fn stats(args: &Args) -> CmdResult {
+    use isrl_core::serving::protocol::{ClientFrame, ServerFrame};
+    args.ensure_known(&["connect", "detail", "json"])?;
+    let addr = args.required("connect")?;
+    let detail = args.has("detail");
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    writeln!(stream, "{}", ClientFrame::Stats { detail }.to_line())?;
+    stream.flush()?;
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line)?;
+    if line.trim().is_empty() {
+        return Err("server closed the connection without answering".into());
+    }
+    let frame = ServerFrame::parse(line.trim_end()).map_err(|e| format!("bad reply: {e}"))?;
+    let ServerFrame::Stats { body } = frame else {
+        return Err(format!("unexpected reply frame: {}", line.trim_end()).into());
+    };
+    if args.has("json") {
+        println!("{body}");
+        return Ok(());
+    }
+    print!("{}", render_stats(&body));
     Ok(())
+}
+
+/// Human-readable rendering of a `stats` frame body. Unknown or missing
+/// fields degrade to 0 rather than erroring — the snapshot is advisory.
+fn render_stats(body: &isrl_obs::json::Json) -> String {
+    use isrl_obs::json::Json;
+    let num = |path: &[&str]| -> f64 {
+        let mut cur = body;
+        for key in path {
+            match cur.get(key) {
+                Some(v) => cur = v,
+                None => return 0.0,
+            }
+        }
+        cur.as_f64().unwrap_or(0.0)
+    };
+    let mut out = String::new();
+    let push = |out: &mut String, line: String| {
+        out.push_str(&line);
+        out.push('\n');
+    };
+    push(
+        &mut out,
+        format!(
+            "server stats (asked over conn {}, uptime {:.1}s)",
+            num(&["conn"]),
+            num(&["uptime_ms"]) / 1e3
+        ),
+    );
+    push(
+        &mut out,
+        format!(
+            "connections:   {} active ({} busy, {} idle), {} opened",
+            num(&["connections", "active"]),
+            num(&["connections", "busy"]),
+            num(&["connections", "idle"]),
+            num(&["connections", "opened"])
+        ),
+    );
+    push(
+        &mut out,
+        format!(
+            "sessions:      {} active, {} opened, {} completed",
+            num(&["sessions", "active"]),
+            num(&["sessions", "opened"]),
+            num(&["sessions", "completed"])
+        ),
+    );
+    push(
+        &mut out,
+        format!(
+            "requests:      {} total, {:.1}/s over the last {:.0}s",
+            num(&["requests", "total"]),
+            num(&["requests", "rate_per_s"]),
+            num(&["requests", "window_s"])
+        ),
+    );
+    push(
+        &mut out,
+        format!(
+            "round latency: p50 {:.3}ms  p90 {:.3}ms  p99 {:.3}ms  max {:.3}ms  (n={})",
+            num(&["round_ms", "p50"]),
+            num(&["round_ms", "p90"]),
+            num(&["round_ms", "p99"]),
+            num(&["round_ms", "max"]),
+            num(&["round_ms", "count"])
+        ),
+    );
+    let errors = body
+        .get("errors_by_kind")
+        .and_then(Json::as_obj)
+        .unwrap_or(&[]);
+    if errors.is_empty() {
+        push(&mut out, "errors:        none".to_string());
+    } else {
+        let listed: Vec<String> = errors
+            .iter()
+            .map(|(k, v)| format!("{k} {}", v.as_f64().unwrap_or(0.0)))
+            .collect();
+        push(&mut out, format!("errors:        {}", listed.join(", ")));
+    }
+    push(
+        &mut out,
+        format!(
+            "batch:         {} calls, {} coalesced, {} session-scans, {} utilities; \
+             last window drained {} msg(s)",
+            num(&["batch", "calls"]),
+            num(&["batch", "coalesced"]),
+            num(&["batch", "sessions_scanned"]),
+            num(&["batch", "utilities"]),
+            num(&["batch", "window_occupancy"])
+        ),
+    );
+    push(
+        &mut out,
+        format!(
+            "flight:        ring depth {}, {} buffered, {} recorded, {} slow_round dump(s)",
+            num(&["flight", "depth"]),
+            num(&["flight", "buffered"]),
+            num(&["flight", "recorded"]),
+            num(&["flight", "slow_rounds"])
+        ),
+    );
+    if let Some(per_conn) = body.get("per_conn").and_then(Json::as_arr) {
+        for c in per_conn {
+            let id = c.get("conn").and_then(Json::as_f64).unwrap_or(0.0);
+            let sessions = c.get("sessions").and_then(Json::as_f64).unwrap_or(0.0);
+            push(&mut out, format!("  conn {id}: {sessions} session(s)"));
+        }
+    }
+    out
 }
 
 /// `isrl loadgen` — replay N simulated users against a live server.

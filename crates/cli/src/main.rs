@@ -39,11 +39,14 @@ COMMANDS:
              [--trace-out t.jsonl] [--metrics]
   serve      interview a human on stdin, or serve many sessions over TCP
              <dataset flags> --model model.ckpt [--eps 0.1]
-             [--listen host:port [--port-file f] [--trace-out t.jsonl]]
+             [--listen host:port [--port-file f] [--trace-out t.jsonl]
+              [--flight-depth 32] [--slow-factor 4] [--slow-warmup 64]]
   loadgen    replay simulated users against a live `serve --listen` server
              --connect host:port [--users 32] [--concurrency 8] [--seed 7]
              [--eps 0.1] [--algo ea|aa] [--noise 0.0] [--shutdown]
              [--out report.json] [--trace-out t.jsonl]
+  stats      query a live server's RED-metrics snapshot over the wire
+             --connect host:port [--detail] [--json]
   inspect    summarize a checkpoint
              --model model.ckpt
   trace-validate  check a --trace-out file against the event schema
@@ -128,6 +131,15 @@ fn command_help(command: &str) -> Option<String> {
                          interviewing on stdin (port 0 picks a free port);
                          runs until a client sends a shutdown frame
   --port-file <file>     write the bound port once listening (with --listen)
+  --rolling-window <s>   horizon of the rolling round-latency sketch behind
+                         the stats frame and slow-round threshold (default 30)
+  --flight-depth <N>     rounds kept in the flight-recorder ring (default 32)
+  --slow-factor <x>      a round slower than x × rolling p99 dumps a
+                         slow_round event (default 4; must be > 1)
+  --slow-warmup <N>      rolling samples required before the slow-round
+                         trigger arms (default 64)
+  --slow-cooldown <N>    requests to suppress further dumps after one fires
+                         (default 64)
 {TELEMETRY_FLAGS}"
             ),
         ),
@@ -147,6 +159,13 @@ fn command_help(command: &str) -> Option<String> {
 {TELEMETRY_FLAGS}"
             ),
         ),
+        "stats" => (
+            "query a live server's RED-metrics snapshot over the wire",
+            "  --connect <host:port>  server address (required)
+  --detail               include the per-connection session breakdown
+  --json                 print the raw stats frame body as one JSON line\n"
+                .to_string(),
+        ),
         "inspect" => (
             "summarize a checkpoint",
             "  --model <model.ckpt>   checkpoint to describe (required)\n".to_string(),
@@ -163,7 +182,8 @@ fn command_help(command: &str) -> Option<String> {
   --json <dir>           also save each table as <dir>/trace_<id>.json
   --only <id>[,<id>…]    print only the listed tables (questions |
                          episodes | phases | rounds | lp | latency |
-                         timeseries | census); unknown ids fail upfront\n"
+                         serve | serve_errors | slow | timeseries |
+                         census); unknown ids fail upfront\n"
                 .to_string(),
         ),
         "trace-diff" => (
@@ -207,6 +227,7 @@ fn main() {
         "eval" => commands::eval(&args),
         "serve" => commands::serve(&args),
         "loadgen" => commands::loadgen(&args),
+        "stats" => commands::stats(&args),
         "inspect" => commands::inspect(&args),
         "trace-validate" => trace::validate(&args),
         "trace-report" => trace::report(&args),

@@ -10,6 +10,12 @@
 //!   unknown/foreign sessions, and stale-round answers each get an
 //!   `error` frame back without killing the connection, the server, or
 //!   any other live session;
+//! * request-id echo (DESIGN.md §16) — every `question` carries a `req`
+//!   id; an answer echoing the wrong id is rejected with a
+//!   `req_mismatch` error frame while the pending round stays answerable;
+//! * the read-only `stats` frame — a live RED-metrics snapshot with its
+//!   documented sections, and a malformed `stats` request erroring
+//!   without collateral;
 //! * clean shutdown — a `shutdown` frame stops the server with exit 0
 //!   and the batch counters on stdout.
 
@@ -182,7 +188,7 @@ fn field_u64(line: &str, key: &str) -> u64 {
 }
 
 fn kind_of(line: &str) -> &'static str {
-    for k in ["question", "done", "error"] {
+    for k in ["question", "done", "error", "stats"] {
         if line.contains(&format!("\"kind\":\"{k}\"")) {
             return k;
         }
@@ -198,17 +204,41 @@ fn answer(session: u64, round: u64, choice: u64) -> String {
     format!(r#"{{"kind":"answer","session":{session},"round":{round},"choice":{choice}}}"#)
 }
 
-/// Runs one full session (always answering option 1) and returns every
-/// server frame with the session id normalized out.
+fn answer_req(session: u64, round: u64, choice: u64, req: u64) -> String {
+    format!(
+        r#"{{"kind":"answer","session":{session},"round":{round},"choice":{choice},"req":{req}}}"#
+    )
+}
+
+/// Strips the per-run wire ids (`session`, `conn`, `req`) from a frame so
+/// transcripts from different sessions/connections compare byte-equal.
+fn normalize(line: &str) -> String {
+    let mut out = line.to_string();
+    for key in ["session", "conn", "req"] {
+        if out.contains(&format!("\"{key}\":")) {
+            let v = field_u64(line, key);
+            out = out.replace(&format!("\"{key}\":{v}"), &format!("\"{key}\":_"));
+        }
+    }
+    out
+}
+
+/// Runs one full session (always answering option 1, echoing each
+/// question's request id) and returns every server frame with the wire
+/// ids normalized out.
 fn run_session(conn: &mut Conn, seed: u64) -> Vec<String> {
     conn.send(&hello(seed));
     let mut transcript = Vec::new();
     loop {
         let line = conn.recv();
         let sid = field_u64(&line, "session");
-        transcript.push(line.replace(&format!("\"session\":{sid}"), "\"session\":S"));
+        transcript.push(normalize(&line));
         match kind_of(&line) {
-            "question" => conn.send(&answer(sid, field_u64(&line, "round"), 1)),
+            "question" => {
+                let round = field_u64(&line, "round");
+                let req = field_u64(&line, "req");
+                conn.send(&answer_req(sid, round, 1, req));
+            }
             "done" => return transcript,
             other => panic!("unexpected {other} frame: {line}"),
         }
@@ -320,4 +350,132 @@ fn malformed_frames_get_error_frames_without_collateral() {
         .and_then(|n| n.parse().ok())
         .unwrap_or_else(|| panic!("no sessions line in stdout:\n{stdout}"));
     assert!(errors >= 7, "expected >= 7 error frames, saw {errors}");
+}
+
+#[test]
+fn request_id_mismatch_is_rejected_without_collateral() {
+    let ckpt = train_ckpt("reqid");
+    let (server, port) = Server::start(&ckpt, "reqid");
+
+    let mut conn = Conn::open(port);
+    conn.send(&hello(9));
+    let q = conn.recv();
+    assert_eq!(kind_of(&q), "question");
+    let sid = field_u64(&q, "session");
+    let round = field_u64(&q, "round");
+    let req = field_u64(&q, "req");
+
+    // Echoing a request id the server never attached to this question is
+    // a split-brain answer: rejected by code, session untouched.
+    conn.send(&answer_req(sid, round, 1, req + 999));
+    let resp = conn.recv();
+    assert_eq!(kind_of(&resp), "error", "req mismatch: {resp}");
+    assert!(
+        resp.contains("\"code\":\"req_mismatch\""),
+        "expected req_mismatch code: {resp}"
+    );
+
+    // The pending round is still answerable with the correct echo, and
+    // the session runs through to done.
+    conn.send(&answer_req(sid, round, 1, req));
+    let mut line = conn.recv();
+    loop {
+        match kind_of(&line) {
+            "done" => break,
+            "question" => {
+                let r = field_u64(&line, "round");
+                let rq = field_u64(&line, "req");
+                conn.send(&answer_req(sid, r, 1, rq));
+                line = conn.recv();
+            }
+            other => panic!("unexpected {other} frame: {line}"),
+        }
+    }
+
+    // An answer that omits `req` entirely is still accepted (the echo is
+    // opt-in), pinned by a fresh session answered the legacy way.
+    conn.send(&hello(11));
+    let q = conn.recv();
+    assert_eq!(kind_of(&q), "question");
+    let sid = field_u64(&q, "session");
+    conn.send(&answer(sid, field_u64(&q, "round"), 1));
+    let next = conn.recv();
+    assert_ne!(kind_of(&next), "error", "legacy answer rejected: {next}");
+
+    conn.send(r#"{"kind":"shutdown"}"#);
+    server.wait();
+}
+
+#[test]
+fn stats_frame_snapshots_red_metrics_live() {
+    let ckpt = train_ckpt("stats");
+    let (server, port) = Server::start(&ckpt, "stats");
+
+    // A session mid-flight so the snapshot has something to show.
+    let mut busy = Conn::open(port);
+    busy.send(&hello(9));
+    let q = busy.recv();
+    assert_eq!(kind_of(&q), "question");
+
+    let mut conn = Conn::open(port);
+    // Malformed stats request: `detail` must be a boolean. The error
+    // names the code and the connection survives.
+    conn.send(r#"{"kind":"stats","detail":1}"#);
+    let resp = conn.recv();
+    assert_eq!(kind_of(&resp), "error", "bad detail: {resp}");
+    assert!(resp.contains("\"code\":\"parse\""), "code: {resp}");
+
+    conn.send(r#"{"kind":"stats"}"#);
+    let snap = conn.recv();
+    assert_eq!(kind_of(&snap), "stats", "stats reply: {snap}");
+    for section in [
+        "\"uptime_ms\"",
+        "\"connections\"",
+        "\"sessions\"",
+        "\"requests\"",
+        "\"round_ms\"",
+        "\"errors_by_kind\"",
+        "\"batch\"",
+        "\"flight\"",
+    ] {
+        assert!(snap.contains(section), "missing {section}: {snap}");
+    }
+    // The busy connection's open session and served request are visible.
+    assert!(field_u64(&snap, "active") >= 1, "no active conns: {snap}");
+    assert!(field_u64(&snap, "total") >= 1, "no requests: {snap}");
+    // The parse error above is broken out by kind.
+    assert!(snap.contains("\"parse\":1"), "error kinds: {snap}");
+
+    // `--detail` adds the per-connection breakdown.
+    conn.send(r#"{"kind":"stats","detail":true}"#);
+    let snap = conn.recv();
+    assert!(snap.contains("\"per_conn\""), "missing per_conn: {snap}");
+
+    // The paused session was never perturbed: it still answers round 1.
+    let sid = field_u64(&q, "session");
+    busy.send(&answer_req(sid, 1, 1, field_u64(&q, "req")));
+    let next = busy.recv();
+    assert_ne!(kind_of(&next), "error", "paused session broke: {next}");
+
+    // The `isrl stats` subcommand renders the same snapshot human-first.
+    let out = Command::new(env!("CARGO_BIN_EXE_isrl"))
+        .args(["stats", "--connect", &format!("127.0.0.1:{port}")])
+        .output()
+        .expect("failed to spawn isrl stats");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "isrl stats failed: {text}");
+    assert!(text.contains("round latency:"), "stats output: {text}");
+    let json = Command::new(env!("CARGO_BIN_EXE_isrl"))
+        .args(["stats", "--connect", &format!("127.0.0.1:{port}"), "--json"])
+        .output()
+        .expect("failed to spawn isrl stats --json");
+    let text = String::from_utf8_lossy(&json.stdout);
+    assert!(json.status.success(), "isrl stats --json failed: {text}");
+    assert!(
+        text.trim_start().starts_with('{') && text.contains("\"round_ms\""),
+        "json output: {text}"
+    );
+
+    conn.send(r#"{"kind":"shutdown"}"#);
+    server.wait();
 }

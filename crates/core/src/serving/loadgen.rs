@@ -119,6 +119,9 @@ struct UserOutcome {
     truncated: bool,
     latencies_ms: Vec<f64>,
     wall_ms: f64,
+    /// Server-assigned connection id (from the wire frames), for the
+    /// per-connection `serve_session` tags.
+    conn: u64,
 }
 
 /// Nearest-rank percentile over already-sorted latencies. Deliberately
@@ -193,6 +196,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 isrl_obs::Event::new("serve_session")
                     .field("algo", cfg.algo.label())
                     .field("user", o.user as u64)
+                    .field("conn", o.conn)
                     .field("rounds", o.rounds as u64)
                     .field("ms", o.wall_ms),
             );
@@ -252,8 +256,10 @@ fn run_user(
             ServerFrame::Question {
                 session,
                 round,
+                req,
                 option1,
                 option2,
+                ..
             } => {
                 match session_id {
                     None => session_id = Some(session),
@@ -274,15 +280,19 @@ fn run_user(
                     }
                 });
                 let choice = oracle.prefers(&option1, &option2);
+                // Echo the request id so the server can verify we are
+                // answering the question it actually sent.
                 let answer = ClientFrame::Answer {
                     session,
                     round,
                     choice,
+                    req: Some(req),
                 };
                 sent_at = Instant::now();
                 send(writer, &answer)?;
             }
             ServerFrame::Done {
+                conn,
                 session,
                 rounds,
                 truncated,
@@ -301,10 +311,14 @@ fn run_user(
                     truncated,
                     latencies_ms,
                     wall_ms: user_started.elapsed().as_secs_f64() * 1e3,
+                    conn,
                 });
             }
-            ServerFrame::Error { message, .. } => {
-                return Err(format!("user {user}: server error: {message}"));
+            ServerFrame::Error { code, message, .. } => {
+                return Err(format!("user {user}: server error [{code}]: {message}"));
+            }
+            ServerFrame::Stats { .. } => {
+                return Err(format!("user {user}: unexpected stats frame"));
             }
         }
     }

@@ -99,6 +99,7 @@ impl SessionRegistry {
         let id = self.next_id;
         self.next_id += 1;
         self.sessions.insert(id, session);
+        isrl_obs::gauge_set("serve.active_sessions", self.sessions.len() as u64);
         Ok(id)
     }
 
@@ -117,7 +118,11 @@ impl SessionRegistry {
 
     /// Removes and returns session `id` (typically once finished).
     pub fn close(&mut self, id: u64) -> Option<ServeSession> {
-        self.sessions.remove(&id)
+        let removed = self.sessions.remove(&id);
+        if removed.is_some() {
+            isrl_obs::gauge_set("serve.active_sessions", self.sessions.len() as u64);
+        }
+        removed
     }
 
     /// Live session count.
@@ -204,6 +209,10 @@ impl SessionRegistry {
         isrl_obs::add("serve.batch.calls", 1);
         isrl_obs::add("serve.batch.sessions", sessions as u64);
         isrl_obs::add("serve.batch.utilities", utilities as u64);
+        // Live gauge: how many sessions shared this batch window — the
+        // snapshotter's timeseries shows coalescing *during* a run, not
+        // just in the shutdown stats.
+        isrl_obs::gauge_set("serve.batch.window_occupancy", sessions as u64);
         if sessions >= 2 {
             self.stats.coalesced += 1;
             isrl_obs::add("serve.batch.coalesced", 1);

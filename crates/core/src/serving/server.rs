@@ -9,8 +9,22 @@
 //! so concurrent users' round scans land in the same
 //! [`SessionRegistry::pump_all`] and coalesce into shared `top1_batch`
 //! calls.
+//!
+//! **Operational observability** (DESIGN.md §16): every accepted
+//! `hello`/`answer` is a *request* with a server-assigned id; the frame it
+//! produces echoes that id plus the connection id, and (when telemetry is
+//! on) a `serve_round` event tags the request's server-side latency with
+//! the `(conn, req)` pair. A rolling-window [`RollingSketch`] of those
+//! latencies backs the read-only `stats` frame, answered inline from the
+//! core thread without pausing session processing. A [`FlightRecorder`]
+//! ring keeps the last rounds' span trees (the whole batch runs inside a
+//! `serve_batch` profile scope); a round breaching
+//! `slow_factor × rolling p99` dumps a `slow_round` event explaining
+//! where the time went. The profile scope and flight recorder are armed
+//! only while the telemetry sink is enabled, so an untraced server keeps
+//! the zero-instrumentation fast path.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -22,6 +36,8 @@ use std::time::{Duration, Instant};
 use crate::serving::protocol::{ClientFrame, ServerFrame};
 use crate::serving::{BatchStats, ServePolicy, SessionRegistry};
 use isrl_data::Dataset;
+use isrl_obs::json::Json;
+use isrl_obs::{FlightRecord, FlightRecorder, RollingSketch};
 
 /// Reactor knobs.
 #[derive(Debug, Clone)]
@@ -35,6 +51,20 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Cap on messages drained per batch.
     pub max_drain: usize,
+    /// Horizon of the rolling round-latency sketch behind the `stats`
+    /// frame and the flight-recorder threshold.
+    pub rolling_window: Duration,
+    /// Rounds kept in the flight-recorder ring.
+    pub flight_depth: usize,
+    /// A round slower than `slow_factor ×` rolling p99 triggers a
+    /// `slow_round` dump.
+    pub slow_factor: f64,
+    /// Rolling-sketch samples required before the slow-round trigger
+    /// arms (a cold p99 is noise).
+    pub slow_warmup: u64,
+    /// Requests to suppress further dumps after one fires — one incident,
+    /// one dump, even when the stall's queue backlog drains slowly.
+    pub slow_cooldown: u64,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +73,11 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             batch_window: Duration::from_micros(500),
             max_drain: 256,
+            rolling_window: Duration::from_secs(30),
+            flight_depth: 32,
+            slow_factor: 4.0,
+            slow_warmup: 64,
+            slow_cooldown: 64,
         }
     }
 }
@@ -57,6 +92,10 @@ pub struct ServerStats {
     pub sessions_completed: u64,
     /// `error` frames sent.
     pub errors: u64,
+    /// Requests served (accepted `hello`/`answer` frames).
+    pub requests: u64,
+    /// `slow_round` flight-recorder dumps emitted.
+    pub slow_rounds: u64,
     /// The registry's cross-user batcher counters.
     pub batch: BatchStats,
 }
@@ -172,6 +211,16 @@ fn accept_loop(listener: TcpListener, tx: Sender<Msg>, stop: Arc<AtomicBool>) {
     }
 }
 
+/// One request accepted this batch, owing its connection a frame.
+struct Touched {
+    conn: u64,
+    sid: u64,
+    /// Server-assigned request id.
+    req: u64,
+    /// When the request was accepted on the core thread.
+    accepted: Instant,
+}
+
 /// The single thread that owns all serving state.
 struct Core {
     registry: SessionRegistry,
@@ -180,9 +229,30 @@ struct Core {
     /// Which connection owns each live session.
     owner: BTreeMap<u64, u64>,
     stats: ServerStats,
-    /// Sessions that advanced this batch and owe their owner a frame.
-    touched: Vec<(u64, u64)>,
+    /// Requests accepted this batch whose sessions owe a frame.
+    touched: Vec<Touched>,
     stopping: bool,
+    cfg: ServerConfig,
+    started: Instant,
+    /// Next request id (globally unique, starts at 1).
+    next_req: u64,
+    /// Per session: the request id carried by the last `question` frame,
+    /// which a client-supplied `req` echo must match.
+    last_req: BTreeMap<u64, u64>,
+    /// Connections ever accepted.
+    conns_opened: u64,
+    /// Error counts by machine-readable kind.
+    errors_by_kind: BTreeMap<&'static str, u64>,
+    /// Rolling server-side request latencies (ms).
+    rolling: RollingSketch,
+    flight: FlightRecorder,
+    /// Requests since the last `slow_round` dump (starts saturated so the
+    /// first incident can fire).
+    since_slow: u64,
+    /// Messages drained in the last micro-batch (for the `stats` frame).
+    last_drained: u64,
+    /// Messages handled in the current micro-batch.
+    batch_msgs: u64,
 }
 
 fn core_loop(
@@ -204,6 +274,17 @@ fn core_loop(
         stats: ServerStats::default(),
         touched: Vec::new(),
         stopping: false,
+        started: Instant::now(),
+        next_req: 1,
+        last_req: BTreeMap::new(),
+        conns_opened: 0,
+        errors_by_kind: BTreeMap::new(),
+        rolling: RollingSketch::new(0.01, cfg.rolling_window, 6),
+        flight: FlightRecorder::new(cfg.flight_depth),
+        since_slow: cfg.slow_cooldown,
+        last_drained: 0,
+        batch_msgs: 0,
+        cfg,
     };
 
     while !core.stopping {
@@ -214,8 +295,8 @@ fn core_loop(
         core.handle(first);
         // Micro-batch: keep draining while traffic is arriving back to
         // back, so concurrent sessions advance in one pump.
-        while !core.stopping && core.touched.len() < cfg.max_drain {
-            match rx.recv_timeout(cfg.batch_window) {
+        while !core.stopping && core.touched.len() < core.cfg.max_drain {
+            match rx.recv_timeout(core.cfg.batch_window) {
                 Ok(m) => core.handle(m),
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
@@ -240,8 +321,10 @@ fn core_loop(
 
 impl Core {
     fn handle(&mut self, msg: Msg) {
+        self.batch_msgs += 1;
         match msg {
             Msg::NewConn(conn, stream) => {
+                self.conns_opened += 1;
                 self.writers.insert(conn, stream);
             }
             Msg::Closed(conn) => {
@@ -253,8 +336,7 @@ impl Core {
                     .map(|(&sid, _)| sid)
                     .collect();
                 for sid in orphaned {
-                    self.owner.remove(&sid);
-                    self.registry.close(sid);
+                    self.drop_session(sid);
                 }
             }
             Msg::Line(conn, line) => self.handle_line(conn, &line),
@@ -262,11 +344,17 @@ impl Core {
         }
     }
 
+    fn drop_session(&mut self, sid: u64) {
+        self.owner.remove(&sid);
+        self.last_req.remove(&sid);
+        self.registry.close(sid);
+    }
+
     fn handle_line(&mut self, conn: u64, line: &str) {
         let frame = match ClientFrame::parse(line) {
             Ok(f) => f,
             Err(message) => {
-                self.error(conn, None, message);
+                self.error(conn, None, None, "parse", message);
                 return;
             }
         };
@@ -275,19 +363,26 @@ impl Core {
                 Ok(sid) => {
                     self.owner.insert(sid, conn);
                     self.stats.sessions_opened += 1;
-                    self.touched.push((conn, sid));
+                    self.accept_request(conn, sid);
                 }
-                Err(e) => self.error(conn, None, e.to_string()),
+                Err(e) => self.error(conn, None, None, "open", e.to_string()),
             },
             ClientFrame::Answer {
                 session,
                 round,
                 choice,
+                req,
             } => {
                 // A session is only addressable from the connection that
                 // opened it.
                 if self.owner.get(&session) != Some(&conn) {
-                    self.error(conn, Some(session), format!("unknown session {session}"));
+                    self.error(
+                        conn,
+                        Some(session),
+                        req,
+                        "unknown_session",
+                        format!("unknown session {session}"),
+                    );
                     return;
                 }
                 let live = self
@@ -295,7 +390,13 @@ impl Core {
                     .session(session)
                     .expect("owned session must be live");
                 if live.current_question().is_none() {
-                    self.error(conn, Some(session), "no question is pending".to_string());
+                    self.error(
+                        conn,
+                        Some(session),
+                        req,
+                        "no_pending",
+                        "no question is pending".to_string(),
+                    );
                     return;
                 }
                 let expected = live.rounds() as u64 + 1;
@@ -303,79 +404,355 @@ impl Core {
                     self.error(
                         conn,
                         Some(session),
+                        req,
+                        "stale_round",
                         format!("unexpected round {round} (the pending round is {expected})"),
                     );
                     return;
                 }
-                match self.registry.answer(session, choice) {
-                    Ok(()) => self.touched.push((conn, session)),
-                    Err(e) => self.error(conn, Some(session), e.to_string()),
+                // An answer may echo the question frame's request id; a
+                // mismatch means the client answered a question it never
+                // saw (split-brain or replay) — reject without touching
+                // the session.
+                if let Some(echo) = req {
+                    let pending = self.last_req.get(&session).copied();
+                    if pending != Some(echo) {
+                        self.error(
+                            conn,
+                            Some(session),
+                            req,
+                            "req_mismatch",
+                            format!(
+                                "request id {echo} does not match the pending question{}",
+                                pending.map_or(String::new(), |p| format!(" (expected {p})"))
+                            ),
+                        );
+                        return;
+                    }
                 }
+                match self.registry.answer(session, choice) {
+                    Ok(()) => self.accept_request(conn, session),
+                    Err(e) => self.error(conn, Some(session), req, "no_pending", e.to_string()),
+                }
+            }
+            ClientFrame::Stats { detail } => {
+                let frame = self.stats_frame(conn, detail);
+                self.send(conn, &frame);
             }
             ClientFrame::Shutdown => self.stopping = true,
         }
     }
 
+    /// Assigns a request id and queues the session for this batch's pump.
+    fn accept_request(&mut self, conn: u64, sid: u64) {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.touched.push(Touched {
+            conn,
+            sid,
+            req,
+            accepted: Instant::now(),
+        });
+    }
+
     /// Runs the coalesced scans for everything that moved this batch, then
     /// sends each touched session's next frame.
     fn advance(&mut self) {
+        self.last_drained = std::mem::take(&mut self.batch_msgs);
         if self.touched.is_empty() {
             return;
         }
-        let pump_started = Instant::now();
-        self.registry.pump_all();
-        isrl_obs::sketch_record("serve.pump_ms", pump_started.elapsed().as_secs_f64() * 1e3);
+        // Arm the profile scope only when telemetry is on: an unconditional
+        // scope would put every span on the slow path and show up in
+        // `serve.round_p99`.
+        let profiling = isrl_obs::enabled();
+        if profiling {
+            isrl_obs::profile_begin();
+        }
+        let mut responded: Vec<(u64, u64, u64, u64, f64)> = Vec::new(); // (conn, sid, req, round, ms)
+        {
+            let _batch = isrl_obs::span("serve_batch");
+            let pump_started = Instant::now();
+            self.registry.pump_all();
+            isrl_obs::sketch_record("serve.pump_ms", pump_started.elapsed().as_secs_f64() * 1e3);
 
-        let touched = std::mem::take(&mut self.touched);
-        for (conn, sid) in touched {
-            let Some(session) = self.registry.session(sid) else {
-                continue; // connection closed in the same batch
-            };
-            if session.is_finished() {
-                let index = session
-                    .recommendation()
-                    .expect("a finished serving session always has a recommendation");
-                let frame = ServerFrame::Done {
-                    session: sid,
-                    rounds: session.rounds() as u64,
-                    index: index as u64,
-                    tuple: self.registry.data().point(index).to_vec(),
-                    truncated: session.truncated(),
+            let touched = std::mem::take(&mut self.touched);
+            for t in touched {
+                let Some(session) = self.registry.session(t.sid) else {
+                    continue; // connection closed in the same batch
                 };
-                if isrl_obs::enabled() {
-                    isrl_obs::emit(
-                        isrl_obs::Event::new("serve_session")
-                            .field("algo", session.algo().label())
-                            .field("user", sid)
-                            .field("rounds", session.rounds() as u64)
-                            .field("ms", session.elapsed().as_secs_f64() * 1e3),
-                    );
+                let round;
+                if session.is_finished() {
+                    let index = session
+                        .recommendation()
+                        .expect("a finished serving session always has a recommendation");
+                    round = session.rounds() as u64;
+                    let frame = ServerFrame::Done {
+                        conn: t.conn,
+                        session: t.sid,
+                        req: t.req,
+                        rounds: round,
+                        index: index as u64,
+                        tuple: self.registry.data().point(index).to_vec(),
+                        truncated: session.truncated(),
+                    };
+                    if isrl_obs::enabled() {
+                        isrl_obs::emit(
+                            isrl_obs::Event::new("serve_session")
+                                .field("algo", session.algo().label())
+                                .field("user", t.sid)
+                                .field("conn", t.conn)
+                                .field("rounds", round)
+                                .field("ms", session.elapsed().as_secs_f64() * 1e3),
+                        );
+                    }
+                    self.drop_session(t.sid);
+                    self.stats.sessions_completed += 1;
+                    self.send(t.conn, &frame);
+                } else {
+                    round = session.rounds() as u64 + 1;
+                    let (option1, option2) = {
+                        let (a, b) = session
+                            .current_points()
+                            .expect("an unfinished pumped session has a question");
+                        (a.to_vec(), b.to_vec())
+                    };
+                    let frame = ServerFrame::Question {
+                        conn: t.conn,
+                        session: t.sid,
+                        round,
+                        req: t.req,
+                        option1,
+                        option2,
+                    };
+                    self.last_req.insert(t.sid, t.req);
+                    self.send(t.conn, &frame);
                 }
-                self.owner.remove(&sid);
-                self.registry.close(sid);
-                self.stats.sessions_completed += 1;
-                self.send(conn, &frame);
-            } else {
-                let (option1, option2) = {
-                    let (a, b) = session
-                        .current_points()
-                        .expect("an unfinished pumped session has a question");
-                    (a.to_vec(), b.to_vec())
-                };
-                let frame = ServerFrame::Question {
-                    session: sid,
-                    round: session.rounds() as u64 + 1,
-                    option1,
-                    option2,
-                };
-                self.send(conn, &frame);
+                let ms = t.accepted.elapsed().as_secs_f64() * 1e3;
+                // `round` here is the round the *response* opens (or the
+                // final count for `done`); the hello → first-question
+                // request reports round 0.
+                let reported_round = round.saturating_sub(1);
+                responded.push((t.conn, t.sid, t.req, reported_round, ms));
             }
         }
+        let pairs = if profiling {
+            isrl_obs::profile_end()
+        } else {
+            Vec::new()
+        };
+        self.finish_batch(&responded, pairs, profiling);
     }
 
-    fn error(&mut self, conn: u64, session: Option<u64>, message: String) {
+    /// Post-batch accounting: telemetry events, the rolling sketch, and
+    /// the flight-recorder slow-round trigger.
+    fn finish_batch(
+        &mut self,
+        responded: &[(u64, u64, u64, u64, f64)],
+        pairs: Vec<(String, u64, Duration)>,
+        profiling: bool,
+    ) {
+        self.stats.requests += responded.len() as u64;
+        // Threshold from the rolling p99 *before* this batch is recorded,
+        // so one stall cannot raise the bar it is judged against.
+        let summary = self.rolling.summary();
+        let warm = summary.count >= self.cfg.slow_warmup;
+        let threshold_ms = self.cfg.slow_factor * summary.p99;
+
+        let mut worst: Option<&(u64, u64, u64, u64, f64)> = None;
+        for r in responded {
+            let (conn, sid, req, round, ms) = *r;
+            self.rolling.record(ms);
+            if profiling {
+                isrl_obs::add("serve.requests", 1);
+                isrl_obs::emit(
+                    isrl_obs::Event::new("serve_round")
+                        .field("conn", conn)
+                        .field("req", req)
+                        .field("session", sid)
+                        .field("round", round)
+                        .field("ms", ms),
+                );
+                self.flight.record(FlightRecord {
+                    conn,
+                    req,
+                    session: sid,
+                    round,
+                    ms,
+                    spans: pairs.clone(),
+                });
+                if ms > threshold_ms && worst.map_or(true, |w| ms > w.4) {
+                    worst = Some(r);
+                }
+            }
+        }
+        if !profiling {
+            return;
+        }
+        // At most one dump per batch (the whole batch shares one stall),
+        // and none inside the cooldown after an incident.
+        let fired = match worst {
+            Some(&(conn, sid, req, round, ms))
+                if warm && self.since_slow >= self.cfg.slow_cooldown =>
+            {
+                let record = FlightRecord {
+                    conn,
+                    req,
+                    session: sid,
+                    round,
+                    ms,
+                    spans: pairs,
+                };
+                isrl_obs::emit(
+                    self.flight
+                        .slow_round_event(&record, threshold_ms, summary.p99),
+                );
+                isrl_obs::add("serve.slow_rounds", 1);
+                self.stats.slow_rounds += 1;
+                true
+            }
+            _ => false,
+        };
+        if fired {
+            self.since_slow = 0;
+        } else {
+            self.since_slow = self.since_slow.saturating_add(responded.len() as u64);
+        }
+        isrl_obs::gauge_set(
+            "serve.round_p99_us",
+            (self.rolling.summary().p99 * 1e3) as u64,
+        );
+    }
+
+    /// Builds the read-only RED-metrics snapshot answering a `stats`
+    /// frame. Everything is already owned by the core thread, so this is
+    /// a map scan — no pump, no pause.
+    fn stats_frame(&mut self, conn: u64, detail: bool) -> ServerFrame {
+        let busy: BTreeSet<u64> = self.owner.values().copied().collect();
+        let round = self.rolling.summary();
+        let batch = self.registry.stats();
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        let errors = obj(self
+            .errors_by_kind
+            .iter()
+            .map(|(k, v)| (*k, Json::from(*v)))
+            .collect());
+        let mut fields = vec![
+            ("kind", Json::from("stats")),
+            ("conn", Json::from(conn)),
+            (
+                "uptime_ms",
+                Json::from(self.started.elapsed().as_secs_f64() * 1e3),
+            ),
+            (
+                "connections",
+                obj(vec![
+                    ("active", Json::from(self.writers.len())),
+                    ("busy", Json::from(busy.len())),
+                    (
+                        "idle",
+                        Json::from(self.writers.len().saturating_sub(busy.len())),
+                    ),
+                    ("opened", Json::from(self.conns_opened)),
+                ]),
+            ),
+            (
+                "sessions",
+                obj(vec![
+                    ("active", Json::from(self.owner.len())),
+                    ("opened", Json::from(self.stats.sessions_opened)),
+                    ("completed", Json::from(self.stats.sessions_completed)),
+                    ("errors", Json::from(self.stats.errors)),
+                ]),
+            ),
+            (
+                "requests",
+                obj(vec![
+                    ("total", Json::from(self.stats.requests)),
+                    ("window_s", Json::from(self.rolling.window().as_secs_f64())),
+                    ("rate_per_s", Json::from(self.rolling.rate_per_sec())),
+                ]),
+            ),
+            (
+                "round_ms",
+                obj(vec![
+                    ("count", Json::from(round.count)),
+                    ("p50", Json::from(round.p50)),
+                    ("p90", Json::from(round.p90)),
+                    ("p99", Json::from(round.p99)),
+                    ("max", Json::from(round.max)),
+                ]),
+            ),
+            ("errors_by_kind", errors),
+            (
+                "batch",
+                obj(vec![
+                    ("calls", Json::from(batch.calls)),
+                    ("coalesced", Json::from(batch.coalesced)),
+                    ("sessions_scanned", Json::from(batch.sessions_scanned)),
+                    ("utilities", Json::from(batch.utilities)),
+                    ("window_occupancy", Json::from(self.last_drained)),
+                ]),
+            ),
+            (
+                "flight",
+                obj(vec![
+                    ("depth", Json::from(self.flight.cap())),
+                    ("buffered", Json::from(self.flight.len())),
+                    ("recorded", Json::from(self.flight.recorded())),
+                    ("slow_rounds", Json::from(self.stats.slow_rounds)),
+                ]),
+            ),
+        ];
+        if detail {
+            let per_conn = Json::Arr(
+                self.writers
+                    .keys()
+                    .map(|&c| {
+                        let sessions = self.owner.values().filter(|&&o| o == c).count();
+                        obj(vec![
+                            ("conn", Json::from(c)),
+                            ("sessions", Json::from(sessions)),
+                        ])
+                    })
+                    .collect(),
+            );
+            fields.push(("per_conn", per_conn));
+        }
+        ServerFrame::Stats { body: obj(fields) }
+    }
+
+    fn error(
+        &mut self,
+        conn: u64,
+        session: Option<u64>,
+        req: Option<u64>,
+        code: &'static str,
+        message: String,
+    ) {
         self.stats.errors += 1;
-        let frame = ServerFrame::Error { session, message };
+        *self.errors_by_kind.entry(code).or_insert(0) += 1;
+        if isrl_obs::enabled() {
+            isrl_obs::emit(
+                isrl_obs::Event::new("serve_error")
+                    .field("conn", conn)
+                    .field("kind", code),
+            );
+        }
+        let frame = ServerFrame::Error {
+            conn,
+            session,
+            req,
+            code: code.to_string(),
+            message,
+        };
         self.send(conn, &frame);
     }
 

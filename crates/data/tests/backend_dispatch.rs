@@ -72,8 +72,8 @@ fn soa_mirror_is_lazy_and_consistent_with_rows() {
     assert_eq!(soa.dim(), data.dim());
     for j in 0..data.dim() {
         let col = soa.col(j);
-        for i in 0..data.len() {
-            assert_eq!(col[i].to_bits(), data.point(i)[j].to_bits(), "({i},{j})");
+        for (i, &cell) in col.iter().enumerate() {
+            assert_eq!(cell.to_bits(), data.point(i)[j].to_bits(), "({i},{j})");
         }
     }
 }

@@ -177,8 +177,8 @@ mod tests {
 
     #[test]
     fn dot_bitwise_matches_on_nonfinite_inputs() {
-        let a = vec![1.0, f64::INFINITY, f64::NAN, -3.0, 1e308, 1e308, 0.5];
-        let b = vec![2.0, 0.5, 1.0, f64::NEG_INFINITY, 1e308, 1e308, -0.25];
+        let a = [1.0, f64::INFINITY, f64::NAN, -3.0, 1e308, 1e308, 0.5];
+        let b = [2.0, 0.5, 1.0, f64::NEG_INFINITY, 1e308, 1e308, -0.25];
         for n in 0..=a.len() {
             let lhs = dot(&a[..n], &b[..n]);
             let rhs = vector::dot(&a[..n], &b[..n]);

@@ -1,0 +1,230 @@
+//! p99 outlier flight recorder for the serve path.
+//!
+//! The serve reactor keeps a bounded ring of the most recent per-round
+//! flight records — `(conn, req, session, round, ms)` plus the profile
+//! scope's `(path, count, total)` span table for the batch that produced
+//! the round. When a round's latency breaches a configurable multiple of
+//! the rolling p99 (see [`crate::quantile::RollingSketch`]), the recorder
+//! freezes the offender into a schema-validated `slow_round` event: the
+//! full span tree with self-vs-child accounting (via
+//! [`crate::profile::tree_stats`]) plus one-line summaries of every round
+//! still in the ring — so tail latency is *explained*, not just measured.
+//!
+//! Emission is rate-limited by the caller (one dump per incident, with a
+//! cooldown in rounds); the recorder itself only buffers and formats.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::event::Event;
+use crate::json::Json;
+use crate::profile::tree_stats;
+
+/// One round's worth of flight data: wire identity, server-side latency,
+/// and the batch's profile-scope span table.
+#[derive(Debug, Clone)]
+pub struct FlightRecord {
+    /// Connection the round belongs to.
+    pub conn: u64,
+    /// Request id of the round (0 for the session-opening `hello`).
+    pub req: u64,
+    /// Session id.
+    pub session: u64,
+    /// Round number just answered (0 for `hello` → first question).
+    pub round: u64,
+    /// Server-side latency: request accepted → response written, ms.
+    pub ms: f64,
+    /// `(path, count, total)` triples from the batch's profile scope.
+    pub spans: Vec<(String, u64, Duration)>,
+}
+
+/// Bounded ring of recent [`FlightRecord`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: VecDeque<FlightRecord>,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `cap` rounds (at least 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            ring: VecDeque::with_capacity(cap),
+            recorded: 0,
+        }
+    }
+
+    /// Ring capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Rounds currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total rounds ever recorded (not capped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Pushes one round, evicting the oldest past capacity.
+    pub fn record(&mut self, rec: FlightRecord) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(rec);
+        self.recorded += 1;
+    }
+
+    /// Builds the `slow_round` event for `offender`: its span tree (same
+    /// count/total/self shape as `profile` events) plus `recent` — one
+    /// summary per buffered round, oldest first. The offender should
+    /// already be recorded so it appears in its own `recent` tail.
+    pub fn slow_round_event(
+        &self,
+        offender: &FlightRecord,
+        threshold_ms: f64,
+        p99_ms: f64,
+    ) -> Event {
+        let stats = tree_stats(&offender.spans);
+        let spans = Json::Obj(
+            stats
+                .iter()
+                .map(|(path, s)| {
+                    (
+                        path.clone(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::from(s.count)),
+                            ("total_ms".into(), Json::from(s.total_ms)),
+                            ("self_ms".into(), Json::from(s.self_ms)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let recent = Json::Arr(
+            self.ring
+                .iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("conn".into(), Json::from(r.conn)),
+                        ("req".into(), Json::from(r.req)),
+                        ("session".into(), Json::from(r.session)),
+                        ("round".into(), Json::from(r.round)),
+                        ("ms".into(), Json::from(r.ms)),
+                    ])
+                })
+                .collect(),
+        );
+        Event::new("slow_round")
+            .field("conn", offender.conn)
+            .field("req", offender.req)
+            .field("session", offender.session)
+            .field("round", offender.round)
+            .field("ms", offender.ms)
+            .field("threshold_ms", threshold_ms)
+            .field("p99_ms", p99_ms)
+            .field("spans", spans)
+            .field("recent", recent)
+    }
+}
+
+/// The span path with the largest self time in a `spans` tree object (the
+/// `trace-report` `slow` table's "culprit" column). Ties break toward the
+/// lexicographically first path. `None` for empty/non-object input.
+pub fn top_self_span(spans: &Json) -> Option<(String, f64)> {
+    let fields = spans.as_obj()?;
+    fields
+        .iter()
+        .filter_map(|(path, stat)| {
+            let self_ms = stat.get("self_ms").and_then(Json::as_f64)?;
+            Some((path.clone(), self_ms))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> Duration {
+        Duration::from_secs_f64(v / 1e3)
+    }
+
+    fn rec(req: u64, latency: f64) -> FlightRecord {
+        FlightRecord {
+            conn: 1,
+            req,
+            session: 7,
+            round: req,
+            ms: latency,
+            spans: vec![
+                ("serve_batch".to_string(), 1, ms(latency)),
+                ("serve_batch/top1".to_string(), 2, ms(latency * 0.8)),
+            ],
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..5 {
+            fr.record(rec(i, 1.0));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.recorded(), 5);
+        let ev = fr.slow_round_event(&rec(4, 9.0), 4.0, 1.0).to_json();
+        let recent = ev.get("recent").and_then(Json::as_arr).unwrap();
+        assert_eq!(recent.len(), 3);
+        let reqs: Vec<f64> = recent
+            .iter()
+            .map(|r| r.get("req").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert_eq!(reqs, vec![2.0, 3.0, 4.0]); // oldest first
+    }
+
+    #[test]
+    fn slow_round_event_carries_span_tree_with_self_times() {
+        let mut fr = FlightRecorder::new(8);
+        let offender = rec(1, 10.0);
+        fr.record(offender.clone());
+        let ev = fr.slow_round_event(&offender, 8.0, 2.0).to_json();
+        assert_eq!(ev.get("ev").and_then(Json::as_str), Some("slow_round"));
+        assert_eq!(ev.get("ms").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(ev.get("threshold_ms").and_then(Json::as_f64), Some(8.0));
+        let spans = ev.get("spans").unwrap();
+        let batch = spans.get("serve_batch").unwrap();
+        // parent self = 10 - 8 = 2
+        assert!((batch.get("self_ms").and_then(Json::as_f64).unwrap() - 2.0).abs() < 1e-9);
+        let (top, top_ms) = top_self_span(spans).unwrap();
+        assert_eq!(top, "serve_batch/top1");
+        assert!((top_ms - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_self_span_handles_empty_and_ties() {
+        assert_eq!(top_self_span(&Json::Obj(vec![])), None);
+        assert_eq!(top_self_span(&Json::Null), None);
+        let tied = Json::Obj(vec![
+            (
+                "b".into(),
+                Json::Obj(vec![("self_ms".into(), Json::from(1.0))]),
+            ),
+            (
+                "a".into(),
+                Json::Obj(vec![("self_ms".into(), Json::from(1.0))]),
+            ),
+        ]);
+        assert_eq!(top_self_span(&tied).unwrap().0, "a");
+    }
+}

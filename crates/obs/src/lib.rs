@@ -20,6 +20,7 @@
 //! allocation), which is what keeps the hot-path bench honest. Nothing in
 //! here depends on crates outside `std` — the workspace builds offline.
 
+pub mod flight;
 pub mod json;
 pub mod profile;
 pub mod quantile;
@@ -35,10 +36,11 @@ mod span;
 
 pub use counter::{add, counter, counter_value, Counter};
 pub use event::{emit, Event, DROPPED_COUNTER, EVENT_CAP};
+pub use flight::{FlightRecord, FlightRecorder};
 pub use gauge::{gauge_set, gauge_value};
 pub use hist::{bucket_bounds, bucket_index, histogram, record, HistSummary, N_BUCKETS};
 pub use json::Json;
-pub use quantile::{sketch_record, QuantileSketch, SketchSummary};
+pub use quantile::{sketch_record, QuantileSketch, RollingSketch, SketchSummary};
 pub use snapshotter::Snapshotter;
 pub use span::{
     profile_begin, profile_end, round_begin, round_end, span, SpanGuard, SpanStat, MAX_DEPTH,

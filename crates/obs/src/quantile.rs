@@ -272,6 +272,122 @@ impl SketchSummary {
     }
 }
 
+/// A time-windowed quantile sketch: the last `window` of a stream,
+/// summarized with the same bounded relative error as [`QuantileSketch`].
+///
+/// The window is a ring of `n_buckets` sub-sketches, each covering
+/// `window / n_buckets` of wall time. Recording rotates the ring (expired
+/// buckets are cleared), so a quantile query merges only the live buckets
+/// — values older than the window have aged out entirely. This is what
+/// the serve-path `stats` endpoint answers "what is p99 *right now*"
+/// from: a cumulative sketch would dilute a fresh regression with hours
+/// of healthy history.
+///
+/// Granularity note: expiry happens a bucket at a time, so the effective
+/// window wobbles between `window - window/n_buckets` and `window`.
+#[derive(Debug)]
+pub struct RollingSketch {
+    alpha: f64,
+    bucket_window: std::time::Duration,
+    buckets: Vec<QuantileSketch>,
+    /// Ring index of the bucket currently recording.
+    current: usize,
+    /// Start of the current bucket's time slice.
+    bucket_start: std::time::Instant,
+    started: std::time::Instant,
+}
+
+impl RollingSketch {
+    /// A rolling sketch covering `window`, split into `n_buckets` slices
+    /// (clamped to at least 2), with relative-error bound `alpha`.
+    pub fn new(alpha: f64, window: std::time::Duration, n_buckets: usize) -> Self {
+        let n = n_buckets.max(2);
+        let now = std::time::Instant::now();
+        Self {
+            alpha,
+            bucket_window: window.max(std::time::Duration::from_millis(2)) / n as u32,
+            buckets: (0..n).map(|_| QuantileSketch::new(alpha)).collect(),
+            current: 0,
+            bucket_start: now,
+            started: now,
+        }
+    }
+
+    /// The serve-path configuration: `alpha = 0.01` over a 30 s window in
+    /// 6 slices.
+    pub fn default_serve() -> Self {
+        Self::new(DEFAULT_ALPHA, std::time::Duration::from_secs(30), 6)
+    }
+
+    /// Total window covered (bucket slice × ring length).
+    pub fn window(&self) -> std::time::Duration {
+        self.bucket_window * self.buckets.len() as u32
+    }
+
+    /// Advances the ring so `now` falls inside the current bucket,
+    /// clearing every slice that expired on the way.
+    fn rotate_to(&mut self, now: std::time::Instant) {
+        let n = self.buckets.len();
+        let mut steps = 0usize;
+        while now.duration_since(self.bucket_start) >= self.bucket_window {
+            self.bucket_start += self.bucket_window;
+            self.current = (self.current + 1) % n;
+            self.buckets[self.current] = QuantileSketch::new(self.alpha);
+            steps += 1;
+            if steps >= n {
+                // Idle longer than the whole window: everything expired;
+                // jump the clock instead of spinning per slice.
+                for b in &mut self.buckets {
+                    *b = QuantileSketch::new(self.alpha);
+                }
+                self.bucket_start = now;
+                break;
+            }
+        }
+    }
+
+    fn record_at(&mut self, v: f64, now: std::time::Instant) {
+        self.rotate_to(now);
+        self.buckets[self.current].record(v);
+    }
+
+    fn merged_at(&mut self, now: std::time::Instant) -> QuantileSketch {
+        self.rotate_to(now);
+        let mut out = QuantileSketch::new(self.alpha);
+        for b in &self.buckets {
+            out.merge(b);
+        }
+        out
+    }
+
+    /// Records one value into the current time slice.
+    pub fn record(&mut self, v: f64) {
+        self.record_at(v, std::time::Instant::now());
+    }
+
+    /// Number of values still inside the window.
+    pub fn count(&mut self) -> u64 {
+        self.merged_at(std::time::Instant::now()).count()
+    }
+
+    /// The five-number summary of the values still inside the window.
+    pub fn summary(&mut self) -> SketchSummary {
+        self.merged_at(std::time::Instant::now()).summary()
+    }
+
+    /// Records per second over the window (or over the sketch's lifetime,
+    /// when it is younger than the window).
+    pub fn rate_per_sec(&mut self) -> f64 {
+        let now = std::time::Instant::now();
+        let horizon = self
+            .window()
+            .min(now.duration_since(self.started))
+            .as_secs_f64()
+            .max(1e-3);
+        self.merged_at(now).count() as f64 / horizon
+    }
+}
+
 type SketchRegistry = Mutex<BTreeMap<&'static str, Arc<Mutex<QuantileSketch>>>>;
 
 fn registry() -> &'static SketchRegistry {
@@ -406,5 +522,52 @@ mod tests {
     fn merge_rejects_mismatched_alpha() {
         let mut a = QuantileSketch::new(0.01);
         a.merge(&QuantileSketch::new(0.02));
+    }
+
+    #[test]
+    fn rolling_sketch_ages_out_old_values_bucket_by_bucket() {
+        use std::time::{Duration, Instant};
+        let mut r = RollingSketch::new(0.01, Duration::from_secs(8), 4);
+        let t0 = Instant::now();
+        // 100 slow samples in the first slice, then fast ones later.
+        for _ in 0..100 {
+            r.record_at(100.0, t0);
+        }
+        for _ in 0..100 {
+            r.record_at(1.0, t0 + Duration::from_secs(5));
+        }
+        // Both slices still live: p99 sees the slow cohort.
+        let now = t0 + Duration::from_secs(5);
+        assert_eq!(r.merged_at(now).count(), 200);
+        assert!(r.merged_at(now).quantile(0.99) > 90.0);
+        // Past the window, the slow slice has expired.
+        let later = t0 + Duration::from_secs(9);
+        assert_eq!(r.merged_at(later).count(), 100);
+        assert!(r.merged_at(later).quantile(0.99) < 2.0);
+    }
+
+    #[test]
+    fn rolling_sketch_clears_everything_after_a_long_idle_gap() {
+        use std::time::{Duration, Instant};
+        let mut r = RollingSketch::new(0.01, Duration::from_secs(4), 4);
+        let t0 = Instant::now();
+        r.record_at(50.0, t0);
+        assert_eq!(r.merged_at(t0).count(), 1);
+        // An hour idle: the whole ring expired; rotation must not spin
+        // per-slice for 3600 s worth of buckets.
+        let later = t0 + Duration::from_secs(3600);
+        assert_eq!(r.merged_at(later).count(), 0);
+        r.record_at(2.0, later);
+        assert_eq!(r.merged_at(later).count(), 1);
+    }
+
+    #[test]
+    fn rolling_sketch_window_and_clamps() {
+        use std::time::Duration;
+        let r = RollingSketch::new(0.01, Duration::from_secs(30), 6);
+        assert_eq!(r.window(), Duration::from_secs(30));
+        // n_buckets clamps to >= 2.
+        let r = RollingSketch::new(0.01, Duration::from_secs(10), 0);
+        assert_eq!(r.window(), Duration::from_secs(10));
     }
 }

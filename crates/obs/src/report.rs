@@ -111,6 +111,17 @@ pub struct TraceAggregates {
     /// (seq, t_ms, counter deltas, gauges).
     #[allow(clippy::type_complexity)]
     pub series: Vec<(u64, f64, BTreeMap<String, f64>, BTreeMap<String, f64>)>,
+    /// Per connection: server-side request latencies (ms) in file order,
+    /// from wire-tagged `serve_round` events.
+    pub serve_rounds: BTreeMap<u64, Vec<f64>>,
+    /// Per connection: answered-round count (`serve_round` with
+    /// `round >= 1`; the session-opening hello is a request but not a
+    /// round).
+    pub serve_answered: BTreeMap<u64, u64>,
+    /// Per (connection, error kind): `serve_error` counts.
+    pub serve_errors: BTreeMap<(u64, String), u64>,
+    /// Flight-recorder dumps, in file order.
+    pub slow_rounds: Vec<SlowRoundRow>,
     /// Counters from the trailing summary (empty when absent).
     pub summary_counters: BTreeMap<String, f64>,
     /// Quantile-sketch summaries from the trailing summary:
@@ -118,6 +129,28 @@ pub struct TraceAggregates {
     pub summary_sketches: BTreeMap<String, (f64, f64, f64, f64, f64)>,
     /// Events per kind.
     pub census: BTreeMap<String, usize>,
+}
+
+/// One `slow_round` event reduced to its report row: wire identity,
+/// latency vs threshold, and the span the tree blames (largest self time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowRoundRow {
+    /// Connection id.
+    pub conn: u64,
+    /// Request id.
+    pub req: u64,
+    /// Session id.
+    pub session: u64,
+    /// Round number.
+    pub round: u64,
+    /// Observed latency, ms.
+    pub ms: f64,
+    /// Trigger threshold (factor × rolling p99), ms.
+    pub threshold_ms: f64,
+    /// Span path with the largest self time in the dump.
+    pub top_span: String,
+    /// That span's self time, ms.
+    pub top_self_ms: f64,
 }
 
 fn num(doc: &Json, field: &str) -> Option<f64> {
@@ -203,6 +236,37 @@ pub fn ingest(trace: &str) -> Result<TraceAggregates, String> {
                 let gauges = doc.get("gauges").map(Json::to_num_map).unwrap_or_default();
                 agg.series.push((seq, t_ms, counters, gauges));
             }
+            "serve_round" => {
+                let conn = num(&doc, "conn").unwrap_or(0.0) as u64;
+                agg.serve_rounds
+                    .entry(conn)
+                    .or_default()
+                    .push(num(&doc, "ms").unwrap_or(0.0));
+                if num(&doc, "round").unwrap_or(0.0) >= 1.0 {
+                    *agg.serve_answered.entry(conn).or_insert(0) += 1;
+                }
+            }
+            "serve_error" => {
+                let conn = num(&doc, "conn").unwrap_or(0.0) as u64;
+                let kind = text(&doc, "kind").unwrap_or_default();
+                *agg.serve_errors.entry((conn, kind)).or_insert(0) += 1;
+            }
+            "slow_round" => {
+                let (top_span, top_self_ms) = doc
+                    .get("spans")
+                    .and_then(crate::flight::top_self_span)
+                    .unwrap_or_default();
+                agg.slow_rounds.push(SlowRoundRow {
+                    conn: num(&doc, "conn").unwrap_or(0.0) as u64,
+                    req: num(&doc, "req").unwrap_or(0.0) as u64,
+                    session: num(&doc, "session").unwrap_or(0.0) as u64,
+                    round: num(&doc, "round").unwrap_or(0.0) as u64,
+                    ms: num(&doc, "ms").unwrap_or(0.0),
+                    threshold_ms: num(&doc, "threshold_ms").unwrap_or(0.0),
+                    top_span,
+                    top_self_ms,
+                });
+            }
             "summary" => {
                 if let Some(c) = doc.get("counters") {
                     agg.summary_counters = c.to_num_map();
@@ -234,6 +298,17 @@ pub fn ingest(trace: &str) -> Result<TraceAggregates, String> {
 
 fn f2(x: f64) -> String {
     format!("{x:.2}")
+}
+
+/// Nearest-rank percentile over a sorted slice (same convention as the
+/// loadgen's client-side percentiles, so server and client tables agree on
+/// small samples). 0 when empty.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 fn u(x: f64) -> String {
@@ -391,6 +466,91 @@ pub fn tables(agg: &TraceAggregates) -> Vec<ReportTable> {
         out.push(t);
     }
 
+    // Per-connection serve-path attribution from wire-tagged events.
+    if !agg.serve_rounds.is_empty() || !agg.serve_errors.is_empty() {
+        let mut t = ReportTable::new(
+            "serve",
+            "Per-connection serve rounds and latency (from serve_round/serve_error events)",
+            &[
+                "conn", "requests", "rounds", "errors", "p50_ms", "p99_ms", "max_ms",
+            ],
+        );
+        let mut conns: Vec<u64> = agg.serve_rounds.keys().copied().collect();
+        conns.extend(agg.serve_errors.keys().map(|(c, _)| *c));
+        conns.sort_unstable();
+        conns.dedup();
+        for conn in conns {
+            let ms = agg.serve_rounds.get(&conn).cloned().unwrap_or_default();
+            let mut sorted = ms.clone();
+            sorted.sort_by(f64::total_cmp);
+            let errors: u64 = agg
+                .serve_errors
+                .iter()
+                .filter(|((c, _), _)| *c == conn)
+                .map(|(_, n)| n)
+                .sum();
+            t.rows.push(vec![
+                conn.to_string(),
+                ms.len().to_string(),
+                agg.serve_answered
+                    .get(&conn)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                errors.to_string(),
+                format!("{:.4}", nearest_rank(&sorted, 0.50)),
+                format!("{:.4}", nearest_rank(&sorted, 0.99)),
+                format!("{:.4}", sorted.last().copied().unwrap_or(0.0)),
+            ]);
+        }
+        out.push(t);
+    }
+
+    // Error-kind histogram per connection.
+    if !agg.serve_errors.is_empty() {
+        let mut t = ReportTable::new(
+            "serve_errors",
+            "Serve error-kind histogram per connection",
+            &["conn", "kind", "count"],
+        );
+        for ((conn, kind), n) in &agg.serve_errors {
+            t.rows
+                .push(vec![conn.to_string(), kind.clone(), n.to_string()]);
+        }
+        out.push(t);
+    }
+
+    // Flight-recorder dumps: which span owned each tail-latency outlier.
+    if !agg.slow_rounds.is_empty() {
+        let mut t = ReportTable::new(
+            "slow",
+            "Flight-recorder slow_round dumps (top span by self time)",
+            &[
+                "conn",
+                "req",
+                "session",
+                "round",
+                "ms",
+                "threshold_ms",
+                "top_span",
+                "top_self_ms",
+            ],
+        );
+        for s in &agg.slow_rounds {
+            t.rows.push(vec![
+                s.conn.to_string(),
+                s.req.to_string(),
+                s.session.to_string(),
+                s.round.to_string(),
+                f2(s.ms),
+                f2(s.threshold_ms),
+                s.top_span.clone(),
+                f2(s.top_self_ms),
+            ]);
+        }
+        out.push(t);
+    }
+
     // Snapshotter samples: live-progress rates per interval.
     if !agg.series.is_empty() {
         let mut t = ReportTable::new(
@@ -525,5 +685,55 @@ mod tests {
     fn ingest_rejects_malformed_json_with_line_number() {
         let err = ingest("{\"ev\":\"round\"}\nnot json\n").unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    const SERVE_TRACE: &str = concat!(
+        r#"{"ev":"serve_round","t_ms":1,"conn":1,"req":1,"session":10,"round":0,"ms":2.0}"#,
+        "\n",
+        r#"{"ev":"serve_round","t_ms":2,"conn":1,"req":2,"session":10,"round":1,"ms":4.0}"#,
+        "\n",
+        r#"{"ev":"serve_round","t_ms":3,"conn":1,"req":3,"session":10,"round":2,"ms":6.0}"#,
+        "\n",
+        r#"{"ev":"serve_round","t_ms":4,"conn":2,"req":4,"session":11,"round":0,"ms":1.0}"#,
+        "\n",
+        r#"{"ev":"serve_error","t_ms":5,"conn":2,"kind":"stale_round"}"#,
+        "\n",
+        r#"{"ev":"serve_error","t_ms":6,"conn":2,"kind":"stale_round"}"#,
+        "\n",
+        r#"{"ev":"serve_error","t_ms":7,"conn":3,"kind":"parse"}"#,
+        "\n",
+        r#"{"ev":"slow_round","t_ms":8,"conn":1,"req":3,"session":10,"round":2,"ms":6.0,"threshold_ms":5.0,"p99_ms":1.2,"spans":{"serve_batch":{"count":1,"total_ms":6.0,"self_ms":0.5},"serve_batch/top1":{"count":2,"total_ms":5.5,"self_ms":5.5}},"recent":[{"conn":1,"req":3,"session":10,"round":2,"ms":6.0}]}"#,
+        "\n",
+    );
+
+    #[test]
+    fn serve_tables_attribute_per_connection() {
+        let agg = ingest(SERVE_TRACE).unwrap();
+        assert_eq!(agg.serve_rounds[&1].len(), 3);
+        assert_eq!(agg.serve_answered[&1], 2); // hello row is not a round
+        assert_eq!(agg.serve_errors[&(2, "stale_round".into())], 2);
+
+        let ts = tables(&agg);
+        let ids: Vec<&str> = ts.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(ids, vec!["serve", "serve_errors", "slow", "census"]);
+
+        let serve = ts.iter().find(|t| t.id == "serve").unwrap();
+        // conn 1: 3 requests, 2 rounds, p50 = 4.0, p99 = max = 6.0.
+        assert_eq!(
+            serve.rows[0],
+            vec!["1", "3", "2", "0", "4.0000", "6.0000", "6.0000"]
+        );
+        // conn 3 appears even though it only produced errors.
+        assert_eq!(serve.rows[2][0], "3");
+        assert_eq!(serve.rows[2][3], "1");
+
+        let slow = ts.iter().find(|t| t.id == "slow").unwrap();
+        assert_eq!(slow.rows.len(), 1);
+        assert_eq!(slow.rows[0][6], "serve_batch/top1");
+
+        // Deterministic across runs.
+        let again = report(SERVE_TRACE).unwrap();
+        let find = |ts: &[ReportTable]| ts.iter().find(|t| t.id == "serve").unwrap().rows.clone();
+        assert_eq!(find(&ts), find(&again));
     }
 }

@@ -30,6 +30,7 @@ enum Shape {
     Num,
     Str,
     Obj,
+    Arr,
 }
 
 fn check(obj: &Json, field: &str, shape: Shape) -> Result<(), String> {
@@ -40,6 +41,7 @@ fn check(obj: &Json, field: &str, shape: Shape) -> Result<(), String> {
         Shape::Num => v.as_f64().is_some(),
         Shape::Str => v.as_str().is_some(),
         Shape::Obj => v.as_obj().is_some(),
+        Shape::Arr => v.as_arr().is_some(),
     };
     if ok {
         Ok(())
@@ -85,6 +87,27 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             check(&doc, "user", Shape::Num)?;
             check(&doc, "rounds", Shape::Num)?;
             check(&doc, "ms", Shape::Num)?;
+        }
+        "serve_round" => {
+            check(&doc, "conn", Shape::Num)?;
+            check(&doc, "req", Shape::Num)?;
+            check(&doc, "session", Shape::Num)?;
+            check(&doc, "round", Shape::Num)?;
+            check(&doc, "ms", Shape::Num)?;
+        }
+        "serve_error" => {
+            check(&doc, "conn", Shape::Num)?;
+            check(&doc, "kind", Shape::Str)?;
+        }
+        "slow_round" => {
+            check(&doc, "conn", Shape::Num)?;
+            check(&doc, "req", Shape::Num)?;
+            check(&doc, "session", Shape::Num)?;
+            check(&doc, "round", Shape::Num)?;
+            check(&doc, "ms", Shape::Num)?;
+            check(&doc, "threshold_ms", Shape::Num)?;
+            check(&doc, "spans", Shape::Obj)?;
+            check(&doc, "recent", Shape::Arr)?;
         }
         "timeseries" => {
             check(&doc, "seq", Shape::Num)?;
@@ -271,6 +294,36 @@ mod tests {
         assert!(
             validate_line(r#"{"ev":"serve_session","t_ms":7,"algo":"EA","user":12}"#).is_err(),
             "serve_session requires rounds and ms"
+        );
+        assert_eq!(
+            validate_line(
+                r#"{"ev":"serve_round","t_ms":1,"conn":2,"req":17,"session":5,"round":3,"ms":4.2}"#
+            )
+            .unwrap(),
+            "serve_round"
+        );
+        assert_eq!(
+            validate_line(r#"{"ev":"serve_error","t_ms":1,"conn":2,"kind":"stale_round"}"#)
+                .unwrap(),
+            "serve_error"
+        );
+        assert_eq!(
+            validate_line(
+                r#"{"ev":"slow_round","t_ms":1,"conn":2,"req":17,"session":5,"round":3,"ms":80.0,"threshold_ms":12.0,"p99_ms":3.0,"spans":{"top1":{"count":1,"total_ms":79.0,"self_ms":79.0}},"recent":[{"conn":2,"req":17,"session":5,"round":3,"ms":80.0}]}"#
+            )
+            .unwrap(),
+            "slow_round"
+        );
+        assert!(
+            validate_line(
+                r#"{"ev":"slow_round","t_ms":1,"conn":2,"req":17,"session":5,"round":3,"ms":80.0,"threshold_ms":12.0,"spans":{},"recent":{}}"#
+            )
+            .is_err(),
+            "slow_round requires recent to be an array"
+        );
+        assert!(
+            validate_line(r#"{"ev":"serve_round","t_ms":1,"conn":2,"req":17}"#).is_err(),
+            "serve_round requires session, round, ms"
         );
     }
 

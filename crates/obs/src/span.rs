@@ -30,6 +30,9 @@
 //! For regression drills, `ISRL_SLOW_SPAN=<leaf>:<ms>` injects a busy-wait
 //! into every span with that leaf name — the artificial slowdown the
 //! `trace-diff` golden test and CI smoke job attribute back to the span.
+//! The extended form `<leaf>:<ms>:@<n>` injects only into the *n*-th
+//! (1-based, process-wide) span with that leaf name, which is how the
+//! serve-path flight-recorder drill makes exactly one round slow.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -85,18 +88,38 @@ fn registry() -> &'static Mutex<BTreeMap<String, SpanStat>> {
     REG.get_or_init(Default::default)
 }
 
-/// The `ISRL_SLOW_SPAN=<leaf>:<ms>` injection target, parsed once.
-fn slow_span() -> Option<&'static (String, Duration)> {
-    static SLOW: OnceLock<Option<(String, Duration)>> = OnceLock::new();
+/// The `ISRL_SLOW_SPAN=<leaf>:<ms>[:@<n>]` injection target, parsed once.
+/// `n`, when present, restricts the busy-wait to the n-th matching span
+/// process-wide (1-based).
+fn slow_span() -> Option<&'static (String, Duration, Option<u64>)> {
+    static SLOW: OnceLock<Option<(String, Duration, Option<u64>)>> = OnceLock::new();
     SLOW.get_or_init(|| {
         let spec = std::env::var("ISRL_SLOW_SPAN").ok()?;
-        let (name, ms) = spec.split_once(':')?;
-        let ms: f64 = ms.parse().ok()?;
-        (!name.is_empty() && ms.is_finite() && ms > 0.0)
-            .then(|| (name.to_string(), Duration::from_secs_f64(ms / 1e3)))
+        parse_slow_spec(&spec)
     })
     .as_ref()
 }
+
+fn parse_slow_spec(spec: &str) -> Option<(String, Duration, Option<u64>)> {
+    let (name, rest) = spec.split_once(':')?;
+    let (ms_str, nth) = match rest.split_once(':') {
+        Some((ms, at)) => {
+            let n: u64 = at.strip_prefix('@')?.parse().ok()?;
+            if n == 0 {
+                return None;
+            }
+            (ms, Some(n))
+        }
+        None => (rest, None),
+    };
+    let ms: f64 = ms_str.parse().ok()?;
+    (!name.is_empty() && ms.is_finite() && ms > 0.0)
+        .then(|| (name.to_string(), Duration::from_secs_f64(ms / 1e3), nth))
+}
+
+/// Process-wide count of spans matching the `ISRL_SLOW_SPAN` leaf name,
+/// used to resolve the `:@<n>` form.
+static SLOW_SEEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Joins the current stack into a registry path, applying the depth and
 /// length bounds. Returns the path and whether truncation happened.
@@ -154,13 +177,16 @@ pub fn span(name: &'static str) -> SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        if let Some((slow_name, extra)) = slow_span() {
+        if let Some((slow_name, extra, nth)) = slow_span() {
             if self.name == slow_name {
-                // Busy-wait so the injected latency is real wall time —
-                // enclosing spans must see it too, or parents' self time
-                // would go negative in the profile tree.
-                while start.elapsed() < *extra {
-                    std::hint::spin_loop();
+                let seen = SLOW_SEEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                if nth.map_or(true, |n| seen == n) {
+                    // Busy-wait so the injected latency is real wall time —
+                    // enclosing spans must see it too, or parents' self time
+                    // would go negative in the profile tree.
+                    while start.elapsed() < *extra {
+                        std::hint::spin_loop();
+                    }
                 }
             }
         }
@@ -236,4 +262,37 @@ pub(crate) fn snapshot_spans() -> Vec<(String, SpanStat)> {
 /// Clears the global span registry (thread-local scopes are unaffected).
 pub(crate) fn reset_spans() {
     registry().lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_slow_spec;
+    use std::time::Duration;
+
+    #[test]
+    fn slow_spec_parses_plain_and_nth_forms() {
+        assert_eq!(
+            parse_slow_spec("top1:5"),
+            Some(("top1".into(), Duration::from_millis(5), None))
+        );
+        assert_eq!(
+            parse_slow_spec("top1:2.5:@7"),
+            Some(("top1".into(), Duration::from_micros(2500), Some(7)))
+        );
+        for bad in [
+            "",
+            "top1",
+            ":5",
+            "top1:nope",
+            "top1:0",
+            "top1:5:@0",
+            "top1:5:7",
+        ] {
+            assert_eq!(
+                parse_slow_spec(bad),
+                None,
+                "spec {bad:?} should be rejected"
+            );
+        }
+    }
 }
